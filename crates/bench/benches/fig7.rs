@@ -1,0 +1,156 @@
+//! Fig 7 (a)–(f): speedups of the Logit operator for Llama3 70b and
+//! Llama3 405b across sequence lengths.
+//!
+//! * (a)/(d) throttling policies (dyncta, lcs, dynmg) vs unoptimized;
+//! * (b)/(e) arbitration policies (cobrra, B, MA, BMA), each aided by
+//!   dynmg, normalized against dynmg alone;
+//! * (c)/(f) cumulative speedup of dynmg, dynmg+B, dynmg+MA, dynmg+BMA
+//!   vs unoptimized.
+
+use llamcat::experiment::{Model, Policy};
+use llamcat_bench::{
+    arbitration_policies, cumulative_policies, print_speedup_table, run_cells, scale_divisor,
+    scale_label, throttling_policies, Cell,
+};
+
+fn main() {
+    let div = scale_divisor();
+    let seqs: Vec<usize> = [4096, 8192, 16384].iter().map(|s| s / div).collect();
+    let xlabels: Vec<String> = seqs.iter().map(|s| format!("{}K", s / 1024)).collect();
+    println!(
+        "# Fig 7 — Logit operator speedups (scale: {}, seqs {:?})",
+        scale_label(),
+        seqs
+    );
+
+    for model in [Model::Llama3_70b, Model::Llama3_405b] {
+        let mlabel = match model {
+            Model::Llama3_70b => "llama3 70b",
+            Model::Llama3_405b => "llama3 405b",
+        };
+
+        // Baseline and dynmg runs per sequence length.
+        let base_cells: Vec<Cell> = seqs
+            .iter()
+            .map(|&s| Cell {
+                model,
+                seq_len: s,
+                policy: Policy::unoptimized(),
+                l2_mb: 16,
+            })
+            .collect();
+        let base = run_cells(&base_cells);
+        let dynmg_cells: Vec<Cell> = seqs
+            .iter()
+            .map(|&s| Cell {
+                model,
+                seq_len: s,
+                policy: Policy::dynmg(),
+                l2_mb: 16,
+            })
+            .collect();
+        let dynmg = run_cells(&dynmg_cells);
+
+        // Panel (a)/(d): throttling policies vs unoptimized.
+        let mut rows = Vec::new();
+        for p in throttling_policies() {
+            if p == Policy::dynmg() {
+                rows.push((
+                    p.label(),
+                    dynmg
+                        .iter()
+                        .zip(&base)
+                        .map(|(r, b)| r.speedup_over(b))
+                        .collect(),
+                ));
+                continue;
+            }
+            let cells: Vec<Cell> = seqs
+                .iter()
+                .map(|&s| Cell {
+                    model,
+                    seq_len: s,
+                    policy: p,
+                    l2_mb: 16,
+                })
+                .collect();
+            let reports = run_cells(&cells);
+            rows.push((
+                p.label(),
+                reports
+                    .iter()
+                    .zip(&base)
+                    .map(|(r, b)| r.speedup_over(b))
+                    .collect(),
+            ));
+        }
+        print_speedup_table(
+            &format!("Fig 7 {mlabel}: throttling policies"),
+            &xlabels,
+            &rows,
+            "normalized against unoptimized",
+        );
+
+        // Panel (b)/(e): arbitration policies (each + dynmg) vs dynmg.
+        let mut rows = Vec::new();
+        for p in arbitration_policies() {
+            let cells: Vec<Cell> = seqs
+                .iter()
+                .map(|&s| Cell {
+                    model,
+                    seq_len: s,
+                    policy: p,
+                    l2_mb: 16,
+                })
+                .collect();
+            let reports = run_cells(&cells);
+            rows.push((
+                p.label(),
+                reports
+                    .iter()
+                    .zip(&dynmg)
+                    .map(|(r, d)| r.speedup_over(d))
+                    .collect(),
+            ));
+        }
+        print_speedup_table(
+            &format!("Fig 7 {mlabel}: arbitration policies (with dynmg)"),
+            &xlabels,
+            &rows,
+            "normalized against dynmg alone",
+        );
+
+        // Panel (c)/(f): cumulative speedups vs unoptimized.
+        let mut rows = Vec::new();
+        for p in cumulative_policies() {
+            let cells: Vec<Cell> = seqs
+                .iter()
+                .map(|&s| Cell {
+                    model,
+                    seq_len: s,
+                    policy: p,
+                    l2_mb: 16,
+                })
+                .collect();
+            let reports = run_cells(&cells);
+            rows.push((
+                p.label(),
+                reports
+                    .iter()
+                    .zip(&base)
+                    .map(|(r, b)| r.speedup_over(b))
+                    .collect(),
+            ));
+        }
+        print_speedup_table(
+            &format!("Fig 7 {mlabel}: cumulative speedup"),
+            &xlabels,
+            &rows,
+            "normalized against unoptimized",
+        );
+    }
+    println!(
+        "\nPaper reference: dynmg 1.08-1.44x (geomean 1.19x); BMA +1.04-1.07x \
+         over dynmg; final dynmg+BMA 1.15-1.54x (geomean 1.26x)."
+    );
+}

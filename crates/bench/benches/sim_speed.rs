@@ -1,0 +1,127 @@
+//! Criterion micro-benchmarks of the simulator substrate itself:
+//! DRAM channel throughput, cache-model operations, MSHR operations and
+//! small end-to-end system runs. These guard against performance
+//! regressions in the hot tick loop (the figure benches depend on the
+//! simulator staying fast).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use llamcat_sim::arb::{FifoArbiter, NoThrottle};
+use llamcat_sim::cache::{InsertPolicy, SetAssocCache};
+use llamcat_sim::config::{DramConfig, SystemConfig};
+use llamcat_sim::dram::{AddressMapping, Channel, MappingScheme};
+use llamcat_sim::mshr::{MshrFile, MshrTarget};
+use llamcat_sim::prog::{Instr, Program, ThreadBlock};
+use llamcat_sim::system::System;
+use llamcat_sim::types::LINE_BYTES;
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/access_hit", |b| {
+        let mut cache = SetAssocCache::new(4096, 8, 3);
+        for line in 0..4096u64 {
+            cache.insert(line * LINE_BYTES * 8, false, InsertPolicy::Mru);
+        }
+        let mut line = 0u64;
+        b.iter(|| {
+            line = (line + 1) % 4096;
+            std::hint::black_box(cache.access(line * LINE_BYTES * 8, false))
+        });
+    });
+    c.bench_function("cache/insert_evict", |b| {
+        let mut cache = SetAssocCache::new(128, 8, 0);
+        let mut line = 0u64;
+        b.iter(|| {
+            line += 1;
+            std::hint::black_box(cache.insert(line * LINE_BYTES, false, InsertPolicy::Mru))
+        });
+    });
+}
+
+fn bench_mshr(c: &mut Criterion) {
+    c.bench_function("mshr/register_complete", |b| {
+        let mut mshr = MshrFile::new(6, 8);
+        let t = MshrTarget {
+            req_id: 0,
+            core: 0,
+            is_write: false,
+        };
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 64;
+            mshr.register(addr, t);
+            std::hint::black_box(mshr.complete(addr))
+        });
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram/streaming_channel", |b| {
+        let mut cfg = DramConfig::table5();
+        cfg.refresh = false;
+        let mapping = AddressMapping::new(&cfg, MappingScheme::RoBaRaCoCh);
+        b.iter_batched(
+            || Channel::new(cfg, 0),
+            |mut ch| {
+                let mut out = Vec::new();
+                let mut sent = 0u64;
+                while out.len() < 32 {
+                    if sent < 32 {
+                        let a = sent * 4 * LINE_BYTES;
+                        if ch.enqueue_read(a, mapping.decode(a), 0) {
+                            sent += 1;
+                        }
+                    }
+                    ch.tick(&mut out);
+                }
+                out.len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_system(c: &mut Criterion) {
+    c.bench_function("system/small_run", |b| {
+        let mut cfg = SystemConfig::table5();
+        cfg.num_cores = 4;
+        cfg.dram.refresh = false;
+        let blocks: Vec<ThreadBlock> = (0..16)
+            .map(|i| ThreadBlock {
+                instrs: vec![
+                    Instr::Load {
+                        addr: i * 4096,
+                        bytes: 128,
+                    },
+                    Instr::Load {
+                        addr: i * 4096 + 128,
+                        bytes: 128,
+                    },
+                    Instr::Barrier,
+                ],
+            })
+            .collect();
+        let program = Program::round_robin(blocks, cfg.num_cores);
+        b.iter_batched(
+            || {
+                System::new(
+                    cfg,
+                    program.clone(),
+                    &|_| Box::new(FifoArbiter),
+                    Box::new(NoThrottle),
+                )
+            },
+            |mut sys| {
+                let (stats, _) = sys.run(100_000);
+                stats.cycles
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache, bench_mshr, bench_dram, bench_system
+}
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Benchmark harness: regenerates every table and figure of the LLaMCAT
+//! evaluation (Section 6).
+//!
+//! Each `[[bench]]` target (harness = false) prints the rows/series of
+//! one paper artifact:
+//!
+//! | target | paper artifact |
+//! |---|---|
+//! | `fig7` | Fig 7(a–f): throttling, arbitration and cumulative speedups for 70b/405b over sequence lengths |
+//! | `fig8` | Fig 8: mechanism metrics for 70b @ 8K across the policy ladder |
+//! | `fig9` | Fig 9(a,b): L2-capacity sweep at 32K |
+//! | `table_sweeps` | Tables 2–4: throttling parameter sweeps |
+//! | `area_cost` | Section 6.1 hardware-cost comparison |
+//! | `sim_speed` | Criterion micro-benchmarks of the substrate itself |
+//!
+//! Scale is controlled with `LLAMCAT_SCALE` = `full` | `half` (default) |
+//! `quick`: sequence lengths divide by 1 / 2 / 8. Orderings are stable
+//! across scales; EXPERIMENTS.md records which scale produced the
+//! committed numbers.
+
+use std::time::Instant;
+
+use llamcat::experiment::{geomean, Experiment, Model, Policy, RunReport};
+use rayon::prelude::*;
+
+/// Sequence-length scale factor from `LLAMCAT_SCALE`.
+pub fn scale_divisor() -> usize {
+    match std::env::var("LLAMCAT_SCALE").as_deref() {
+        Ok("full") => 1,
+        Ok("quick") => 8,
+        Ok("half") | _ => 2,
+    }
+}
+
+/// Human-readable scale label for output headers.
+pub fn scale_label() -> String {
+    let d = scale_divisor();
+    match d {
+        1 => "full".into(),
+        2 => "half".into(),
+        8 => "quick".into(),
+        other => format!("1/{other}"),
+    }
+}
+
+/// One grid cell to simulate.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    pub model: Model,
+    pub seq_len: usize,
+    pub policy: Policy,
+    pub l2_mb: u64,
+}
+
+/// Runs a set of cells in parallel (simulations are independent and
+/// deterministic) and returns the reports in input order.
+pub fn run_cells(cells: &[Cell]) -> Vec<RunReport> {
+    cells
+        .par_iter()
+        .map(|c| {
+            Experiment::new(c.model, c.seq_len)
+                .policy(c.policy)
+                .l2_mb(c.l2_mb)
+                .run()
+        })
+        .collect()
+}
+
+/// Runs one experiment, timing the wall clock.
+pub fn run_one(model: Model, seq_len: usize, policy: Policy, l2_mb: u64) -> (RunReport, f64) {
+    let t0 = Instant::now();
+    let r = Experiment::new(model, seq_len)
+        .policy(policy)
+        .l2_mb(l2_mb)
+        .run();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Formats a speedup table: one row per policy, one column per x value.
+pub fn print_speedup_table(
+    title: &str,
+    xlabels: &[String],
+    rows: &[(String, Vec<f64>)],
+    note: &str,
+) {
+    println!("\n### {title}");
+    if !note.is_empty() {
+        println!("    ({note})");
+    }
+    print!("{:<16}", "policy");
+    for x in xlabels {
+        print!("{x:>10}");
+    }
+    println!("{:>10}", "geomean");
+    for (name, values) in rows {
+        print!("{name:<16}");
+        for v in values {
+            print!("{v:>9.3}x");
+        }
+        println!("{:>9.3}x", geomean(values));
+    }
+}
+
+/// The standard policy ladder of Fig 7/8.
+pub fn throttling_policies() -> Vec<Policy> {
+    vec![Policy::dyncta(), Policy::lcs(), Policy::dynmg()]
+}
+
+/// Arbitration policies, each run on top of dynmg (Fig 7(b)/(e)).
+pub fn arbitration_policies() -> Vec<Policy> {
+    vec![
+        Policy::dynmg_cobrra(),
+        Policy::dynmg_b(),
+        Policy::dynmg_ma(),
+        Policy::dynmg_bma(),
+    ]
+}
+
+/// Cumulative ladder (Fig 7(c)/(f)).
+pub fn cumulative_policies() -> Vec<Policy> {
+    vec![
+        Policy::dynmg(),
+        Policy::dynmg_b(),
+        Policy::dynmg_ma(),
+        Policy::dynmg_bma(),
+    ]
+}
+
+/// Fig 9's policy set.
+pub fn fig9_policies() -> Vec<Policy> {
+    vec![
+        Policy::dyncta(),
+        Policy::lcs(),
+        Policy::cobrra(),
+        Policy::dynmg(),
+        Policy::dynmg_cobrra(),
+        Policy::dynmg_bma(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_default_is_half() {
+        // Unless the env var says otherwise in this test environment.
+        if std::env::var("LLAMCAT_SCALE").is_err() {
+            assert_eq!(scale_divisor(), 2);
+            assert_eq!(scale_label(), "half");
+        }
+    }
+
+    #[test]
+    fn policy_sets_are_complete() {
+        assert_eq!(throttling_policies().len(), 3);
+        assert_eq!(arbitration_policies().len(), 4);
+        assert_eq!(cumulative_policies().len(), 4);
+        assert_eq!(fig9_policies().len(), 6);
+    }
+
+    #[test]
+    fn run_cells_preserves_order() {
+        let cells = vec![
+            Cell {
+                model: Model::Llama3_70b,
+                seq_len: 128,
+                policy: Policy::unoptimized(),
+                l2_mb: 16,
+            },
+            Cell {
+                model: Model::Llama3_405b,
+                seq_len: 128,
+                policy: Policy::unoptimized(),
+                l2_mb: 16,
+            },
+        ];
+        let reports = run_cells(&cells);
+        assert_eq!(reports[0].model_label, "llama3 70b");
+        assert_eq!(reports[1].model_label, "llama3 405b");
+    }
+}

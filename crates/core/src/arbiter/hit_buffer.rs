@@ -1,0 +1,107 @@
+//! The hit buffer: a FIFO of recently observed cache-hit line addresses
+//! (Section 4.3.1, the red `hit buffer (FIFO)` of Fig 4).
+//!
+//! The arbiter cannot afford a real tag lookup per queued request, so it
+//! *speculates*: an address that hit recently (or was just filled) is
+//! likely to hit again. Mispredictions are harmless — the real lookup
+//! still decides — they only cost arbitration quality.
+
+use std::collections::VecDeque;
+
+use llamcat_sim::types::Addr;
+
+/// Bounded FIFO of line addresses used for cache-hit speculation.
+#[derive(Debug, Clone)]
+pub struct HitBuffer {
+    entries: VecDeque<Addr>,
+    capacity: usize,
+}
+
+impl HitBuffer {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        HitBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Records a (predicted-to-repeat) hit address; evicts the oldest
+    /// entry when full. Duplicate of the newest entry is skipped to
+    /// preserve capacity under bursty repeats.
+    pub fn record(&mut self, line_addr: Addr) {
+        if self.entries.back() == Some(&line_addr) {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(line_addr);
+    }
+
+    /// Speculative lookup.
+    pub fn contains(&self, line_addr: Addr) -> bool {
+        self.entries.contains(&line_addr)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_finds() {
+        let mut h = HitBuffer::new(4);
+        h.record(0x40);
+        h.record(0x80);
+        assert!(h.contains(0x40));
+        assert!(h.contains(0x80));
+        assert!(!h.contains(0xc0));
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut h = HitBuffer::new(2);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        assert!(!h.contains(1), "oldest evicted");
+        assert!(h.contains(2));
+        assert!(h.contains(3));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn consecutive_duplicates_coalesce() {
+        let mut h = HitBuffer::new(2);
+        h.record(7);
+        h.record(7);
+        h.record(7);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut h = HitBuffer::new(2);
+        h.record(1);
+        h.clear();
+        assert!(h.is_empty());
+        assert!(!h.contains(1));
+    }
+}

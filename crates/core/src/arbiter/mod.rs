@@ -1,0 +1,21 @@
+//! LLC request-arbitration policies (Section 4 of the paper).
+//!
+//! * [`balanced::BalancedArbiter`] — policy **B**: serve the core with
+//!   the smallest progress counter first.
+//! * [`mshr_aware::MshrAwareArbiter`] — policies **MA** / **BMA**:
+//!   prioritize speculated cache hits and MSHR hits using the hit
+//!   buffer, the MSHR snapshot and the `sent_reqs` FIFO.
+//! * [`cobrra::CobrraArbiter`] — the COBRRA baseline (adaptive
+//!   request-response arbitration, bypass disabled).
+
+pub mod balanced;
+pub mod cobrra;
+pub mod hit_buffer;
+pub mod mshr_aware;
+pub mod sent_reqs;
+
+pub use balanced::BalancedArbiter;
+pub use cobrra::CobrraArbiter;
+pub use hit_buffer::HitBuffer;
+pub use mshr_aware::{MshrAwareArbiter, MshrAwareConfig, TieBreak};
+pub use sent_reqs::SentReqs;

@@ -1,0 +1,142 @@
+//! The `sent_reqs` FIFO (Section 4.3.1, red in Fig 4/Fig 5).
+//!
+//! A request chosen by the arbiter appears in the MSHR snapshot only
+//! after the tag pipeline (hit-latency) and the MSHR lookup
+//! (mshr-latency) complete. During that window the snapshot is stale:
+//! without compensation the arbiter would double-allocate entries or
+//! miss merge opportunities. `sent_reqs` tracks the in-flight chosen
+//! requests for exactly `hit_latency + mshr_latency` cycles, each tagged
+//! with its `spec_hit_result` bit — speculated cache hits are masked out
+//! when estimating MSHR pressure, since hits never touch the MSHR.
+
+use std::collections::VecDeque;
+
+use llamcat_sim::types::Addr;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SentEntry {
+    line_addr: Addr,
+    /// The spec_hit_result bit assigned at selection time.
+    spec_hit: bool,
+    /// Cycles remaining before the request is visible in the MSHR
+    /// snapshot (then it retires from this FIFO).
+    remaining: u64,
+}
+
+/// FIFO of recently chosen requests still invisible to the MSHR snapshot.
+#[derive(Debug, Clone)]
+pub struct SentReqs {
+    entries: VecDeque<SentEntry>,
+    /// Residency: hit-latency + mshr-latency.
+    latency: u64,
+}
+
+impl SentReqs {
+    pub fn new(hit_latency: u64, mshr_latency: u64) -> Self {
+        SentReqs {
+            entries: VecDeque::new(),
+            latency: hit_latency + mshr_latency,
+        }
+    }
+
+    /// Registers a chosen request with its speculated-hit bit.
+    pub fn push(&mut self, line_addr: Addr, spec_hit: bool) {
+        self.entries.push_back(SentEntry {
+            line_addr,
+            spec_hit,
+            remaining: self.latency,
+        });
+    }
+
+    /// Ages all entries by one cycle, retiring those whose MSHR state is
+    /// now architecturally visible.
+    pub fn tick(&mut self) {
+        for e in self.entries.iter_mut() {
+            e.remaining -= 1;
+        }
+        while self.entries.front().is_some_and(|e| e.remaining == 0) {
+            self.entries.pop_front();
+        }
+    }
+
+    /// Whether `line_addr` is in flight as a *non-hit* (i.e. will occupy
+    /// or merge into an MSHR entry shortly). Used to predict MSHR hits
+    /// for requests issued back-to-back to the same line.
+    pub fn pending_miss(&self, line_addr: Addr) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.line_addr == line_addr && !e.spec_hit)
+    }
+
+    /// Number of in-flight non-hit requests to lines *not* yet in the
+    /// snapshot — the hidden claim on free MSHR entries.
+    pub fn hidden_entry_claims(&self, in_snapshot: impl Fn(Addr) -> bool) -> usize {
+        let mut seen = Vec::new();
+        for e in &self.entries {
+            if !e.spec_hit && !in_snapshot(e.line_addr) && !seen.contains(&e.line_addr) {
+                seen.push(e.line_addr);
+            }
+        }
+        seen.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retires_after_latency() {
+        let mut s = SentReqs::new(3, 5);
+        s.push(0x40, false);
+        for _ in 0..7 {
+            s.tick();
+            assert!(s.pending_miss(0x40));
+        }
+        s.tick(); // 8th cycle: retired
+        assert!(!s.pending_miss(0x40));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn spec_hits_are_masked() {
+        let mut s = SentReqs::new(3, 5);
+        s.push(0x40, true);
+        assert!(!s.pending_miss(0x40), "hit-tagged entries never claim MSHR");
+        assert_eq!(s.hidden_entry_claims(|_| false), 0);
+    }
+
+    #[test]
+    fn hidden_claims_deduplicate() {
+        let mut s = SentReqs::new(3, 5);
+        s.push(0x40, false);
+        s.push(0x40, false); // merge-to-be
+        s.push(0x80, false);
+        assert_eq!(s.hidden_entry_claims(|_| false), 2);
+        // If the snapshot already shows 0x40, only 0x80 is hidden.
+        assert_eq!(s.hidden_entry_claims(|a| a == 0x40), 1);
+    }
+
+    #[test]
+    fn fifo_order_retirement() {
+        let mut s = SentReqs::new(1, 1);
+        s.push(1, false);
+        s.tick();
+        s.push(2, false);
+        s.tick(); // entry 1 retires (2 cycles), entry 2 has 1 left
+        assert!(!s.pending_miss(1));
+        assert!(s.pending_miss(2));
+    }
+}

@@ -1,0 +1,451 @@
+//! High-level experiment API: one call from (model, sequence length,
+//! policy) to a finished simulation with the paper's metrics.
+//!
+//! This is the entry point the benchmark harness, the examples and most
+//! downstream users go through:
+//!
+//! ```
+//! use llamcat::experiment::{Experiment, Model, Policy};
+//!
+//! let report = Experiment::new(Model::Llama3_70b, 512)
+//!     .policy(Policy::dynmg_bma())
+//!     .run();
+//! assert!(report.completed);
+//! ```
+
+use llamcat_sim::arb::{FifoArbiter, NoThrottle, RequestArbiter, ThrottleController};
+use llamcat_sim::config::SystemConfig;
+use llamcat_sim::prog::Program;
+use llamcat_sim::stats::SimStats;
+use llamcat_sim::system::{RunOutcome, System};
+use llamcat_trace::mapping::{
+    logit_mapping, logit_mapping_pair_stream, logit_mapping_spatial, Mapping, TbOrder,
+};
+use llamcat_trace::tracegen::{generate, TraceGenConfig};
+use llamcat_trace::workload::LogitOp;
+use serde::{Deserialize, Serialize};
+
+use crate::arbiter::{BalancedArbiter, CobrraArbiter, MshrAwareArbiter};
+use crate::throttle::{DynMg, DynMgConfig, Dyncta, DynctaConfig, Lcs};
+
+fn dynmg_config_from_env() -> DynMgConfig {
+    let mut cfg = DynMgConfig::default();
+    if let Ok(v) = std::env::var("LLAMCAT_DYNMG_PERIOD") {
+        if let Ok(p) = v.parse() {
+            cfg.sampling_period = p;
+        }
+    }
+    if let Ok(v) = std::env::var("LLAMCAT_DYNMG_SUB") {
+        if let Ok(p) = v.parse() {
+            cfg.sub_period = p;
+        }
+    }
+    cfg
+}
+
+/// Evaluated model shapes (Section 6.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(non_camel_case_types)]
+pub enum Model {
+    /// Llama3 70b: H=8, G=8, D=128.
+    Llama3_70b,
+    /// Llama3 405b: H=8, G=16, D=128.
+    Llama3_405b,
+}
+
+impl Model {
+    pub fn op(&self, seq_len: usize) -> LogitOp {
+        match self {
+            Model::Llama3_70b => LogitOp::llama3_70b(seq_len),
+            Model::Llama3_405b => LogitOp::llama3_405b(seq_len),
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Model::Llama3_70b => "llama3 70b",
+            Model::Llama3_405b => "llama3 405b",
+        }
+    }
+}
+
+/// Request-arbitration policy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArbPolicy {
+    /// Default FIFO (unoptimized).
+    Fifo,
+    /// Balanced ("B").
+    Balanced,
+    /// MSHR-aware with FIFO tie-break ("MA").
+    MshrAware,
+    /// MSHR-aware with balanced tie-break ("BMA").
+    BalancedMshrAware,
+    /// COBRRA baseline.
+    Cobrra,
+}
+
+impl ArbPolicy {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArbPolicy::Fifo => "fifo",
+            ArbPolicy::Balanced => "B",
+            ArbPolicy::MshrAware => "MA",
+            ArbPolicy::BalancedMshrAware => "BMA",
+            ArbPolicy::Cobrra => "cobrra",
+        }
+    }
+
+    fn build(&self) -> Box<dyn RequestArbiter> {
+        match self {
+            ArbPolicy::Fifo => Box::new(FifoArbiter),
+            ArbPolicy::Balanced => Box::new(BalancedArbiter),
+            ArbPolicy::MshrAware => Box::new(MshrAwareArbiter::ma()),
+            ArbPolicy::BalancedMshrAware => Box::new(MshrAwareArbiter::bma()),
+            ArbPolicy::Cobrra => Box::new(CobrraArbiter::new()),
+        }
+    }
+}
+
+/// Thread-throttling policy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThrottlePolicy {
+    /// No throttling (unoptimized).
+    None,
+    /// DYNCTA baseline.
+    Dyncta,
+    /// LCS baseline.
+    Lcs,
+    /// The paper's two-level dynamic multi-gear controller.
+    DynMg,
+}
+
+impl ThrottlePolicy {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ThrottlePolicy::None => "none",
+            ThrottlePolicy::Dyncta => "dyncta",
+            ThrottlePolicy::Lcs => "lcs",
+            ThrottlePolicy::DynMg => "dynmg",
+        }
+    }
+
+    fn build(&self) -> Box<dyn ThrottleController> {
+        match self {
+            ThrottlePolicy::None => Box::new(NoThrottle),
+            ThrottlePolicy::Dyncta => Box::new(Dyncta::new(DynctaConfig::default())),
+            ThrottlePolicy::Lcs => Box::new(Lcs::new()),
+            ThrottlePolicy::DynMg => Box::new(DynMg::new(dynmg_config_from_env())),
+        }
+    }
+}
+
+/// Thread-block-to-core dataflow layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Layout {
+    /// Output-partitioned (h, g) pair streams round-robin over cores,
+    /// one pair per instruction window — the paper's evaluated workload
+    /// shape.
+    #[default]
+    PairStream,
+    /// Spatial G (+ L segments) across cores: all cores stream one
+    /// shared K tile in lockstep (tightest possible sharing).
+    Spatial,
+    /// Round-robin blocks over cores, sharers adjacent (G innermost).
+    RoundRobinGInner,
+    /// Round-robin blocks, naive L-innermost order.
+    RoundRobinLInner,
+}
+
+/// A complete policy combination as named in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Policy {
+    pub arb: ArbPolicy,
+    pub throttle: ThrottlePolicy,
+}
+
+impl Policy {
+    pub const fn new(arb: ArbPolicy, throttle: ThrottlePolicy) -> Self {
+        Policy { arb, throttle }
+    }
+
+    /// The unoptimized baseline (FIFO, no throttling).
+    pub const fn unoptimized() -> Self {
+        Policy::new(ArbPolicy::Fifo, ThrottlePolicy::None)
+    }
+
+    pub const fn dyncta() -> Self {
+        Policy::new(ArbPolicy::Fifo, ThrottlePolicy::Dyncta)
+    }
+
+    pub const fn lcs() -> Self {
+        Policy::new(ArbPolicy::Fifo, ThrottlePolicy::Lcs)
+    }
+
+    pub const fn dynmg() -> Self {
+        Policy::new(ArbPolicy::Fifo, ThrottlePolicy::DynMg)
+    }
+
+    pub const fn cobrra() -> Self {
+        Policy::new(ArbPolicy::Cobrra, ThrottlePolicy::None)
+    }
+
+    pub const fn dynmg_b() -> Self {
+        Policy::new(ArbPolicy::Balanced, ThrottlePolicy::DynMg)
+    }
+
+    pub const fn dynmg_ma() -> Self {
+        Policy::new(ArbPolicy::MshrAware, ThrottlePolicy::DynMg)
+    }
+
+    /// The paper's final policy.
+    pub const fn dynmg_bma() -> Self {
+        Policy::new(ArbPolicy::BalancedMshrAware, ThrottlePolicy::DynMg)
+    }
+
+    pub const fn dynmg_cobrra() -> Self {
+        Policy::new(ArbPolicy::Cobrra, ThrottlePolicy::DynMg)
+    }
+
+    /// Figure-style label, e.g. "dynmg+BMA".
+    pub fn label(&self) -> String {
+        match (self.throttle, self.arb) {
+            (ThrottlePolicy::None, ArbPolicy::Fifo) => "unoptimized".to_string(),
+            (ThrottlePolicy::None, arb) => arb.label().to_string(),
+            (thr, ArbPolicy::Fifo) => thr.label().to_string(),
+            (thr, arb) => format!("{}+{}", thr.label(), arb.label()),
+        }
+    }
+}
+
+/// One experiment: model, sequence length, policy and machine overrides.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    pub model: Model,
+    pub seq_len: usize,
+    pub policy: Policy,
+    pub config: SystemConfig,
+    pub tracegen: TraceGenConfig,
+    /// Dataflow layout (paper default: spatial G).
+    pub layout: Layout,
+    /// L-dimension tile per thread block (32 = one output line).
+    pub l_tile: usize,
+    /// Hard cycle budget; `None` derives one from the workload size.
+    pub max_cycles: Option<u64>,
+}
+
+impl Experiment {
+    pub fn new(model: Model, seq_len: usize) -> Self {
+        let config = SystemConfig::table5();
+        Experiment {
+            model,
+            seq_len,
+            policy: Policy::unoptimized(),
+            tracegen: TraceGenConfig {
+                num_cores: config.num_cores,
+                vector_len_bytes: config.core.vector_len_bytes,
+                ..Default::default()
+            },
+            config,
+            layout: Layout::PairStream,
+            l_tile: 32,
+            max_cycles: None,
+        }
+    }
+
+    fn mapping_for(&self, op: &llamcat_trace::workload::LogitOp) -> Mapping {
+        match self.layout {
+            Layout::PairStream => logit_mapping_pair_stream(op, self.l_tile),
+            Layout::Spatial => logit_mapping_spatial(op, self.l_tile, self.config.num_cores),
+            Layout::RoundRobinGInner => logit_mapping(op, self.l_tile, TbOrder::GInner),
+            Layout::RoundRobinLInner => logit_mapping(op, self.l_tile, TbOrder::LInner),
+        }
+    }
+
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides total L2 capacity (Fig 9 sweeps 16/32/64 MB).
+    pub fn l2_mb(mut self, mb: u64) -> Self {
+        self.config = self.config.with_l2_mb(mb);
+        self
+    }
+
+    /// Replaces the whole machine configuration.
+    pub fn config(mut self, config: SystemConfig) -> Self {
+        self.tracegen.num_cores = config.num_cores;
+        self.tracegen.vector_len_bytes = config.core.vector_len_bytes;
+        self.config = config;
+        self
+    }
+
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    pub fn max_cycles(mut self, cycles: u64) -> Self {
+        self.max_cycles = Some(cycles);
+        self
+    }
+
+    /// Generates the trace for this experiment (exposed for inspection).
+    pub fn build_program(&self) -> Program {
+        let op = self.model.op(self.seq_len);
+        let mapping = self.mapping_for(&op);
+        let (program, _) = generate(&op, &mapping, &self.tracegen);
+        program
+    }
+
+    /// Runs the experiment to completion.
+    pub fn run(&self) -> RunReport {
+        let op = self.model.op(self.seq_len);
+        op.validate().expect("valid operator shape");
+        let mapping = self.mapping_for(&op);
+        let (program, meta) = generate(&op, &mapping, &self.tracegen);
+        // Budget: assume the machine can be no slower than 4 bytes of
+        // load traffic per cycle overall, plus fixed slack.
+        let budget = self
+            .max_cycles
+            .unwrap_or(meta.total_load_bytes / 4 + 20_000_000);
+        let arb = self.policy.arb;
+        let mut system = System::new(
+            self.config,
+            program,
+            &move |_slice| arb.build(),
+            self.policy.throttle.build(),
+        );
+        let (stats, outcome) = system.run(budget);
+        RunReport::from_stats(self, stats, outcome)
+    }
+}
+
+/// Results of one experiment, with the metrics the paper plots.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    pub policy_label: String,
+    pub model_label: String,
+    pub seq_len: usize,
+    pub l2_mb: u64,
+    pub completed: bool,
+    /// Execution cycles (lower is better; speedups are ratios of these).
+    pub cycles: u64,
+    pub l2_hit_rate: f64,
+    /// Merges / cache misses (the paper's MSHR hit rate).
+    pub mshr_hit_rate: f64,
+    /// Mean numEntry occupancy fraction.
+    pub mshr_entry_util: f64,
+    pub dram_bandwidth_gbs: f64,
+    pub dram_accesses: u64,
+    /// Proportion of cache-stall cycles.
+    pub t_cs: f64,
+    pub l1_hit_rate: f64,
+    pub mean_load_latency: f64,
+    pub tb_migrations: u64,
+    pub row_hit_rate: f64,
+    /// Full component statistics for deep dives.
+    #[serde(skip)]
+    pub stats: Option<SimStats>,
+}
+
+impl RunReport {
+    fn from_stats(exp: &Experiment, stats: SimStats, outcome: RunOutcome) -> Self {
+        RunReport {
+            policy_label: exp.policy.label(),
+            model_label: exp.model.label().to_string(),
+            seq_len: exp.seq_len,
+            l2_mb: exp.config.l2.capacity_bytes / (1024 * 1024),
+            completed: outcome == RunOutcome::Completed,
+            cycles: stats.cycles,
+            l2_hit_rate: stats.l2_hit_rate(),
+            mshr_hit_rate: stats.mshr_hit_rate(),
+            mshr_entry_util: stats.mshr_entry_util(exp.config.l2.mshr_entries),
+            dram_bandwidth_gbs: stats.dram_bandwidth_gbs(),
+            dram_accesses: stats.dram_accesses(),
+            t_cs: stats.t_cs(),
+            l1_hit_rate: stats.l1_hit_rate(),
+            mean_load_latency: stats.mean_load_latency(),
+            tb_migrations: stats.tb_migrations,
+            row_hit_rate: stats.row_hit_rate(),
+            stats: Some(stats),
+        }
+    }
+
+    /// Speedup of `self` relative to `baseline` (cycles ratio).
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        baseline.cycles as f64 / self.cycles as f64
+    }
+}
+
+/// Geometric mean of a slice of speedups (the paper's summary statistic).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_labels_match_figures() {
+        assert_eq!(Policy::unoptimized().label(), "unoptimized");
+        assert_eq!(Policy::dynmg().label(), "dynmg");
+        assert_eq!(Policy::dynmg_bma().label(), "dynmg+BMA");
+        assert_eq!(Policy::dynmg_cobrra().label(), "dynmg+cobrra");
+        assert_eq!(Policy::cobrra().label(), "cobrra");
+        assert_eq!(Policy::lcs().label(), "lcs");
+    }
+
+    #[test]
+    fn geomean_math() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn tiny_experiment_completes() {
+        let report = Experiment::new(Model::Llama3_70b, 128).run();
+        assert!(report.completed, "tiny workload must finish");
+        assert!(report.cycles > 0);
+        assert!(report.dram_accesses > 0);
+        assert_eq!(report.l2_mb, 16);
+    }
+
+    #[test]
+    fn policies_produce_different_machines_but_same_work() {
+        let base = Experiment::new(Model::Llama3_70b, 128);
+        let a = base.clone().policy(Policy::unoptimized()).run();
+        let b = base.policy(Policy::dynmg_bma()).run();
+        assert!(a.completed && b.completed);
+        // Same trace: store traffic identical (reads may differ by reuse).
+        let sa = a.stats.as_ref().unwrap();
+        let sb = b.stats.as_ref().unwrap();
+        let stores =
+            |s: &SimStats| -> u64 { s.cores.iter().map(|c| c.stores).sum() };
+        assert_eq!(stores(sa), stores(sb));
+    }
+
+    #[test]
+    fn l2_size_override() {
+        let e = Experiment::new(Model::Llama3_70b, 128).l2_mb(32);
+        assert_eq!(e.config.l2.capacity_bytes, 32 * 1024 * 1024);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let mk = || {
+            Experiment::new(Model::Llama3_405b, 128)
+                .policy(Policy::dynmg_bma())
+                .run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.dram_accesses, b.dram_accesses);
+    }
+}

@@ -1,0 +1,16 @@
+//! Thread-throttling policies (Sections 2.5 and 4.2).
+//!
+//! * [`dynmg::DynMg`] — the paper's two-level dynamic multi-gear
+//!   controller (the throttling contribution).
+//! * [`dyncta::Dyncta`] — the DYNCTA baseline (per-core ±1, no spatial
+//!   dimension).
+//! * [`lcs::Lcs`] — the LCS baseline (static decision from the first
+//!   thread block).
+
+pub mod dyncta;
+pub mod dynmg;
+pub mod lcs;
+
+pub use dyncta::{Dyncta, DynctaConfig};
+pub use dynmg::{Contention, DynMg, DynMgConfig, InCoreConfig};
+pub use lcs::Lcs;

@@ -1,0 +1,210 @@
+//! Pluggable policy interfaces: request arbitration and thread throttling.
+//!
+//! The simulator substrate defines the *traits* plus the trivial default
+//! policies (FIFO arbitration, no throttling). The paper's contribution —
+//! balanced/MSHR-aware arbitration and two-level dynamic multi-gear
+//! throttling — and the published baselines (DYNCTA, LCS, COBRRA) are
+//! implemented in the `llamcat` crate on top of these interfaces.
+
+use crate::mshr::MshrSnapshot;
+use crate::types::{Cycle, MemReq};
+
+/// One element of a slice's request queue, as seen by the arbiter.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedReq {
+    pub req: MemReq,
+    /// Core cycle at which the request entered this queue.
+    pub enqueued_at: Cycle,
+}
+
+/// Everything an arbiter may consult when choosing a request
+/// (Fig 4/Fig 5 of the paper: the queue itself, the per-core served
+/// counters, and the real-time MSHR snapshot wire).
+pub struct ArbiterCtx<'a> {
+    /// Request queue contents in FIFO order (index 0 is oldest).
+    pub queue: &'a [QueuedReq],
+    /// Real-time MSHR summary for this slice.
+    pub mshr: &'a MshrSnapshot,
+    /// Requests served per core by this slice since operator start
+    /// (the `cnt` registers of Fig 4).
+    pub served: &'a [u64],
+    /// Current core cycle.
+    pub cycle: Cycle,
+}
+
+/// Which path gets the shared storage port this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortPreference {
+    Response,
+    Request,
+}
+
+/// Request-selection policy for one LLC slice.
+///
+/// `select` is consulted only on cycles where the slice can actually
+/// accept a new request, so a returned index is a commitment: the slice
+/// removes that entry and feeds it to the tag pipeline. Implementations
+/// keep their own speculation state (hit buffer, sent_reqs) up to date in
+/// the callbacks.
+pub trait RequestArbiter {
+    /// Chooses the index of the request to service, or `None` to idle.
+    fn select(&mut self, ctx: &ArbiterCtx<'_>) -> Option<usize>;
+
+    /// Called when the tag lookup of a request resolves to a cache hit.
+    fn note_hit(&mut self, _line_addr: u64) {}
+
+    /// Called when a DRAM fill installs a line into this slice.
+    fn note_fill(&mut self, _line_addr: u64) {}
+
+    /// Called once per core cycle (ages speculation FIFOs).
+    fn tick(&mut self) {}
+
+    /// Called at operator start; clears all history.
+    fn reset(&mut self) {}
+
+    /// Optional dynamic override of the request/response storage-port
+    /// arbitration (used by the COBRRA baseline). `None` keeps the
+    /// statically configured policy.
+    fn port_preference(
+        &mut self,
+        _req_q_len: usize,
+        _resp_q_len: usize,
+        _resp_q_cap: usize,
+    ) -> Option<PortPreference> {
+        None
+    }
+
+    fn name(&self) -> &'static str;
+}
+
+/// Default arbitration: first-come, first-served.
+#[derive(Debug, Default, Clone)]
+pub struct FifoArbiter;
+
+impl RequestArbiter for FifoArbiter {
+    fn select(&mut self, ctx: &ArbiterCtx<'_>) -> Option<usize> {
+        if ctx.queue.is_empty() {
+            None
+        } else {
+            Some(0)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+/// Observable system state handed to a throttle controller every cycle.
+///
+/// All counters are *cumulative*; controllers compute deltas over their
+/// own sampling periods.
+pub struct ThrottleInputs<'a> {
+    pub cycle: Cycle,
+    /// Instruction windows per core (upper bound for `max_tb`).
+    pub num_windows: usize,
+    /// Number of LLC slices (for normalizing stall cycles into t_cs).
+    pub num_slices: usize,
+    /// Per-core progress: requests served across all LLC slices.
+    pub progress: &'a [u64],
+    /// Per-core cycles in which *all* resident thread blocks were waiting
+    /// on memory (C_mem).
+    pub c_mem: &'a [u64],
+    /// Per-core cycles with no thread block resident (C_idle).
+    pub c_idle: &'a [u64],
+    /// Total LLC stall cycles summed over slices (for t_cs).
+    pub llc_stall_cycles: u64,
+    /// Thread blocks currently resident per core.
+    pub active_tbs: &'a [usize],
+    /// Thread blocks completed per core (cumulative; used by LCS to
+    /// detect first-block completion).
+    pub tbs_completed: &'a [u64],
+}
+
+/// Thread-throttling policy: decides, every cycle, the maximum number of
+/// concurrently resident thread blocks per core.
+pub trait ThrottleController {
+    /// Updates `max_tb[c]` in place; entries must remain in
+    /// `1..=num_windows`.
+    fn tick(&mut self, inputs: &ThrottleInputs<'_>, max_tb: &mut [usize]);
+
+    /// Called at operator start.
+    fn reset(&mut self, _num_cores: usize) {}
+
+    fn name(&self) -> &'static str;
+}
+
+/// Default: no throttling (all windows usable).
+#[derive(Debug, Default, Clone)]
+pub struct NoThrottle;
+
+impl ThrottleController for NoThrottle {
+    fn tick(&mut self, inputs: &ThrottleInputs<'_>, max_tb: &mut [usize]) {
+        for m in max_tb.iter_mut() {
+            *m = inputs.num_windows;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "unoptimized"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mshr::MshrSnapshot;
+
+    fn req(core: usize, addr: u64) -> QueuedReq {
+        QueuedReq {
+            req: MemReq {
+                id: addr,
+                core,
+                line_addr: addr,
+                is_write: false,
+                issued_at: 0,
+            },
+            enqueued_at: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_picks_oldest() {
+        let mut a = FifoArbiter;
+        let snap = MshrSnapshot::default();
+        let q = vec![req(1, 0x40), req(0, 0x80)];
+        let ctx = ArbiterCtx {
+            queue: &q,
+            mshr: &snap,
+            served: &[0, 0],
+            cycle: 0,
+        };
+        assert_eq!(a.select(&ctx), Some(0));
+        let ctx = ArbiterCtx {
+            queue: &[],
+            mshr: &snap,
+            served: &[0, 0],
+            cycle: 0,
+        };
+        assert_eq!(a.select(&ctx), None);
+    }
+
+    #[test]
+    fn no_throttle_grants_all_windows() {
+        let mut t = NoThrottle;
+        let mut max_tb = vec![1usize; 4];
+        let inputs = ThrottleInputs {
+            cycle: 0,
+            num_windows: 4,
+            num_slices: 8,
+            progress: &[0; 4],
+            c_mem: &[0; 4],
+            c_idle: &[0; 4],
+            llc_stall_cycles: 0,
+            active_tbs: &[0; 4],
+            tbs_completed: &[0; 4],
+        };
+        t.tick(&inputs, &mut max_tb);
+        assert!(max_tb.iter().all(|&m| m == 4));
+    }
+}

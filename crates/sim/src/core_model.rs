@@ -1,0 +1,531 @@
+//! Vector core with multiple instruction windows and runtime thread-block
+//! scheduling (Section 3.1 of the paper).
+//!
+//! Each core owns one vector unit, a private L1, and
+//! `num_inst_windows` instruction windows. A thread block is assigned to
+//! a window; when the current window cannot make progress (its next
+//! instruction waits on memory), the core switches to another window —
+//! the warp-scheduler-like latency-hiding mechanism the paper models.
+//! Throttling limits the number of *resident* thread blocks (`max_tb`);
+//! already-running blocks always drain.
+
+use std::collections::VecDeque;
+
+use crate::config::{CoreConfig, L1Config};
+use crate::l1::{L1Cache, L1LoadOutcome};
+use crate::prog::{Instr, Program, TbId};
+use crate::sched::TbScheduler;
+use crate::stats::CoreStats;
+use crate::types::{line_of, Addr, CoreId, Cycle, MemReq, MemResp, LINE_BYTES};
+
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    tb: Option<TbId>,
+    pc: usize,
+    /// Line loads in flight for this window's thread block.
+    outstanding: usize,
+}
+
+impl Window {
+    const EMPTY: Window = Window {
+        tb: None,
+        pc: 0,
+        outstanding: 0,
+    };
+}
+
+/// Why the core could not issue this cycle (used for C_mem / C_idle
+/// accounting that feeds the throttle controllers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IssueResult {
+    Issued,
+    AllBlockedOnMemory,
+    ComputeBusy,
+    NothingResident,
+}
+
+/// One simulated vector core.
+pub struct VectorCore {
+    id: CoreId,
+    cfg: CoreConfig,
+    l1: L1Cache,
+    windows: Vec<Window>,
+    /// Throttle input: maximum resident thread blocks.
+    pub max_tb: usize,
+    compute_busy_until: Cycle,
+    next_seq: u64,
+    last_issued: usize,
+    /// All windows proved memory-blocked; nothing can change until a
+    /// fill arrives or a new block is assigned, so issue evaluation is
+    /// skipped (pure simulation speed-up, no behavioural effect).
+    asleep: bool,
+    /// Requests bound for the interconnect (drained by the system).
+    pub outbound: VecDeque<MemReq>,
+    pub stats: CoreStats,
+}
+
+impl VectorCore {
+    pub fn new(id: CoreId, cfg: CoreConfig, l1cfg: L1Config) -> Self {
+        VectorCore {
+            id,
+            cfg,
+            l1: L1Cache::new(l1cfg),
+            windows: vec![Window::EMPTY; cfg.num_inst_windows],
+            max_tb: cfg.num_inst_windows,
+            compute_busy_until: 0,
+            next_seq: 0,
+            last_issued: 0,
+            asleep: false,
+            outbound: VecDeque::new(),
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Number of thread blocks currently resident.
+    pub fn resident_tbs(&self) -> usize {
+        self.windows.iter().filter(|w| w.tb.is_some()).count()
+    }
+
+    /// True when the core holds no work at all.
+    pub fn is_idle(&self) -> bool {
+        self.resident_tbs() == 0 && self.outbound.is_empty() && self.l1.outstanding() == 0
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = ((self.id as u64) << 40) | self.next_seq;
+        self.next_seq += 1;
+        id
+    }
+
+    /// Delivers a fill response from the LLC.
+    pub fn on_resp(&mut self, resp: MemResp, now: Cycle) {
+        self.asleep = false;
+        for (window, issued_at) in self.l1.fill(resp.line_addr, now) {
+            let w = &mut self.windows[window];
+            debug_assert!(w.outstanding > 0, "fill for window with no loads");
+            w.outstanding = w.outstanding.saturating_sub(1);
+            self.stats.load_latency_sum += now.saturating_sub(issued_at);
+            self.stats.load_count += 1;
+        }
+    }
+
+    /// Advances the core one cycle.
+    pub fn tick(&mut self, now: Cycle, program: &Program, sched: &mut TbScheduler) {
+        if self.asleep {
+            // Fast path: every window is waiting on memory and no fill
+            // has arrived since; re-evaluating issue would be a no-op.
+            // A new block could only be assigned if a window were free,
+            // which contradicts being asleep, unless max_tb just rose —
+            // handled below by waking on spare window capacity.
+            if self.resident_tbs() >= self.max_tb.min(self.cfg.num_inst_windows)
+                || sched.is_empty()
+            {
+                self.stats.mem_stall_cycles += 1;
+                return;
+            }
+            self.asleep = false;
+        }
+        self.retire_finished_blocks();
+        self.assign_blocks(sched);
+        match self.try_issue(now, program) {
+            IssueResult::Issued => {
+                self.stats.active_cycles += 1;
+                self.stats.instrs_issued += 1;
+            }
+            IssueResult::ComputeBusy => {
+                self.stats.active_cycles += 1;
+            }
+            IssueResult::AllBlockedOnMemory => {
+                self.stats.mem_stall_cycles += 1;
+                // Sleep only if no window is finished-but-unretired; a
+                // retirable window must pick up fresh work next cycle.
+                let retirable = self
+                    .windows
+                    .iter()
+                    .any(|w| w.tb.is_some() && w.pc == usize::MAX && w.outstanding == 0);
+                self.asleep = !retirable;
+            }
+            IssueResult::NothingResident => {
+                self.stats.idle_cycles += 1;
+            }
+        }
+    }
+
+    fn retire_finished_blocks(&mut self) {
+        for w in &mut self.windows {
+            if let Some(_tb) = w.tb {
+                // The pc sentinel usize::MAX marks "past the end, waiting
+                // on outstanding loads" — see try_issue.
+                if w.pc == usize::MAX && w.outstanding == 0 {
+                    w.tb = None;
+                    w.pc = 0;
+                    self.stats.tbs_completed += 1;
+                }
+            }
+        }
+    }
+
+    fn assign_blocks(&mut self, sched: &mut TbScheduler) {
+        let mut resident = self.resident_tbs();
+        while resident < self.max_tb.min(self.cfg.num_inst_windows) {
+            let Some(slot) = self.windows.iter().position(|w| w.tb.is_none()) else {
+                break;
+            };
+            // Each window draws from its own chunk of the core's trace
+            // (window-strided streams; see `sched`).
+            let Some(tb) = sched.next_for(self.id, slot) else {
+                break;
+            };
+            self.windows[slot] = Window {
+                tb: Some(tb),
+                pc: 0,
+                outstanding: 0,
+            };
+            resident += 1;
+        }
+    }
+
+    fn try_issue(&mut self, now: Cycle, program: &Program) -> IssueResult {
+        if self.resident_tbs() == 0 {
+            return IssueResult::NothingResident;
+        }
+        if self.compute_busy_until > now {
+            return IssueResult::ComputeBusy;
+        }
+        let n = self.windows.len();
+        let mut any_memory_wait = false;
+        for k in 0..n {
+            let wi = (self.last_issued + k) % n;
+            match self.try_issue_window(wi, now, program) {
+                WindowIssue::Issued => {
+                    self.last_issued = wi;
+                    return IssueResult::Issued;
+                }
+                WindowIssue::MemoryWait => any_memory_wait = true,
+                WindowIssue::Empty => {}
+            }
+        }
+        if any_memory_wait {
+            IssueResult::AllBlockedOnMemory
+        } else {
+            // Resident blocks exist but none is memory-blocked nor
+            // issuable: only possible transiently at retire boundaries.
+            IssueResult::AllBlockedOnMemory
+        }
+    }
+
+    fn try_issue_window(&mut self, wi: usize, now: Cycle, program: &Program) -> WindowIssue {
+        let w = self.windows[wi];
+        let Some(tb) = w.tb else {
+            return WindowIssue::Empty;
+        };
+        if w.pc == usize::MAX {
+            // Implicit end-of-block barrier.
+            return WindowIssue::MemoryWait;
+        }
+        let instrs = &program.blocks[tb].instrs;
+        if w.pc >= instrs.len() {
+            // Mark completed-pending-loads; retired next tick.
+            self.windows[wi].pc = usize::MAX;
+            return if w.outstanding == 0 {
+                WindowIssue::Empty
+            } else {
+                WindowIssue::MemoryWait
+            };
+        }
+        match instrs[w.pc] {
+            Instr::Compute { cycles } => {
+                self.compute_busy_until = now + cycles as u64;
+                self.windows[wi].pc += 1;
+                WindowIssue::Issued
+            }
+            Instr::Barrier => {
+                if w.outstanding == 0 {
+                    self.windows[wi].pc += 1;
+                    WindowIssue::Issued
+                } else {
+                    WindowIssue::MemoryWait
+                }
+            }
+            Instr::Load { addr, bytes } => {
+                if self.issue_load(wi, addr, bytes, now) {
+                    self.windows[wi].pc += 1;
+                    self.stats.loads += 1;
+                    WindowIssue::Issued
+                } else {
+                    WindowIssue::MemoryWait
+                }
+            }
+            Instr::Store { addr, bytes } => {
+                self.issue_store(addr, bytes, now);
+                self.windows[wi].pc += 1;
+                self.stats.stores += 1;
+                WindowIssue::Issued
+            }
+        }
+    }
+
+    /// Issues every line of a vector load, or nothing (returns false)
+    /// when the L1 miss table cannot accept it.
+    fn issue_load(&mut self, wi: usize, addr: Addr, bytes: u32, now: Cycle) -> bool {
+        // First pass: feasibility. All lines must be admissible this
+        // cycle, else the whole vector access retries (coalesced issue).
+        let mut line = line_of(addr);
+        let end = addr + bytes as u64;
+        // Dry-run bookkeeping of how many fresh entries we need.
+        let mut fresh = 0usize;
+        while line < end {
+            if !self.l1_can_accept(line, fresh) {
+                return false;
+            }
+            if self.l1_would_allocate(line) {
+                fresh += 1;
+            }
+            line += LINE_BYTES;
+        }
+        // Second pass: commit.
+        let mut line = line_of(addr);
+        while line < end {
+            self.stats.l1_lookups += 1;
+            match self.l1.load(line, wi, now) {
+                L1LoadOutcome::Hit => {
+                    self.stats.l1_hits += 1;
+                }
+                L1LoadOutcome::MergedMiss => {
+                    self.stats.l1_merges += 1;
+                    self.windows[wi].outstanding += 1;
+                }
+                L1LoadOutcome::NewMiss => {
+                    self.windows[wi].outstanding += 1;
+                    let id = self.fresh_id();
+                    self.outbound.push_back(MemReq {
+                        id,
+                        core: self.id,
+                        line_addr: line,
+                        is_write: false,
+                        issued_at: now,
+                    });
+                }
+                L1LoadOutcome::Blocked => {
+                    unreachable!("feasibility pass admitted this line");
+                }
+            }
+            line += LINE_BYTES;
+        }
+        true
+    }
+
+    fn l1_would_allocate(&self, line: Addr) -> bool {
+        !self.l1_probe(line) && !self.l1.miss_pending(line)
+    }
+
+    fn l1_probe(&self, line: Addr) -> bool {
+        // Probe without touching LRU state (feasibility only).
+        self.l1_storage_probe(line)
+    }
+
+    fn l1_storage_probe(&self, line: Addr) -> bool {
+        self.l1.probe(line)
+    }
+
+    fn l1_can_accept(&self, line: Addr, fresh_so_far: usize) -> bool {
+        if self.l1_probe(line) {
+            return true;
+        }
+        if self.l1.miss_pending(line) {
+            return self.l1.has_target_space(line);
+        }
+        self.l1.outstanding() + fresh_so_far < self.l1.capacity()
+    }
+
+    fn issue_store(&mut self, addr: Addr, bytes: u32, now: Cycle) {
+        let mut line = line_of(addr);
+        let end = addr + bytes as u64;
+        while line < end {
+            self.l1.store(line);
+            let id = self.fresh_id();
+            self.outbound.push_back(MemReq {
+                id,
+                core: self.id,
+                line_addr: line,
+                is_write: true,
+                issued_at: now,
+            });
+            line += LINE_BYTES;
+        }
+    }
+
+    /// L1 outstanding misses (for tests).
+    pub fn l1_outstanding(&self) -> usize {
+        self.l1.outstanding()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WindowIssue {
+    Issued,
+    MemoryWait,
+    Empty,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::prog::ThreadBlock;
+
+    fn setup(blocks: Vec<ThreadBlock>) -> (VectorCore, Program, TbScheduler) {
+        let cfg = SystemConfig::table5();
+        let program = Program::round_robin(blocks, 1);
+        let sched = TbScheduler::new(&program, 1, 4);
+        let core = VectorCore::new(0, cfg.core, cfg.l1);
+        (core, program, sched)
+    }
+
+    fn load(addr: Addr) -> Instr {
+        Instr::Load { addr, bytes: 128 }
+    }
+
+    #[test]
+    fn executes_compute_only_block() {
+        let tb = ThreadBlock {
+            instrs: vec![Instr::Compute { cycles: 3 }, Instr::Compute { cycles: 2 }],
+        };
+        let (mut core, program, mut sched) = setup(vec![tb]);
+        let mut now = 0;
+        while core.stats.tbs_completed == 0 && now < 100 {
+            core.tick(now, &program, &mut sched);
+            now += 1;
+        }
+        assert_eq!(core.stats.tbs_completed, 1);
+        assert!(core.is_idle());
+        assert_eq!(core.stats.instrs_issued, 2);
+    }
+
+    #[test]
+    fn load_generates_line_requests_and_waits() {
+        let tb = ThreadBlock {
+            instrs: vec![load(0), Instr::Barrier],
+        };
+        let (mut core, program, mut sched) = setup(vec![tb]);
+        for now in 0..5 {
+            core.tick(now, &program, &mut sched);
+        }
+        // 128 B vector load = 2 line requests.
+        assert_eq!(core.outbound.len(), 2);
+        assert_eq!(core.stats.loads, 1);
+        assert_eq!(core.stats.tbs_completed, 0, "barrier holds completion");
+        assert!(core.stats.mem_stall_cycles > 0, "C_mem accrues while waiting");
+        // Respond to both lines.
+        let r1 = core.outbound.pop_front().unwrap();
+        let r2 = core.outbound.pop_front().unwrap();
+        core.on_resp(
+            MemResp {
+                id: r1.id,
+                core: 0,
+                line_addr: r1.line_addr,
+            },
+            10,
+        );
+        core.on_resp(
+            MemResp {
+                id: r2.id,
+                core: 0,
+                line_addr: r2.line_addr,
+            },
+            11,
+        );
+        for now in 12..16 {
+            core.tick(now, &program, &mut sched);
+        }
+        assert_eq!(core.stats.tbs_completed, 1);
+        assert_eq!(core.stats.load_count, 2);
+    }
+
+    #[test]
+    fn window_switching_hides_latency() {
+        // Two blocks, each: load + barrier. With 4 windows the core
+        // issues block 2's load while block 1 waits.
+        let mk = |addr| ThreadBlock {
+            instrs: vec![load(addr), Instr::Barrier],
+        };
+        let (mut core, program, mut sched) = setup(vec![mk(0), mk(4096)]);
+        for now in 0..4 {
+            core.tick(now, &program, &mut sched);
+        }
+        // Both blocks' loads are in flight concurrently.
+        assert_eq!(core.outbound.len(), 4);
+        assert_eq!(core.resident_tbs(), 2);
+    }
+
+    #[test]
+    fn max_tb_limits_residency() {
+        let mk = |addr| ThreadBlock {
+            instrs: vec![load(addr), Instr::Barrier],
+        };
+        let blocks: Vec<_> = (0..6).map(|i| mk(i * 4096)).collect();
+        let (mut core, program, mut sched) = setup(blocks);
+        core.max_tb = 1;
+        for now in 0..3 {
+            core.tick(now, &program, &mut sched);
+        }
+        assert_eq!(core.resident_tbs(), 1, "throttled to one block");
+        assert_eq!(core.outbound.len(), 2, "only block 0's lines issued");
+    }
+
+    #[test]
+    fn store_is_posted() {
+        let tb = ThreadBlock {
+            instrs: vec![Instr::Store {
+                addr: 64,
+                bytes: 64,
+            }],
+        };
+        let (mut core, program, mut sched) = setup(vec![tb]);
+        for now in 0..4 {
+            core.tick(now, &program, &mut sched);
+        }
+        assert_eq!(core.stats.stores, 1);
+        let req = core.outbound.pop_front().unwrap();
+        assert!(req.is_write);
+        assert_eq!(core.stats.tbs_completed, 1, "no waiting on stores");
+    }
+
+    #[test]
+    fn idle_cycles_accrue_without_work() {
+        let (mut core, program, mut sched) = setup(vec![]);
+        for now in 0..10 {
+            core.tick(now, &program, &mut sched);
+        }
+        assert_eq!(core.stats.idle_cycles, 10);
+    }
+
+    #[test]
+    fn l1_hit_avoids_traffic() {
+        let tb = ThreadBlock {
+            instrs: vec![load(0), Instr::Barrier, load(0), Instr::Barrier],
+        };
+        let (mut core, program, mut sched) = setup(vec![tb]);
+        for now in 0..5 {
+            core.tick(now, &program, &mut sched);
+        }
+        let reqs: Vec<_> = core.outbound.drain(..).collect();
+        assert_eq!(reqs.len(), 2);
+        for (i, r) in reqs.iter().enumerate() {
+            core.on_resp(
+                MemResp {
+                    id: r.id,
+                    core: 0,
+                    line_addr: r.line_addr,
+                },
+                6 + i as u64,
+            );
+        }
+        for now in 8..20 {
+            core.tick(now, &program, &mut sched);
+        }
+        assert_eq!(core.stats.tbs_completed, 1);
+        assert_eq!(core.outbound.len(), 0, "second load hits in L1");
+        assert_eq!(core.stats.l1_hits, 2);
+    }
+}

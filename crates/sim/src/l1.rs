@@ -1,0 +1,226 @@
+//! Private per-core L1 cache with a miss table (per-core MSHRs).
+//!
+//! Table 5: 64 KB, 8-way, 64 B lines, latency 1, allocate-on-fill,
+//! streaming, write-no-allocate, write-through. Because the L1 is
+//! write-through it never holds dirty data; stores are forwarded to the
+//! LLC unconditionally and are posted (the core does not wait).
+
+use crate::cache::{InsertPolicy, SetAssocCache};
+use crate::config::L1Config;
+use crate::types::{Addr, Cycle, WindowId};
+
+/// Result of presenting one line-sized load to the L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1LoadOutcome {
+    /// Data present: no stall (latency 1 is folded into issue).
+    Hit,
+    /// Line already being fetched; this window was added as a waiter.
+    MergedMiss,
+    /// New miss: a request must be sent to the LLC.
+    NewMiss,
+    /// Miss table exhausted: the instruction must retry later.
+    Blocked,
+}
+
+#[derive(Debug, Clone)]
+struct MissEntry {
+    line_addr: Addr,
+    waiters: Vec<(WindowId, Cycle)>,
+}
+
+/// The L1 cache plus its outstanding-miss bookkeeping.
+pub struct L1Cache {
+    cfg: L1Config,
+    storage: SetAssocCache,
+    misses: Vec<Option<MissEntry>>,
+    occupied: usize,
+}
+
+impl L1Cache {
+    pub fn new(cfg: L1Config) -> Self {
+        let sets = cfg.geometry.num_sets();
+        L1Cache {
+            cfg,
+            storage: SetAssocCache::new(sets, cfg.geometry.associativity, 0),
+            misses: vec![None; cfg.miss_entries],
+            occupied: 0,
+        }
+    }
+
+    fn insert_policy(&self) -> InsertPolicy {
+        if self.cfg.streaming {
+            InsertPolicy::Lru
+        } else {
+            InsertPolicy::Mru
+        }
+    }
+
+    /// Presents a line-sized load from `window` at cycle `now`.
+    pub fn load(&mut self, line_addr: Addr, window: WindowId, now: Cycle) -> L1LoadOutcome {
+        if self.storage.access(line_addr, false) {
+            return L1LoadOutcome::Hit;
+        }
+        // Merge into a pending fetch if possible.
+        if let Some(entry) = self
+            .misses
+            .iter_mut()
+            .flatten()
+            .find(|e| e.line_addr == line_addr)
+        {
+            if entry.waiters.len() >= self.cfg.miss_targets {
+                return L1LoadOutcome::Blocked;
+            }
+            entry.waiters.push((window, now));
+            return L1LoadOutcome::MergedMiss;
+        }
+        if self.occupied == self.misses.len() {
+            return L1LoadOutcome::Blocked;
+        }
+        let slot = self
+            .misses
+            .iter_mut()
+            .find(|e| e.is_none())
+            .expect("occupied < capacity");
+        *slot = Some(MissEntry {
+            line_addr,
+            waiters: vec![(window, now)],
+        });
+        self.occupied += 1;
+        L1LoadOutcome::NewMiss
+    }
+
+    /// Presents a line-sized store. Write-no-allocate / write-through:
+    /// updates the line if present; the caller always forwards the store
+    /// to the LLC.
+    pub fn store(&mut self, line_addr: Addr) {
+        // Write-through: the L1 copy stays clean (dirty bit not set).
+        self.storage.access(line_addr, false);
+    }
+
+    /// A fill returned from the LLC: installs the line (allocate-on-fill)
+    /// and returns the waiting windows with their issue cycles.
+    pub fn fill(&mut self, line_addr: Addr, now: Cycle) -> Vec<(WindowId, Cycle)> {
+        let _ = now;
+        let policy = self.insert_policy();
+        self.storage.insert(line_addr, false, policy);
+        for slot in self.misses.iter_mut() {
+            if slot.as_ref().is_some_and(|e| e.line_addr == line_addr) {
+                let entry = slot.take().expect("checked above");
+                self.occupied -= 1;
+                return entry.waiters;
+            }
+        }
+        Vec::new()
+    }
+
+    /// Outstanding distinct line misses.
+    pub fn outstanding(&self) -> usize {
+        self.occupied
+    }
+
+    /// Miss-table capacity (`miss_entries`).
+    pub fn capacity(&self) -> usize {
+        self.misses.len()
+    }
+
+    /// Probes storage without touching replacement state.
+    pub fn probe(&self, line_addr: Addr) -> bool {
+        self.storage.probe(line_addr)
+    }
+
+    /// Whether a pending miss for `line_addr` can accept another waiter.
+    pub fn has_target_space(&self, line_addr: Addr) -> bool {
+        self.misses
+            .iter()
+            .flatten()
+            .find(|e| e.line_addr == line_addr)
+            .is_some_and(|e| e.waiters.len() < self.cfg.miss_targets)
+    }
+
+    /// Whether a miss for `line_addr` is pending.
+    pub fn miss_pending(&self, line_addr: Addr) -> bool {
+        self.misses
+            .iter()
+            .flatten()
+            .any(|e| e.line_addr == line_addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::types::LINE_BYTES;
+
+    fn l1() -> L1Cache {
+        L1Cache::new(SystemConfig::table5().l1)
+    }
+
+    fn a(line: u64) -> Addr {
+        line * LINE_BYTES
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = l1();
+        assert_eq!(c.load(a(1), 0, 0), L1LoadOutcome::NewMiss);
+        assert_eq!(c.load(a(1), 1, 1), L1LoadOutcome::MergedMiss);
+        assert!(c.miss_pending(a(1)));
+        let waiters = c.fill(a(1), 10);
+        assert_eq!(waiters, vec![(0, 0), (1, 1)]);
+        assert_eq!(c.outstanding(), 0);
+        assert_eq!(c.load(a(1), 2, 11), L1LoadOutcome::Hit);
+    }
+
+    #[test]
+    fn miss_table_exhaustion_blocks() {
+        let cfg = SystemConfig::table5().l1;
+        let mut c = L1Cache::new(cfg);
+        for i in 0..cfg.miss_entries as u64 {
+            assert_eq!(c.load(a(100 + i), 0, 0), L1LoadOutcome::NewMiss);
+        }
+        assert_eq!(c.load(a(999), 0, 0), L1LoadOutcome::Blocked);
+        // Merging is still possible while full.
+        assert_eq!(c.load(a(100), 1, 0), L1LoadOutcome::MergedMiss);
+        c.fill(a(100), 5);
+        assert_eq!(c.load(a(999), 0, 6), L1LoadOutcome::NewMiss);
+    }
+
+    #[test]
+    fn target_exhaustion_blocks() {
+        let cfg = SystemConfig::table5().l1;
+        let mut c = L1Cache::new(cfg);
+        assert_eq!(c.load(a(7), 0, 0), L1LoadOutcome::NewMiss);
+        for w in 1..cfg.miss_targets {
+            assert_eq!(c.load(a(7), w, 0), L1LoadOutcome::MergedMiss);
+        }
+        assert_eq!(c.load(a(7), 0, 0), L1LoadOutcome::Blocked);
+    }
+
+    #[test]
+    fn store_does_not_allocate() {
+        let mut c = l1();
+        c.store(a(3));
+        assert_eq!(c.load(a(3), 0, 0), L1LoadOutcome::NewMiss, "no allocation");
+    }
+
+    #[test]
+    fn streaming_fills_evict_first() {
+        // With streaming insertion, filling a 9th line into an 8-way set
+        // evicts the previous streaming line rather than older reused data.
+        let cfg = SystemConfig::table5().l1;
+        let sets = cfg.geometry.num_sets() as u64; // 128
+        let mut c = L1Cache::new(cfg);
+        // Reuse line 0 so it is MRU-stamped by accesses.
+        c.load(a(0), 0, 0);
+        c.fill(a(0), 0);
+        assert_eq!(c.load(a(0), 0, 1), L1LoadOutcome::Hit);
+        // Stream 8 conflicting lines (same set: stride = number of sets).
+        for i in 1..=8u64 {
+            c.load(a(i * sets), 0, i);
+            c.fill(a(i * sets), i);
+        }
+        // Line 0 was re-referenced, so it survives the stream.
+        assert_eq!(c.load(a(0), 0, 100), L1LoadOutcome::Hit);
+    }
+}

@@ -1,0 +1,635 @@
+//! LLC slice: request queue, arbiter, tag/MSHR pipeline, response queue
+//! and the shared storage port (Fig 4 of the paper).
+//!
+//! Flow of a request (numbers match Fig 4):
+//! 1. it arrives from the interconnect into the request queue;
+//! 2. the arbiter picks a request and the tag pipeline looks it up
+//!    (`hit_latency` cycles); a hit returns to the core after
+//!    `data_latency` further cycles;
+//! 3. a miss consults the MSHR after `mshr_latency` more cycles: merge,
+//!    allocate + fetch from DRAM, or — if neither dimension has space —
+//!    stall the whole pipeline (no new arbitration until space frees);
+//! 4./4'. a DRAM fill frees the MSHR entry and forwards data directly to
+//!    the waiting cores, while a copy enters the response queue;
+//! 5. when a response dequeues it is written into cache storage
+//!    (alloc-on-fill, write-allocate), contending with the request path
+//!    for the storage port under the configured request-response policy.
+
+use std::collections::VecDeque;
+
+use crate::arb::{ArbiterCtx, PortPreference, QueuedReq, RequestArbiter};
+use crate::cache::{InsertPolicy, SetAssocCache};
+use crate::config::{L2Config, ReqRespPolicy};
+use crate::mshr::{MshrFile, MshrOutcome, MshrSnapshot, MshrTarget};
+use crate::stats::SliceStats;
+use crate::types::{Addr, Cycle, MemReq, MemResp, SliceId};
+
+/// A request in the tag or MSHR pipeline stage.
+#[derive(Debug, Clone, Copy)]
+struct PipeEntry {
+    req: MemReq,
+    ready_at: Cycle,
+}
+
+/// A response scheduled to leave the slice towards a core.
+#[derive(Debug, Clone, Copy)]
+pub struct OutboundResp {
+    pub at: Cycle,
+    pub resp: MemResp,
+}
+
+/// A pending DRAM fill that could not yet be processed (response queue
+/// full).
+#[derive(Debug, Clone, Copy)]
+struct PendingFill {
+    line_addr: Addr,
+}
+
+/// A line waiting in the response queue for its storage write.
+#[derive(Debug, Clone, Copy)]
+struct RespQEntry {
+    line_addr: Addr,
+    dirty: bool,
+}
+
+/// Why the pipeline is stalled, if it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallKind {
+    None,
+    EntryFull,
+    TargetFull,
+}
+
+/// One slice of the shared L2.
+pub struct LlcSlice {
+    id: SliceId,
+    cfg: L2Config,
+    storage: SetAssocCache,
+    mshr: MshrFile,
+    snapshot: MshrSnapshot,
+    arbiter: Box<dyn RequestArbiter>,
+
+    /// Requests delivered by the NoC but not yet admitted to the request
+    /// queue (models wires/ingress buffering when the queue is full).
+    ingress: VecDeque<MemReq>,
+    req_q: Vec<QueuedReq>,
+    resp_q: VecDeque<RespQEntry>,
+    tag_pipe: VecDeque<PipeEntry>,
+    mshr_pipe: VecDeque<PipeEntry>,
+    pending_fills: VecDeque<PendingFill>,
+    /// Reads to dispatch to DRAM (drained by the system).
+    pub dram_reads: VecDeque<Addr>,
+    /// Dirty victims to write back to DRAM (drained by the system).
+    pub dram_writes: VecDeque<Addr>,
+    /// Responses on their way to cores (drained by the system into the NoC).
+    pub outbound: VecDeque<OutboundResp>,
+
+    /// Per-core requests served since operator start (Fig 4 `cnt`).
+    served: Vec<u64>,
+    stall: StallKind,
+    /// Data array busy serving a hit readout until this cycle.
+    data_port_free_at: Cycle,
+    pub stats: SliceStats,
+}
+
+impl LlcSlice {
+    pub fn new(
+        id: SliceId,
+        cfg: L2Config,
+        num_cores: usize,
+        arbiter: Box<dyn RequestArbiter>,
+    ) -> Self {
+        let sets = cfg.sets_per_slice();
+        let index_shift = (cfg.num_slices as u64).trailing_zeros();
+        LlcSlice {
+            id,
+            cfg,
+            storage: SetAssocCache::new(sets, cfg.associativity, index_shift),
+            mshr: MshrFile::new(cfg.mshr_entries, cfg.mshr_targets),
+            snapshot: MshrSnapshot::default(),
+            arbiter,
+            ingress: VecDeque::new(),
+            req_q: Vec::with_capacity(cfg.req_q_size),
+            resp_q: VecDeque::with_capacity(cfg.resp_q_size),
+            tag_pipe: VecDeque::new(),
+            mshr_pipe: VecDeque::new(),
+            pending_fills: VecDeque::new(),
+            dram_reads: VecDeque::new(),
+            dram_writes: VecDeque::new(),
+            outbound: VecDeque::new(),
+            served: vec![0; num_cores],
+            stall: StallKind::None,
+            data_port_free_at: 0,
+            stats: SliceStats::default(),
+        }
+    }
+
+    /// Delivers a request from the interconnect.
+    pub fn deliver(&mut self, req: MemReq) {
+        self.ingress.push_back(req);
+    }
+
+    /// Delivers a completed DRAM fill.
+    pub fn deliver_fill(&mut self, line_addr: Addr) {
+        self.pending_fills.push_back(PendingFill { line_addr });
+    }
+
+    /// Per-core served counters (progress counters of the paper).
+    pub fn served(&self) -> &[u64] {
+        &self.served
+    }
+
+    /// Resets progress counters and arbiter history at operator start.
+    pub fn start_operator(&mut self) {
+        self.served.iter_mut().for_each(|c| *c = 0);
+        self.arbiter.reset();
+    }
+
+    /// True when no work of any kind remains in the slice.
+    pub fn is_idle(&self) -> bool {
+        self.ingress.is_empty()
+            && self.req_q.is_empty()
+            && self.resp_q.is_empty()
+            && self.tag_pipe.is_empty()
+            && self.mshr_pipe.is_empty()
+            && self.pending_fills.is_empty()
+            && self.dram_reads.is_empty()
+            && self.dram_writes.is_empty()
+            && self.outbound.is_empty()
+            && self.mshr.occupancy() == 0
+    }
+
+    /// Advances the slice by one core cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        // Occupancy statistics (integrals for mean occupancy).
+        self.stats.mshr_occupancy_integral += self.mshr.occupancy() as u64;
+        self.stats.req_q_occupancy_integral += self.req_q.len() as u64;
+        self.stats.resp_q_occupancy_integral += self.resp_q.len() as u64;
+
+        // (4)/(4') Process at most one DRAM fill per cycle.
+        self.process_fill(now);
+
+        // MSHR pipeline head: resolves misses, may stall the slice.
+        self.advance_mshr_pipe(now);
+
+        // Tag pipeline: classify hits and misses.
+        self.advance_tag_pipe(now);
+
+        // Storage port: response path vs request path.
+        self.storage_port(now);
+
+        // Admit ingress traffic into the request queue.
+        self.drain_ingress();
+
+        self.arbiter.tick();
+    }
+
+    fn process_fill(&mut self, now: Cycle) {
+        let Some(&PendingFill { line_addr }) = self.pending_fills.front() else {
+            return;
+        };
+        if self.resp_q.len() >= self.cfg.resp_q_size {
+            return; // response queue full: fill waits, MSHR stays occupied
+        }
+        self.pending_fills.pop_front();
+        let targets = self.mshr.complete(line_addr).unwrap_or_default();
+        let mut dirty = false;
+        for t in &targets {
+            if t.is_write {
+                dirty = true;
+            } else {
+                // (4') direct forward to the requesting core.
+                self.outbound.push_back(OutboundResp {
+                    at: now,
+                    resp: MemResp {
+                        id: t.req_id,
+                        core: t.core,
+                        line_addr,
+                    },
+                });
+            }
+        }
+        self.resp_q.push_back(RespQEntry { line_addr, dirty });
+        self.arbiter.note_fill(line_addr);
+        // Replay: misses queued behind the MSHR stage for this very line
+        // (typically a request that stalled on a full target list) go
+        // back through the tag pipeline — the line is arriving, so they
+        // will hit in storage instead of refetching from DRAM.
+        if self
+            .mshr_pipe
+            .iter()
+            .any(|p| p.req.line_addr == line_addr)
+        {
+            let mut kept = VecDeque::with_capacity(self.mshr_pipe.len());
+            while let Some(entry) = self.mshr_pipe.pop_front() {
+                if entry.req.line_addr == line_addr {
+                    self.tag_pipe.push_back(PipeEntry {
+                        req: entry.req,
+                        ready_at: now + self.cfg.hit_latency,
+                    });
+                } else {
+                    kept.push_back(entry);
+                }
+            }
+            self.mshr_pipe = kept;
+        }
+    }
+
+    fn advance_mshr_pipe(&mut self, now: Cycle) {
+        self.stall = StallKind::None;
+        let Some(head) = self.mshr_pipe.front().copied() else {
+            return;
+        };
+        if head.ready_at > now {
+            return;
+        }
+        let target = MshrTarget {
+            req_id: head.req.id,
+            core: head.req.core,
+            is_write: head.req.is_write,
+        };
+        match self.mshr.register(head.req.line_addr, target) {
+            MshrOutcome::Merged => {
+                self.mshr_pipe.pop_front();
+                self.stats.mshr_merges += 1;
+                self.stats.misses += 1;
+                self.stats.lookups += 1;
+            }
+            MshrOutcome::Allocated => {
+                self.mshr_pipe.pop_front();
+                self.stats.mshr_allocs += 1;
+                self.stats.misses += 1;
+                self.stats.lookups += 1;
+                self.dram_reads.push_back(head.req.line_addr);
+            }
+            MshrOutcome::FullEntries => {
+                self.stall = StallKind::EntryFull;
+                self.stats.stall_cycles += 1;
+                self.stats.stall_entry_full += 1;
+            }
+            MshrOutcome::FullTargets => {
+                self.stall = StallKind::TargetFull;
+                self.stats.stall_cycles += 1;
+                self.stats.stall_target_full += 1;
+            }
+        }
+    }
+
+    fn advance_tag_pipe(&mut self, now: Cycle) {
+        let Some(head) = self.tag_pipe.front().copied() else {
+            return;
+        };
+        if head.ready_at > now {
+            return;
+        }
+        // A hit readout needs the data port; while it is busy the tag
+        // pipe backs up (hit bandwidth is a real, scarce resource).
+        // Probe first so misses are not blocked by port availability.
+        let would_hit = self.storage.probe(head.req.line_addr);
+        if would_hit && !head.req.is_write && now < self.data_port_free_at {
+            // The cache cannot accept this hit: a stall in the paper's
+            // sense (t_cs counts every cycle the cache pipeline is
+            // blocked, whatever the blocked resource is).
+            self.stats.stall_cycles += 1;
+            self.stats.stall_data_port += 1;
+            return;
+        }
+        self.tag_pipe.pop_front();
+        let hit = self.storage.access(head.req.line_addr, head.req.is_write);
+        if hit {
+            self.stats.hits += 1;
+            self.stats.lookups += 1;
+            self.arbiter.note_hit(head.req.line_addr);
+            if !head.req.is_write {
+                self.data_port_free_at = now + self.cfg.hit_occupancy;
+                self.outbound.push_back(OutboundResp {
+                    at: now + self.cfg.data_latency,
+                    resp: MemResp {
+                        id: head.req.id,
+                        core: head.req.core,
+                        line_addr: head.req.line_addr,
+                    },
+                });
+            }
+        } else {
+            self.mshr_pipe.push_back(PipeEntry {
+                req: head.req,
+                ready_at: now + self.cfg.mshr_latency,
+            });
+        }
+    }
+
+    fn storage_port(&mut self, now: Cycle) {
+        let prefer = self
+            .arbiter
+            .port_preference(self.req_q.len(), self.resp_q.len(), self.cfg.resp_q_size)
+            .unwrap_or(match self.cfg.req_resp {
+                ReqRespPolicy::ResponseFirst => {
+                    if self.resp_q.is_empty() {
+                        PortPreference::Request
+                    } else {
+                        PortPreference::Response
+                    }
+                }
+                ReqRespPolicy::RequestFirst => {
+                    // Requests first; when the response queue is full,
+                    // alternate (here: response on even cycles).
+                    if self.resp_q.len() >= self.cfg.resp_q_size && now % 2 == 0 {
+                        PortPreference::Response
+                    } else if self.req_q.is_empty() && !self.resp_q.is_empty() {
+                        PortPreference::Response
+                    } else {
+                        PortPreference::Request
+                    }
+                }
+            });
+        match prefer {
+            PortPreference::Response => {
+                if self.pop_response(now) {
+                    self.stats.resp_port_cycles += 1;
+                } else {
+                    self.try_arbitrate(now);
+                }
+            }
+            PortPreference::Request => {
+                if !self.try_arbitrate(now) {
+                    if self.pop_response(now) {
+                        self.stats.resp_port_cycles += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// (5) Response dequeue: write the line into storage.
+    fn pop_response(&mut self, _now: Cycle) -> bool {
+        let Some(entry) = self.resp_q.pop_front() else {
+            return false;
+        };
+        self.stats.fills += 1;
+        if let Some(victim) = self
+            .storage
+            .insert(entry.line_addr, entry.dirty, InsertPolicy::Mru)
+        {
+            if victim.dirty {
+                self.stats.writebacks += 1;
+                self.dram_writes.push_back(victim.line_addr);
+            }
+        }
+        true
+    }
+
+    /// (2) Consult the arbiter and start a tag lookup. Returns true if a
+    /// request entered the pipeline.
+    fn try_arbitrate(&mut self, now: Cycle) -> bool {
+        if self.stall != StallKind::None {
+            return false; // MSHR reservation failure stalls the pipeline
+        }
+        if self.req_q.is_empty() {
+            return false;
+        }
+        self.mshr.snapshot_into(&mut self.snapshot);
+        let ctx = ArbiterCtx {
+            queue: &self.req_q,
+            mshr: &self.snapshot,
+            served: &self.served,
+            cycle: now,
+        };
+        let Some(idx) = self.arbiter.select(&ctx) else {
+            return false;
+        };
+        debug_assert!(idx < self.req_q.len(), "arbiter returned invalid index");
+        let chosen = self.req_q.remove(idx);
+        self.served[chosen.req.core] += 1;
+        self.stats.req_port_cycles += 1;
+        self.tag_pipe.push_back(PipeEntry {
+            req: chosen.req,
+            ready_at: now + self.cfg.hit_latency,
+        });
+        true
+    }
+
+    fn drain_ingress(&mut self) {
+        while self.req_q.len() < self.cfg.req_q_size {
+            let Some(req) = self.ingress.pop_front() else {
+                return;
+            };
+            self.req_q.push(QueuedReq {
+                req,
+                enqueued_at: 0,
+            });
+        }
+        if !self.ingress.is_empty() {
+            self.stats.req_q_rejects += 1;
+        }
+    }
+
+    /// Slice id.
+    pub fn id(&self) -> SliceId {
+        self.id
+    }
+
+    /// Name of the installed arbiter policy.
+    pub fn arbiter_name(&self) -> &'static str {
+        self.arbiter.name()
+    }
+
+    /// Current MSHR occupancy (for tests and debugging).
+    pub fn mshr_occupancy(&self) -> usize {
+        self.mshr.occupancy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arb::FifoArbiter;
+    use crate::config::SystemConfig;
+    use crate::types::LINE_BYTES;
+
+    fn slice_cfg() -> L2Config {
+        SystemConfig::table5().l2
+    }
+
+    fn mk_slice() -> LlcSlice {
+        LlcSlice::new(0, slice_cfg(), 4, Box::new(FifoArbiter))
+    }
+
+    fn read(id: u64, core: usize, line: u64) -> MemReq {
+        MemReq {
+            id,
+            core,
+            line_addr: line * LINE_BYTES * 8, // keep slice bits constant
+            is_write: false,
+            issued_at: 0,
+        }
+    }
+
+    fn run(slice: &mut LlcSlice, from: Cycle, cycles: Cycle) -> Cycle {
+        for c in from..from + cycles {
+            slice.tick(c);
+        }
+        from + cycles
+    }
+
+    #[test]
+    fn miss_allocates_and_dispatches_dram_read() {
+        let mut s = mk_slice();
+        s.deliver(read(1, 0, 1));
+        run(&mut s, 0, 20);
+        assert_eq!(s.stats.misses, 1);
+        assert_eq!(s.stats.mshr_allocs, 1);
+        assert_eq!(s.dram_reads.len(), 1);
+        assert_eq!(s.mshr_occupancy(), 1);
+    }
+
+    #[test]
+    fn fill_forwards_directly_and_installs_line() {
+        let mut s = mk_slice();
+        let r = read(7, 2, 3);
+        s.deliver(r);
+        let now = run(&mut s, 0, 20);
+        let line = s.dram_reads.pop_front().unwrap();
+        s.deliver_fill(line);
+        let now = run(&mut s, now, 5);
+        // Direct forward (4') produced a response for core 2.
+        let resp = s.outbound.pop_back().expect("forwarded response");
+        assert_eq!(resp.resp.core, 2);
+        assert_eq!(resp.resp.id, 7);
+        assert_eq!(s.mshr_occupancy(), 0, "MSHR freed at fill");
+        // The line is now resident: a second read hits.
+        let now = run(&mut s, now, 5);
+        s.deliver(read(8, 1, 3));
+        run(&mut s, now, 40);
+        assert_eq!(s.stats.hits, 1);
+        assert_eq!(s.stats.fills, 1);
+    }
+
+    #[test]
+    fn merges_share_one_dram_access() {
+        let mut s = mk_slice();
+        s.deliver(read(1, 0, 5));
+        s.deliver(read(2, 1, 5));
+        s.deliver(read(3, 2, 5));
+        run(&mut s, 0, 40);
+        assert_eq!(s.stats.mshr_allocs, 1);
+        assert_eq!(s.stats.mshr_merges, 2);
+        assert_eq!(s.dram_reads.len(), 1, "one fetch serves three requesters");
+        let line = s.dram_reads.pop_front().unwrap();
+        s.deliver_fill(line);
+        run(&mut s, 40, 5);
+        assert_eq!(s.outbound.len(), 3, "every requester gets data");
+    }
+
+    #[test]
+    fn entry_exhaustion_stalls_pipeline() {
+        let mut s = mk_slice();
+        let cfg = slice_cfg();
+        // Fill all MSHR entries with distinct lines, then send one more.
+        for i in 0..cfg.mshr_entries as u64 + 1 {
+            s.deliver(read(i, 0, 10 + i));
+        }
+        run(&mut s, 0, 200);
+        assert_eq!(s.stats.mshr_allocs, cfg.mshr_entries as u64);
+        assert!(s.stats.stall_cycles > 0, "pipeline must stall");
+        assert!(s.stats.stall_entry_full > 0);
+        assert_eq!(s.mshr_occupancy(), cfg.mshr_entries);
+        // A fill releases the stall.
+        let line = s.dram_reads.pop_front().unwrap();
+        s.deliver_fill(line);
+        run(&mut s, 200, 20);
+        assert_eq!(
+            s.stats.mshr_allocs,
+            cfg.mshr_entries as u64 + 1,
+            "stalled miss proceeds after the fill frees an entry"
+        );
+    }
+
+    #[test]
+    fn target_exhaustion_stalls_pipeline() {
+        let mut s = mk_slice();
+        let cfg = slice_cfg();
+        for i in 0..cfg.mshr_targets as u64 + 1 {
+            s.deliver(read(i, (i % 4) as usize, 5));
+        }
+        run(&mut s, 0, 300);
+        assert_eq!(s.stats.mshr_allocs, 1);
+        assert_eq!(s.stats.mshr_merges, cfg.mshr_targets as u64 - 1);
+        assert!(s.stats.stall_target_full > 0);
+    }
+
+    #[test]
+    fn write_miss_fetches_then_dirties() {
+        let mut s = mk_slice();
+        let mut w = read(1, 0, 9);
+        w.is_write = true;
+        s.deliver(w);
+        run(&mut s, 0, 20);
+        assert_eq!(s.stats.misses, 1, "write-allocate fetches the line");
+        let line = s.dram_reads.pop_front().unwrap();
+        s.deliver_fill(line);
+        run(&mut s, 20, 10);
+        assert!(s.outbound.is_empty(), "writes are posted: no response");
+        // Evict it by filling the set: dirty writeback must appear.
+        // (Directly test via invalidate-like path: insert conflicting lines.)
+        assert_eq!(s.stats.fills, 1);
+    }
+
+    #[test]
+    fn hit_latency_plus_data_latency() {
+        let mut s = mk_slice();
+        let cfg = slice_cfg();
+        s.deliver(read(1, 0, 4));
+        run(&mut s, 0, 20);
+        let line = s.dram_reads.pop_front().unwrap();
+        s.deliver_fill(line);
+        let now = run(&mut s, 20, 10);
+        s.outbound.clear();
+        // Second access hits: response time = arbitration + hit + data.
+        s.deliver(read(2, 0, 4));
+        let start = now;
+        let mut resp_at = None;
+        for c in now..now + 100 {
+            s.tick(c);
+            if let Some(o) = s.outbound.front() {
+                resp_at = Some(o.at);
+                break;
+            }
+        }
+        let resp_at = resp_at.expect("hit response");
+        // One cycle ingress + arbitration, hit_latency for tags, then
+        // data_latency.
+        let min = start + cfg.hit_latency + cfg.data_latency;
+        assert!(
+            resp_at >= min && resp_at <= min + 4,
+            "hit response at {resp_at}, expected near {min}"
+        );
+    }
+
+    #[test]
+    fn served_counters_track_cores() {
+        let mut s = mk_slice();
+        s.deliver(read(1, 0, 1));
+        s.deliver(read(2, 1, 2));
+        s.deliver(read(3, 1, 3));
+        run(&mut s, 0, 50);
+        assert_eq!(s.served()[0], 1);
+        assert_eq!(s.served()[1], 2);
+        s.start_operator();
+        assert_eq!(s.served()[1], 0);
+    }
+
+    #[test]
+    fn req_q_capacity_backpressures_to_ingress() {
+        let mut s = mk_slice();
+        let cfg = slice_cfg();
+        // MSHR capacity is 6; deliver far more distinct misses at once.
+        for i in 0..40u64 {
+            s.deliver(read(i, 0, 100 + i));
+        }
+        s.tick(0);
+        assert!(s.req_q.len() <= cfg.req_q_size);
+        run(&mut s, 1, 50);
+        assert!(s.stats.req_q_rejects > 0, "ingress should have backed up");
+    }
+}

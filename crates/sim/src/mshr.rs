@@ -1,0 +1,280 @@
+//! Miss Status Holding Registers (Section 2.4 of the paper).
+//!
+//! The MSHR file has two dimensions that both cause pipeline stalls when
+//! exhausted:
+//!
+//! * `numEntry` — distinct outstanding cache misses (one DRAM fetch each);
+//! * `numTarget` — requests merged onto one outstanding miss.
+//!
+//! A *merge* ("MSHR hit") rides an already-pending DRAM access: its lookup
+//! latency overlaps DRAM latency, which is exactly why the paper's MA
+//! arbitration policy prioritizes predicted MSHR hits. A read-only
+//! [`MshrSnapshot`] of the file is exported to the arbiter every cycle,
+//! modelling the paper's "direct wire connection" (Section 4.3.1).
+
+use crate::types::{Addr, CoreId, ReqId};
+
+/// Outcome of attempting to register a miss in the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; a DRAM fetch must be issued.
+    Allocated,
+    /// The miss was merged into an existing entry for the same line.
+    Merged,
+    /// All entries are in use and the line is not pending: stall.
+    FullEntries,
+    /// The line is pending but its target list is full: stall.
+    FullTargets,
+}
+
+/// One requester waiting on an outstanding line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrTarget {
+    pub req_id: ReqId,
+    pub core: CoreId,
+    pub is_write: bool,
+}
+
+#[derive(Debug, Clone)]
+struct MshrEntry {
+    line_addr: Addr,
+    targets: Vec<MshrTarget>,
+}
+
+/// The MSHR file of one LLC slice.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<Option<MshrEntry>>,
+    num_targets: usize,
+    occupied: usize,
+}
+
+impl MshrFile {
+    pub fn new(num_entries: usize, num_targets: usize) -> Self {
+        assert!(num_entries > 0 && num_targets > 0);
+        MshrFile {
+            entries: vec![None; num_entries],
+            num_targets,
+            occupied: 0,
+        }
+    }
+
+    /// Attempts to register a miss for `line_addr` on behalf of `target`.
+    pub fn register(&mut self, line_addr: Addr, target: MshrTarget) -> MshrOutcome {
+        // Merge path first: the line may already be pending.
+        if let Some(entry) = self
+            .entries
+            .iter_mut()
+            .flatten()
+            .find(|e| e.line_addr == line_addr)
+        {
+            if entry.targets.len() >= self.num_targets {
+                return MshrOutcome::FullTargets;
+            }
+            entry.targets.push(target);
+            return MshrOutcome::Merged;
+        }
+        // Allocate a fresh entry.
+        match self.entries.iter_mut().find(|e| e.is_none()) {
+            Some(slot) => {
+                *slot = Some(MshrEntry {
+                    line_addr,
+                    targets: vec![target],
+                });
+                self.occupied += 1;
+                MshrOutcome::Allocated
+            }
+            None => MshrOutcome::FullEntries,
+        }
+    }
+
+    /// Frees the entry for `line_addr` (DRAM fill arrived) and returns its
+    /// waiting targets. Returns `None` if no entry matches (e.g. a
+    /// write-back completion).
+    pub fn complete(&mut self, line_addr: Addr) -> Option<Vec<MshrTarget>> {
+        for slot in self.entries.iter_mut() {
+            if slot.as_ref().is_some_and(|e| e.line_addr == line_addr) {
+                let entry = slot.take().expect("checked above");
+                self.occupied -= 1;
+                return Some(entry.targets);
+            }
+        }
+        None
+    }
+
+    /// Whether `line_addr` currently has a pending entry.
+    pub fn contains(&self, line_addr: Addr) -> bool {
+        self.entries
+            .iter()
+            .flatten()
+            .any(|e| e.line_addr == line_addr)
+    }
+
+    /// Remaining target slots for a pending line (None if not pending).
+    pub fn free_targets(&self, line_addr: Addr) -> Option<usize> {
+        self.entries
+            .iter()
+            .flatten()
+            .find(|e| e.line_addr == line_addr)
+            .map(|e| self.num_targets - e.targets.len())
+    }
+
+    /// Occupied entries.
+    pub fn occupancy(&self) -> usize {
+        self.occupied
+    }
+
+    /// Total entries (`numEntry`).
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.occupied == self.entries.len()
+    }
+
+    /// Builds a snapshot for the arbiter "direct wire" (addr + target
+    /// count per live entry).
+    pub fn snapshot_into(&self, snap: &mut MshrSnapshot) {
+        snap.entries.clear();
+        for e in self.entries.iter().flatten() {
+            snap.entries.push(SnapshotEntry {
+                line_addr: e.line_addr,
+                num_targets: e.targets.len(),
+            });
+        }
+        snap.capacity = self.entries.len();
+        snap.num_targets = self.num_targets;
+    }
+}
+
+/// One row of the arbiter-visible MSHR summary (Fig 5: "addr | num").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    pub line_addr: Addr,
+    pub num_targets: usize,
+}
+
+/// Real-time summary of the MSHR passed to the arbiter each cycle.
+#[derive(Debug, Clone, Default)]
+pub struct MshrSnapshot {
+    pub entries: Vec<SnapshotEntry>,
+    /// `numEntry` of the underlying file.
+    pub capacity: usize,
+    /// `numTarget` of the underlying file.
+    pub num_targets: usize,
+}
+
+impl MshrSnapshot {
+    /// Whether the snapshot shows a pending entry for `line_addr`.
+    pub fn contains(&self, line_addr: Addr) -> bool {
+        self.entries.iter().any(|e| e.line_addr == line_addr)
+    }
+
+    /// Target slots still free for `line_addr`, if pending.
+    pub fn free_targets(&self, line_addr: Addr) -> Option<usize> {
+        self.entries
+            .iter()
+            .find(|e| e.line_addr == line_addr)
+            .map(|e| self.num_targets.saturating_sub(e.num_targets))
+    }
+
+    /// Entries still free in the file according to the snapshot.
+    pub fn free_entries(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: ReqId) -> MshrTarget {
+        MshrTarget {
+            req_id: id,
+            core: (id % 4) as usize,
+            is_write: false,
+        }
+    }
+
+    #[test]
+    fn allocate_then_merge() {
+        let mut m = MshrFile::new(2, 2);
+        assert_eq!(m.register(0x40, t(1)), MshrOutcome::Allocated);
+        assert_eq!(m.register(0x40, t(2)), MshrOutcome::Merged);
+        assert_eq!(m.occupancy(), 1);
+        assert!(m.contains(0x40));
+    }
+
+    #[test]
+    fn target_exhaustion_stalls() {
+        let mut m = MshrFile::new(2, 2);
+        m.register(0x40, t(1));
+        m.register(0x40, t(2));
+        assert_eq!(m.register(0x40, t(3)), MshrOutcome::FullTargets);
+        // A different line can still allocate.
+        assert_eq!(m.register(0x80, t(4)), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn entry_exhaustion_stalls() {
+        let mut m = MshrFile::new(2, 8);
+        m.register(0x40, t(1));
+        m.register(0x80, t(2));
+        assert!(m.is_full());
+        assert_eq!(m.register(0xc0, t(3)), MshrOutcome::FullEntries);
+        // Merging into a pending line still works while full.
+        assert_eq!(m.register(0x40, t(4)), MshrOutcome::Merged);
+    }
+
+    #[test]
+    fn complete_returns_all_targets_in_order() {
+        let mut m = MshrFile::new(2, 4);
+        m.register(0x40, t(1));
+        m.register(0x40, t(2));
+        m.register(0x40, t(3));
+        let targets = m.complete(0x40).unwrap();
+        assert_eq!(
+            targets.iter().map(|x| x.req_id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(m.occupancy(), 0);
+        assert!(!m.contains(0x40));
+        assert!(m.complete(0x40).is_none());
+    }
+
+    #[test]
+    fn free_targets_tracking() {
+        let mut m = MshrFile::new(2, 3);
+        assert_eq!(m.free_targets(0x40), None);
+        m.register(0x40, t(1));
+        assert_eq!(m.free_targets(0x40), Some(2));
+        m.register(0x40, t(2));
+        assert_eq!(m.free_targets(0x40), Some(1));
+    }
+
+    #[test]
+    fn snapshot_reflects_file() {
+        let mut m = MshrFile::new(3, 4);
+        m.register(0x40, t(1));
+        m.register(0x40, t(2));
+        m.register(0x100, t(3));
+        let mut s = MshrSnapshot::default();
+        m.snapshot_into(&mut s);
+        assert_eq!(s.entries.len(), 2);
+        assert!(s.contains(0x40));
+        assert!(s.contains(0x100));
+        assert!(!s.contains(0x80));
+        assert_eq!(s.free_targets(0x40), Some(2));
+        assert_eq!(s.free_entries(), 1);
+    }
+
+    #[test]
+    fn entry_reuse_after_completion() {
+        let mut m = MshrFile::new(1, 1);
+        assert_eq!(m.register(0x40, t(1)), MshrOutcome::Allocated);
+        assert_eq!(m.register(0x80, t(2)), MshrOutcome::FullEntries);
+        m.complete(0x40);
+        assert_eq!(m.register(0x80, t(2)), MshrOutcome::Allocated);
+    }
+}

@@ -1,0 +1,236 @@
+//! Interconnect between cores and LLC slices.
+//!
+//! The paper's target machines (Fig 3) connect cores and LLC slices
+//! through a mesh NoC. Latency therefore depends on *placement*: each
+//! (core, slice) pair has its own hop count. This asymmetry matters for
+//! the workload dynamics — it is one of the physical reasons concurrent
+//! cores streaming the same data drift out of lockstep, which is the
+//! de-synchronization LLaMCAT's balanced arbitration and throttling
+//! fight. A uniform-latency mode is kept for controlled experiments.
+//!
+//! Topology: cores occupy a `W x H` grid (row-major); slices sit in a
+//! row below the core grid, spread evenly. Latency = base + hops (XY
+//! routing).
+
+use std::collections::VecDeque;
+
+use crate::config::NocConfig;
+use crate::types::{Cycle, MemReq, MemResp, SliceId};
+
+/// Delay pipe carrying requests to slices and responses to cores.
+pub struct Noc {
+    to_slice: Vec<VecDeque<(Cycle, MemReq)>>,
+    to_core: Vec<VecDeque<(Cycle, MemResp)>>,
+    /// Request latency per (core, slice) pair (row-major by core).
+    req_lat: Vec<u64>,
+    /// Response latency per (core, slice) pair.
+    resp_lat: Vec<u64>,
+    num_slices: usize,
+}
+
+impl Noc {
+    pub fn new(cfg: NocConfig, num_cores: usize, num_slices: usize) -> Self {
+        let mut req_lat = vec![0; num_cores * num_slices];
+        let mut resp_lat = vec![0; num_cores * num_slices];
+        for c in 0..num_cores {
+            for s in 0..num_slices {
+                let hops = if cfg.mesh {
+                    Self::hops(c, s, num_cores, num_slices)
+                } else {
+                    0
+                };
+                req_lat[c * num_slices + s] = cfg.req_base + cfg.hop_latency * hops;
+                resp_lat[c * num_slices + s] = cfg.resp_base + cfg.hop_latency * hops;
+            }
+        }
+        Noc {
+            to_slice: vec![VecDeque::new(); num_slices],
+            to_core: vec![VecDeque::new(); num_cores],
+            req_lat,
+            resp_lat,
+            num_slices,
+        }
+    }
+
+    /// XY hop count between core `c` (on a square-ish grid) and slice `s`
+    /// (in a row below the grid, spread evenly).
+    fn hops(c: usize, s: usize, num_cores: usize, num_slices: usize) -> u64 {
+        let w = (num_cores as f64).sqrt().ceil() as usize;
+        let h = num_cores.div_ceil(w);
+        let (cx, cy) = (c % w, c / w);
+        let sx = if num_slices >= w {
+            s * w / num_slices
+        } else {
+            s * w / num_slices + w / (2 * num_slices.max(1))
+        };
+        let sy = h; // one row below the cores
+        (cx.abs_diff(sx) + cy.abs_diff(sy)) as u64
+    }
+
+    /// Request latency for a (core, slice) pair.
+    pub fn req_latency(&self, core: usize, slice: SliceId) -> u64 {
+        self.req_lat[core * self.num_slices + slice]
+    }
+
+    /// Response latency for a (core, slice) pair.
+    pub fn resp_latency(&self, core: usize, slice: SliceId) -> u64 {
+        self.resp_lat[core * self.num_slices + slice]
+    }
+
+    /// Sends a request towards `slice`, arriving after the pair latency.
+    pub fn send_req(&mut self, slice: SliceId, req: MemReq, now: Cycle) {
+        let at = now + self.req_latency(req.core, slice);
+        let q = &mut self.to_slice[slice];
+        // Distances differ per sender, so arrival times are not
+        // monotonic in send order; keep sorted (stable on ties).
+        let pos = q.partition_point(|(t, _)| *t <= at);
+        q.insert(pos, (at, req));
+    }
+
+    /// Sends a response towards its core, arriving after the pair
+    /// latency beyond `ready_at` (which already includes data latency).
+    pub fn send_resp(&mut self, slice: SliceId, resp: MemResp, ready_at: Cycle) {
+        let at = ready_at + self.resp_latency(resp.core, slice);
+        let q = &mut self.to_core[resp.core];
+        let pos = q.partition_point(|(t, _)| *t <= at);
+        q.insert(pos, (at, resp));
+    }
+
+    /// Pops every request due for `slice` at `now` into `out`.
+    pub fn drain_reqs(&mut self, slice: SliceId, now: Cycle, out: &mut Vec<MemReq>) {
+        while let Some((at, _)) = self.to_slice[slice].front() {
+            if *at <= now {
+                out.push(self.to_slice[slice].pop_front().expect("front exists").1);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Pops every response due for `core` at `now` into `out`.
+    pub fn drain_resps(&mut self, core: usize, now: Cycle, out: &mut Vec<MemResp>) {
+        while let Some((at, _)) = self.to_core[core].front() {
+            if *at <= now {
+                out.push(self.to_core[core].pop_front().expect("front exists").1);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// True when no messages are in flight.
+    pub fn is_idle(&self) -> bool {
+        self.to_slice.iter().all(|q| q.is_empty()) && self.to_core.iter().all(|q| q.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_uniform(lat: u64) -> NocConfig {
+        NocConfig {
+            req_base: lat,
+            resp_base: lat,
+            hop_latency: 1,
+            mesh: false,
+        }
+    }
+
+    fn req(id: u64, core: usize) -> MemReq {
+        MemReq {
+            id,
+            core,
+            line_addr: 0,
+            is_write: false,
+            issued_at: 0,
+        }
+    }
+
+    #[test]
+    fn request_arrives_after_latency() {
+        let mut noc = Noc::new(cfg_uniform(6), 1, 2);
+        noc.send_req(1, req(42, 0), 10);
+        let mut out = Vec::new();
+        noc.drain_reqs(1, 15, &mut out);
+        assert!(out.is_empty());
+        noc.drain_reqs(1, 16, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 42);
+        assert!(noc.is_idle());
+    }
+
+    #[test]
+    fn order_is_preserved_for_equal_latency() {
+        let mut noc = Noc::new(cfg_uniform(3), 1, 1);
+        noc.send_req(0, req(1, 0), 0);
+        noc.send_req(0, req(2, 0), 0);
+        noc.send_req(0, req(3, 0), 1);
+        let mut out = Vec::new();
+        noc.drain_reqs(0, 100, &mut out);
+        assert_eq!(out.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn responses_route_to_core() {
+        let mut noc = Noc::new(cfg_uniform(5), 2, 1);
+        noc.send_resp(
+            0,
+            MemResp {
+                id: 9,
+                core: 1,
+                line_addr: 64,
+            },
+            20,
+        );
+        let mut out = Vec::new();
+        noc.drain_resps(0, 100, &mut out);
+        assert!(out.is_empty());
+        noc.drain_resps(1, 24, &mut out);
+        assert!(out.is_empty());
+        noc.drain_resps(1, 25, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn mesh_latencies_differ_by_placement() {
+        let cfg = NocConfig {
+            req_base: 2,
+            resp_base: 2,
+            hop_latency: 1,
+            mesh: true,
+        };
+        let noc = Noc::new(cfg, 16, 8);
+        // Core 0 (top-left) is closer to slice 0 (below-left) than to
+        // slice 7 (below-right).
+        assert!(noc.req_latency(0, 0) < noc.req_latency(0, 7));
+        // And symmetric for the far corner core.
+        assert!(noc.req_latency(15, 7) < noc.req_latency(15, 0));
+        // All latencies at least the base.
+        for c in 0..16 {
+            for s in 0..8 {
+                assert!(noc.req_latency(c, s) >= 3, "base + >=1 hop");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_out_of_order_arrivals_are_sorted() {
+        let cfg = NocConfig {
+            req_base: 2,
+            resp_base: 2,
+            hop_latency: 2,
+            mesh: true,
+        };
+        let mut noc = Noc::new(cfg, 16, 8);
+        // Core 3 sits at (3,0): 7 hops from slice 0. Core 12 sits at
+        // (0,3): 1 hop. The far core sends first but arrives second.
+        assert!(noc.req_latency(3, 0) > noc.req_latency(12, 0));
+        noc.send_req(0, req(1, 3), 0); // far
+        noc.send_req(0, req(2, 12), 0); // near
+        let mut out = Vec::new();
+        noc.drain_reqs(0, 1000, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id, 2, "nearer sender arrives first");
+    }
+}

@@ -1,0 +1,165 @@
+//! Executable trace representation: thread blocks of vector instructions.
+//!
+//! The hybrid framework (Section 5 of the paper) drives each simulated
+//! vector core with a memory trace: "cycles of each non-memory
+//! operations, memory access addresses, R/W". A trace is partitioned
+//! into *thread blocks* — the unit the runtime scheduler assigns to
+//! instruction windows and migrates between cores.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::Addr;
+
+/// One vector instruction of a thread block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// Non-memory work occupying the vector unit for `cycles`.
+    Compute { cycles: u32 },
+    /// Vector load of `bytes` starting at `addr` (split into line
+    /// requests by the L1).
+    Load { addr: Addr, bytes: u32 },
+    /// Vector store of `bytes` at `addr` (posted; write-through).
+    Store { addr: Addr, bytes: u32 },
+    /// Wait until all outstanding loads of this thread block returned
+    /// (reduction barrier before dependent stores).
+    Barrier,
+}
+
+/// A schedulable unit: a short sequence of instructions covering 1–2
+/// output cache lines (Section 6.2.2).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadBlock {
+    pub instrs: Vec<Instr>,
+}
+
+impl ThreadBlock {
+    /// Number of vector loads in the block.
+    pub fn num_loads(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Load { .. }))
+            .count()
+    }
+
+    /// Number of vector stores in the block.
+    pub fn num_stores(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Store { .. }))
+            .count()
+    }
+
+    /// Total bytes loaded.
+    pub fn bytes_loaded(&self) -> u64 {
+        self.instrs
+            .iter()
+            .map(|i| match i {
+                Instr::Load { bytes, .. } => *bytes as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes stored.
+    pub fn bytes_stored(&self) -> u64 {
+        self.instrs
+            .iter()
+            .map(|i| match i {
+                Instr::Store { bytes, .. } => *bytes as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// Identifier of a thread block within a [`Program`].
+pub type TbId = usize;
+
+/// A complete operator trace: thread blocks plus their initial
+/// assignment to cores.
+///
+/// `assignment[i]` is the home core of block `i`; the runtime scheduler
+/// may migrate blocks to other cores when their home core falls behind.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Program {
+    pub blocks: Vec<ThreadBlock>,
+    pub assignment: Vec<usize>,
+}
+
+impl Program {
+    pub fn new(blocks: Vec<ThreadBlock>, assignment: Vec<usize>) -> Self {
+        assert_eq!(blocks.len(), assignment.len());
+        Program { blocks, assignment }
+    }
+
+    /// Round-robin assignment of `blocks` over `num_cores` cores, in
+    /// block order (consecutive blocks land on consecutive cores, which
+    /// is what keeps GQA-sharing blocks temporally close).
+    pub fn round_robin(blocks: Vec<ThreadBlock>, num_cores: usize) -> Self {
+        let assignment = (0..blocks.len()).map(|i| i % num_cores).collect();
+        Program { blocks, assignment }
+    }
+
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total bytes of load traffic in the program.
+    pub fn total_load_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| b.bytes_loaded()).sum()
+    }
+
+    /// Total bytes of store traffic in the program.
+    pub fn total_store_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| b.bytes_stored()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_accounting() {
+        let tb = ThreadBlock {
+            instrs: vec![
+                Instr::Load { addr: 0, bytes: 128 },
+                Instr::Compute { cycles: 4 },
+                Instr::Load {
+                    addr: 128,
+                    bytes: 128,
+                },
+                Instr::Barrier,
+                Instr::Store {
+                    addr: 4096,
+                    bytes: 64,
+                },
+            ],
+        };
+        assert_eq!(tb.num_loads(), 2);
+        assert_eq!(tb.num_stores(), 1);
+        assert_eq!(tb.bytes_loaded(), 256);
+        assert_eq!(tb.bytes_stored(), 64);
+    }
+
+    #[test]
+    fn round_robin_assignment() {
+        let blocks = vec![ThreadBlock::default(); 5];
+        let p = Program::round_robin(blocks, 2);
+        assert_eq!(p.assignment, vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Program::round_robin(
+            vec![ThreadBlock {
+                instrs: vec![Instr::Load { addr: 64, bytes: 64 }, Instr::Barrier],
+            }],
+            1,
+        );
+        let s = serde_json::to_string(&p).unwrap();
+        let q: Program = serde_json::from_str(&s).unwrap();
+        assert_eq!(p.blocks, q.blocks);
+        assert_eq!(p.assignment, q.assignment);
+    }
+}

@@ -1,0 +1,215 @@
+//! Global thread-block scheduler: per-window strided streams plus
+//! cross-core migration.
+//!
+//! Two properties of the paper's runtime model are load-bearing:
+//!
+//! 1. **Window-strided assignment.** Each core's trace file is divided
+//!    into `num_windows` contiguous chunks and each instruction window
+//!    draws from its own chunk. An unthrottled core therefore streams
+//!    `num_windows` distant positions of its trace *concurrently* —
+//!    "the assigned thread blocks may span a wide range" (Section 6.4)
+//!    — which multiplies the live working set and the distinct-line
+//!    pressure on the MSHRs. Throttling to fewer thread blocks
+//!    "constrains instruction window switching", collapsing the streams
+//!    and shrinking the working set: exactly the paper's explanation of
+//!    why the unoptimized version demands larger caches.
+//!
+//! 2. **Migration.** Blocks of a backlogged (slow) core can be handed
+//!    to a fast core, "without this feature, our baselines would be
+//!    underestimated" (Section 5).
+
+use std::collections::VecDeque;
+
+use crate::prog::{Program, TbId};
+use crate::types::{CoreId, WindowId};
+
+/// Per-core, per-window queues of pending thread blocks.
+pub struct TbScheduler {
+    /// `queues[core][window]` — contiguous chunk of the core's stream.
+    queues: Vec<Vec<VecDeque<TbId>>>,
+    remaining: usize,
+    migrations: u64,
+    /// Enable cross-core migration (on by default).
+    pub migration: bool,
+}
+
+impl TbScheduler {
+    /// Splits each core's (ordered) block list into `num_windows`
+    /// contiguous chunks.
+    pub fn new(program: &Program, num_cores: usize, num_windows: usize) -> Self {
+        assert!(num_windows > 0);
+        let mut per_core: Vec<Vec<TbId>> = vec![Vec::new(); num_cores];
+        for (tb, &core) in program.assignment.iter().enumerate() {
+            per_core[core % num_cores].push(tb);
+        }
+        let queues = per_core
+            .into_iter()
+            .map(|list| {
+                let n = list.len();
+                let chunk = n.div_ceil(num_windows).max(1);
+                let mut chunks: Vec<VecDeque<TbId>> =
+                    vec![VecDeque::new(); num_windows];
+                for (i, tb) in list.into_iter().enumerate() {
+                    chunks[(i / chunk).min(num_windows - 1)].push_back(tb);
+                }
+                chunks
+            })
+            .collect();
+        TbScheduler {
+            queues,
+            remaining: program.num_blocks(),
+            migrations: 0,
+            migration: true,
+        }
+    }
+
+    /// Fetches the next block for `core`'s window `window`:
+    /// 1. the window's own chunk;
+    /// 2. the longest remaining chunk of the same core;
+    /// 3. (migration) the longest backlogged chunk of any core.
+    pub fn next_for(&mut self, core: CoreId, window: WindowId) -> Option<TbId> {
+        if let Some(tb) = self.queues[core][window].pop_front() {
+            self.remaining -= 1;
+            return Some(tb);
+        }
+        // Drain sibling chunks before going remote.
+        if let Some(w) = longest_index(&self.queues[core]) {
+            if !self.queues[core][w].is_empty() {
+                let tb = self.queues[core][w].pop_front().expect("non-empty");
+                self.remaining -= 1;
+                return Some(tb);
+            }
+        }
+        if !self.migration {
+            return None;
+        }
+        // Steal from the most backlogged chunk anywhere (>= 2 blocks so
+        // we unload genuinely slow cores rather than racing starters).
+        let mut best: Option<(usize, usize, usize)> = None; // (len, core, window)
+        for (c, windows) in self.queues.iter().enumerate() {
+            for (w, q) in windows.iter().enumerate() {
+                if q.len() >= 2 && best.map_or(true, |(len, _, _)| q.len() > len) {
+                    best = Some((q.len(), c, w));
+                }
+            }
+        }
+        let (_, c, w) = best?;
+        let tb = self.queues[c][w].pop_front().expect("len >= 2");
+        self.remaining -= 1;
+        self.migrations += 1;
+        Some(tb)
+    }
+
+    /// Blocks not yet handed out.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Number of blocks taken from a non-home queue.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Total queued blocks for one core (all windows).
+    pub fn queue_len(&self, core: CoreId) -> usize {
+        self.queues[core].iter().map(|q| q.len()).sum()
+    }
+}
+
+fn longest_index(queues: &[VecDeque<TbId>]) -> Option<usize> {
+    queues
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, q)| q.len())
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prog::ThreadBlock;
+
+    fn program(n: usize, cores: usize) -> Program {
+        Program::round_robin(vec![ThreadBlock::default(); n], cores)
+    }
+
+    #[test]
+    fn windows_draw_strided_chunks() {
+        // 8 blocks on 1 core, 4 windows: chunks [0,1], [2,3], [4,5], [6,7].
+        let p = program(8, 1);
+        let mut s = TbScheduler::new(&p, 1, 4);
+        assert_eq!(s.next_for(0, 0), Some(0));
+        assert_eq!(s.next_for(0, 1), Some(2));
+        assert_eq!(s.next_for(0, 2), Some(4));
+        assert_eq!(s.next_for(0, 3), Some(6));
+        assert_eq!(s.next_for(0, 0), Some(1));
+        assert_eq!(s.next_for(0, 3), Some(7));
+        assert_eq!(s.remaining(), 2);
+    }
+
+    #[test]
+    fn sibling_chunks_drain_before_migration() {
+        let p = program(8, 1);
+        let mut s = TbScheduler::new(&p, 1, 4);
+        // Window 0 exhausts its chunk then pulls from siblings.
+        assert_eq!(s.next_for(0, 0), Some(0));
+        assert_eq!(s.next_for(0, 0), Some(1));
+        let next = s.next_for(0, 0).unwrap();
+        assert!(next >= 2, "pulled from a sibling chunk");
+        assert_eq!(s.migrations(), 0);
+    }
+
+    #[test]
+    fn migration_steals_backlogged_chunks() {
+        // 2 cores, blocks 0..8: core 0 gets evens, core 1 odds.
+        let p = program(8, 2);
+        let mut s = TbScheduler::new(&p, 2, 2);
+        // Core 0 drains everything it owns.
+        for _ in 0..4 {
+            assert!(s.next_for(0, 0).is_some());
+        }
+        // Core 1 still has 4 blocks in 2 chunks of 2: core 0 steals.
+        let stolen = s.next_for(0, 0).unwrap();
+        assert_eq!(stolen % 2, 1, "stole core 1's block");
+        assert_eq!(s.migrations(), 1);
+    }
+
+    #[test]
+    fn no_stealing_of_last_blocks() {
+        let p = program(2, 2); // one block per core
+        let mut s = TbScheduler::new(&p, 2, 2);
+        assert_eq!(s.next_for(0, 0), Some(0));
+        assert_eq!(s.next_for(0, 0), None, "peer's single block stays home");
+        assert_eq!(s.next_for(1, 0), Some(1));
+    }
+
+    #[test]
+    fn migration_can_be_disabled() {
+        let p = program(8, 2);
+        let mut s = TbScheduler::new(&p, 2, 2);
+        s.migration = false;
+        for _ in 0..4 {
+            assert!(s.next_for(0, 0).is_some());
+        }
+        assert_eq!(s.next_for(0, 0), None);
+        assert_eq!(s.remaining(), 4);
+    }
+
+    #[test]
+    fn remaining_counts_down_to_empty() {
+        let p = program(5, 2);
+        let mut s = TbScheduler::new(&p, 2, 4);
+        let mut got = 0;
+        for _ in 0..10 {
+            if s.next_for(0, 0).is_some() || s.next_for(1, 1).is_some() {
+                got += 1;
+            }
+        }
+        assert_eq!(got, 5);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,319 @@
+//! Simulation statistics.
+//!
+//! The counters here are exactly the quantities the paper's evaluation
+//! plots: execution cycles (performance), L2 hit rate, MSHR hit rate
+//! (merges / cache misses), MSHR `numEntry` occupancy ("MSHR entry util"),
+//! cache stall proportion `t_cs` (drives the dynmg contention classifier,
+//! Table 3) and DRAM bandwidth (Fig 8).
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Cycle, LINE_BYTES};
+
+/// Counters for one LLC slice.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SliceStats {
+    /// Requests that completed tag lookup.
+    pub lookups: u64,
+    /// Tag hits.
+    pub hits: u64,
+    /// Tag misses (merged + newly allocated).
+    pub misses: u64,
+    /// Misses merged into an existing MSHR entry ("MSHR hits").
+    pub mshr_merges: u64,
+    /// Misses that allocated a new MSHR entry.
+    pub mshr_allocs: u64,
+    /// Cycles the slice pipeline was stalled on MSHR reservation failure.
+    pub stall_cycles: u64,
+    /// Stalls caused by entry exhaustion specifically.
+    pub stall_entry_full: u64,
+    /// Stalls caused by target exhaustion specifically.
+    pub stall_target_full: u64,
+    /// Cycles the tag-pipe head was blocked on the busy data port
+    /// (hit-bandwidth starvation; also counted in `stall_cycles`).
+    pub stall_data_port: u64,
+    /// Sum over cycles of occupied MSHR entries (for mean occupancy).
+    pub mshr_occupancy_integral: u64,
+    /// Sum over cycles of request-queue occupancy.
+    pub req_q_occupancy_integral: u64,
+    /// Sum over cycles of response-queue occupancy.
+    pub resp_q_occupancy_integral: u64,
+    /// Requests refused at the ingress because the request queue was full.
+    pub req_q_rejects: u64,
+    /// Lines written into storage from the response path.
+    pub fills: u64,
+    /// Dirty victims written back to DRAM.
+    pub writebacks: u64,
+    /// Cycles the storage port was spent serving the response path.
+    pub resp_port_cycles: u64,
+    /// Cycles the storage port was spent serving the request path.
+    pub req_port_cycles: u64,
+}
+
+/// Counters for one core.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Thread blocks completed.
+    pub tbs_completed: u64,
+    /// Instructions issued (vector ops).
+    pub instrs_issued: u64,
+    /// Vector loads issued.
+    pub loads: u64,
+    /// Vector stores issued.
+    pub stores: u64,
+    /// L1 line lookups.
+    pub l1_lookups: u64,
+    /// L1 line hits.
+    pub l1_hits: u64,
+    /// L1 misses merged into a pending entry.
+    pub l1_merges: u64,
+    /// Cycles with no thread block resident at all (idle).
+    pub idle_cycles: u64,
+    /// Cycles where every resident thread block was waiting on memory.
+    pub mem_stall_cycles: u64,
+    /// Cycles the core issued at least one instruction.
+    pub active_cycles: u64,
+    /// Sum of load round-trip latencies (issue to data return).
+    pub load_latency_sum: u64,
+    /// Number of completed loads (for mean latency).
+    pub load_count: u64,
+}
+
+/// Counters for one DRAM channel.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ChannelStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub row_hits: u64,
+    pub row_misses: u64,
+    pub row_conflicts: u64,
+    pub activates: u64,
+    pub precharges: u64,
+    pub refreshes: u64,
+    /// DRAM cycles the data bus carried a burst.
+    pub data_bus_busy: u64,
+    /// Sum of read-queue residency times in DRAM cycles.
+    pub read_latency_sum: u64,
+}
+
+/// Aggregated statistics for a full simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total execution time in core cycles (operator completion).
+    pub cycles: Cycle,
+    /// Core clock frequency used for wall-time conversion, GHz.
+    pub freq_ghz: f64,
+    pub slices: Vec<SliceStats>,
+    pub cores: Vec<CoreStats>,
+    pub channels: Vec<ChannelStats>,
+    /// Per-core progress counters (requests served at the LLC) at the end
+    /// of the run.
+    pub progress: Vec<u64>,
+    /// Thread blocks migrated between cores by the global scheduler.
+    pub tb_migrations: u64,
+}
+
+impl SimStats {
+    pub fn new(num_slices: usize, num_cores: usize, num_channels: usize) -> Self {
+        SimStats {
+            cycles: 0,
+            freq_ghz: 0.0,
+            slices: vec![SliceStats::default(); num_slices],
+            cores: vec![CoreStats::default(); num_cores],
+            channels: vec![ChannelStats::default(); num_channels],
+            progress: vec![0; num_cores],
+            tb_migrations: 0,
+        }
+    }
+
+    /// Total L2 lookups across slices.
+    pub fn l2_lookups(&self) -> u64 {
+        self.slices.iter().map(|s| s.lookups).sum()
+    }
+
+    /// L2 hit rate: hits / lookups.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let lookups = self.l2_lookups();
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.slices.iter().map(|s| s.hits).sum::<u64>() as f64 / lookups as f64
+    }
+
+    /// MSHR hit rate as the paper defines it: requests merged into an
+    /// existing entry divided by the number of cache misses.
+    pub fn mshr_hit_rate(&self) -> f64 {
+        let misses: u64 = self.slices.iter().map(|s| s.misses).sum();
+        if misses == 0 {
+            return 0.0;
+        }
+        self.slices.iter().map(|s| s.mshr_merges).sum::<u64>() as f64 / misses as f64
+    }
+
+    /// Mean MSHR `numEntry` occupancy as a fraction of capacity.
+    pub fn mshr_entry_util(&self, entries_per_slice: usize) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let integral: u64 = self.slices.iter().map(|s| s.mshr_occupancy_integral).sum();
+        integral as f64 / (self.cycles as f64 * self.slices.len() as f64 * entries_per_slice as f64)
+    }
+
+    /// Proportion of cache-stall cycles, `t_cs` (Table 3 input), averaged
+    /// over slices.
+    pub fn t_cs(&self) -> f64 {
+        if self.cycles == 0 || self.slices.is_empty() {
+            return 0.0;
+        }
+        let stalls: u64 = self.slices.iter().map(|s| s.stall_cycles).sum();
+        stalls as f64 / (self.cycles as f64 * self.slices.len() as f64)
+    }
+
+    /// Bytes moved to/from DRAM.
+    pub fn dram_bytes(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(|c| (c.reads + c.writes) * LINE_BYTES)
+            .sum()
+    }
+
+    /// Number of DRAM line accesses (reads + writes).
+    pub fn dram_accesses(&self) -> u64 {
+        self.channels.iter().map(|c| c.reads + c.writes).sum()
+    }
+
+    /// Average DRAM bandwidth over the run in GB/s.
+    pub fn dram_bandwidth_gbs(&self) -> f64 {
+        if self.cycles == 0 || self.freq_ghz == 0.0 {
+            return 0.0;
+        }
+        let seconds = self.cycles as f64 / (self.freq_ghz * 1e9);
+        self.dram_bytes() as f64 / seconds / 1e9
+    }
+
+    /// DRAM row-buffer hit rate.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total: u64 = self
+            .channels
+            .iter()
+            .map(|c| c.row_hits + c.row_misses + c.row_conflicts)
+            .sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.channels.iter().map(|c| c.row_hits).sum::<u64>() as f64 / total as f64
+    }
+
+    /// Mean load latency observed by cores, in cycles.
+    pub fn mean_load_latency(&self) -> f64 {
+        let n: u64 = self.cores.iter().map(|c| c.load_count).sum();
+        if n == 0 {
+            return 0.0;
+        }
+        self.cores.iter().map(|c| c.load_latency_sum).sum::<u64>() as f64 / n as f64
+    }
+
+    /// Aggregate L1 hit rate.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let lookups: u64 = self.cores.iter().map(|c| c.l1_lookups).sum();
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.cores.iter().map(|c| c.l1_hits).sum::<u64>() as f64 / lookups as f64
+    }
+
+    /// Consistency check used by integration tests: hits + misses must
+    /// equal lookups, and merges + allocs must equal misses, per slice.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for (i, s) in self.slices.iter().enumerate() {
+            if s.hits + s.misses != s.lookups {
+                return Err(format!(
+                    "slice {i}: hits {} + misses {} != lookups {}",
+                    s.hits, s.misses, s.lookups
+                ));
+            }
+            if s.mshr_merges + s.mshr_allocs != s.misses {
+                return Err(format!(
+                    "slice {i}: merges {} + allocs {} != misses {}",
+                    s.mshr_merges, s.mshr_allocs, s.misses
+                ));
+            }
+        }
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.l1_hits + c.l1_merges > c.l1_lookups {
+                return Err(format!("core {i}: L1 hits+merges exceed lookups"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(cycles: u64) -> SimStats {
+        let mut s = SimStats::new(2, 2, 2);
+        s.cycles = cycles;
+        s.freq_ghz = 2.0;
+        s
+    }
+
+    #[test]
+    fn hit_rates_empty_run() {
+        let s = stats_with(0);
+        assert_eq!(s.l2_hit_rate(), 0.0);
+        assert_eq!(s.mshr_hit_rate(), 0.0);
+        assert_eq!(s.t_cs(), 0.0);
+        assert_eq!(s.dram_bandwidth_gbs(), 0.0);
+    }
+
+    #[test]
+    fn l2_hit_rate_aggregates_slices() {
+        let mut s = stats_with(100);
+        s.slices[0].lookups = 10;
+        s.slices[0].hits = 5;
+        s.slices[0].misses = 5;
+        s.slices[1].lookups = 10;
+        s.slices[1].hits = 10;
+        assert!((s.l2_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mshr_hit_rate_definition() {
+        // Paper definition: merges / cache misses.
+        let mut s = stats_with(100);
+        s.slices[0].misses = 8;
+        s.slices[0].mshr_merges = 6;
+        s.slices[0].mshr_allocs = 2;
+        assert!((s.mshr_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        let mut s = stats_with(2_000_000_000); // 1 second at 2 GHz
+        s.channels[0].reads = 1_000_000;
+        // 1e6 lines * 64B = 64 MB over 1 s = 0.064 GB/s.
+        assert!((s.dram_bandwidth_gbs() - 0.064).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_cs_is_per_slice_proportion() {
+        let mut s = stats_with(1000);
+        s.slices[0].stall_cycles = 500;
+        s.slices[1].stall_cycles = 0;
+        assert!((s.t_cs() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistency_detects_mismatch() {
+        let mut s = stats_with(10);
+        s.slices[0].lookups = 3;
+        s.slices[0].hits = 1;
+        s.slices[0].misses = 1;
+        assert!(s.check_consistency().is_err());
+        s.slices[0].misses = 2;
+        s.slices[0].mshr_allocs = 2;
+        assert!(s.check_consistency().is_ok());
+    }
+}

@@ -1,0 +1,198 @@
+//! Trace container with human-readable (JSON) and compact binary
+//! persistence.
+//!
+//! The hybrid framework writes traces to disk so that trace generation
+//! (cheap, analytical) and simulation (expensive, cycle-level) can run
+//! as separate pipeline stages — the same decoupling the paper's
+//! Timeloop → Ramulator2 flow uses.
+
+use std::io::{self, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use llamcat_sim::prog::{Instr, Program, ThreadBlock};
+
+use crate::tracegen::TraceMeta;
+use crate::workload::LogitOp;
+
+/// Magic header of the binary trace format.
+const MAGIC: &[u8; 8] = b"LLAMCAT1";
+
+/// A trace plus the metadata needed to interpret or regenerate it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceFile {
+    pub op: LogitOp,
+    pub meta: TraceMeta,
+    pub program: Program,
+}
+
+impl TraceFile {
+    /// Serializes to pretty JSON (diffable, greppable).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization cannot fail")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Writes the compact binary encoding.
+    pub fn write_binary<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        let header = serde_json::to_vec(&(self.op, self.meta)).expect("header serializes");
+        write_u64(w, header.len() as u64)?;
+        w.write_all(&header)?;
+        write_u64(w, self.program.blocks.len() as u64)?;
+        for (block, &core) in self.program.blocks.iter().zip(&self.program.assignment) {
+            write_u64(w, core as u64)?;
+            write_u64(w, block.instrs.len() as u64)?;
+            for i in &block.instrs {
+                match i {
+                    Instr::Compute { cycles } => {
+                        w.write_all(&[0])?;
+                        write_u64(w, *cycles as u64)?;
+                    }
+                    Instr::Load { addr, bytes } => {
+                        w.write_all(&[1])?;
+                        write_u64(w, *addr)?;
+                        write_u64(w, *bytes as u64)?;
+                    }
+                    Instr::Store { addr, bytes } => {
+                        w.write_all(&[2])?;
+                        write_u64(w, *addr)?;
+                        write_u64(w, *bytes as u64)?;
+                    }
+                    Instr::Barrier => {
+                        w.write_all(&[3])?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the compact binary encoding.
+    pub fn read_binary<R: Read>(r: &mut R) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        let header_len = read_u64(r)? as usize;
+        let mut header = vec![0u8; header_len];
+        r.read_exact(&mut header)?;
+        let (op, meta): (LogitOp, TraceMeta) = serde_json::from_slice(&header)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let num_blocks = read_u64(r)? as usize;
+        let mut blocks = Vec::with_capacity(num_blocks);
+        let mut assignment = Vec::with_capacity(num_blocks);
+        for _ in 0..num_blocks {
+            assignment.push(read_u64(r)? as usize);
+            let n = read_u64(r)? as usize;
+            let mut instrs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut tag = [0u8; 1];
+                r.read_exact(&mut tag)?;
+                let instr = match tag[0] {
+                    0 => Instr::Compute {
+                        cycles: read_u64(r)? as u32,
+                    },
+                    1 => Instr::Load {
+                        addr: read_u64(r)?,
+                        bytes: read_u64(r)? as u32,
+                    },
+                    2 => Instr::Store {
+                        addr: read_u64(r)?,
+                        bytes: read_u64(r)? as u32,
+                    },
+                    3 => Instr::Barrier,
+                    t => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unknown instruction tag {t}"),
+                        ))
+                    }
+                };
+                instrs.push(instr);
+            }
+            blocks.push(ThreadBlock { instrs });
+        }
+        Ok(TraceFile {
+            op,
+            meta,
+            program: Program { blocks, assignment },
+        })
+    }
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracegen::{generate_default, TraceGenConfig};
+
+    fn sample() -> TraceFile {
+        let op = LogitOp {
+            heads: 2,
+            group_size: 2,
+            seq_len: 64,
+            head_dim: 128,
+        };
+        let (program, meta) = generate_default(&op, &TraceGenConfig::default());
+        TraceFile { op, meta, program }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = sample();
+        let s = t.to_json();
+        let u = TraceFile::from_json(&s).unwrap();
+        assert_eq!(t.program.blocks, u.program.blocks);
+        assert_eq!(t.meta, u.meta);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.write_binary(&mut buf).unwrap();
+        let u = TraceFile::read_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(t.program.blocks, u.program.blocks);
+        assert_eq!(t.program.assignment, u.program.assignment);
+        assert_eq!(t.op, u.op);
+    }
+
+    #[test]
+    fn binary_is_denser_than_json() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.write_binary(&mut buf).unwrap();
+        assert!(buf.len() < t.to_json().len());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = b"NOTATRCE".to_vec();
+        buf.extend_from_slice(&[0u8; 64]);
+        assert!(TraceFile::read_binary(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.write_binary(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(TraceFile::read_binary(&mut buf.as_slice()).is_err());
+    }
+}

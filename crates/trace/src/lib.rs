@@ -1,0 +1,44 @@
+//! # llamcat-trace — analytical front-end of the LLaMCAT hybrid framework
+//!
+//! This crate is the Timeloop-class half of the paper's hybrid simulation
+//! flow (Fig 6): *operator → dataflow mapping → memory trace*. It knows
+//! nothing about cycles; it produces the per-core thread-block traces
+//! that `llamcat-sim` executes.
+//!
+//! * [`workload`] — the decode-stage Logit operator (Q·Kᵀ) with GQA
+//!   shapes (Llama3 70b / 405b presets) and tensor address maps;
+//! * [`mapping`] — loop-nest mapping IR with the paper's legality
+//!   constraints (Section 6.2.2);
+//! * [`mapper`] — a constrained search ranking legal mappings by
+//!   estimated K reuse distance (hand-written mappings also accepted);
+//! * [`tracegen`] — walks a mapping into an executable
+//!   [`Program`](llamcat_sim::prog::Program);
+//! * [`format`] — JSON and compact binary trace persistence.
+//!
+//! ## Example
+//!
+//! ```
+//! use llamcat_trace::prelude::*;
+//!
+//! let op = LogitOp::llama3_70b(1024);
+//! let cand = best_mapping(&op, &MapperConstraints::default()).unwrap();
+//! let (program, meta) = generate(&op, &cand.mapping, &TraceGenConfig::default());
+//! assert_eq!(meta.num_blocks, program.num_blocks());
+//! // Every query head streams its group's K once:
+//! assert!(meta.total_load_bytes >= op.k_bytes() * op.group_size as u64);
+//! ```
+
+pub mod format;
+pub mod mapper;
+pub mod mapping;
+pub mod tracegen;
+pub mod workload;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::format::TraceFile;
+    pub use crate::mapper::{best_mapping, enumerate, Candidate, MapperConstraints};
+    pub use crate::mapping::{logit_mapping, Dim, Level, Loop, LoopKind, Mapping, TbOrder};
+    pub use crate::tracegen::{generate, generate_default, TraceGenConfig, TraceMeta};
+    pub use crate::workload::{LogitOp, ELEM_BYTES, K_BASE, Q_BASE, SCORE_BASE};
+}

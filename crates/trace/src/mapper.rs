@@ -1,0 +1,200 @@
+//! Constrained mapper: a small Timeloop-style search over legal Logit
+//! mappings.
+//!
+//! The search space is deliberately the one the paper describes — tile
+//! size of the L dimension (thread blocks covering 1–2 output cache
+//! lines) and thread-block enumeration order — filtered by the
+//! constraints of Section 6.2.2 and ranked by an analytical locality
+//! cost. Hand-written mappings bypass the search (the "our flow also
+//! accepts handwritten mapping dataflows" path).
+
+use serde::{Deserialize, Serialize};
+
+use crate::mapping::{logit_mapping, logit_mapping_spatial, Mapping, TbOrder};
+use crate::workload::{LogitOp, ELEM_BYTES};
+
+/// Which dataflow family a candidate belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Spatial G (+ L segments) across cores — the paper's dataflow.
+    Spatial,
+    /// Round-robin blocks over cores in the given temporal order.
+    RoundRobin(TbOrder),
+}
+
+/// Search constraints (paper defaults encoded in `Default`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MapperConstraints {
+    /// Minimum output-line coverage per thread block (lines of 64 B).
+    pub min_output_lines: usize,
+    /// Maximum output-line coverage per thread block.
+    pub max_output_lines: usize,
+    /// Number of cores blocks are distributed over (for the reuse-distance
+    /// estimate).
+    pub num_cores: usize,
+}
+
+impl Default for MapperConstraints {
+    fn default() -> Self {
+        MapperConstraints {
+            min_output_lines: 1,
+            max_output_lines: 2,
+            num_cores: 16,
+        }
+    }
+}
+
+/// A scored mapping candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    pub mapping: Mapping,
+    pub l_tile: usize,
+    pub dataflow: Dataflow,
+    /// Estimated K reuse distance in bytes (lower is better: reuse that
+    /// fits within on-chip capacity converts DRAM traffic into LLC hits
+    /// or MSHR merges).
+    pub est_reuse_distance: u64,
+    /// Estimated thread-block instruction count (must fit an instruction
+    /// window).
+    pub est_tb_instrs: usize,
+}
+
+/// Estimates the K reuse distance of a mapping, in bytes of intervening
+/// K traffic between two uses of the same K tile.
+fn reuse_distance(op: &LogitOp, l_tile: usize, dataflow: Dataflow, cores: usize) -> u64 {
+    let tile_bytes = l_tile as u64 * op.k_row_bytes();
+    match dataflow {
+        // Sharers run concurrently on different cores: nominal distance
+        // is a single tile in flight (drift adds to it at runtime).
+        Dataflow::Spatial => tile_bytes,
+        // The G sharers are consecutive blocks: they run on different
+        // cores within roughly one scheduling wave. Intervening traffic
+        // is about one tile per core in flight.
+        Dataflow::RoundRobin(TbOrder::GInner) => {
+            tile_bytes * (cores as u64).div_ceil(op.group_size.max(1) as u64).max(2)
+        }
+        // Each (h, g) streams the whole K[h] before g advances: reuse
+        // distance is the full per-head K footprint.
+        Dataflow::RoundRobin(TbOrder::LInner) => op.seq_len as u64 * op.k_row_bytes(),
+    }
+}
+
+/// Rough instruction count of one thread block under a mapping
+/// (Q loads + K loads + amortized compute + barrier + stores).
+fn tb_instrs(op: &LogitOp, l_tile: usize, vector_len_bytes: u64) -> usize {
+    let q_loads = (op.k_row_bytes() as usize).div_ceil(vector_len_bytes as usize);
+    let k_loads = l_tile * (op.k_row_bytes() as usize).div_ceil(vector_len_bytes as usize);
+    let computes = l_tile.div_ceil(4);
+    let stores = ((l_tile as u64 * ELEM_BYTES) as usize).div_ceil(vector_len_bytes as usize);
+    q_loads + k_loads + computes + 1 + stores
+}
+
+/// Enumerates all legal candidates, best (lowest reuse distance) first.
+pub fn enumerate(op: &LogitOp, c: &MapperConstraints) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    let tokens_per_line = (64 / ELEM_BYTES) as usize; // 32
+    for lines in c.min_output_lines..=c.max_output_lines {
+        let l_tile = lines * tokens_per_line;
+        if op.seq_len % l_tile != 0 {
+            continue;
+        }
+        let dataflows = [
+            Dataflow::Spatial,
+            Dataflow::RoundRobin(TbOrder::GInner),
+            Dataflow::RoundRobin(TbOrder::LInner),
+        ];
+        for dataflow in dataflows {
+            let mapping = match dataflow {
+                Dataflow::Spatial => logit_mapping_spatial(op, l_tile, c.num_cores),
+                Dataflow::RoundRobin(order) => logit_mapping(op, l_tile, order),
+            };
+            if mapping.validate(op).is_err() {
+                continue;
+            }
+            out.push(Candidate {
+                est_reuse_distance: reuse_distance(op, l_tile, dataflow, c.num_cores),
+                est_tb_instrs: tb_instrs(op, l_tile, 128),
+                mapping,
+                l_tile,
+                dataflow,
+            });
+        }
+    }
+    out.sort_by_key(|cand| (cand.est_reuse_distance, cand.l_tile));
+    out
+}
+
+/// Returns the best legal mapping for the operator, or an error when the
+/// constraint window admits none.
+pub fn best_mapping(op: &LogitOp, c: &MapperConstraints) -> Result<Candidate, String> {
+    enumerate(op, c)
+        .into_iter()
+        .next()
+        .ok_or_else(|| format!("no legal mapping for {op:?} under {c:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_mapping_prefers_spatial() {
+        let op = LogitOp::llama3_70b(4096);
+        let best = best_mapping(&op, &MapperConstraints::default()).unwrap();
+        assert_eq!(best.dataflow, Dataflow::Spatial, "concurrent sharing wins");
+        assert_eq!(best.l_tile, 32, "1 output line preferred");
+        assert!(best.mapping.is_spatial());
+    }
+
+    #[test]
+    fn enumerate_produces_all_legal_candidates() {
+        let op = LogitOp::llama3_70b(4096);
+        let cands = enumerate(&op, &MapperConstraints::default());
+        // 2 tile sizes x 3 dataflows.
+        assert_eq!(cands.len(), 6);
+        for c in &cands {
+            c.mapping.validate(&op).unwrap();
+        }
+        // Sorted by reuse distance.
+        for w in cands.windows(2) {
+            assert!(w[0].est_reuse_distance <= w[1].est_reuse_distance);
+        }
+    }
+
+    #[test]
+    fn l_inner_has_full_stream_distance() {
+        let op = LogitOp::llama3_70b(8192);
+        let d = reuse_distance(&op, 32, Dataflow::RoundRobin(TbOrder::LInner), 16);
+        assert_eq!(d, 8192 * 256, "full per-head K footprint");
+        let g = reuse_distance(&op, 32, Dataflow::RoundRobin(TbOrder::GInner), 16);
+        assert!(g < d / 100, "GInner distance orders of magnitude lower");
+        let s = reuse_distance(&op, 32, Dataflow::Spatial, 16);
+        assert!(s < g, "spatial concurrent sharing is tightest");
+    }
+
+    #[test]
+    fn tb_fits_instruction_window() {
+        let op = LogitOp::llama3_70b(4096);
+        for cand in enumerate(&op, &MapperConstraints::default()) {
+            if cand.l_tile == 32 {
+                assert!(
+                    cand.est_tb_instrs <= 128,
+                    "1-line blocks must fit the window: {}",
+                    cand.est_tb_instrs
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indivisible_sequence_skipped() {
+        // seq_len 100 is not divisible by 32 or 64.
+        let op = LogitOp {
+            heads: 2,
+            group_size: 2,
+            seq_len: 100,
+            head_dim: 128,
+        };
+        assert!(best_mapping(&op, &MapperConstraints::default()).is_err());
+    }
+}

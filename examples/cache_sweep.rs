@@ -1,0 +1,49 @@
+//! Cache-capacity scenario (a runnable slice of Fig 9): how sensitive
+//! each policy is to L2 size under a long context.
+//!
+//! ```text
+//! cargo run --release --example cache_sweep [seq_len] [70b|405b]
+//! ```
+
+use llamcat::experiment::{Experiment, Model, Policy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seq_len: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8192);
+    let model = match args.get(2).map(|s| s.as_str()) {
+        Some("405b") => Model::Llama3_405b,
+        _ => Model::Llama3_70b,
+    };
+    let sizes = [8u64, 16, 32, 64];
+    let policies = [
+        Policy::unoptimized(),
+        Policy::dyncta(),
+        Policy::dynmg(),
+        Policy::dynmg_bma(),
+    ];
+
+    println!("L2 capacity sweep, {:?} @ seq {}\n", model, seq_len);
+    print!("{:<16}", "policy");
+    for mb in sizes {
+        print!("{:>10}", format!("{mb}MB"));
+    }
+    println!();
+    // Normalize everything against unoptimized at the largest cache: the
+    // "how much cache does this policy need" view.
+    let ref_cycles = Experiment::new(model, seq_len)
+        .l2_mb(*sizes.last().expect("non-empty"))
+        .run()
+        .cycles;
+    for p in policies {
+        print!("{:<16}", p.label());
+        for &mb in &sizes {
+            let r = Experiment::new(model, seq_len).l2_mb(mb).policy(p).run();
+            print!("{:>9.3}x", ref_cycles as f64 / r.cycles as f64);
+        }
+        println!();
+    }
+    println!(
+        "\n(values are speedups vs unoptimized @ {}MB; a flat row means the\n policy is insensitive to cache size — the paper's claim for dynmg+BMA)",
+        sizes.last().expect("non-empty")
+    );
+}

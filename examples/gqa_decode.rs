@@ -1,0 +1,54 @@
+//! GQA decode scenario: how the policies behave as the decoded context
+//! grows — the situation the paper's introduction motivates (long-context
+//! decoding is KV-cache-bandwidth bound).
+//!
+//! Sweeps sequence length for both model shapes and prints speedups of
+//! the throttling+arbitration ladder over the unoptimized machine.
+//!
+//! ```text
+//! cargo run --release --example gqa_decode [max_seq_k]
+//! ```
+
+use llamcat::experiment::{geomean, Experiment, Model, Policy};
+
+fn main() {
+    let max_k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let seqs: Vec<usize> = [1, 2, 4, 8, 16]
+        .iter()
+        .filter(|&&k| k <= max_k)
+        .map(|&k| k * 1024)
+        .collect();
+    let policies = [Policy::dynmg(), Policy::dynmg_bma()];
+
+    for model in [Model::Llama3_70b, Model::Llama3_405b] {
+        let label = match model {
+            Model::Llama3_70b => "llama3 70b (H=8, G=8)",
+            Model::Llama3_405b => "llama3 405b (H=8, G=16)",
+        };
+        println!("\n=== {label} ===");
+        print!("{:<14}", "policy");
+        for s in &seqs {
+            print!("{:>9}", format!("{}K", s / 1024));
+        }
+        println!("{:>10}", "geomean");
+        let base: Vec<_> = seqs
+            .iter()
+            .map(|&s| Experiment::new(model, s).run())
+            .collect();
+        for p in policies {
+            let mut speedups = Vec::new();
+            print!("{:<14}", p.label());
+            for (i, &s) in seqs.iter().enumerate() {
+                let r = Experiment::new(model, s).policy(p).run();
+                let sp = r.speedup_over(&base[i]);
+                speedups.push(sp);
+                print!("{sp:>8.3}x");
+            }
+            println!("{:>9.3}x", geomean(&speedups));
+        }
+    }
+    println!("\n(decode is KV-cache bound: speedups grow with context length\n as the working set outgrows the LLC, per the paper's Fig 7/9)");
+}

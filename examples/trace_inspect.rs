@@ -1,0 +1,53 @@
+//! Trace tooling walkthrough: enumerate mapper candidates for a decode
+//! shape, render the winning dataflow, generate its memory trace, and
+//! round-trip it through the binary trace format.
+//!
+//! ```text
+//! cargo run --release --example trace_inspect
+//! ```
+
+use llamcat_trace::prelude::*;
+
+fn main() {
+    let op = LogitOp::llama3_70b(1024);
+    println!("Operator: {op:?}");
+    println!(
+        "K cache: {} KB, Q: {} KB, scores: {} KB",
+        op.k_bytes() / 1024,
+        op.q_bytes() / 1024,
+        op.score_bytes() / 1024
+    );
+
+    println!("\n== Mapper candidates (best first) ==");
+    let constraints = MapperConstraints::default();
+    for cand in enumerate(&op, &constraints) {
+        println!(
+            "  {:?} l_tile={} est_reuse_distance={} B est_tb_instrs={}",
+            cand.dataflow, cand.l_tile, cand.est_reuse_distance, cand.est_tb_instrs
+        );
+    }
+    let best = best_mapping(&op, &constraints).expect("legal mapping exists");
+    println!("\n== Winning mapping ==\n{}", best.mapping.render());
+
+    let cfg = TraceGenConfig::default();
+    let (program, meta) = generate(&op, &best.mapping, &cfg);
+    println!("== Generated trace ==");
+    println!("  thread blocks:   {}", meta.num_blocks);
+    println!("  load traffic:    {} MB", meta.total_load_bytes / (1 << 20));
+    println!("  store traffic:   {} KB", meta.total_store_bytes / 1024);
+    println!("  max block size:  {} instructions", meta.max_block_instrs);
+
+    // Persist and reload through the binary format.
+    let tf = TraceFile {
+        op,
+        meta,
+        program,
+    };
+    let mut buf = Vec::new();
+    tf.write_binary(&mut buf).expect("serialize");
+    println!("\n== Binary trace ==\n  {} bytes ({} per block)", buf.len(), buf.len() / meta.num_blocks);
+    let rt = TraceFile::read_binary(&mut buf.as_slice()).expect("deserialize");
+    assert_eq!(rt.program.blocks, tf.program.blocks);
+    assert_eq!(rt.program.assignment, tf.program.assignment);
+    println!("  round-trip OK: {} blocks identical", rt.program.num_blocks());
+}
