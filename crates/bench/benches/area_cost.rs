@@ -7,14 +7,17 @@
 //! cheaply produce.
 
 use llamcat::area::{
-    arbiter_area, default_report, hit_buffer_area, AreaConstants, ArbiterGeometry,
+    arbiter_area, default_report, hit_buffer_area, ArbiterGeometry, AreaConstants,
     HitBufferGeometry, PAPER_ARBITER_UM2, PAPER_HIT_BUFFER_UM2,
 };
 
 fn main() {
     println!("# Section 6.1 — hardware cost (15 nm, 1.96 GHz)");
     let r = default_report();
-    println!("\n{:<28} {:>12} {:>12} {:>8}", "structure", "model (um^2)", "paper (um^2)", "error");
+    println!(
+        "\n{:<28} {:>12} {:>12} {:>8}",
+        "structure", "model (um^2)", "paper (um^2)", "error"
+    );
     println!(
         "{:<28} {:>12.2} {:>12.2} {:>7.2}%",
         "arbiter (incl. req queue)",
@@ -42,7 +45,11 @@ fn main() {
             "{:<10} {:>12.2}{}",
             entries,
             hit_buffer_area(&g, &k),
-            if entries == 48 { "   <- evaluated design" } else { "" }
+            if entries == 48 {
+                "   <- evaluated design"
+            } else {
+                ""
+            }
         );
     }
 
@@ -57,7 +64,11 @@ fn main() {
             "{:<10} {:>12.2}{}",
             depth,
             arbiter_area(&g, &k),
-            if depth == 12 { "   <- Table 5 value" } else { "" }
+            if depth == 12 {
+                "   <- Table 5 value"
+            } else {
+                ""
+            }
         );
     }
 

@@ -3,7 +3,9 @@
 //! against the unoptimized configuration at 32 MB.
 
 use llamcat::experiment::{Model, Policy};
-use llamcat_bench::{fig9_policies, print_speedup_table, run_cells, scale_divisor, scale_label, Cell};
+use llamcat_bench::{
+    fig9_policies, print_speedup_table, run_cells, scale_divisor, scale_label, Cell,
+};
 
 fn main() {
     let seq = 32768 / scale_divisor();

@@ -63,7 +63,7 @@ fn main() {
     println!("\n### Table 2 sweep: maximum gear");
     println!("{:<18} {:>10}", "max gear", "speedup");
     for max_gear in 1..=4usize {
-        let fractions = vec![0.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0, 3.0 / 4.0];
+        let fractions = [0.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0, 3.0 / 4.0];
         let cfg = DynMgConfig {
             max_gear,
             gear_fractions: fractions[..=max_gear].to_vec(),
@@ -74,7 +74,11 @@ fn main() {
             "{:<18} {:>9.3}x{}",
             format!("gear {max_gear}"),
             base as f64 / cycles as f64,
-            if max_gear == 4 { "   <- Table 2 value" } else { "" }
+            if max_gear == 4 {
+                "   <- Table 2 value"
+            } else {
+                ""
+            }
         );
     }
 
@@ -108,7 +112,11 @@ fn main() {
             format!("x{scale}"),
             r.t_cs,
             band,
-            if scale == 1.0 { "   <- Table 3 bands" } else { "" }
+            if scale == 1.0 {
+                "   <- Table 3 bands"
+            } else {
+                ""
+            }
         );
     }
 

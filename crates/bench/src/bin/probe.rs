@@ -39,7 +39,19 @@ fn main() {
     );
     println!(
         "{:<14} {:>12} {:>8} {:>7} {:>7} {:>7} {:>7} {:>9} {:>7} {:>8} {:>9} {:>9} {:>6}",
-        "policy", "cycles", "speedup", "l2hit", "mshrhit", "entutil", "t_cs", "dram(GB/s)", "rowhit", "dramacc", "stallE", "stallT", "wall_s"
+        "policy",
+        "cycles",
+        "speedup",
+        "l2hit",
+        "mshrhit",
+        "entutil",
+        "t_cs",
+        "dram(GB/s)",
+        "rowhit",
+        "dramacc",
+        "stallE",
+        "stallT",
+        "wall_s"
     );
     let mut base_cycles = None;
     for p in policies {

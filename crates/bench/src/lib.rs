@@ -28,7 +28,7 @@ pub fn scale_divisor() -> usize {
     match std::env::var("LLAMCAT_SCALE").as_deref() {
         Ok("full") => 1,
         Ok("quick") => 8,
-        Ok("half") | _ => 2,
+        _ => 2,
     }
 }
 

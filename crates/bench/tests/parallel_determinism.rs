@@ -1,0 +1,66 @@
+//! The figure benches fan experiments out with `run_cells` (rayon).
+//! Parallel execution must not perturb results: each cell's report has
+//! to match a sequential run of the same experiment, in input order,
+//! every time.
+
+use llamcat::experiment::{Experiment, Model, Policy};
+use llamcat_bench::{run_cells, Cell};
+
+fn small_grid() -> Vec<Cell> {
+    let policies = [
+        Policy::unoptimized(),
+        Policy::dynmg(),
+        Policy::dynmg_bma(),
+        Policy::lcs(),
+    ];
+    policies
+        .iter()
+        .map(|&policy| Cell {
+            model: Model::Llama3_70b,
+            seq_len: 128,
+            policy,
+            l2_mb: 16,
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_sweep_matches_sequential_runs() {
+    let cells = small_grid();
+    let parallel = run_cells(&cells);
+    let sequential: Vec<_> = cells
+        .iter()
+        .map(|c| {
+            Experiment::new(c.model, c.seq_len)
+                .policy(c.policy)
+                .l2_mb(c.l2_mb)
+                .run()
+        })
+        .collect();
+    for (p, s) in parallel.iter().zip(&sequential) {
+        assert_eq!(p.policy_label, s.policy_label, "order not preserved");
+        assert_eq!(
+            p.cycles, s.cycles,
+            "{}: parallel != sequential",
+            p.policy_label
+        );
+        assert_eq!(
+            serde_json::to_string(p).unwrap(),
+            serde_json::to_string(s).unwrap()
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_is_repeatable() {
+    let cells = small_grid();
+    let a = run_cells(&cells);
+    let b = run_cells(&cells);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            x.cycles, y.cycles,
+            "{}: repeat run diverged",
+            x.policy_label
+        );
+    }
+}

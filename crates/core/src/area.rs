@@ -114,8 +114,7 @@ pub fn arbiter_area(g: &ArbiterGeometry, k: &AreaConstants) -> f64 {
 
     // Comparators: each queue entry matched against MSHR snapshot rows
     // and sent_reqs rows (Fig 5 combination step).
-    let match_bits =
-        g.req_q_entries * (g.mshr_entries + g.sent_reqs_entries) * g.addr_bits;
+    let match_bits = g.req_q_entries * (g.mshr_entries + g.sent_reqs_entries) * g.addr_bits;
     // Counter-ranking tree (req_q - 1 pairwise comparisons).
     let rank_bits = (g.req_q_entries - 1) * g.counter_bits;
     let cmp_bits = match_bits + rank_bits;
@@ -155,8 +154,18 @@ mod tests {
         let r = default_report();
         let arb_err = (r.arbiter_um2 - PAPER_ARBITER_UM2).abs() / PAPER_ARBITER_UM2;
         let hb_err = (r.hit_buffer_um2 - PAPER_HIT_BUFFER_UM2).abs() / PAPER_HIT_BUFFER_UM2;
-        assert!(arb_err < 0.02, "arbiter {} vs paper {}", r.arbiter_um2, PAPER_ARBITER_UM2);
-        assert!(hb_err < 0.02, "hit buffer {} vs paper {}", r.hit_buffer_um2, PAPER_HIT_BUFFER_UM2);
+        assert!(
+            arb_err < 0.02,
+            "arbiter {} vs paper {}",
+            r.arbiter_um2,
+            PAPER_ARBITER_UM2
+        );
+        assert!(
+            hb_err < 0.02,
+            "hit buffer {} vs paper {}",
+            r.hit_buffer_um2,
+            PAPER_HIT_BUFFER_UM2
+        );
     }
 
     #[test]
@@ -170,7 +179,10 @@ mod tests {
             &k,
         );
         let big = hit_buffer_area(&HitBufferGeometry::default(), &k);
-        assert!(big > small * 2.5 && big < small * 3.5, "3x entries ≈ 3x area");
+        assert!(
+            big > small * 2.5 && big < small * 3.5,
+            "3x entries ≈ 3x area"
+        );
     }
 
     #[test]

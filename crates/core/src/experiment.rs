@@ -425,8 +425,7 @@ mod tests {
         // Same trace: store traffic identical (reads may differ by reuse).
         let sa = a.stats.as_ref().unwrap();
         let sb = b.stats.as_ref().unwrap();
-        let stores =
-            |s: &SimStats| -> u64 { s.cores.iter().map(|c| c.stores).sum() };
+        let stores = |s: &SimStats| -> u64 { s.cores.iter().map(|c| c.stores).sum() };
         assert_eq!(stores(sa), stores(sb));
     }
 

@@ -101,8 +101,8 @@ impl ThrottleController for Dyncta {
                 }
             }
         }
-        for c in 0..n {
-            max_tb[c] = self.limit[c].clamp(1, inputs.num_windows);
+        for (tb, &limit) in max_tb.iter_mut().zip(&self.limit) {
+            *tb = limit.clamp(1, inputs.num_windows);
         }
     }
 
@@ -163,11 +163,17 @@ mod tests {
         // Period 1: both cores heavily memory stalled.
         let c_mem = [2000u64, 2000];
         let c_idle = [0u64, 0];
-        d.tick(&inputs(2048, &c_mem, &c_idle, &progress, &tbs, &active), &mut max_tb);
+        d.tick(
+            &inputs(2048, &c_mem, &c_idle, &progress, &tbs, &active),
+            &mut max_tb,
+        );
         assert_eq!(max_tb, vec![3, 3]);
         // Period 2: still stalled — backs off further.
         let c_mem = [4000u64, 4000];
-        d.tick(&inputs(4096, &c_mem, &c_idle, &progress, &tbs, &active), &mut max_tb);
+        d.tick(
+            &inputs(4096, &c_mem, &c_idle, &progress, &tbs, &active),
+            &mut max_tb,
+        );
         assert_eq!(max_tb, vec![2, 2]);
     }
 
@@ -179,10 +185,16 @@ mod tests {
         let tbs = [0u64];
         let active = [4usize];
         let c_idle = [0u64];
-        d.tick(&inputs(2048, &[2000], &c_idle, &progress, &tbs, &active), &mut max_tb);
+        d.tick(
+            &inputs(2048, &[2000], &c_idle, &progress, &tbs, &active),
+            &mut max_tb,
+        );
         assert_eq!(max_tb, vec![3]);
         // Contention gone (delta below mem_low): raise again.
-        d.tick(&inputs(4096, &[2100], &c_idle, &progress, &tbs, &active), &mut max_tb);
+        d.tick(
+            &inputs(4096, &[2100], &c_idle, &progress, &tbs, &active),
+            &mut max_tb,
+        );
         assert_eq!(max_tb, vec![4]);
     }
 
@@ -193,10 +205,16 @@ mod tests {
         let progress = [0u64];
         let tbs = [0u64];
         let active = [4usize];
-        d.tick(&inputs(2048, &[2000], &[0], &progress, &tbs, &active), &mut max_tb);
+        d.tick(
+            &inputs(2048, &[2000], &[0], &progress, &tbs, &active),
+            &mut max_tb,
+        );
         assert_eq!(max_tb, vec![3]);
         // Both high idle and high memory: idle wins (starved core).
-        d.tick(&inputs(4096, &[4000], &[100], &progress, &tbs, &active), &mut max_tb);
+        d.tick(
+            &inputs(4096, &[4000], &[100], &progress, &tbs, &active),
+            &mut max_tb,
+        );
         assert_eq!(max_tb, vec![4]);
     }
 
@@ -226,7 +244,10 @@ mod tests {
         let progress = [0u64];
         let tbs = [0u64];
         let active = [4usize];
-        d.tick(&inputs(100, &[90], &[0], &progress, &tbs, &active), &mut max_tb);
+        d.tick(
+            &inputs(100, &[90], &[0], &progress, &tbs, &active),
+            &mut max_tb,
+        );
         assert_eq!(max_tb, vec![4], "before the first period ends");
     }
 }

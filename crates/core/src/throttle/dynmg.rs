@@ -250,8 +250,8 @@ impl ThrottleController for DynMg {
             self.next_sample = inputs.cycle + self.cfg.sampling_period;
             self.sample_global(inputs);
         }
-        for c in 0..n {
-            max_tb[c] = if self.throttled[c] {
+        for (c, tb) in max_tb.iter_mut().enumerate() {
+            *tb = if self.throttled[c] {
                 // A throttled core always gives up at least one window;
                 // the in-core controller sets the degree below that.
                 let cap = inputs.num_windows.saturating_sub(1).max(1);

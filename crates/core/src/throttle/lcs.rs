@@ -49,13 +49,13 @@ impl ThrottleController for Lcs {
         if self.phase.len() != n {
             self.reset(n);
         }
-        for c in 0..n {
+        for (c, tb) in max_tb.iter_mut().enumerate() {
             match self.phase[c] {
                 Phase::Observe {
                     start_mem,
                     start_cycle,
                 } => {
-                    max_tb[c] = 1;
+                    *tb = 1;
                     if inputs.tbs_completed[c] > self.seen_tbs[c] {
                         // First block finished: decide.
                         let elapsed = (inputs.cycle - start_cycle).max(1);
@@ -64,11 +64,11 @@ impl ThrottleController for Lcs {
                         let needed = elapsed.div_ceil(busy) as usize;
                         let limit = needed.clamp(1, inputs.num_windows);
                         self.phase[c] = Phase::Fixed { limit };
-                        max_tb[c] = limit;
+                        *tb = limit;
                     }
                 }
                 Phase::Fixed { limit } => {
-                    max_tb[c] = limit;
+                    *tb = limit;
                 }
             }
         }
@@ -160,7 +160,10 @@ mod tests {
         let active = [1usize; 2];
         l.tick(&inputs(0, &[0, 0], &[0, 0], &zero, &active), &mut max_tb);
         // Core 0 finishes memory-bound; core 1 still observing.
-        l.tick(&inputs(1000, &[900, 500], &[1, 0], &zero, &active), &mut max_tb);
+        l.tick(
+            &inputs(1000, &[900, 500], &[1, 0], &zero, &active),
+            &mut max_tb,
+        );
         assert_eq!(max_tb[0], 4);
         assert_eq!(max_tb[1], 1);
     }

@@ -343,7 +343,8 @@ impl SystemConfig {
         if self.dram.write_low_watermark >= self.dram.write_high_watermark {
             return Err("write watermarks must satisfy low < high".into());
         }
-        if self.core.vector_len_bytes % LINE_BYTES != 0 && LINE_BYTES % self.core.vector_len_bytes != 0
+        if !self.core.vector_len_bytes.is_multiple_of(LINE_BYTES)
+            && !LINE_BYTES.is_multiple_of(self.core.vector_len_bytes)
         {
             return Err("vector length must divide or be a multiple of the line size".into());
         }

@@ -117,8 +117,7 @@ impl VectorCore {
             // A new block could only be assigned if a window were free,
             // which contradicts being asleep, unless max_tb just rose —
             // handled below by waking on spare window capacity.
-            if self.resident_tbs() >= self.max_tb.min(self.cfg.num_inst_windows)
-                || sched.is_empty()
+            if self.resident_tbs() >= self.max_tb.min(self.cfg.num_inst_windows) || sched.is_empty()
             {
                 self.stats.mem_stall_cycles += 1;
                 return;
@@ -415,7 +414,10 @@ mod tests {
         assert_eq!(core.outbound.len(), 2);
         assert_eq!(core.stats.loads, 1);
         assert_eq!(core.stats.tbs_completed, 0, "barrier holds completion");
-        assert!(core.stats.mem_stall_cycles > 0, "C_mem accrues while waiting");
+        assert!(
+            core.stats.mem_stall_cycles > 0,
+            "C_mem accrues while waiting"
+        );
         // Respond to both lines.
         let r1 = core.outbound.pop_front().unwrap();
         let r2 = core.outbound.pop_front().unwrap();

@@ -12,7 +12,7 @@ use crate::config::DramTiming;
 pub type DramCycle = u64;
 
 /// State of one bank.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Bank {
     /// Currently open row, if any.
     pub open_row: Option<u64>,
@@ -24,18 +24,6 @@ pub struct Bank {
     pub next_rd: DramCycle,
     /// Earliest cycle a WRITE may issue.
     pub next_wr: DramCycle,
-}
-
-impl Default for Bank {
-    fn default() -> Self {
-        Bank {
-            open_row: None,
-            next_act: 0,
-            next_pre: 0,
-            next_rd: 0,
-            next_wr: 0,
-        }
-    }
 }
 
 impl Bank {

@@ -65,7 +65,9 @@ pub struct Channel {
 
 impl Channel {
     pub fn new(cfg: DramConfig, channel_index: usize) -> Self {
-        let banks = (0..cfg.banks_per_channel()).map(|_| Bank::default()).collect();
+        let banks = (0..cfg.banks_per_channel())
+            .map(|_| Bank::default())
+            .collect();
         // Stagger refresh across ranks and channels so refreshes do not
         // synchronize system-wide.
         let ranks = (0..cfg.ranks)
@@ -253,7 +255,11 @@ impl Channel {
     fn try_issue(&mut self, reads: bool) -> bool {
         let t = self.cfg.timing;
         let now = self.now;
-        let next_col = if reads { self.next_rd_cmd } else { self.next_wr_cmd };
+        let next_col = if reads {
+            self.next_rd_cmd
+        } else {
+            self.next_wr_cmd
+        };
         let queue = if reads { &self.read_q } else { &self.write_q };
         if queue.is_empty() {
             return false;
@@ -295,14 +301,14 @@ impl Channel {
                         break;
                     }
                 }
-                Some(open) if open != req.coord.row => {
-                    if now >= bank.next_pre && pre_target.is_none() {
-                        pre_target = Some(req.flat_bank);
-                    }
-                    // Keep scanning: an ACT for a younger request beats a
-                    // PRE for an older one only if no PRE is possible, so
-                    // do not break here.
+                Some(open)
+                    if open != req.coord.row && now >= bank.next_pre && pre_target.is_none() =>
+                {
+                    pre_target = Some(req.flat_bank);
                 }
+                // Keep scanning: an ACT for a younger request beats a
+                // PRE for an older one only if no PRE is possible, so
+                // do not break here.
                 _ => {}
             }
         }
@@ -327,7 +333,11 @@ impl Channel {
     /// requests to the same row will issue against the now-open row and
     /// are correctly classified as row hits.
     fn mark_row_transition(&mut self, flat_bank: usize, row: u64, reads: bool) {
-        let queue = if reads { &mut self.read_q } else { &mut self.write_q };
+        let queue = if reads {
+            &mut self.read_q
+        } else {
+            &mut self.write_q
+        };
         for req in queue.iter_mut() {
             if req.flat_bank == flat_bank && req.coord.row == row && !req.saw_act {
                 req.saw_act = true;
@@ -337,7 +347,11 @@ impl Channel {
     }
 
     fn mark_pre(&mut self, flat_bank: usize, reads: bool) {
-        let queue = if reads { &mut self.read_q } else { &mut self.write_q };
+        let queue = if reads {
+            &mut self.read_q
+        } else {
+            &mut self.write_q
+        };
         for req in queue.iter_mut() {
             if req.flat_bank == flat_bank {
                 req.saw_pre = true;

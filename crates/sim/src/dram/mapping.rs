@@ -147,10 +147,11 @@ mod tests {
     fn row_advances_after_all_columns() {
         let cfg = DramConfig::table5();
         let m = mapping();
-        let lines_per_row = cfg.row_bytes / LINE_BYTES; // 32
-        // Within one channel, after lines_per_row lines the rank bit flips
-        // (Co is below Ra), and the row advances only after exhausting
-        // rank/bank/bank-group bits.
+        // One row holds 32 lines. Within one channel, after
+        // lines_per_row lines the rank bit flips (Co is below Ra), and
+        // the row advances only after exhausting rank/bank/bank-group
+        // bits.
+        let lines_per_row = cfg.row_bytes / LINE_BYTES;
         let a = m.decode(0);
         let b = m.decode(lines_per_row * 4 * LINE_BYTES); // same channel 0
         assert_eq!(a.channel, b.channel);

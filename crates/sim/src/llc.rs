@@ -9,8 +9,9 @@
 //! 3. a miss consults the MSHR after `mshr_latency` more cycles: merge,
 //!    allocate + fetch from DRAM, or — if neither dimension has space —
 //!    stall the whole pipeline (no new arbitration until space frees);
-//! 4./4'. a DRAM fill frees the MSHR entry and forwards data directly to
-//!    the waiting cores, while a copy enters the response queue;
+//! 4. (and 4'.) a DRAM fill frees the MSHR entry and forwards data
+//!    directly to the waiting cores, while a copy enters the response
+//!    queue;
 //! 5. when a response dequeues it is written into cache storage
 //!    (alloc-on-fill, write-allocate), contending with the request path
 //!    for the storage port under the configured request-response policy.
@@ -215,11 +216,7 @@ impl LlcSlice {
         // (typically a request that stalled on a full target list) go
         // back through the tag pipeline — the line is arriving, so they
         // will hit in storage instead of refetching from DRAM.
-        if self
-            .mshr_pipe
-            .iter()
-            .any(|p| p.req.line_addr == line_addr)
-        {
+        if self.mshr_pipe.iter().any(|p| p.req.line_addr == line_addr) {
             let mut kept = VecDeque::with_capacity(self.mshr_pipe.len());
             while let Some(entry) = self.mshr_pipe.pop_front() {
                 if entry.req.line_addr == line_addr {
@@ -333,10 +330,11 @@ impl LlcSlice {
                 }
                 ReqRespPolicy::RequestFirst => {
                     // Requests first; when the response queue is full,
-                    // alternate (here: response on even cycles).
-                    if self.resp_q.len() >= self.cfg.resp_q_size && now % 2 == 0 {
-                        PortPreference::Response
-                    } else if self.req_q.is_empty() && !self.resp_q.is_empty() {
+                    // alternate (here: response on even cycles). With no
+                    // requests waiting, drain responses.
+                    let alternate =
+                        self.resp_q.len() >= self.cfg.resp_q_size && now.is_multiple_of(2);
+                    if alternate || (self.req_q.is_empty() && !self.resp_q.is_empty()) {
                         PortPreference::Response
                     } else {
                         PortPreference::Request
@@ -352,10 +350,8 @@ impl LlcSlice {
                 }
             }
             PortPreference::Request => {
-                if !self.try_arbitrate(now) {
-                    if self.pop_response(now) {
-                        self.stats.resp_port_cycles += 1;
-                    }
+                if !self.try_arbitrate(now) && self.pop_response(now) {
+                    self.stats.resp_port_cycles += 1;
                 }
             }
         }

@@ -123,7 +123,10 @@ mod tests {
     fn block_accounting() {
         let tb = ThreadBlock {
             instrs: vec![
-                Instr::Load { addr: 0, bytes: 128 },
+                Instr::Load {
+                    addr: 0,
+                    bytes: 128,
+                },
                 Instr::Compute { cycles: 4 },
                 Instr::Load {
                     addr: 128,
@@ -153,7 +156,13 @@ mod tests {
     fn serde_round_trip() {
         let p = Program::round_robin(
             vec![ThreadBlock {
-                instrs: vec![Instr::Load { addr: 64, bytes: 64 }, Instr::Barrier],
+                instrs: vec![
+                    Instr::Load {
+                        addr: 64,
+                        bytes: 64,
+                    },
+                    Instr::Barrier,
+                ],
             }],
             1,
         );

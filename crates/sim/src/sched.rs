@@ -47,8 +47,7 @@ impl TbScheduler {
             .map(|list| {
                 let n = list.len();
                 let chunk = n.div_ceil(num_windows).max(1);
-                let mut chunks: Vec<VecDeque<TbId>> =
-                    vec![VecDeque::new(); num_windows];
+                let mut chunks: Vec<VecDeque<TbId>> = vec![VecDeque::new(); num_windows];
                 for (i, tb) in list.into_iter().enumerate() {
                     chunks[(i / chunk).min(num_windows - 1)].push_back(tb);
                 }
@@ -88,7 +87,7 @@ impl TbScheduler {
         let mut best: Option<(usize, usize, usize)> = None; // (len, core, window)
         for (c, windows) in self.queues.iter().enumerate() {
             for (w, q) in windows.iter().enumerate() {
-                if q.len() >= 2 && best.map_or(true, |(len, _, _)| q.len() > len) {
+                if q.len() >= 2 && best.is_none_or(|(len, _, _)| q.len() > len) {
                     best = Some((q.len(), c, w));
                 }
             }

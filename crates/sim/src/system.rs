@@ -359,7 +359,13 @@ mod tests {
     fn shared_lines_merge_or_hit() {
         // All four cores read the same 2 lines.
         let mk = || ThreadBlock {
-            instrs: vec![Instr::Load { addr: 0, bytes: 128 }, Instr::Barrier],
+            instrs: vec![
+                Instr::Load {
+                    addr: 0,
+                    bytes: 128,
+                },
+                Instr::Barrier,
+            ],
         };
         let p = Program::round_robin((0..4).map(|_| mk()).collect(), 4);
         let (stats, _) = build(small_cfg(), p).run(1_000_000);

@@ -95,7 +95,7 @@ pub fn enumerate(op: &LogitOp, c: &MapperConstraints) -> Vec<Candidate> {
     let tokens_per_line = (64 / ELEM_BYTES) as usize; // 32
     for lines in c.min_output_lines..=c.max_output_lines {
         let l_tile = lines * tokens_per_line;
-        if op.seq_len % l_tile != 0 {
+        if !op.seq_len.is_multiple_of(l_tile) {
             continue;
         }
         let dataflows = [

@@ -224,7 +224,10 @@ impl Mapping {
 /// architecture" (Section 6.2.2) yet exposes exactly the contention
 /// LLaMCAT targets.
 pub fn logit_mapping_pair_stream(op: &LogitOp, l_tile: usize) -> Mapping {
-    assert!(op.seq_len % l_tile == 0, "l_tile must divide seq_len");
+    assert!(
+        op.seq_len.is_multiple_of(l_tile),
+        "l_tile must divide seq_len"
+    );
     let n_ltiles = op.seq_len / l_tile;
     Mapping {
         levels: vec![
@@ -295,13 +298,16 @@ pub enum TbOrder {
 /// L-segments, temporal H, temporal L-tiles; each core's temporal
 /// sequence is `(h, l-tile)` over its own L segment.
 pub fn logit_mapping_spatial(op: &LogitOp, l_tile: usize, num_cores: usize) -> Mapping {
-    assert!(op.seq_len % l_tile == 0, "l_tile must divide seq_len");
+    assert!(
+        op.seq_len.is_multiple_of(l_tile),
+        "l_tile must divide seq_len"
+    );
     let n_ltiles = op.seq_len / l_tile;
     // Spatial split of G over cores; leftover parallelism splits L.
     let gs = op.group_size.min(num_cores);
     let gt = op.group_size / gs; // consecutive g's per core
     let mut segments = (num_cores / gs).max(1);
-    while segments > 1 && n_ltiles % segments != 0 {
+    while segments > 1 && !n_ltiles.is_multiple_of(segments) {
         segments -= 1;
     }
     let l2_loops = vec![
@@ -362,7 +368,10 @@ pub fn logit_mapping_spatial(op: &LogitOp, l_tile: usize, num_cores: usize) -> M
 ///   covers `l_tile` scores = `l_tile * 2 / 64` output lines);
 /// * L2 level: the (H, L-tiles, G) enumeration in the given order.
 pub fn logit_mapping(op: &LogitOp, l_tile: usize, order: TbOrder) -> Mapping {
-    assert!(op.seq_len % l_tile == 0, "l_tile must divide seq_len");
+    assert!(
+        op.seq_len.is_multiple_of(l_tile),
+        "l_tile must divide seq_len"
+    );
     let n_ltiles = op.seq_len / l_tile;
     let l2_loops = match order {
         TbOrder::GInner => vec![

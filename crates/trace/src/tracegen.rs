@@ -173,18 +173,19 @@ pub fn generate_round_robin(op: &LogitOp, cfg: &TraceGenConfig) -> (Program, Tra
 
 /// Walks the (H, G, L-tile) iteration space in the order given by the
 /// L2-level loop list.
-fn iterate(order: &[Dim], op: &LogitOp, n_ltiles: usize, emit: &mut dyn FnMut(usize, usize, usize)) {
+fn iterate(
+    order: &[Dim],
+    op: &LogitOp,
+    n_ltiles: usize,
+    emit: &mut dyn FnMut(usize, usize, usize),
+) {
     let extent = |d: Dim| match d {
         Dim::H => op.heads,
         Dim::G => op.group_size,
         Dim::L => n_ltiles,
         Dim::D => 1,
     };
-    let dims: Vec<Dim> = order
-        .iter()
-        .copied()
-        .filter(|d| *d != Dim::D)
-        .collect();
+    let dims: Vec<Dim> = order.iter().copied().filter(|d| *d != Dim::D).collect();
     assert_eq!(dims.len(), 3, "L2 level must order H, G and L");
     let (d0, d1, d2) = (dims[0], dims[1], dims[2]);
     let mut idx = [0usize; 3];

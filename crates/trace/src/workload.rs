@@ -114,7 +114,7 @@ impl LogitOp {
         if self.heads == 0 || self.group_size == 0 || self.seq_len == 0 || self.head_dim == 0 {
             return Err("all dimensions must be positive".into());
         }
-        if self.head_dim * ELEM_BYTES as usize % 64 != 0 {
+        if !(self.head_dim * ELEM_BYTES as usize).is_multiple_of(64) {
             return Err("K rows must be a whole number of cache lines".into());
         }
         Ok(())

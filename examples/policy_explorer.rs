@@ -46,10 +46,7 @@ fn main() {
     for t in throttles {
         for a in arbs {
             let p = Policy::new(a, t);
-            let r = Experiment::new(model, seq_len)
-                .l2_mb(l2_mb)
-                .policy(p)
-                .run();
+            let r = Experiment::new(model, seq_len).l2_mb(l2_mb).policy(p).run();
             let b = *base.get_or_insert(r.cycles);
             println!(
                 "{:<16} {:>11} {:>7.3}x {:>7.3} {:>8.3} {:>8.3} {:>7.3} {:>11.2}",

@@ -33,21 +33,27 @@ fn main() {
     let (program, meta) = generate(&op, &best.mapping, &cfg);
     println!("== Generated trace ==");
     println!("  thread blocks:   {}", meta.num_blocks);
-    println!("  load traffic:    {} MB", meta.total_load_bytes / (1 << 20));
+    println!(
+        "  load traffic:    {} MB",
+        meta.total_load_bytes / (1 << 20)
+    );
     println!("  store traffic:   {} KB", meta.total_store_bytes / 1024);
     println!("  max block size:  {} instructions", meta.max_block_instrs);
 
     // Persist and reload through the binary format.
-    let tf = TraceFile {
-        op,
-        meta,
-        program,
-    };
+    let tf = TraceFile { op, meta, program };
     let mut buf = Vec::new();
     tf.write_binary(&mut buf).expect("serialize");
-    println!("\n== Binary trace ==\n  {} bytes ({} per block)", buf.len(), buf.len() / meta.num_blocks);
+    println!(
+        "\n== Binary trace ==\n  {} bytes ({} per block)",
+        buf.len(),
+        buf.len() / meta.num_blocks
+    );
     let rt = TraceFile::read_binary(&mut buf.as_slice()).expect("deserialize");
     assert_eq!(rt.program.blocks, tf.program.blocks);
     assert_eq!(rt.program.assignment, tf.program.assignment);
-    println!("  round-trip OK: {} blocks identical", rt.program.num_blocks());
+    println!(
+        "  round-trip OK: {} blocks identical",
+        rt.program.num_blocks()
+    );
 }

@@ -1,0 +1,162 @@
+//! Offline stand-in for `criterion`, covering the API the `sim_speed`
+//! bench uses: `criterion_group!` / `criterion_main!`, `bench_function`,
+//! `Bencher::iter`, `Bencher::iter_batched` and `sample_size`.
+//!
+//! Timing is a plain wall-clock mean over `sample_size` samples after a
+//! short calibration pass — no outlier analysis or statistics. Passing
+//! `--test` (as `cargo test` does for benchmarks) runs every benchmark
+//! body once and skips measurement.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hint; the shim runs one batch element per iteration
+/// regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: if self.test_mode {
+                Mode::Test
+            } else {
+                Mode::Measure {
+                    sample_size: self.sample_size,
+                }
+            },
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some(r) if !self.test_mode => println!(
+                "{id:<40} {:>12.1} ns/iter ({} iterations)",
+                r.ns_per_iter, r.iters
+            ),
+            _ => println!("{id:<40} ok (test mode)"),
+        }
+        self
+    }
+}
+
+enum Mode {
+    Test,
+    Measure { sample_size: usize },
+}
+
+struct Report {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+/// Per-benchmark timing loop driver.
+pub struct Bencher {
+    mode: Mode,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.run(|| {
+            let t0 = Instant::now();
+            black_box(routine());
+            t0.elapsed()
+        });
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            t0.elapsed()
+        });
+    }
+
+    /// Runs one timed iteration via `sample` repeatedly and records the
+    /// mean. Calibration: keep iterating until either the sample budget
+    /// or a 2-second wall-clock budget is exhausted.
+    fn run<F: FnMut() -> Duration>(&mut self, mut sample: F) {
+        match self.mode {
+            Mode::Test => {
+                sample();
+                self.report = None;
+            }
+            Mode::Measure { sample_size } => {
+                // Warm-up.
+                sample();
+                let budget = Duration::from_secs(2);
+                let started = Instant::now();
+                let mut total = Duration::ZERO;
+                let mut iters = 0u64;
+                while iters < sample_size as u64 && started.elapsed() < budget {
+                    total += sample();
+                    iters += 1;
+                }
+                self.report = Some(Report {
+                    ns_per_iter: total.as_nanos() as f64 / iters.max(1) as f64,
+                    iters,
+                });
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,378 @@
+//! Offline stand-in for `proptest`, covering the macro-based surface
+//! this workspace's property suite uses: the `proptest!` wrapper,
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, `any::<T>()`,
+//! numeric range strategies, tuple strategies and
+//! `proptest::collection::vec`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * no shrinking — a failing case reports its inputs (via the macro's
+//!   captured bindings) and the case seed, but is not minimized;
+//! * generation is a deterministic function of the case index alone
+//!   (SplitMix64), so failures reproduce without a persistence file;
+//! * the case count comes from `PROPTEST_CASES` (default 64, chosen so
+//!   the full suite stays CI-friendly; the real crate defaults to 256).
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Rng, Strategy, TestCaseError,
+    };
+}
+
+/// SplitMix64: small, fast, and equidistributed enough for test-input
+/// generation. Deterministic per case index.
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)` via Lemire-style widening multiply.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range strategy");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of test inputs. The real crate's `Strategy` produces
+/// shrinkable value trees; this shim produces plain values.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+}
+
+macro_rules! impl_uint_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut Rng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Mirror of `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut Rng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod collection {
+    use super::{Rng, Strategy};
+    use std::ops::Range;
+
+    /// Element count for `vec`: a fixed size or a half-open range.
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let n = self.size.min + rng.below(span.max(1)) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Why a test case did not pass: rejected by `prop_assume!` (retried) or
+/// failed an assertion (fatal).
+#[derive(Debug)]
+pub enum TestCaseError {
+    Reject(String),
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    pub fn reject<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Case count from `PROPTEST_CASES`, defaulting to 64 so the property
+/// suite finishes in CI-friendly time.
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Drives one property: runs `body` with per-case RNGs until
+/// `case_count()` cases pass. Panics on the first failing case, naming
+/// the case seed for reproduction.
+pub fn run_cases<F>(name: &str, mut body: F)
+where
+    F: FnMut(&mut Rng) -> Result<(), TestCaseError>,
+{
+    let cases = case_count();
+    let mut passed = 0u64;
+    let mut attempts = 0u64;
+    while passed < cases {
+        attempts += 1;
+        if attempts > cases.saturating_mul(20).max(1000) {
+            panic!(
+                "property `{name}`: too many rejected cases \
+                 ({passed}/{cases} passed after {attempts} attempts)"
+            );
+        }
+        let mut rng = Rng::new(attempts.wrapping_mul(0x5851_F42D_4C95_7F2D));
+        match body(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed at case seed {attempts}: {msg}")
+            }
+        }
+    }
+}
+
+/// Declares property tests. Each function's arguments are drawn from
+/// the strategies after `in`, then the body runs as a normal test.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        #[$meta:meta]
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[$meta]
+        fn $name() {
+            $crate::run_cases(stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)+
+                $body
+                #[allow(unreachable_code)]
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)+),
+            __l,
+            __r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::new(1);
+        for _ in 0..10_000 {
+            let v = (5u64..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let draw = |seed| {
+            let mut rng = Rng::new(seed);
+            (0..32).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    proptest! {
+        #[test]
+        fn vec_strategy_respects_size(xs in crate::collection::vec(0u64..100, 3..9)) {
+            prop_assert!(xs.len() >= 3 && xs.len() < 9);
+            for x in xs {
+                prop_assert!(x < 100);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_and_retries(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+}

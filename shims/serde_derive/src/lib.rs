@@ -1,0 +1,437 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote in
+//! this build environment). Supports non-generic structs (named, tuple,
+//! unit) and enums (unit, tuple and struct variants), plus the
+//! `#[serde(skip)]` field attribute. Anything else produces a
+//! `compile_error!` naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn expand(input: TokenStream, tr: Trait) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match tr {
+                Trait::Serialize => gen_serialize(&item),
+                Trait::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("serde_derive generated invalid code")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes leading `#[...]` attributes; returns true if one of them is
+/// `#[serde(skip)]` (other serde options are rejected).
+fn eat_attrs(it: &mut TokenIter) -> Result<bool, String> {
+    let mut skip = false;
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let mut inner = g.stream().into_iter();
+                let is_serde = matches!(
+                    inner.next(),
+                    Some(TokenTree::Ident(i)) if i.to_string() == "serde"
+                );
+                if is_serde {
+                    let args = match inner.next() {
+                        Some(TokenTree::Group(args)) => args.stream().to_string(),
+                        _ => String::new(),
+                    };
+                    if args.trim() == "skip" {
+                        skip = true;
+                    } else {
+                        return Err(format!("unsupported serde attribute `{args}`"));
+                    }
+                }
+            }
+            _ => return Err("malformed attribute".into()),
+        }
+    }
+    Ok(skip)
+}
+
+/// Consumes `pub`, `pub(crate)`, `pub(super)`, ...
+fn eat_visibility(it: &mut TokenIter) {
+    if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+fn expect_ident(it: &mut TokenIter, what: &str) -> Result<String, String> {
+    match it.next() {
+        Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+        other => Err(format!("expected {what}, found {other:?}")),
+    }
+}
+
+/// Consumes tokens of a type (or discriminant expression) up to a
+/// top-level `,`, tracking `<...>` nesting. The comma is consumed.
+fn skip_until_comma(it: &mut TokenIter) {
+    let mut angle: i64 = 0;
+    while let Some(tt) = it.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                it.next();
+                return;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            _ => {}
+        }
+        it.next();
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it = input.into_iter().peekable();
+    eat_attrs(&mut it)?;
+    eat_visibility(&mut it);
+    let kind = expect_ident(&mut it, "`struct` or `enum`")?;
+    let name = expect_ident(&mut it, "type name")?;
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = eat_attrs(&mut it)?;
+        if it.peek().is_none() {
+            break;
+        }
+        eat_visibility(&mut it);
+        let name = expect_ident(&mut it, "field name")?;
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        skip_until_comma(&mut it);
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut it = stream.into_iter().peekable();
+    let mut n = 0;
+    while it.peek().is_some() {
+        skip_until_comma(&mut it);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        eat_attrs(&mut it)?;
+        if it.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut it, "variant name")?;
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream())?;
+                it.next();
+                Fields::Named(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                Fields::Tuple(n)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant and/or the trailing comma.
+        skip_until_comma(&mut it);
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn impl_header(name: &str, tr: Trait) -> String {
+    let (trait_name, sig) = match tr {
+        Trait::Serialize => (
+            "Serialize",
+            "fn to_value(&self) -> serde::Value".to_string(),
+        ),
+        Trait::Deserialize => (
+            "Deserialize",
+            "fn from_value(__v: &serde::Value) -> ::core::result::Result<Self, serde::Error>"
+                .to_string(),
+        ),
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all, unused_variables)]\n\
+         impl serde::{trait_name} for {name} {{\n    {sig} {{\n"
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = ser_fields_expr(fields, "self.", true);
+            format!(
+                "{}{body}\n    }}\n}}\n",
+                impl_header(name, Trait::Serialize)
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Fields::Named(fs) => {
+                        let binds: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+                        let pushes: String = fs
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), serde::Serialize::to_value({0})),",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => serde::Value::Map(vec![(\
+                             \"{vn}\".to_string(), serde::Value::Map(vec![{pushes}]))]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => serde::Value::Map(vec![(\
+                             \"{vn}\".to_string(), {inner})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{}match self {{\n{arms}}}\n    }}\n}}\n",
+                impl_header(name, Trait::Serialize)
+            )
+        }
+    }
+}
+
+/// Expression serializing a field set. `prefix` accesses the fields
+/// (`self.` for structs); `by_ref` adds `&` for non-Copy access.
+fn ser_fields_expr(fields: &Fields, prefix: &str, by_ref: bool) -> String {
+    let amp = if by_ref { "&" } else { "" };
+    match fields {
+        Fields::Unit => "serde::Value::Null".to_string(),
+        Fields::Named(fs) => {
+            let pushes: String = fs
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), serde::Serialize::to_value({amp}{prefix}{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("serde::Value::Map(vec![{pushes}])")
+        }
+        Fields::Tuple(1) => format!("serde::Serialize::to_value({amp}{prefix}0)"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value({amp}{prefix}{i})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = de_fields_expr(name, &name.to_string(), fields, "__v");
+            format!(
+                "{}{body}\n    }}\n}}\n",
+                impl_header(name, Trait::Deserialize)
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    fields => {
+                        let expr =
+                            de_fields_expr(name, &format!("{name}::{vn}"), fields, "__inner");
+                        data_arms.push_str(&format!("\"{vn}\" => {{ {expr} }}\n"));
+                    }
+                }
+            }
+            format!(
+                "{header}match __v {{\n\
+                 serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err(serde::Error::custom(format!(\
+                 \"unknown {name} variant `{{__other}}`\"))),\n\
+                 }},\n\
+                 serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __inner) = &__m[0];\n\
+                 match __k.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::core::result::Result::Err(serde::Error::custom(format!(\
+                 \"unknown {name} variant `{{__other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::core::result::Result::Err(serde::Error::custom(format!(\
+                 \"invalid {name} value: {{__other:?}}\"))),\n\
+                 }}\n    }}\n}}\n",
+                header = impl_header(name, Trait::Deserialize)
+            )
+        }
+    }
+}
+
+/// Expression deserializing `src` (a `&serde::Value`) into constructor
+/// `ctor` with the given fields. Evaluates to `Result<_, serde::Error>`.
+fn de_fields_expr(type_name: &str, ctor: &str, fields: &Fields, src: &str) -> String {
+    match fields {
+        Fields::Unit => format!("{{ let _ = {src}; ::core::result::Result::Ok({ctor}) }}"),
+        Fields::Named(fs) => {
+            let inits: String = fs
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::core::default::Default::default(),\n", f.name)
+                    } else {
+                        format!(
+                            "{0}: serde::Deserialize::from_value(serde::get_field(__map, \"{0}\")?)?,\n",
+                            f.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "{{\nlet __map = {src}.as_map().ok_or_else(|| serde::Error::custom(\
+                 \"expected map for {type_name}\"))?;\n\
+                 ::core::result::Result::Ok({ctor} {{\n{inits}}})\n}}"
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("::core::result::Result::Ok({ctor}(serde::Deserialize::from_value({src})?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "{{\nlet __seq = {src}.as_seq().ok_or_else(|| serde::Error::custom(\
+                 \"expected sequence for {type_name}\"))?;\n\
+                 if __seq.len() != {n} {{\n\
+                 return ::core::result::Result::Err(serde::Error::custom(\
+                 \"wrong tuple arity for {type_name}\"));\n}}\n\
+                 ::core::result::Result::Ok({ctor}({items}))\n}}",
+                items = items.join(", ")
+            )
+        }
+    }
+}

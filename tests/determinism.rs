@@ -1,0 +1,63 @@
+//! Determinism regression tests.
+//!
+//! The simulator's contract (and the precondition for trusting the
+//! rayon-parallel sweeps in `llamcat-bench`) is that identical
+//! configuration and program yield *identical* results — not merely the
+//! same cycle count, but byte-identical serialized statistics. These
+//! tests run the same `Experiment` twice and compare the full
+//! `SimStats` and `RunReport` serializations.
+
+use llamcat::experiment::{Experiment, Model, Policy};
+
+/// Runs one experiment twice and asserts byte-identical results.
+fn assert_deterministic(model: Model, seq_len: usize, policy: Policy) {
+    let run = || Experiment::new(model, seq_len).policy(policy).run();
+    let a = run();
+    let b = run();
+
+    assert_eq!(
+        a.cycles,
+        b.cycles,
+        "cycle count diverged for {}",
+        policy.label()
+    );
+    assert!(a.completed && b.completed);
+
+    // Byte-identical full statistics: every counter in every component.
+    let stats_a = serde_json::to_string(a.stats.as_ref().expect("stats recorded")).unwrap();
+    let stats_b = serde_json::to_string(b.stats.as_ref().expect("stats recorded")).unwrap();
+    assert_eq!(
+        stats_a,
+        stats_b,
+        "SimStats serialization diverged for {}",
+        policy.label()
+    );
+
+    // And the derived report (hit rates, bandwidth, latencies).
+    let report_a = serde_json::to_string(&a).unwrap();
+    let report_b = serde_json::to_string(&b).unwrap();
+    assert_eq!(
+        report_a,
+        report_b,
+        "RunReport diverged for {}",
+        policy.label()
+    );
+}
+
+#[test]
+fn unoptimized_is_deterministic() {
+    assert_deterministic(Model::Llama3_70b, 256, Policy::unoptimized());
+}
+
+#[test]
+fn full_policy_stack_is_deterministic() {
+    // dynmg+BMA exercises every mechanism at once: hit buffer,
+    // sent_reqs FIFO, MSHR snapshot, two-level throttling.
+    assert_deterministic(Model::Llama3_70b, 256, Policy::dynmg_bma());
+}
+
+#[test]
+fn baselines_are_deterministic() {
+    assert_deterministic(Model::Llama3_405b, 128, Policy::dyncta());
+    assert_deterministic(Model::Llama3_405b, 128, Policy::dynmg_cobrra());
+}

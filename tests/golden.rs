@@ -1,0 +1,114 @@
+//! Golden-baseline regression test.
+//!
+//! One small configuration (Llama3 70b, seq_len 128, 16 MB L2) per
+//! `ArbPolicy` × `ThrottlePolicy` cell, with the cycle count and the
+//! headline rates recorded from the seed implementation. Future
+//! performance PRs diff against this table instead of merely checking
+//! "it still completes"; an intentional behavior change must update the
+//! table in the same commit and justify the delta.
+//!
+//! Regenerate the table after an intentional change with:
+//! ```text
+//! cargo test --test golden -- --ignored --nocapture
+//! ```
+//! and paste the printed rows over `GOLDEN`.
+
+use llamcat::experiment::{ArbPolicy, Experiment, Model, Policy, ThrottlePolicy};
+
+const MODEL: Model = Model::Llama3_70b;
+const SEQ_LEN: usize = 128;
+
+const ARBS: [ArbPolicy; 5] = [
+    ArbPolicy::Fifo,
+    ArbPolicy::Balanced,
+    ArbPolicy::MshrAware,
+    ArbPolicy::BalancedMshrAware,
+    ArbPolicy::Cobrra,
+];
+
+const THROTTLES: [ThrottlePolicy; 4] = [
+    ThrottlePolicy::None,
+    ThrottlePolicy::Dyncta,
+    ThrottlePolicy::Lcs,
+    ThrottlePolicy::DynMg,
+];
+
+/// Recorded seed behavior: (arb, throttle, cycles, l2_hit_rate,
+/// mshr_hit_rate). Rates are exact f64 values as printed by `{:?}`;
+/// the simulator is deterministic, so equality is exact.
+#[rustfmt::skip]
+const GOLDEN: &[(ArbPolicy, ThrottlePolicy, u64, f64, f64)] = &[
+    (ArbPolicy::Fifo, ThrottlePolicy::None, 12269, 0.004743889989791629, 0.8609870882104501),
+    (ArbPolicy::Fifo, ThrottlePolicy::Dyncta, 12269, 0.004743889989791629, 0.8609870882104501),
+    (ArbPolicy::Fifo, ThrottlePolicy::Lcs, 12269, 0.004743889989791629, 0.8609870882104501),
+    (ArbPolicy::Fifo, ThrottlePolicy::DynMg, 12668, 0.13891220916286878, 0.83947909049758),
+    (ArbPolicy::Balanced, ThrottlePolicy::None, 12786, 0.2341198366954851, 0.8187590640065848),
+    (ArbPolicy::Balanced, ThrottlePolicy::Dyncta, 12786, 0.2341198366954851, 0.8187590640065848),
+    (ArbPolicy::Balanced, ThrottlePolicy::Lcs, 12786, 0.2341198366954851, 0.8187590640065848),
+    (ArbPolicy::Balanced, ThrottlePolicy::DynMg, 14691, 0.3732421816437288, 0.7785485337032961),
+    (ArbPolicy::MshrAware, ThrottlePolicy::None, 12376, 0.012585778070780018, 0.8600345968255895),
+    (ArbPolicy::MshrAware, ThrottlePolicy::Dyncta, 12376, 0.012585778070780018, 0.8600345968255895),
+    (ArbPolicy::MshrAware, ThrottlePolicy::Lcs, 12376, 0.012585778070780018, 0.8600345968255895),
+    (ArbPolicy::MshrAware, ThrottlePolicy::DynMg, 12756, 0.1283430494621071, 0.8411417933602234),
+    (ArbPolicy::BalancedMshrAware, ThrottlePolicy::None, 12688, 0.008498753716327818, 0.8604313060334383),
+    (ArbPolicy::BalancedMshrAware, ThrottlePolicy::Dyncta, 12688, 0.008498753716327818, 0.8604313060334383),
+    (ArbPolicy::BalancedMshrAware, ThrottlePolicy::Lcs, 12688, 0.008498753716327818, 0.8604313060334383),
+    (ArbPolicy::BalancedMshrAware, ThrottlePolicy::DynMg, 12874, 0.12300717566877833, 0.8422458062307429),
+    (ArbPolicy::Cobrra, ThrottlePolicy::None, 11966, 0.005396006954853408, 0.8609922237627343),
+    (ArbPolicy::Cobrra, ThrottlePolicy::Dyncta, 11966, 0.005396006954853408, 0.8609922237627343),
+    (ArbPolicy::Cobrra, ThrottlePolicy::Lcs, 11966, 0.005396006954853408, 0.8609922237627343),
+    (ArbPolicy::Cobrra, ThrottlePolicy::DynMg, 12872, 0.17450769138684383, 0.8319254613348802),
+];
+
+fn run_cell(arb: ArbPolicy, throttle: ThrottlePolicy) -> (u64, f64, f64) {
+    let report = Experiment::new(MODEL, SEQ_LEN)
+        .policy(Policy::new(arb, throttle))
+        .run();
+    assert!(
+        report.completed,
+        "golden cell {:?}/{:?} did not complete",
+        arb, throttle
+    );
+    (report.cycles, report.l2_hit_rate, report.mshr_hit_rate)
+}
+
+#[test]
+fn golden_baselines_match_recorded_seed_behavior() {
+    assert_eq!(
+        GOLDEN.len(),
+        ARBS.len() * THROTTLES.len(),
+        "golden table must cover every policy cell"
+    );
+    for &(arb, throttle, cycles, l2_hit, mshr_hit) in GOLDEN {
+        let (got_cycles, got_l2, got_mshr) = run_cell(arb, throttle);
+        assert_eq!(
+            got_cycles, cycles,
+            "{:?}/{:?}: cycles changed (recorded {cycles}, got {got_cycles})",
+            arb, throttle
+        );
+        assert_eq!(
+            got_l2, l2_hit,
+            "{:?}/{:?}: L2 hit rate changed",
+            arb, throttle
+        );
+        assert_eq!(
+            got_mshr, mshr_hit,
+            "{:?}/{:?}: MSHR hit rate changed",
+            arb, throttle
+        );
+    }
+}
+
+/// Prints the current table in `GOLDEN` literal syntax.
+#[test]
+#[ignore = "regenerates the golden table; run with --ignored --nocapture"]
+fn print_golden_table() {
+    for &arb in &ARBS {
+        for &throttle in &THROTTLES {
+            let (cycles, l2, mshr) = run_cell(arb, throttle);
+            println!(
+                "    (ArbPolicy::{arb:?}, ThrottlePolicy::{throttle:?}, {cycles}, {l2:?}, {mshr:?}),"
+            );
+        }
+    }
+}

@@ -54,9 +54,7 @@ fn all_layouts_do_the_same_work() {
         Layout::RoundRobinGInner,
         Layout::RoundRobinLInner,
     ] {
-        let r = Experiment::new(Model::Llama3_70b, 256)
-            .layout(layout)
-            .run();
+        let r = Experiment::new(Model::Llama3_70b, 256).layout(layout).run();
         assert!(r.completed, "{layout:?}");
         let st = r.stats.as_ref().expect("stats");
         seen.push((loads(st), stores(st)));
@@ -107,12 +105,12 @@ fn dram_traffic_is_bounded_by_workload_extremes() {
     let min_lines = op.k_bytes() / 64; // each K line at least once
     let max_lines = (op.max_read_bytes() + op.score_bytes() * 3) / 64;
     assert!(
-        (r.dram_accesses as u64) >= min_lines,
+        r.dram_accesses >= min_lines,
         "must fetch all of K at least once: {} < {min_lines}",
         r.dram_accesses
     );
     assert!(
-        (r.dram_accesses as u64) <= max_lines,
+        r.dram_accesses <= max_lines,
         "cannot exceed zero-reuse traffic plus stores: {} > {max_lines}",
         r.dram_accesses
     );

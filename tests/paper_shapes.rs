@@ -6,7 +6,10 @@
 use llamcat::experiment::{Experiment, Model, Policy};
 
 fn run(model: Model, seq: usize, policy: Policy, l2_mb: u64) -> llamcat::experiment::RunReport {
-    Experiment::new(model, seq).policy(policy).l2_mb(l2_mb).run()
+    Experiment::new(model, seq)
+        .policy(policy)
+        .l2_mb(l2_mb)
+        .run()
 }
 
 /// Section 6.3.3 / Fig 8: throttling + MSHR-aware arbitration raises the
