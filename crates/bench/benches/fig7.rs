@@ -6,17 +6,67 @@
 //!   dynmg, normalized against dynmg alone;
 //! * (c)/(f) cumulative speedup of dynmg, dynmg+B, dynmg+MA, dynmg+BMA
 //!   vs unoptimized.
+//!
+//! One declarative [`Campaign`] per model covers the union of the
+//! three panels' policies; every cell simulates exactly once and the
+//! panels are different normalizations of the same record grid.
 
-use llamcat::experiment::{Model, Policy};
-use llamcat_bench::{
-    arbitration_policies, cumulative_policies, print_speedup_table, run_cells, scale_divisor,
-    scale_label, throttling_policies, Cell,
-};
+use llamcat::experiment::Model;
+use llamcat::spec::PolicySpec;
+use llamcat_bench::{print_speedup_table, scale_divisor, scale_label, Campaign, CampaignReport};
+
+/// Policy-column indices into the union campaign (ladder order).
+const UNOPT: usize = 0;
+const DYNCTA: usize = 1;
+const LCS: usize = 2;
+const DYNMG: usize = 3;
+const DYNMG_COBRRA: usize = 4;
+const DYNMG_B: usize = 5;
+const DYNMG_MA: usize = 6;
+const DYNMG_BMA: usize = 7;
+
+fn union_policies() -> Vec<PolicySpec> {
+    vec![
+        PolicySpec::unoptimized(),
+        PolicySpec::dyncta(),
+        PolicySpec::lcs(),
+        PolicySpec::dynmg(),
+        PolicySpec::dynmg_cobrra(),
+        PolicySpec::dynmg_b(),
+        PolicySpec::dynmg_ma(),
+        PolicySpec::dynmg_bma(),
+    ]
+}
+
+/// One panel: `rows` (policy columns) normalized against the
+/// `baseline` policy column, per scenario.
+fn panel(report: &CampaignReport, title: &str, rows: &[usize], baseline: usize, note: &str) {
+    let base_cycles: Vec<u64> = report
+        .policy_records(baseline)
+        .iter()
+        .map(|r| r.report.cycles)
+        .collect();
+    let table: Vec<(String, Vec<f64>)> = rows
+        .iter()
+        .map(|&p| {
+            (
+                report.campaign.policies[p].label(),
+                report
+                    .policy_records(p)
+                    .iter()
+                    .zip(&base_cycles)
+                    .map(|(r, &b)| b as f64 / r.report.cycles as f64)
+                    .collect(),
+            )
+        })
+        .collect();
+    let xlabels = report.campaign.scenario_labels();
+    print_speedup_table(title, &xlabels, &table, note);
+}
 
 fn main() {
     let div = scale_divisor();
     let seqs: Vec<usize> = [4096, 8192, 16384].iter().map(|s| s / div).collect();
-    let xlabels: Vec<String> = seqs.iter().map(|s| format!("{}K", s / 1024)).collect();
     println!(
         "# Fig 7 — Logit operator speedups (scale: {}, seqs {:?})",
         scale_label(),
@@ -24,128 +74,32 @@ fn main() {
     );
 
     for model in [Model::Llama3_70b, Model::Llama3_405b] {
-        let mlabel = match model {
-            Model::Llama3_70b => "llama3 70b",
-            Model::Llama3_405b => "llama3 405b",
-        };
-
-        // Baseline and dynmg runs per sequence length.
-        let base_cells: Vec<Cell> = seqs
-            .iter()
-            .map(|&s| Cell {
-                model,
-                seq_len: s,
-                policy: Policy::unoptimized(),
-                l2_mb: 16,
-            })
-            .collect();
-        let base = run_cells(&base_cells);
-        let dynmg_cells: Vec<Cell> = seqs
-            .iter()
-            .map(|&s| Cell {
-                model,
-                seq_len: s,
-                policy: Policy::dynmg(),
-                l2_mb: 16,
-            })
-            .collect();
-        let dynmg = run_cells(&dynmg_cells);
-
-        // Panel (a)/(d): throttling policies vs unoptimized.
-        let mut rows = Vec::new();
-        for p in throttling_policies() {
-            if p == Policy::dynmg() {
-                rows.push((
-                    p.label(),
-                    dynmg
-                        .iter()
-                        .zip(&base)
-                        .map(|(r, b)| r.speedup_over(b))
-                        .collect(),
-                ));
-                continue;
-            }
-            let cells: Vec<Cell> = seqs
-                .iter()
-                .map(|&s| Cell {
-                    model,
-                    seq_len: s,
-                    policy: p,
-                    l2_mb: 16,
-                })
-                .collect();
-            let reports = run_cells(&cells);
-            rows.push((
-                p.label(),
-                reports
-                    .iter()
-                    .zip(&base)
-                    .map(|(r, b)| r.speedup_over(b))
-                    .collect(),
-            ));
-        }
-        print_speedup_table(
+        let report = Campaign::new("fig7")
+            .workload(model.spec())
+            .seq_lens(seqs.iter().copied())
+            .policies(union_policies())
+            .run()
+            .expect("fig7 campaign");
+        let mlabel = model.label();
+        panel(
+            &report,
             &format!("Fig 7 {mlabel}: throttling policies"),
-            &xlabels,
-            &rows,
+            &[DYNCTA, LCS, DYNMG],
+            UNOPT,
             "normalized against unoptimized",
         );
-
-        // Panel (b)/(e): arbitration policies (each + dynmg) vs dynmg.
-        let mut rows = Vec::new();
-        for p in arbitration_policies() {
-            let cells: Vec<Cell> = seqs
-                .iter()
-                .map(|&s| Cell {
-                    model,
-                    seq_len: s,
-                    policy: p,
-                    l2_mb: 16,
-                })
-                .collect();
-            let reports = run_cells(&cells);
-            rows.push((
-                p.label(),
-                reports
-                    .iter()
-                    .zip(&dynmg)
-                    .map(|(r, d)| r.speedup_over(d))
-                    .collect(),
-            ));
-        }
-        print_speedup_table(
+        panel(
+            &report,
             &format!("Fig 7 {mlabel}: arbitration policies (with dynmg)"),
-            &xlabels,
-            &rows,
+            &[DYNMG_COBRRA, DYNMG_B, DYNMG_MA, DYNMG_BMA],
+            DYNMG,
             "normalized against dynmg alone",
         );
-
-        // Panel (c)/(f): cumulative speedups vs unoptimized.
-        let mut rows = Vec::new();
-        for p in cumulative_policies() {
-            let cells: Vec<Cell> = seqs
-                .iter()
-                .map(|&s| Cell {
-                    model,
-                    seq_len: s,
-                    policy: p,
-                    l2_mb: 16,
-                })
-                .collect();
-            let reports = run_cells(&cells);
-            rows.push((
-                p.label(),
-                reports
-                    .iter()
-                    .zip(&base)
-                    .map(|(r, b)| r.speedup_over(b))
-                    .collect(),
-            ));
-        }
-        print_speedup_table(
+        panel(
+            &report,
             &format!("Fig 7 {mlabel}: cumulative speedup"),
-            &xlabels,
-            &rows,
+            &[DYNMG, DYNMG_B, DYNMG_MA, DYNMG_BMA],
+            UNOPT,
             "normalized against unoptimized",
         );
     }

@@ -7,9 +7,13 @@
 //! correlates with MSHR entry utilization and DRAM bandwidth; moving
 //! from unoptimized to dynmg to dynmg+BMA converts cache hits into MSHR
 //! hits (locality captured in the MSHRs rather than in storage).
+//!
+//! One [`Campaign`]: a single scenario crossed with the seven-policy
+//! ladder, normalized against the unoptimized column.
 
-use llamcat::experiment::{Model, Policy};
-use llamcat_bench::{run_one, scale_divisor, scale_label};
+use llamcat::experiment::Model;
+use llamcat::spec::PolicySpec;
+use llamcat_bench::{scale_divisor, scale_label, Campaign};
 
 fn main() {
     let seq = 8192 / scale_divisor();
@@ -18,15 +22,22 @@ fn main() {
         seq / 1024,
         scale_label()
     );
-    let policies = [
-        Policy::unoptimized(),
-        Policy::dyncta(),
-        Policy::lcs(),
-        Policy::dynmg(),
-        Policy::dynmg_b(),
-        Policy::dynmg_ma(),
-        Policy::dynmg_bma(),
-    ];
+    let report = Campaign::new("fig8")
+        .workload(Model::Llama3_70b.spec())
+        .seq_lens([seq])
+        .policies([
+            PolicySpec::unoptimized(),
+            PolicySpec::dyncta(),
+            PolicySpec::lcs(),
+            PolicySpec::dynmg(),
+            PolicySpec::dynmg_b(),
+            PolicySpec::dynmg_ma(),
+            PolicySpec::dynmg_bma(),
+        ])
+        .baseline(PolicySpec::unoptimized())
+        .run()
+        .expect("fig8 campaign");
+
     println!(
         "{:<14} {:>11} {:>8} {:>9} {:>8} {:>9} {:>11} {:>8} {:>9}",
         "policy",
@@ -39,14 +50,12 @@ fn main() {
         "dramacc",
         "migrations"
     );
-    let mut base_cycles = None;
-    for p in policies {
-        let (r, _) = run_one(Model::Llama3_70b, seq, p, 16);
-        let base = *base_cycles.get_or_insert(r.cycles);
+    for rec in &report.records {
+        let r = &rec.report;
         println!(
             "{:<14} {:>10.3}x {:>8.3} {:>9.3} {:>8.3} {:>9.3} {:>11.2} {:>8} {:>9}",
             r.policy_label,
-            base as f64 / r.cycles as f64,
+            rec.speedup.expect("baseline set"),
             r.mshr_entry_util,
             r.l2_hit_rate,
             r.mshr_hit_rate,

@@ -1,16 +1,19 @@
 //! Fig 9 (a)/(b): throttling and arbitration policies under cache-size
 //! pressure — 32K sequences with L2 of 16 / 32 / 64 MB, normalized
 //! against the unoptimized configuration at 32 MB.
+//!
+//! One [`Campaign`] per model: the L2-capacity axis crossed with the
+//! policy set (unoptimized swept alongside, since the figure's
+//! reference point is a *specific cell* — unoptimized @ 32 MB — rather
+//! than a per-scenario baseline).
 
-use llamcat::experiment::{Model, Policy};
-use llamcat_bench::{
-    fig9_policies, print_speedup_table, run_cells, scale_divisor, scale_label, Cell,
-};
+use llamcat::experiment::Model;
+use llamcat::spec::PolicySpec;
+use llamcat_bench::{fig9_policies, print_speedup_table, scale_divisor, scale_label, Campaign};
 
 fn main() {
     let seq = 32768 / scale_divisor();
     let sizes = [16u64, 32, 64];
-    let xlabels: Vec<String> = sizes.iter().map(|s| format!("{s}MB")).collect();
     println!(
         "# Fig 9 — cache-size sweep @ {}K (scale: {})",
         seq / 1024,
@@ -18,51 +21,39 @@ fn main() {
     );
 
     for model in [Model::Llama3_70b, Model::Llama3_405b] {
-        let mlabel = match model {
-            Model::Llama3_70b => "llama3 70b",
-            Model::Llama3_405b => "llama3 405b",
-        };
-        // Reference: unoptimized @ 32 MB.
-        let cells: Vec<Cell> = sizes
+        let mut policies = vec![PolicySpec::unoptimized()];
+        policies.extend(fig9_policies());
+        let report = Campaign::new("fig9")
+            .workload(model.spec())
+            .seq_lens([seq])
+            .l2_sizes_mb(sizes)
+            .policies(policies)
+            .run()
+            .expect("fig9 campaign");
+
+        // Reference cell: unoptimized (policy column 0) @ 32 MB.
+        let unopt = report.policy_records(0);
+        let ref_cycles = unopt
             .iter()
-            .map(|&mb| Cell {
-                model,
-                seq_len: seq,
-                policy: Policy::unoptimized(),
-                l2_mb: mb,
+            .find(|r| r.cell.l2_mb == 32)
+            .expect("32 MB scenario present")
+            .report
+            .cycles;
+
+        let xlabels: Vec<String> = sizes.iter().map(|s| format!("{s}MB")).collect();
+        let rows: Vec<(String, Vec<f64>)> = (0..report.campaign.policies.len())
+            .map(|p| {
+                let recs = report.policy_records(p);
+                (
+                    report.campaign.policies[p].label(),
+                    recs.iter()
+                        .map(|r| ref_cycles as f64 / r.report.cycles as f64)
+                        .collect(),
+                )
             })
             .collect();
-        let unopt = run_cells(&cells);
-        let ref_cycles = unopt[1].cycles;
-
-        let mut rows = vec![(
-            "unoptimized".to_string(),
-            unopt
-                .iter()
-                .map(|r| ref_cycles as f64 / r.cycles as f64)
-                .collect::<Vec<_>>(),
-        )];
-        for p in fig9_policies() {
-            let cells: Vec<Cell> = sizes
-                .iter()
-                .map(|&mb| Cell {
-                    model,
-                    seq_len: seq,
-                    policy: p,
-                    l2_mb: mb,
-                })
-                .collect();
-            let reports = run_cells(&cells);
-            rows.push((
-                p.label(),
-                reports
-                    .iter()
-                    .map(|r| ref_cycles as f64 / r.cycles as f64)
-                    .collect(),
-            ));
-        }
         print_speedup_table(
-            &format!("Fig 9 {mlabel} @ {}K", seq / 1024),
+            &format!("Fig 9 {} @ {}K", model.label(), seq / 1024),
             &xlabels,
             &rows,
             "normalized against unoptimized @ 32MB",

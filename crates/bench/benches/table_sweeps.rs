@@ -6,27 +6,46 @@
 //! substrate: each candidate configuration runs the llama3 70b benchmark
 //! and reports the speedup over unoptimized, so the chosen defaults are
 //! auditable rather than folklore.
+//!
+//! Each sweep is one [`Campaign`] whose policy axis is the *same*
+//! family (dynmg) with different embedded [`DynMgConfig`]s — the
+//! configurations travel inside the `PolicySpec`s, which is exactly
+//! what the removed `LLAMCAT_DYNMG_*` environment variables could not
+//! express per-cell.
 
-use llamcat::experiment::{Experiment, Model, Policy};
-use llamcat::throttle::{DynMg, DynMgConfig, InCoreConfig};
-use llamcat_bench::{scale_divisor, scale_label};
-use llamcat_sim::arb::ThrottleController;
+use llamcat::experiment::Model;
+use llamcat::spec::PolicySpec;
+use llamcat::throttle::{DynMgConfig, InCoreConfig};
+use llamcat_bench::{scale_divisor, scale_label, Campaign};
 
-fn run_with(cfg: DynMgConfig, seq: usize) -> u64 {
-    let mut e = Experiment::new(Model::Llama3_70b, seq).policy(Policy::dynmg());
-    e.max_cycles = None;
-    // Bypass the env-configured default: construct the system manually
-    // through the experiment by stashing the config in the environment
-    // is fragile; instead run the lower-level path.
-    let program = e.build_program();
-    let mut system = llamcat_sim::system::System::new(
-        e.config,
-        program,
-        &|_| Box::new(llamcat_sim::arb::FifoArbiter),
-        Box::new(DynMg::new(cfg)) as Box<dyn ThrottleController>,
-    );
-    let (stats, _) = system.run(1_000_000_000);
-    stats.cycles
+/// Runs one dynmg-config sweep and prints speedup-over-unoptimized per
+/// candidate, tagging `default_idx` as the chosen operating point.
+fn sweep(
+    title: &str,
+    header: &str,
+    seq: usize,
+    candidates: Vec<(String, DynMgConfig)>,
+    default_idx: usize,
+    default_note: &str,
+) {
+    let (labels, configs): (Vec<_>, Vec<_>) = candidates.into_iter().unzip();
+    let report = Campaign::new(title)
+        .workload(Model::Llama3_70b.spec())
+        .seq_lens([seq])
+        .policies(configs.into_iter().map(PolicySpec::dynmg_with))
+        .baseline(PolicySpec::unoptimized())
+        .run()
+        .expect("sweep campaign");
+    println!("\n### {title}");
+    println!("{:<18} {:>10}", header, "speedup");
+    for (i, rec) in report.records.iter().enumerate() {
+        println!(
+            "{:<18} {:>9.3}x{}",
+            labels[i],
+            rec.speedup.expect("baseline set"),
+            if i == default_idx { default_note } else { "" }
+        );
+    }
 }
 
 fn main() {
@@ -36,55 +55,61 @@ fn main() {
         seq / 1024,
         scale_label()
     );
-    let base = Experiment::new(Model::Llama3_70b, seq)
-        .policy(Policy::unoptimized())
-        .run()
-        .cycles;
 
     // Table 2: sampling period / sub-period.
-    println!("\n### Table 2 sweep: dynmg sampling period (sub-period = period/5)");
-    println!("{:<18} {:>10}", "period/sub", "speedup");
-    for period in [1000u64, 2000, 4000, 6000, 12000, 24000] {
-        let cfg = DynMgConfig {
-            sampling_period: period,
-            sub_period: period / 5,
-            ..Default::default()
-        };
-        let cycles = run_with(cfg, seq);
-        println!(
-            "{:<18} {:>9.3}x{}",
-            format!("{}/{}", period, period / 5),
-            base as f64 / cycles as f64,
-            if period == 6000 { "   <- default" } else { "" }
-        );
-    }
+    sweep(
+        "Table 2 sweep: dynmg sampling period (sub-period = period/5)",
+        "period/sub",
+        seq,
+        [1000u64, 2000, 4000, 6000, 12000, 24000]
+            .into_iter()
+            .map(|period| {
+                (
+                    format!("{}/{}", period, period / 5),
+                    DynMgConfig {
+                        sampling_period: period,
+                        sub_period: period / 5,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect(),
+        3,
+        "   <- default",
+    );
 
     // Table 2: maximum gear.
-    println!("\n### Table 2 sweep: maximum gear");
-    println!("{:<18} {:>10}", "max gear", "speedup");
-    for max_gear in 1..=4usize {
-        let fractions = [0.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0, 3.0 / 4.0];
-        let cfg = DynMgConfig {
-            max_gear,
-            gear_fractions: fractions[..=max_gear].to_vec(),
-            ..Default::default()
-        };
-        let cycles = run_with(cfg, seq);
-        println!(
-            "{:<18} {:>9.3}x{}",
-            format!("gear {max_gear}"),
-            base as f64 / cycles as f64,
-            if max_gear == 4 {
-                "   <- Table 2 value"
-            } else {
-                ""
-            }
-        );
-    }
+    sweep(
+        "Table 2 sweep: maximum gear",
+        "max gear",
+        seq,
+        (1..=4usize)
+            .map(|max_gear| {
+                let fractions = [0.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0, 3.0 / 4.0];
+                (
+                    format!("gear {max_gear}"),
+                    DynMgConfig {
+                        max_gear,
+                        gear_fractions: fractions[..=max_gear].to_vec(),
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect(),
+        3,
+        "   <- Table 2 value",
+    );
 
     // Table 3: contention band placement (scale the band edges).
     println!("\n### Table 3 sweep: t_cs classification bands (edges scaled)");
     println!("{:<18} {:>10}", "band scale", "note");
+    let unopt = Campaign::new("table3")
+        .workload(Model::Llama3_70b.spec())
+        .seq_lens([seq])
+        .policy(PolicySpec::unoptimized())
+        .run()
+        .expect("table3 campaign");
+    let t_cs = unopt.records[0].report.t_cs;
     for (scale, low, normal, high) in [
         (0.5, 0.05, 0.10, 0.1875),
         (1.0, 0.10, 0.20, 0.375),
@@ -95,14 +120,11 @@ fn main() {
         // unoptimized operating point rather than recompiling the
         // classifier: measured t_cs decides which gear trajectory the
         // controller would follow.
-        let r = Experiment::new(Model::Llama3_70b, seq)
-            .policy(Policy::unoptimized())
-            .run();
-        let band = if r.t_cs < low {
+        let band = if t_cs < low {
             "Low"
-        } else if r.t_cs < normal {
+        } else if t_cs < normal {
             "Normal"
-        } else if r.t_cs < high {
+        } else if t_cs < high {
             "High"
         } else {
             "Extreme"
@@ -110,7 +132,7 @@ fn main() {
         println!(
             "{:<18} t_cs={:.3} -> {}{}",
             format!("x{scale}"),
-            r.t_cs,
+            t_cs,
             band,
             if scale == 1.0 {
                 "   <- Table 3 bands"
@@ -121,28 +143,28 @@ fn main() {
     }
 
     // Table 4: in-core thresholds.
-    println!("\n### Table 4 sweep: in-core C_mem bounds (per sub-period)");
-    println!("{:<18} {:>10}", "upper/lower", "speedup");
     let sub = DynMgConfig::default().sub_period;
-    for (upper_frac, lower_frac) in [(0.4, 0.3), (0.625, 0.45), (0.8, 0.6), (0.95, 0.8)] {
-        let cfg = DynMgConfig {
-            in_core: InCoreConfig {
-                c_idle_upper: 4,
-                c_mem_upper: (sub as f64 * upper_frac) as u64,
-                c_mem_lower: (sub as f64 * lower_frac) as u64,
-            },
-            ..Default::default()
-        };
-        let cycles = run_with(cfg, seq);
-        println!(
-            "{:<18} {:>9.3}x{}",
-            format!("{:.0}%/{:.0}%", upper_frac * 100.0, lower_frac * 100.0),
-            base as f64 / cycles as f64,
-            if (upper_frac - 0.625).abs() < 1e-9 {
-                "   <- Table 4 ratio (250/400)"
-            } else {
-                ""
-            }
-        );
-    }
+    sweep(
+        "Table 4 sweep: in-core C_mem bounds (per sub-period)",
+        "upper/lower",
+        seq,
+        [(0.4, 0.3), (0.625, 0.45), (0.8, 0.6), (0.95, 0.8)]
+            .into_iter()
+            .map(|(upper_frac, lower_frac)| {
+                (
+                    format!("{:.0}%/{:.0}%", upper_frac * 100.0, lower_frac * 100.0),
+                    DynMgConfig {
+                        in_core: InCoreConfig {
+                            c_idle_upper: 4,
+                            c_mem_upper: (sub as f64 * upper_frac) as u64,
+                            c_mem_lower: (sub as f64 * lower_frac) as u64,
+                        },
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect(),
+        1,
+        "   <- Table 4 ratio (250/400)",
+    );
 }

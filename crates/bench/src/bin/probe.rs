@@ -1,6 +1,6 @@
 //! Calibration probe: quick policy comparison on one workload.
 //!
-//! Usage: probe [seq_len] [model=70b|405b] [l2_mb]
+//! Usage: `probe [seq_len] [model=70b|405b] [l2_mb]`
 
 use llamcat::experiment::{Experiment, Model, Policy};
 use std::time::Instant;

@@ -1,0 +1,512 @@
+//! Declarative experiment campaigns: a serde-round-trippable grid of
+//! workloads × sequence lengths × machine overrides × policies, executed
+//! in parallel with the substrate's determinism guarantee.
+//!
+//! The paper's evaluation is a grid; the seed code re-implemented that
+//! grid as ad-hoc loops in every bench target. A [`Campaign`] states it
+//! once, as data:
+//!
+//! ```
+//! use llamcat::spec::PolicySpec;
+//! use llamcat_bench::campaign::Campaign;
+//! use llamcat_trace::workloads::WorkloadSpec;
+//!
+//! let report = Campaign::new("demo")
+//!     .workload(WorkloadSpec::llama3_70b())
+//!     .seq_lens([128, 256])
+//!     .policy(PolicySpec::dynmg_bma())
+//!     .baseline(PolicySpec::unoptimized())
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.records.len(), 2);
+//! let jsonl = report.jsonl();
+//! assert_eq!(jsonl.lines().count(), 2);
+//! ```
+//!
+//! Guarantees:
+//!
+//! * **Deterministic order** — [`Campaign::cells`] enumerates the cross
+//!   product workload-major (workload → seq_len → l2_mb → policy), and
+//!   [`Campaign::run`] returns records in exactly that order.
+//! * **Parallel = sequential** — cells fan out over rayon; each
+//!   simulation is single-threaded and deterministic, so the JSONL
+//!   stream is byte-identical across runs
+//!   (`crates/bench/tests/campaign.rs` pins this).
+//! * **Round-trippable** — a campaign serializes to JSON and back
+//!   losslessly, including every embedded policy configuration, so a
+//!   sweep definition can live in a file, a commit message or a wire
+//!   protocol.
+
+use std::io::{self, Write};
+
+use llamcat::experiment::{Experiment, RunReport};
+use llamcat::spec::PolicySpec;
+use llamcat_trace::mapping::Layout;
+use llamcat_trace::workloads::WorkloadSpec;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::geomean;
+
+/// A declarative sweep: the full cross product of its axes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Campaign {
+    /// Campaign name (carried into the result header).
+    pub name: String,
+    /// Workload families (sequence length crossed separately).
+    pub workloads: Vec<WorkloadSpec>,
+    /// Sequence lengths, one per workload instantiation.
+    pub seq_lens: Vec<usize>,
+    /// L2 capacities in MB (`SystemConfig` override axis).
+    pub l2_mb: Vec<u64>,
+    /// Policies, with their configurations embedded.
+    pub policies: Vec<PolicySpec>,
+    /// Optional baseline: when set, every record carries its speedup
+    /// over the baseline on the same scenario.
+    pub baseline: Option<PolicySpec>,
+    /// Dataflow layout for every cell.
+    pub layout: Layout,
+    /// L-dimension tile per thread block.
+    pub l_tile: usize,
+    /// Hard cycle budget; `None` derives one per cell.
+    pub max_cycles: Option<u64>,
+}
+
+/// One point of the grid, fully self-describing (what to run).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignCell {
+    pub workload: WorkloadSpec,
+    pub seq_len: usize,
+    pub l2_mb: u64,
+    pub policy: PolicySpec,
+}
+
+impl CampaignCell {
+    /// The experiment this cell describes.
+    pub fn experiment(&self, layout: Layout, l_tile: usize, max_cycles: Option<u64>) -> Experiment {
+        let mut e = Experiment::from_spec(&self.workload, self.seq_len)
+            .policy(self.policy.clone())
+            .l2_mb(self.l2_mb)
+            .layout(layout);
+        e.l_tile = l_tile;
+        e.max_cycles = max_cycles;
+        e
+    }
+}
+
+/// One executed cell: the cell, its report, and (when the campaign has
+/// a baseline) its speedup over the baseline on the same scenario.
+/// These are the JSONL stream's records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellRecord {
+    pub cell: CampaignCell,
+    pub report: RunReport,
+    pub speedup: Option<f64>,
+}
+
+/// A finished campaign: records in deterministic cell order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    pub campaign: Campaign,
+    pub records: Vec<CellRecord>,
+}
+
+impl Campaign {
+    /// An empty campaign on the Table 5 machine (16 MB L2, pair-stream
+    /// layout, 32-token L tiles). Populate the axes with the builder
+    /// methods.
+    pub fn new(name: impl Into<String>) -> Self {
+        Campaign {
+            name: name.into(),
+            workloads: Vec::new(),
+            seq_lens: Vec::new(),
+            l2_mb: vec![16],
+            policies: Vec::new(),
+            baseline: None,
+            layout: Layout::default(),
+            l_tile: 32,
+            max_cycles: None,
+        }
+    }
+
+    pub fn workload(mut self, w: WorkloadSpec) -> Self {
+        self.workloads.push(w);
+        self
+    }
+
+    pub fn workloads(mut self, ws: impl IntoIterator<Item = WorkloadSpec>) -> Self {
+        self.workloads.extend(ws);
+        self
+    }
+
+    pub fn seq_lens(mut self, seqs: impl IntoIterator<Item = usize>) -> Self {
+        self.seq_lens.extend(seqs);
+        self
+    }
+
+    /// Replaces the L2-capacity axis (default: just 16 MB).
+    pub fn l2_sizes_mb(mut self, sizes: impl IntoIterator<Item = u64>) -> Self {
+        self.l2_mb = sizes.into_iter().collect();
+        self
+    }
+
+    pub fn policy(mut self, p: impl Into<PolicySpec>) -> Self {
+        self.policies.push(p.into());
+        self
+    }
+
+    pub fn policies(mut self, ps: impl IntoIterator<Item = PolicySpec>) -> Self {
+        self.policies.extend(ps);
+        self
+    }
+
+    /// Resolves a registry name (`"dynmg+BMA"`, `"dyncta+B"`, …) into
+    /// the policy axis; unknown names error.
+    pub fn policy_named(self, name: &str) -> Result<Self, String> {
+        let spec =
+            PolicySpec::from_name(name).ok_or_else(|| format!("unknown policy name `{name}`"))?;
+        Ok(self.policy(spec))
+    }
+
+    pub fn baseline(mut self, p: impl Into<PolicySpec>) -> Self {
+        self.baseline = Some(p.into());
+        self
+    }
+
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    pub fn max_cycles(mut self, cycles: u64) -> Self {
+        self.max_cycles = Some(cycles);
+        self
+    }
+
+    /// The scenario axes (everything but the policy), in enumeration
+    /// order: workload-major, then seq_len, then l2_mb.
+    pub fn scenarios(&self) -> Vec<(WorkloadSpec, usize, u64)> {
+        let mut out = Vec::with_capacity(self.workloads.len() * self.seq_lens.len());
+        for w in &self.workloads {
+            for &seq in &self.seq_lens {
+                for &mb in &self.l2_mb {
+                    out.push((*w, seq, mb));
+                }
+            }
+        }
+        out
+    }
+
+    /// Human-readable scenario labels (columns of a speedup table).
+    pub fn scenario_labels(&self) -> Vec<String> {
+        let multi_w = self.workloads.len() > 1;
+        let multi_l2 = self.l2_mb.len() > 1;
+        self.scenarios()
+            .iter()
+            .map(|(w, seq, mb)| {
+                let mut parts = Vec::new();
+                if multi_w {
+                    parts.push(w.label());
+                }
+                parts.push(if seq % 1024 == 0 {
+                    format!("{}K", seq / 1024)
+                } else {
+                    format!("{seq}")
+                });
+                if multi_l2 {
+                    parts.push(format!("{mb}MB"));
+                }
+                parts.join(" ")
+            })
+            .collect()
+    }
+
+    /// The full cell list in deterministic order (scenarios × policies,
+    /// policy innermost).
+    pub fn cells(&self) -> Vec<CampaignCell> {
+        let mut out = Vec::with_capacity(self.scenarios().len() * self.policies.len());
+        for (workload, seq_len, l2_mb) in self.scenarios() {
+            for p in &self.policies {
+                out.push(CampaignCell {
+                    workload,
+                    seq_len,
+                    l2_mb,
+                    policy: p.clone(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Rejects empty axes and invalid workloads before any simulation
+    /// starts.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workloads.is_empty() {
+            return Err("campaign has no workloads".into());
+        }
+        if self.seq_lens.is_empty() {
+            return Err("campaign has no sequence lengths".into());
+        }
+        if self.l2_mb.is_empty() {
+            return Err("campaign has no L2 sizes".into());
+        }
+        if self.policies.is_empty() {
+            return Err("campaign has no policies".into());
+        }
+        for w in &self.workloads {
+            w.validate()
+                .map_err(|e| format!("workload {}: {e}", w.label()))?;
+        }
+        for &seq in &self.seq_lens {
+            if self.l_tile == 0 || seq % self.l_tile != 0 {
+                return Err(format!(
+                    "l_tile {} must divide every sequence length (got {seq})",
+                    self.l_tile
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the whole grid in parallel and assembles the report.
+    ///
+    /// The policy cells and (if not already a policy) the baseline
+    /// cells run in one rayon batch; records come back in
+    /// [`Campaign::cells`] order with baseline-relative speedups
+    /// attached.
+    pub fn run(&self) -> Result<CampaignReport, String> {
+        self.validate()?;
+        let cells = self.cells();
+        let scenarios = self.scenarios();
+
+        // The baseline rides along as extra cells unless it is already
+        // one of the swept policies.
+        let baseline_in_grid = self
+            .baseline
+            .as_ref()
+            .and_then(|b| self.policies.iter().position(|p| p == b));
+        let mut all = cells.clone();
+        if let (Some(b), None) = (&self.baseline, baseline_in_grid) {
+            for (workload, seq_len, l2_mb) in &scenarios {
+                all.push(CampaignCell {
+                    workload: *workload,
+                    seq_len: *seq_len,
+                    l2_mb: *l2_mb,
+                    policy: b.clone(),
+                });
+            }
+        }
+
+        let experiments: Vec<Experiment> = all
+            .iter()
+            .map(|c| c.experiment(self.layout, self.l_tile, self.max_cycles))
+            .collect();
+        let mut reports = run_experiments(&experiments)?;
+
+        let n_pol = self.policies.len();
+        let baseline_cycles: Option<Vec<u64>> = self.baseline.as_ref().map(|_| {
+            match baseline_in_grid {
+                // Baseline is policy column `p`: scenario s's baseline
+                // report sits at s * n_pol + p.
+                Some(p) => (0..scenarios.len())
+                    .map(|s| reports[s * n_pol + p].cycles)
+                    .collect(),
+                // Extra cells appended after the grid, one per scenario.
+                None => reports[cells.len()..].iter().map(|r| r.cycles).collect(),
+            }
+        });
+        reports.truncate(cells.len());
+
+        let mut records = Vec::with_capacity(cells.len());
+        for (i, (cell, report)) in cells.into_iter().zip(reports).enumerate() {
+            let speedup = match &baseline_cycles {
+                Some(base) => {
+                    let b = base[i / n_pol];
+                    if b == 0 || report.cycles == 0 {
+                        return Err(format!(
+                            "degenerate zero-cycle run in cell {} ({})",
+                            i, report.policy_label
+                        ));
+                    }
+                    Some(b as f64 / report.cycles as f64)
+                }
+                None => None,
+            };
+            records.push(CellRecord {
+                cell,
+                report,
+                speedup,
+            });
+        }
+        Ok(CampaignReport {
+            campaign: self.clone(),
+            records,
+        })
+    }
+}
+
+/// Runs a batch of experiments in parallel (rayon), returning reports
+/// in input order. Simulations are independent and deterministic, so
+/// parallel equals sequential — the property
+/// `crates/bench/tests/parallel_determinism.rs` pins.
+pub fn run_experiments(experiments: &[Experiment]) -> Result<Vec<RunReport>, String> {
+    let results: Vec<Result<RunReport, String>> = experiments
+        .par_iter()
+        .map(|e| e.try_run().map_err(|err| err.to_string()))
+        .collect();
+    results.into_iter().collect()
+}
+
+impl CampaignReport {
+    /// The records as one JSON object per line (JSONL). Deterministic:
+    /// byte-identical across repeated runs of the same campaign.
+    pub fn jsonl(&self) -> String {
+        let mut out = Vec::new();
+        self.write_jsonl(&mut out)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(out).expect("JSON is UTF-8")
+    }
+
+    /// Streams the JSONL records to a writer, one record at a time.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> io::Result<()> {
+        for rec in &self.records {
+            let line = serde_json::to_string(rec).expect("record serializes");
+            w.write_all(line.as_bytes())?;
+            w.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Speedup table rows: one `(label, speedups-by-scenario)` row per
+    /// policy, in policy order. Requires a baseline.
+    pub fn speedup_rows(&self) -> Vec<(String, Vec<f64>)> {
+        let n_pol = self.campaign.policies.len();
+        let mut rows: Vec<(String, Vec<f64>)> = self
+            .campaign
+            .policies
+            .iter()
+            .map(|p| (p.label(), Vec::new()))
+            .collect();
+        for (i, rec) in self.records.iter().enumerate() {
+            if let Some(s) = rec.speedup {
+                rows[i % n_pol].1.push(s);
+            }
+        }
+        rows
+    }
+
+    /// Per-policy geometric-mean speedup over the baseline, in policy
+    /// order (the paper's summary statistic).
+    pub fn geomeans(&self) -> Vec<(String, f64)> {
+        self.speedup_rows()
+            .into_iter()
+            .map(|(label, speedups)| {
+                let g = geomean(&speedups);
+                (label, g)
+            })
+            .collect()
+    }
+
+    /// The records of one policy column, in scenario order.
+    pub fn policy_records(&self, policy_index: usize) -> Vec<&CellRecord> {
+        let n_pol = self.campaign.policies.len();
+        self.records
+            .iter()
+            .skip(policy_index)
+            .step_by(n_pol)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llamcat::experiment::Model;
+
+    fn tiny() -> Campaign {
+        Campaign::new("tiny")
+            .workload(Model::Llama3_70b.spec())
+            .seq_lens([128])
+            .policy(PolicySpec::unoptimized())
+            .policy(PolicySpec::dynmg_bma())
+            .baseline(PolicySpec::unoptimized())
+    }
+
+    #[test]
+    fn cell_order_is_policy_innermost() {
+        let c = Campaign::new("order")
+            .workload(Model::Llama3_70b.spec())
+            .workload(Model::Llama3_405b.spec())
+            .seq_lens([128, 256])
+            .l2_sizes_mb([16, 32])
+            .policy(PolicySpec::unoptimized())
+            .policy(PolicySpec::dynmg());
+        let cells = c.cells();
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2);
+        // First scenario holds both policies before anything changes.
+        assert_eq!(cells[0].policy, PolicySpec::unoptimized());
+        assert_eq!(cells[1].policy, PolicySpec::dynmg());
+        assert_eq!(cells[0].l2_mb, cells[1].l2_mb);
+        // l2 is the next-fastest axis, then seq_len, then workload.
+        assert_eq!(cells[2].l2_mb, 32);
+        assert_eq!(cells[4].seq_len, 256);
+        assert_eq!(cells[8].workload, Model::Llama3_405b.spec());
+    }
+
+    #[test]
+    fn baseline_in_grid_reuses_its_column() {
+        let r = tiny().run().unwrap();
+        assert_eq!(r.records.len(), 2);
+        // Baseline's own speedup is exactly 1.
+        assert_eq!(r.records[0].speedup, Some(1.0));
+        let s = r.records[1].speedup.unwrap();
+        assert!(s > 0.0);
+        let rows = r.speedup_rows();
+        assert_eq!(rows[0].0, "unoptimized");
+        assert_eq!(rows[1].0, "dynmg+BMA");
+        assert_eq!(rows[1].1, vec![s]);
+    }
+
+    #[test]
+    fn external_baseline_matches_in_grid_baseline() {
+        let with_in_grid = tiny().run().unwrap();
+        let mut external = tiny();
+        external.policies.remove(0); // baseline no longer swept
+        let r = external.run().unwrap();
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(
+            r.records[0].speedup, with_in_grid.records[1].speedup,
+            "baseline cycles must not depend on where the baseline ran"
+        );
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        assert!(Campaign::new("e").run().is_err());
+        let no_policy = Campaign::new("e")
+            .workload(Model::Llama3_70b.spec())
+            .seq_lens([128]);
+        assert!(no_policy.run().is_err());
+        let bad_tile = tiny().seq_lens([100]); // 100 % 32 != 0
+        assert!(bad_tile.run().is_err());
+    }
+
+    #[test]
+    fn campaign_round_trips_through_json() {
+        let c = tiny().l2_sizes_mb([16, 64]).max_cycles(1_000_000);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Campaign = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn policy_named_resolves_registry() {
+        let c = Campaign::new("n")
+            .policy_named("dynmg+BMA")
+            .unwrap()
+            .policy_named("dyncta+B")
+            .unwrap();
+        assert_eq!(c.policies[0], PolicySpec::dynmg_bma());
+        assert!(Campaign::new("n").policy_named("bogus").is_err());
+    }
+}

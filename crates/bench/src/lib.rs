@@ -1,5 +1,5 @@
 //! Benchmark harness: regenerates every table and figure of the LLaMCAT
-//! evaluation (Section 6).
+//! evaluation (Section 6) on top of the declarative [`campaign`] engine.
 //!
 //! Each `[[bench]]` target (harness = false) prints the rows/series of
 //! one paper artifact:
@@ -17,11 +17,20 @@
 //! `quick`: sequence lengths divide by 1 / 2 / 8. Orderings are stable
 //! across scales; EXPERIMENTS.md records which scale produced the
 //! committed numbers.
+//!
+//! The grid logic itself lives in [`campaign::Campaign`]: a serde
+//! round-trippable definition of workloads × seq_lens × L2 sizes ×
+//! [`PolicySpec`]s that executes in parallel (deterministically) and
+//! streams JSONL records. The figure targets are thin wrappers over it.
+
+pub mod campaign;
 
 use std::time::Instant;
 
 use llamcat::experiment::{geomean, Experiment, Model, Policy, RunReport};
-use rayon::prelude::*;
+use llamcat::spec::PolicySpec;
+
+pub use campaign::{run_experiments, Campaign, CampaignCell, CampaignReport, CellRecord};
 
 /// Sequence-length scale factor from `LLAMCAT_SCALE`.
 pub fn scale_divisor() -> usize {
@@ -43,7 +52,7 @@ pub fn scale_label() -> String {
     }
 }
 
-/// One grid cell to simulate.
+/// One grid cell to simulate (legacy shim over [`CampaignCell`]).
 #[derive(Debug, Clone)]
 pub struct Cell {
     pub model: Model,
@@ -52,18 +61,31 @@ pub struct Cell {
     pub l2_mb: u64,
 }
 
+impl Cell {
+    /// The open-world cell this legacy shim stands for.
+    pub fn to_campaign_cell(&self) -> CampaignCell {
+        CampaignCell {
+            workload: self.model.spec(),
+            seq_len: self.seq_len,
+            l2_mb: self.l2_mb,
+            policy: self.policy.into(),
+        }
+    }
+}
+
 /// Runs a set of cells in parallel (simulations are independent and
-/// deterministic) and returns the reports in input order.
+/// deterministic) and returns the reports in input order. Thin wrapper
+/// over the campaign executor ([`run_experiments`]).
 pub fn run_cells(cells: &[Cell]) -> Vec<RunReport> {
-    cells
-        .par_iter()
+    let experiments: Vec<Experiment> = cells
+        .iter()
         .map(|c| {
             Experiment::new(c.model, c.seq_len)
                 .policy(c.policy)
                 .l2_mb(c.l2_mb)
-                .run()
         })
-        .collect()
+        .collect();
+    run_experiments(&experiments).expect("legacy cells are never degenerate")
 }
 
 /// Runs one experiment, timing the wall clock.
@@ -102,39 +124,39 @@ pub fn print_speedup_table(
 }
 
 /// The standard policy ladder of Fig 7/8.
-pub fn throttling_policies() -> Vec<Policy> {
-    vec![Policy::dyncta(), Policy::lcs(), Policy::dynmg()]
+pub fn throttling_policies() -> Vec<PolicySpec> {
+    vec![PolicySpec::dyncta(), PolicySpec::lcs(), PolicySpec::dynmg()]
 }
 
 /// Arbitration policies, each run on top of dynmg (Fig 7(b)/(e)).
-pub fn arbitration_policies() -> Vec<Policy> {
+pub fn arbitration_policies() -> Vec<PolicySpec> {
     vec![
-        Policy::dynmg_cobrra(),
-        Policy::dynmg_b(),
-        Policy::dynmg_ma(),
-        Policy::dynmg_bma(),
+        PolicySpec::dynmg_cobrra(),
+        PolicySpec::dynmg_b(),
+        PolicySpec::dynmg_ma(),
+        PolicySpec::dynmg_bma(),
     ]
 }
 
 /// Cumulative ladder (Fig 7(c)/(f)).
-pub fn cumulative_policies() -> Vec<Policy> {
+pub fn cumulative_policies() -> Vec<PolicySpec> {
     vec![
-        Policy::dynmg(),
-        Policy::dynmg_b(),
-        Policy::dynmg_ma(),
-        Policy::dynmg_bma(),
+        PolicySpec::dynmg(),
+        PolicySpec::dynmg_b(),
+        PolicySpec::dynmg_ma(),
+        PolicySpec::dynmg_bma(),
     ]
 }
 
 /// Fig 9's policy set.
-pub fn fig9_policies() -> Vec<Policy> {
+pub fn fig9_policies() -> Vec<PolicySpec> {
     vec![
-        Policy::dyncta(),
-        Policy::lcs(),
-        Policy::cobrra(),
-        Policy::dynmg(),
-        Policy::dynmg_cobrra(),
-        Policy::dynmg_bma(),
+        PolicySpec::dyncta(),
+        PolicySpec::lcs(),
+        PolicySpec::cobrra(),
+        PolicySpec::dynmg(),
+        PolicySpec::dynmg_cobrra(),
+        PolicySpec::dynmg_bma(),
     ]
 }
 
@@ -176,7 +198,21 @@ mod tests {
             },
         ];
         let reports = run_cells(&cells);
-        assert_eq!(reports[0].model_label, "llama3 70b");
-        assert_eq!(reports[1].model_label, "llama3 405b");
+        assert_eq!(reports[0].workload_label, "llama3 70b");
+        assert_eq!(reports[1].workload_label, "llama3 405b");
+    }
+
+    #[test]
+    fn legacy_cell_converts_to_campaign_cell() {
+        let cell = Cell {
+            model: Model::Llama3_70b,
+            seq_len: 256,
+            policy: Policy::dynmg_bma(),
+            l2_mb: 32,
+        };
+        let cc = cell.to_campaign_cell();
+        assert_eq!(cc.policy, PolicySpec::dynmg_bma());
+        assert_eq!(cc.seq_len, 256);
+        assert_eq!(cc.l2_mb, 32);
     }
 }

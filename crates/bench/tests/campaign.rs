@@ -1,0 +1,118 @@
+//! Campaign acceptance tests: a JSON-defined campaign (multiple
+//! workload families × sequence lengths × policies) must round-trip
+//! through serde, execute deterministically in parallel, and stream
+//! byte-identical JSONL across repeated runs.
+
+use llamcat::spec::PolicySpec;
+use llamcat_bench::Campaign;
+use llamcat_trace::workloads::WorkloadSpec;
+
+/// 2 workloads × 2 seq_lens × 3 policies, written as JSON by hand the
+/// way a user (or a future CLI/distributed frontend) would.
+const CAMPAIGN_JSON: &str = r#"{
+  "name": "acceptance-grid",
+  "workloads": [
+    {"Logit": {"heads": 8, "group_size": 8, "head_dim": 128}},
+    {"AttnOutput": {"heads": 8, "group_size": 8, "head_dim": 128}}
+  ],
+  "seq_lens": [128, 256],
+  "l2_mb": [16],
+  "policies": [
+    {"arb": "Fifo", "throttle": "None"},
+    {"arb": "Cobrra", "throttle": "None"},
+    {"arb": "BalancedMshrAware", "throttle": {"DynMg": {"config": {
+      "sampling_period": 6000, "sub_period": 1200, "max_gear": 4,
+      "gear_fractions": [0.0, 0.125, 0.25, 0.5, 0.75],
+      "in_core": {"c_idle_upper": 4, "c_mem_upper": 250, "c_mem_lower": 180}}}}}
+  ],
+  "baseline": {"arb": "Fifo", "throttle": "None"},
+  "layout": "PairStream",
+  "l_tile": 32,
+  "max_cycles": null
+}"#;
+
+fn acceptance_campaign() -> Campaign {
+    serde_json::from_str(CAMPAIGN_JSON).expect("acceptance JSON parses")
+}
+
+#[test]
+fn json_campaign_round_trips() {
+    let campaign = acceptance_campaign();
+    assert_eq!(campaign.workloads.len(), 2);
+    assert_eq!(campaign.seq_lens, vec![128, 256]);
+    assert_eq!(campaign.policies.len(), 3);
+    assert_eq!(campaign.policies[2], PolicySpec::dynmg_bma());
+    assert_eq!(campaign.baseline, Some(PolicySpec::unoptimized()));
+
+    // JSON → Campaign → JSON → Campaign is lossless, and the canonical
+    // form is stable.
+    let canonical = serde_json::to_string(&campaign).unwrap();
+    let back: Campaign = serde_json::from_str(&canonical).unwrap();
+    assert_eq!(back, campaign);
+    assert_eq!(serde_json::to_string(&back).unwrap(), canonical);
+}
+
+#[test]
+fn json_campaign_runs_deterministically_in_parallel() {
+    let campaign = acceptance_campaign();
+    let a = campaign.run().expect("first run");
+    let b = campaign.run().expect("second run");
+    let jsonl_a = a.jsonl();
+    let jsonl_b = b.jsonl();
+    assert_eq!(
+        jsonl_a, jsonl_b,
+        "JSONL streams must be byte-identical across runs"
+    );
+    assert_eq!(jsonl_a.lines().count(), 2 * 2 * 3, "one line per cell");
+
+    // Records come back in deterministic cell order.
+    let cells = campaign.cells();
+    for (rec, cell) in a.records.iter().zip(&cells) {
+        assert_eq!(&rec.cell, cell);
+    }
+    // Every record carries a baseline-relative speedup; the baseline's
+    // own cells pin exactly 1.0.
+    for rec in &a.records {
+        let s = rec.speedup.expect("baseline set");
+        assert!(s > 0.0);
+        if rec.cell.policy == PolicySpec::unoptimized() {
+            assert_eq!(s, 1.0);
+        }
+    }
+}
+
+#[test]
+fn campaign_matches_direct_experiments() {
+    // The declarative engine must agree cell-for-cell with hand-built
+    // experiments — the property that lets the figure benches be thin
+    // wrappers.
+    let campaign = Campaign::new("direct-vs-campaign")
+        .workload(WorkloadSpec::llama3_70b())
+        .seq_lens([128])
+        .policy(PolicySpec::dynmg_bma())
+        .baseline(PolicySpec::unoptimized());
+    let report = campaign.run().unwrap();
+
+    use llamcat::experiment::{Experiment, Model, Policy};
+    let direct = Experiment::new(Model::Llama3_70b, 128)
+        .policy(Policy::dynmg_bma())
+        .run();
+    let base = Experiment::new(Model::Llama3_70b, 128).run();
+    assert_eq!(report.records[0].report.cycles, direct.cycles);
+    assert_eq!(
+        report.records[0].speedup.unwrap(),
+        direct.speedup_over(&base)
+    );
+}
+
+#[test]
+fn geomeans_summarize_policy_columns() {
+    let report = acceptance_campaign().run().unwrap();
+    let geo = report.geomeans();
+    assert_eq!(geo.len(), 3);
+    assert_eq!(geo[0].0, "unoptimized");
+    assert_eq!(geo[0].1, 1.0);
+    let rows = report.speedup_rows();
+    assert_eq!(rows[2].0, "dynmg+BMA");
+    assert_eq!(rows[2].1.len(), 4, "one speedup per scenario");
+}

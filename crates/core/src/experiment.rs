@@ -1,8 +1,10 @@
-//! High-level experiment API: one call from (model, sequence length,
-//! policy) to a finished simulation with the paper's metrics.
+//! High-level experiment API: one call from (workload, policy) to a
+//! finished simulation with the paper's metrics.
 //!
 //! This is the entry point the benchmark harness, the examples and most
-//! downstream users go through:
+//! downstream users go through. The workload layer is open — anything
+//! implementing [`Workload`] runs; [`Model`] remains as a thin preset
+//! shim for the paper's two Llama3 shapes:
 //!
 //! ```
 //! use llamcat::experiment::{Experiment, Model, Policy};
@@ -12,38 +14,29 @@
 //!     .run();
 //! assert!(report.completed);
 //! ```
+//!
+//! Policies are data: [`Experiment::policy`] accepts anything
+//! convertible to a [`PolicySpec`] — the legacy [`Policy`] selector
+//! pairs, a registry name via [`PolicySpec::from_name`], or a spec with
+//! explicit embedded configurations (see [`crate::spec`]).
 
-use llamcat_sim::arb::{FifoArbiter, NoThrottle, RequestArbiter, ThrottleController};
+use std::sync::Arc;
+
 use llamcat_sim::config::SystemConfig;
 use llamcat_sim::prog::Program;
 use llamcat_sim::stats::SimStats;
 use llamcat_sim::system::{RunOutcome, System};
-use llamcat_trace::mapping::{
-    logit_mapping, logit_mapping_pair_stream, logit_mapping_spatial, Mapping, TbOrder,
-};
-use llamcat_trace::tracegen::{generate, TraceGenConfig};
+use llamcat_trace::tracegen::TraceGenConfig;
 use llamcat_trace::workload::LogitOp;
+use llamcat_trace::workloads::{LogitWorkload, Workload, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
-use crate::arbiter::{BalancedArbiter, CobrraArbiter, MshrAwareArbiter};
-use crate::throttle::{DynMg, DynMgConfig, Dyncta, DynctaConfig, Lcs};
+use crate::spec::{ArbSpec, PolicySpec, ThrottleSpec};
 
-fn dynmg_config_from_env() -> DynMgConfig {
-    let mut cfg = DynMgConfig::default();
-    if let Ok(v) = std::env::var("LLAMCAT_DYNMG_PERIOD") {
-        if let Ok(p) = v.parse() {
-            cfg.sampling_period = p;
-        }
-    }
-    if let Ok(v) = std::env::var("LLAMCAT_DYNMG_SUB") {
-        if let Ok(p) = v.parse() {
-            cfg.sub_period = p;
-        }
-    }
-    cfg
-}
+pub use llamcat_trace::mapping::Layout;
 
-/// Evaluated model shapes (Section 6.2.2).
+/// Evaluated model shapes (Section 6.2.2) — a thin preset shim over the
+/// open [`Workload`] layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[allow(non_camel_case_types)]
 pub enum Model {
@@ -61,6 +54,19 @@ impl Model {
         }
     }
 
+    /// The serializable workload family of this preset.
+    pub fn spec(&self) -> WorkloadSpec {
+        match self {
+            Model::Llama3_70b => WorkloadSpec::llama3_70b(),
+            Model::Llama3_405b => WorkloadSpec::llama3_405b(),
+        }
+    }
+
+    /// The runnable workload of this preset at one sequence length.
+    pub fn workload(&self, seq_len: usize) -> Arc<dyn Workload> {
+        Arc::new(LogitWorkload::new(self.op(seq_len)))
+    }
+
     pub fn label(&self) -> &'static str {
         match self {
             Model::Llama3_70b => "llama3 70b",
@@ -69,7 +75,8 @@ impl Model {
     }
 }
 
-/// Request-arbitration policy selector.
+/// Request-arbitration policy selector (legacy closed-world enum; the
+/// open path is [`ArbSpec`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ArbPolicy {
     /// Default FIFO (unoptimized).
@@ -86,27 +93,29 @@ pub enum ArbPolicy {
 
 impl ArbPolicy {
     pub fn label(&self) -> &'static str {
-        match self {
-            ArbPolicy::Fifo => "fifo",
-            ArbPolicy::Balanced => "B",
-            ArbPolicy::MshrAware => "MA",
-            ArbPolicy::BalancedMshrAware => "BMA",
-            ArbPolicy::Cobrra => "cobrra",
-        }
+        self.spec().label()
     }
 
-    fn build(&self) -> Box<dyn RequestArbiter> {
+    /// The open-world spec this selector stands for.
+    pub fn spec(&self) -> ArbSpec {
         match self {
-            ArbPolicy::Fifo => Box::new(FifoArbiter),
-            ArbPolicy::Balanced => Box::new(BalancedArbiter),
-            ArbPolicy::MshrAware => Box::new(MshrAwareArbiter::ma()),
-            ArbPolicy::BalancedMshrAware => Box::new(MshrAwareArbiter::bma()),
-            ArbPolicy::Cobrra => Box::new(CobrraArbiter::new()),
+            ArbPolicy::Fifo => ArbSpec::Fifo,
+            ArbPolicy::Balanced => ArbSpec::Balanced,
+            ArbPolicy::MshrAware => ArbSpec::MshrAware,
+            ArbPolicy::BalancedMshrAware => ArbSpec::BalancedMshrAware,
+            ArbPolicy::Cobrra => ArbSpec::Cobrra,
         }
     }
 }
 
-/// Thread-throttling policy selector.
+impl From<ArbPolicy> for ArbSpec {
+    fn from(p: ArbPolicy) -> ArbSpec {
+        p.spec()
+    }
+}
+
+/// Thread-throttling policy selector (legacy closed-world enum; the
+/// open path is [`ThrottleSpec`] with embedded configuration).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ThrottlePolicy {
     /// No throttling (unoptimized).
@@ -121,42 +130,29 @@ pub enum ThrottlePolicy {
 
 impl ThrottlePolicy {
     pub fn label(&self) -> &'static str {
-        match self {
-            ThrottlePolicy::None => "none",
-            ThrottlePolicy::Dyncta => "dyncta",
-            ThrottlePolicy::Lcs => "lcs",
-            ThrottlePolicy::DynMg => "dynmg",
-        }
+        self.spec().label()
     }
 
-    fn build(&self) -> Box<dyn ThrottleController> {
+    /// The open-world spec (with default configuration) this selector
+    /// stands for.
+    pub fn spec(&self) -> ThrottleSpec {
         match self {
-            ThrottlePolicy::None => Box::new(NoThrottle),
-            ThrottlePolicy::Dyncta => Box::new(Dyncta::new(DynctaConfig::default())),
-            ThrottlePolicy::Lcs => Box::new(Lcs::new()),
-            ThrottlePolicy::DynMg => Box::new(DynMg::new(dynmg_config_from_env())),
+            ThrottlePolicy::None => ThrottleSpec::None,
+            ThrottlePolicy::Dyncta => ThrottleSpec::dyncta(),
+            ThrottlePolicy::Lcs => ThrottleSpec::Lcs,
+            ThrottlePolicy::DynMg => ThrottleSpec::dynmg(),
         }
     }
 }
 
-/// Thread-block-to-core dataflow layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
-pub enum Layout {
-    /// Output-partitioned (h, g) pair streams round-robin over cores,
-    /// one pair per instruction window — the paper's evaluated workload
-    /// shape.
-    #[default]
-    PairStream,
-    /// Spatial G (+ L segments) across cores: all cores stream one
-    /// shared K tile in lockstep (tightest possible sharing).
-    Spatial,
-    /// Round-robin blocks over cores, sharers adjacent (G innermost).
-    RoundRobinGInner,
-    /// Round-robin blocks, naive L-innermost order.
-    RoundRobinLInner,
+impl From<ThrottlePolicy> for ThrottleSpec {
+    fn from(p: ThrottlePolicy) -> ThrottleSpec {
+        p.spec()
+    }
 }
 
-/// A complete policy combination as named in the paper's figures.
+/// A complete policy combination as named in the paper's figures
+/// (legacy `Copy` selector pair; converts into [`PolicySpec`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Policy {
     pub arb: ArbPolicy,
@@ -206,26 +202,69 @@ impl Policy {
         Policy::new(ArbPolicy::Cobrra, ThrottlePolicy::DynMg)
     }
 
+    /// The open-world spec this pair stands for.
+    pub fn spec(&self) -> PolicySpec {
+        PolicySpec::new(self.arb.spec(), self.throttle.spec())
+    }
+
     /// Figure-style label, e.g. "dynmg+BMA".
     pub fn label(&self) -> String {
-        match (self.throttle, self.arb) {
-            (ThrottlePolicy::None, ArbPolicy::Fifo) => "unoptimized".to_string(),
-            (ThrottlePolicy::None, arb) => arb.label().to_string(),
-            (thr, ArbPolicy::Fifo) => thr.label().to_string(),
-            (thr, arb) => format!("{}+{}", thr.label(), arb.label()),
+        self.spec().label()
+    }
+}
+
+impl From<Policy> for PolicySpec {
+    fn from(p: Policy) -> PolicySpec {
+        p.spec()
+    }
+}
+
+/// A failed experiment setup or run (degenerate inputs are rejected
+/// with explicit errors rather than producing silent nonsense).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// The workload's shape failed validation.
+    InvalidWorkload(String),
+    /// The mapping does not legally tile the workload.
+    InvalidMapping(String),
+    /// The generated trace moves zero bytes — nothing to simulate, and
+    /// the cycle-budget heuristic would be meaningless.
+    EmptyTrace { workload: String },
+    /// An explicit cycle budget of zero can never complete.
+    ZeroCycleBudget,
+    /// A speedup ratio against a zero-cycle run is undefined.
+    ZeroCycleSpeedup { detail: String },
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            ExperimentError::InvalidMapping(msg) => write!(f, "invalid mapping: {msg}"),
+            ExperimentError::EmptyTrace { workload } => {
+                write!(f, "workload `{workload}` generated a zero-byte trace")
+            }
+            ExperimentError::ZeroCycleBudget => write!(f, "explicit cycle budget is zero"),
+            ExperimentError::ZeroCycleSpeedup { detail } => {
+                write!(f, "speedup undefined: {detail}")
+            }
         }
     }
 }
 
-/// One experiment: model, sequence length, policy and machine overrides.
+impl std::error::Error for ExperimentError {}
+
+/// One experiment: workload, policy and machine overrides.
 #[derive(Debug, Clone)]
 pub struct Experiment {
-    pub model: Model,
-    pub seq_len: usize,
-    pub policy: Policy,
+    /// The operator under test (open world — see
+    /// [`llamcat_trace::workloads`]).
+    pub workload: Arc<dyn Workload>,
+    pub policy: PolicySpec,
     pub config: SystemConfig,
     pub tracegen: TraceGenConfig,
-    /// Dataflow layout (paper default: spatial G).
+    /// Dataflow layout (paper default: output-partitioned pair streams,
+    /// [`Layout::PairStream`]).
     pub layout: Layout,
     /// L-dimension tile per thread block (32 = one output line).
     pub l_tile: usize,
@@ -234,35 +273,36 @@ pub struct Experiment {
 }
 
 impl Experiment {
+    /// Preset shim: the paper's Logit operator for one model shape.
     pub fn new(model: Model, seq_len: usize) -> Self {
+        Experiment::with_workload(model.workload(seq_len))
+    }
+
+    /// An experiment over any [`Workload`] on the Table 5 machine.
+    pub fn with_workload(workload: Arc<dyn Workload>) -> Self {
         let config = SystemConfig::table5();
         Experiment {
-            model,
-            seq_len,
-            policy: Policy::unoptimized(),
+            workload,
+            policy: PolicySpec::unoptimized(),
             tracegen: TraceGenConfig {
                 num_cores: config.num_cores,
                 vector_len_bytes: config.core.vector_len_bytes,
                 ..Default::default()
             },
             config,
-            layout: Layout::PairStream,
+            layout: Layout::default(),
             l_tile: 32,
             max_cycles: None,
         }
     }
 
-    fn mapping_for(&self, op: &llamcat_trace::workload::LogitOp) -> Mapping {
-        match self.layout {
-            Layout::PairStream => logit_mapping_pair_stream(op, self.l_tile),
-            Layout::Spatial => logit_mapping_spatial(op, self.l_tile, self.config.num_cores),
-            Layout::RoundRobinGInner => logit_mapping(op, self.l_tile, TbOrder::GInner),
-            Layout::RoundRobinLInner => logit_mapping(op, self.l_tile, TbOrder::LInner),
-        }
+    /// Instantiates a serialized workload family at one sequence length.
+    pub fn from_spec(workload: &WorkloadSpec, seq_len: usize) -> Self {
+        Experiment::with_workload(workload.instantiate(seq_len))
     }
 
-    pub fn policy(mut self, policy: Policy) -> Self {
-        self.policy = policy;
+    pub fn policy(mut self, policy: impl Into<PolicySpec>) -> Self {
+        self.policy = policy.into();
         self
     }
 
@@ -290,34 +330,75 @@ impl Experiment {
         self
     }
 
+    fn checked_program(&self) -> Result<(Program, u64), ExperimentError> {
+        self.workload
+            .validate()
+            .map_err(ExperimentError::InvalidWorkload)?;
+        let shape = self.workload.shape();
+        if !shape.seq_len.is_multiple_of(self.l_tile.max(1)) || self.l_tile == 0 {
+            return Err(ExperimentError::InvalidMapping(format!(
+                "l_tile {} must divide seq_len {}",
+                self.l_tile, shape.seq_len
+            )));
+        }
+        let mapping = self
+            .workload
+            .mapping(self.layout, self.l_tile, self.config.num_cores);
+        mapping
+            .validate(&shape)
+            .map_err(ExperimentError::InvalidMapping)?;
+        let (program, meta) = self.workload.generate(&mapping, &self.tracegen);
+        if meta.total_load_bytes == 0 {
+            return Err(ExperimentError::EmptyTrace {
+                workload: self.workload.label(),
+            });
+        }
+        // Budget: assume the machine can be no slower than 4 bytes of
+        // load traffic per cycle overall, plus fixed slack.
+        let budget = match self.max_cycles {
+            Some(0) => return Err(ExperimentError::ZeroCycleBudget),
+            Some(cycles) => cycles,
+            None => meta.total_load_bytes / 4 + 20_000_000,
+        };
+        Ok((program, budget))
+    }
+
     /// Generates the trace for this experiment (exposed for inspection).
+    ///
+    /// Panics on invalid workload/mapping; [`Experiment::try_run`]
+    /// reports those gracefully.
     pub fn build_program(&self) -> Program {
-        let op = self.model.op(self.seq_len);
-        let mapping = self.mapping_for(&op);
-        let (program, _) = generate(&op, &mapping, &self.tracegen);
+        let mapping = self
+            .workload
+            .mapping(self.layout, self.l_tile, self.config.num_cores);
+        let (program, _) = self.workload.generate(&mapping, &self.tracegen);
         program
     }
 
-    /// Runs the experiment to completion.
-    pub fn run(&self) -> RunReport {
-        let op = self.model.op(self.seq_len);
-        op.validate().expect("valid operator shape");
-        let mapping = self.mapping_for(&op);
-        let (program, meta) = generate(&op, &mapping, &self.tracegen);
-        // Budget: assume the machine can be no slower than 4 bytes of
-        // load traffic per cycle overall, plus fixed slack.
-        let budget = self
-            .max_cycles
-            .unwrap_or(meta.total_load_bytes / 4 + 20_000_000);
-        let arb = self.policy.arb;
+    /// Runs the experiment to completion, rejecting degenerate inputs.
+    pub fn try_run(&self) -> Result<RunReport, ExperimentError> {
+        let (program, budget) = self.checked_program()?;
+        let arb = self.policy.arb.clone();
         let mut system = System::new(
             self.config,
             program,
             &move |_slice| arb.build(),
-            self.policy.throttle.build(),
+            self.policy.build_throttle(),
         );
         let (stats, outcome) = system.run(budget);
-        RunReport::from_stats(self, stats, outcome)
+        Ok(RunReport::from_stats(self, stats, outcome))
+    }
+
+    /// Runs the experiment to completion.
+    ///
+    /// Panics on degenerate inputs (invalid shape, zero-byte trace,
+    /// zero cycle budget); use [`Experiment::try_run`] for a graceful
+    /// error.
+    pub fn run(&self) -> RunReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(e) => panic!("experiment failed: {e}"),
+        }
     }
 }
 
@@ -325,7 +406,7 @@ impl Experiment {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
     pub policy_label: String,
-    pub model_label: String,
+    pub workload_label: String,
     pub seq_len: usize,
     pub l2_mb: u64,
     pub completed: bool,
@@ -353,8 +434,8 @@ impl RunReport {
     fn from_stats(exp: &Experiment, stats: SimStats, outcome: RunOutcome) -> Self {
         RunReport {
             policy_label: exp.policy.label(),
-            model_label: exp.model.label().to_string(),
-            seq_len: exp.seq_len,
+            workload_label: exp.workload.label(),
+            seq_len: exp.workload.shape().seq_len,
             l2_mb: exp.config.l2.capacity_bytes / (1024 * 1024),
             completed: outcome == RunOutcome::Completed,
             cycles: stats.cycles,
@@ -372,13 +453,35 @@ impl RunReport {
         }
     }
 
+    /// Speedup of `self` relative to `baseline` (cycles ratio),
+    /// rejecting zero-cycle degenerate inputs.
+    pub fn try_speedup_over(&self, baseline: &RunReport) -> Result<f64, ExperimentError> {
+        if baseline.cycles == 0 || self.cycles == 0 {
+            return Err(ExperimentError::ZeroCycleSpeedup {
+                detail: format!(
+                    "baseline `{}` ran {} cycles, `{}` ran {} cycles",
+                    baseline.policy_label, baseline.cycles, self.policy_label, self.cycles
+                ),
+            });
+        }
+        Ok(baseline.cycles as f64 / self.cycles as f64)
+    }
+
     /// Speedup of `self` relative to `baseline` (cycles ratio).
+    ///
+    /// Panics if either run recorded zero cycles; use
+    /// [`RunReport::try_speedup_over`] for a graceful error.
     pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
-        baseline.cycles as f64 / self.cycles as f64
+        match self.try_speedup_over(baseline) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
-/// Geometric mean of a slice of speedups (the paper's summary statistic).
+/// Geometric mean of a slice of speedups (the paper's summary
+/// statistic). Empty input yields 0.0 (an impossible speedup,
+/// deliberately conspicuous).
 pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
@@ -389,6 +492,7 @@ pub fn geomean(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use llamcat_trace::workloads::{AttnOutputWorkload, PrefillLogitWorkload};
 
     #[test]
     fn policy_labels_match_figures() {
@@ -414,6 +518,26 @@ mod tests {
         assert!(report.cycles > 0);
         assert!(report.dram_accesses > 0);
         assert_eq!(report.l2_mb, 16);
+        assert_eq!(report.workload_label, "llama3 70b");
+    }
+
+    #[test]
+    fn open_workloads_run_through_the_same_api() {
+        let op = LogitOp {
+            heads: 2,
+            group_size: 4,
+            seq_len: 128,
+            head_dim: 128,
+        };
+        let av = Experiment::with_workload(Arc::new(AttnOutputWorkload::new(op)))
+            .policy(Policy::dynmg_bma())
+            .run();
+        assert!(av.completed);
+        assert_eq!(av.workload_label, "attn-out h2 g4 d128");
+
+        let pf = Experiment::with_workload(Arc::new(PrefillLogitWorkload::new(op, 4))).run();
+        assert!(pf.completed);
+        assert!(pf.cycles > 0);
     }
 
     #[test]
@@ -446,5 +570,45 @@ mod tests {
         let b = mk();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.dram_accesses, b.dram_accesses);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        // Zero-cycle budget.
+        let err = Experiment::new(Model::Llama3_70b, 128)
+            .max_cycles(0)
+            .try_run()
+            .unwrap_err();
+        assert_eq!(err, ExperimentError::ZeroCycleBudget);
+
+        // Invalid shape (zero-dim operator would produce an empty trace).
+        let bad = LogitOp {
+            heads: 0,
+            group_size: 1,
+            seq_len: 128,
+            head_dim: 128,
+        };
+        let err = Experiment::with_workload(Arc::new(LogitWorkload::new(bad)))
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, ExperimentError::InvalidWorkload(_)));
+
+        // l_tile not dividing seq_len.
+        let mut e = Experiment::new(Model::Llama3_70b, 128);
+        e.l_tile = 48;
+        assert!(matches!(
+            e.try_run().unwrap_err(),
+            ExperimentError::InvalidMapping(_)
+        ));
+    }
+
+    #[test]
+    fn zero_cycle_speedup_is_an_error() {
+        let a = Experiment::new(Model::Llama3_70b, 128).run();
+        let mut b = a.clone();
+        b.cycles = 0;
+        assert!(a.try_speedup_over(&b).is_err());
+        assert!(b.try_speedup_over(&a).is_err());
+        assert!(a.try_speedup_over(&a).unwrap() == 1.0);
     }
 }

@@ -24,9 +24,12 @@
 //! alongside: DYNCTA ([`throttle::Dyncta`]), LCS ([`throttle::Lcs`]) and
 //! COBRRA ([`arbiter::CobrraArbiter`]).
 //!
-//! [`experiment`] offers a one-call API from (model, sequence length,
-//! policy) to a finished cycle-level simulation; [`area`] reproduces the
-//! Section 6.1 hardware-cost evaluation analytically.
+//! [`experiment`] offers a one-call API from (workload, policy) to a
+//! finished cycle-level simulation — the workload side is the open
+//! [`Workload`](llamcat_trace::workloads::Workload) trait with the
+//! paper's two Llama3 shapes as presets; [`spec`] makes policies
+//! serializable data with a stable-name registry; [`area`] reproduces
+//! the Section 6.1 hardware-cost evaluation analytically.
 //!
 //! ## Quick start
 //!
@@ -44,6 +47,7 @@
 pub mod arbiter;
 pub mod area;
 pub mod experiment;
+pub mod spec;
 pub mod throttle;
 
 /// Convenient re-exports.
@@ -54,7 +58,9 @@ pub mod prelude {
     };
     pub use crate::area::{arbiter_area, hit_buffer_area, AreaConstants, AreaReport};
     pub use crate::experiment::{
-        geomean, ArbPolicy, Experiment, Model, Policy, RunReport, ThrottlePolicy,
+        geomean, ArbPolicy, Experiment, ExperimentError, Layout, Model, Policy, RunReport,
+        ThrottlePolicy,
     };
+    pub use crate::spec::{ArbSpec, PolicySpec, ThrottleSpec};
     pub use crate::throttle::{Contention, DynMg, DynMgConfig, Dyncta, DynctaConfig, Lcs};
 }

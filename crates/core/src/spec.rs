@@ -1,0 +1,329 @@
+//! Policies as data: the serde-round-trippable [`PolicySpec`] and the
+//! registry of canonical policy names.
+//!
+//! The seed API kept policy construction closed: `ArbPolicy` /
+//! `ThrottlePolicy` hid their `build()` methods, and DynMg tuning
+//! leaked in through `LLAMCAT_DYNMG_*` environment variables. This
+//! module makes the policy layer open and declarative:
+//!
+//! * [`ArbSpec`] / [`ThrottleSpec`] — one variant per policy family,
+//!   with the family's *configuration embedded in the spec* (DynMg's
+//!   Tables 1–4 parameters, DYNCTA's thresholds). A spec serializes to
+//!   JSON and back losslessly, so policies and their parameters travel
+//!   as data — through campaign files, over the wire, into JSONL logs.
+//! * [`PolicySpec`] — an (arbitration, throttling) pair with the
+//!   paper's figure labels, public factories for every named point, and
+//!   [`PolicySpec::build_arbiter`] / [`PolicySpec::build_throttle`] as
+//!   the *only* construction path the experiment layer uses.
+//! * [`PolicySpec::registry_names`] / [`PolicySpec::from_name`] — the
+//!   stable-name registry ("dynmg+BMA", "cobrra", …) mapping the labels
+//!   pinned by the paper's figures (and `tests/golden.rs`) to specs
+//!   with default configurations. Compositional names assemble the rest
+//!   of the 5 × 4 matrix: `"<throttle>+<arb>"`, e.g. `"dyncta+B"`.
+//!
+//! The `LLAMCAT_DYNMG_PERIOD` / `LLAMCAT_DYNMG_SUB` environment
+//! variables are gone: embed a [`DynMgConfig`] via
+//! [`PolicySpec::dynmg_with`] instead.
+
+use llamcat_sim::arb::{FifoArbiter, NoThrottle, RequestArbiter, ThrottleController};
+use serde::{Deserialize, Serialize};
+
+use crate::arbiter::{BalancedArbiter, CobrraArbiter, MshrAwareArbiter};
+use crate::throttle::{DynMg, DynMgConfig, Dyncta, DynctaConfig, Lcs};
+
+/// Request-arbitration policy with its configuration embedded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArbSpec {
+    /// Default FIFO (unoptimized).
+    Fifo,
+    /// Balanced ("B").
+    Balanced,
+    /// MSHR-aware with FIFO tie-break ("MA").
+    MshrAware,
+    /// MSHR-aware with balanced tie-break ("BMA").
+    BalancedMshrAware,
+    /// COBRRA baseline.
+    Cobrra,
+}
+
+impl ArbSpec {
+    /// Figure-style component label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArbSpec::Fifo => "fifo",
+            ArbSpec::Balanced => "B",
+            ArbSpec::MshrAware => "MA",
+            ArbSpec::BalancedMshrAware => "BMA",
+            ArbSpec::Cobrra => "cobrra",
+        }
+    }
+
+    /// Instantiates the arbiter for one LLC slice.
+    pub fn build(&self) -> Box<dyn RequestArbiter> {
+        match self {
+            ArbSpec::Fifo => Box::new(FifoArbiter),
+            ArbSpec::Balanced => Box::new(BalancedArbiter),
+            ArbSpec::MshrAware => Box::new(MshrAwareArbiter::ma()),
+            ArbSpec::BalancedMshrAware => Box::new(MshrAwareArbiter::bma()),
+            ArbSpec::Cobrra => Box::new(CobrraArbiter::new()),
+        }
+    }
+
+    /// Resolves a component name (`"B"`, `"cobrra"`, …).
+    pub fn from_name(name: &str) -> Option<ArbSpec> {
+        Some(match name {
+            "fifo" => ArbSpec::Fifo,
+            "B" => ArbSpec::Balanced,
+            "MA" => ArbSpec::MshrAware,
+            "BMA" => ArbSpec::BalancedMshrAware,
+            "cobrra" => ArbSpec::Cobrra,
+            _ => return None,
+        })
+    }
+}
+
+/// Thread-throttling policy with its configuration embedded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ThrottleSpec {
+    /// No throttling (unoptimized).
+    None,
+    /// DYNCTA baseline.
+    Dyncta { config: DynctaConfig },
+    /// LCS baseline.
+    Lcs,
+    /// The paper's two-level dynamic multi-gear controller.
+    DynMg { config: DynMgConfig },
+}
+
+impl ThrottleSpec {
+    /// DYNCTA with the re-swept default thresholds.
+    pub fn dyncta() -> Self {
+        ThrottleSpec::Dyncta {
+            config: DynctaConfig::default(),
+        }
+    }
+
+    /// DynMg with the re-swept Table 2–4 defaults.
+    pub fn dynmg() -> Self {
+        ThrottleSpec::DynMg {
+            config: DynMgConfig::default(),
+        }
+    }
+
+    /// Figure-style component label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ThrottleSpec::None => "none",
+            ThrottleSpec::Dyncta { .. } => "dyncta",
+            ThrottleSpec::Lcs => "lcs",
+            ThrottleSpec::DynMg { .. } => "dynmg",
+        }
+    }
+
+    /// Instantiates the throttle controller.
+    pub fn build(&self) -> Box<dyn ThrottleController> {
+        match self {
+            ThrottleSpec::None => Box::new(NoThrottle),
+            ThrottleSpec::Dyncta { config } => Box::new(Dyncta::new(*config)),
+            ThrottleSpec::Lcs => Box::new(Lcs::new()),
+            ThrottleSpec::DynMg { config } => Box::new(DynMg::new(config.clone())),
+        }
+    }
+
+    /// Resolves a component name (`"dynmg"`, `"lcs"`, …) with default
+    /// configuration.
+    pub fn from_name(name: &str) -> Option<ThrottleSpec> {
+        Some(match name {
+            "none" => ThrottleSpec::None,
+            "dyncta" => ThrottleSpec::dyncta(),
+            "lcs" => ThrottleSpec::Lcs,
+            "dynmg" => ThrottleSpec::dynmg(),
+            _ => return None,
+        })
+    }
+}
+
+/// A complete policy — arbitration and throttling with their
+/// configurations — as serializable data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicySpec {
+    pub arb: ArbSpec,
+    pub throttle: ThrottleSpec,
+}
+
+/// One registry entry: a canonical name and the factory producing its
+/// default-configured spec.
+pub type RegistryEntry = (&'static str, fn() -> PolicySpec);
+
+/// The canonical names of the paper's figures, in ladder order. Each
+/// resolves through [`PolicySpec::from_name`] to a spec whose
+/// [`PolicySpec::label`] round-trips to the same name.
+pub const REGISTRY: &[RegistryEntry] = &[
+    ("unoptimized", PolicySpec::unoptimized),
+    ("dyncta", PolicySpec::dyncta),
+    ("lcs", PolicySpec::lcs),
+    ("cobrra", PolicySpec::cobrra),
+    ("dynmg", PolicySpec::dynmg),
+    ("dynmg+B", PolicySpec::dynmg_b),
+    ("dynmg+MA", PolicySpec::dynmg_ma),
+    ("dynmg+BMA", PolicySpec::dynmg_bma),
+    ("dynmg+cobrra", PolicySpec::dynmg_cobrra),
+];
+
+impl PolicySpec {
+    pub fn new(arb: ArbSpec, throttle: ThrottleSpec) -> Self {
+        PolicySpec { arb, throttle }
+    }
+
+    /// The unoptimized baseline (FIFO, no throttling).
+    pub fn unoptimized() -> Self {
+        PolicySpec::new(ArbSpec::Fifo, ThrottleSpec::None)
+    }
+
+    pub fn dyncta() -> Self {
+        PolicySpec::new(ArbSpec::Fifo, ThrottleSpec::dyncta())
+    }
+
+    pub fn lcs() -> Self {
+        PolicySpec::new(ArbSpec::Fifo, ThrottleSpec::Lcs)
+    }
+
+    pub fn cobrra() -> Self {
+        PolicySpec::new(ArbSpec::Cobrra, ThrottleSpec::None)
+    }
+
+    pub fn dynmg() -> Self {
+        PolicySpec::new(ArbSpec::Fifo, ThrottleSpec::dynmg())
+    }
+
+    pub fn dynmg_b() -> Self {
+        PolicySpec::new(ArbSpec::Balanced, ThrottleSpec::dynmg())
+    }
+
+    pub fn dynmg_ma() -> Self {
+        PolicySpec::new(ArbSpec::MshrAware, ThrottleSpec::dynmg())
+    }
+
+    /// The paper's final policy.
+    pub fn dynmg_bma() -> Self {
+        PolicySpec::new(ArbSpec::BalancedMshrAware, ThrottleSpec::dynmg())
+    }
+
+    pub fn dynmg_cobrra() -> Self {
+        PolicySpec::new(ArbSpec::Cobrra, ThrottleSpec::dynmg())
+    }
+
+    /// DynMg with an explicit configuration (replaces the removed
+    /// `LLAMCAT_DYNMG_*` environment variables).
+    pub fn dynmg_with(config: DynMgConfig) -> Self {
+        PolicySpec::new(ArbSpec::Fifo, ThrottleSpec::DynMg { config })
+    }
+
+    /// Figure-style label, e.g. `"dynmg+BMA"`. Labels identify the
+    /// policy *family*; embedded configurations do not change them.
+    pub fn label(&self) -> String {
+        match (&self.throttle, &self.arb) {
+            (ThrottleSpec::None, ArbSpec::Fifo) => "unoptimized".to_string(),
+            (ThrottleSpec::None, arb) => arb.label().to_string(),
+            (thr, ArbSpec::Fifo) => thr.label().to_string(),
+            (thr, arb) => format!("{}+{}", thr.label(), arb.label()),
+        }
+    }
+
+    /// The registry's canonical names, in ladder order.
+    pub fn registry_names() -> Vec<&'static str> {
+        REGISTRY.iter().map(|(name, _)| *name).collect()
+    }
+
+    /// Resolves a stable name to a spec with default configurations.
+    ///
+    /// Canonical registry names resolve first; any other cell of the
+    /// policy matrix is reachable compositionally as
+    /// `"<throttle>+<arb>"` (e.g. `"dyncta+B"`), a bare arbitration
+    /// name (`"B"`), or a bare throttle name.
+    pub fn from_name(name: &str) -> Option<PolicySpec> {
+        if let Some((_, ctor)) = REGISTRY.iter().find(|(n, _)| *n == name) {
+            return Some(ctor());
+        }
+        if let Some((thr, arb)) = name.split_once('+') {
+            return Some(PolicySpec::new(
+                ArbSpec::from_name(arb)?,
+                ThrottleSpec::from_name(thr)?,
+            ));
+        }
+        if let Some(arb) = ArbSpec::from_name(name) {
+            return Some(PolicySpec::new(arb, ThrottleSpec::None));
+        }
+        ThrottleSpec::from_name(name).map(|thr| PolicySpec::new(ArbSpec::Fifo, thr))
+    }
+
+    /// Instantiates the arbiter for one LLC slice.
+    pub fn build_arbiter(&self) -> Box<dyn RequestArbiter> {
+        self.arb.build()
+    }
+
+    /// Instantiates the throttle controller.
+    pub fn build_throttle(&self) -> Box<dyn ThrottleController> {
+        self.throttle.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_round_trip_their_labels() {
+        for (name, ctor) in REGISTRY {
+            let spec = ctor();
+            assert_eq!(&spec.label(), name, "registry name/label mismatch");
+            assert_eq!(
+                PolicySpec::from_name(name),
+                Some(spec),
+                "from_name must resolve `{name}`"
+            );
+        }
+    }
+
+    #[test]
+    fn compositional_names_cover_the_matrix() {
+        let spec = PolicySpec::from_name("dyncta+B").unwrap();
+        assert_eq!(spec.arb, ArbSpec::Balanced);
+        assert!(matches!(spec.throttle, ThrottleSpec::Dyncta { .. }));
+        assert_eq!(spec.label(), "dyncta+B");
+
+        assert_eq!(
+            PolicySpec::from_name("B"),
+            Some(PolicySpec::new(ArbSpec::Balanced, ThrottleSpec::None))
+        );
+        assert_eq!(PolicySpec::from_name("lcs"), Some(PolicySpec::lcs()));
+        assert_eq!(PolicySpec::from_name("nonsense"), None);
+        assert_eq!(PolicySpec::from_name("dynmg+nope"), None);
+    }
+
+    #[test]
+    fn specs_round_trip_through_json_with_configs() {
+        let cfg = DynMgConfig {
+            sampling_period: 4321,
+            sub_period: 777,
+            ..Default::default()
+        };
+        let spec = PolicySpec::new(
+            ArbSpec::BalancedMshrAware,
+            ThrottleSpec::DynMg { config: cfg },
+        );
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("4321"), "config must travel in the spec");
+        let back: PolicySpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn labels_ignore_embedded_config() {
+        let cfg = DynMgConfig {
+            max_gear: 2,
+            ..Default::default()
+        };
+        assert_eq!(PolicySpec::dynmg_with(cfg).label(), "dynmg");
+    }
+}

@@ -15,9 +15,10 @@
 //! fair comparison" re-sweep.
 
 use llamcat_sim::arb::{ThrottleController, ThrottleInputs};
+use serde::{Deserialize, Serialize};
 
 /// DYNCTA parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DynctaConfig {
     /// Sampling period in cycles.
     pub period: u64,

@@ -7,13 +7,17 @@
 //!
 //! * [`workload`] — the decode-stage Logit operator (Q·Kᵀ) with GQA
 //!   shapes (Llama3 70b / 405b presets) and tensor address maps;
+//! * [`workloads`] — the open [`Workload`](workloads::Workload) trait
+//!   (iteration space + block builder ⇒ program), impls for Logit,
+//!   attention-output A·V and chunked-prefill, and the serde
+//!   [`WorkloadSpec`](workloads::WorkloadSpec) campaign currency;
 //! * [`mapping`] — loop-nest mapping IR with the paper's legality
 //!   constraints (Section 6.2.2);
 //! * [`mapper`] — a constrained search ranking legal mappings by
 //!   estimated K reuse distance (hand-written mappings also accepted);
 //! * [`tracegen`] — walks a mapping into an executable
 //!   [`Program`](llamcat_sim::prog::Program);
-//! * [`format`] — JSON and compact binary trace persistence.
+//! * [`format`](mod@format) — JSON and compact binary trace persistence.
 //!
 //! ## Example
 //!
@@ -33,12 +37,19 @@ pub mod mapper;
 pub mod mapping;
 pub mod tracegen;
 pub mod workload;
+pub mod workloads;
 
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::format::TraceFile;
     pub use crate::mapper::{best_mapping, enumerate, Candidate, MapperConstraints};
-    pub use crate::mapping::{logit_mapping, Dim, Level, Loop, LoopKind, Mapping, TbOrder};
-    pub use crate::tracegen::{generate, generate_default, TraceGenConfig, TraceMeta};
+    pub use crate::mapping::{logit_mapping, Dim, Layout, Level, Loop, LoopKind, Mapping, TbOrder};
+    pub use crate::tracegen::{
+        generate, generate_default, generate_with, TraceGenConfig, TraceMeta,
+    };
     pub use crate::workload::{LogitOp, ELEM_BYTES, K_BASE, Q_BASE, SCORE_BASE};
+    pub use crate::workloads::{
+        AttnOutputWorkload, LogitWorkload, PrefillLogitWorkload, Workload, WorkloadSpec, OUT_BASE,
+        V_BASE,
+    };
 }

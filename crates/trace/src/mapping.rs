@@ -207,17 +207,60 @@ impl Mapping {
     }
 }
 
+/// Thread-block-to-core dataflow layout: which canned loop nest a
+/// workload's iteration space is walked with.
+///
+/// Lives next to the mapping builders it selects between; the
+/// experiment layer re-exports it, and [`Layout::mapping`] is the
+/// single place a layout name turns into a concrete [`Mapping`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Layout {
+    /// Output-partitioned (h, g) pair streams round-robin over cores,
+    /// one pair per instruction window — the paper's evaluated workload
+    /// shape and the default.
+    #[default]
+    PairStream,
+    /// Spatial G (+ L segments) across cores: all cores stream one
+    /// shared K tile in lockstep (tightest possible sharing).
+    Spatial,
+    /// Round-robin blocks over cores, sharers adjacent (G innermost).
+    RoundRobinGInner,
+    /// Round-robin blocks, naive L-innermost order.
+    RoundRobinLInner,
+}
+
+impl Layout {
+    /// Builds the loop nest of this layout for a {H, G, L, D} iteration
+    /// space (`op` carries the dimensions; the nest is workload-agnostic).
+    pub fn mapping(&self, op: &LogitOp, l_tile: usize, num_cores: usize) -> Mapping {
+        match self {
+            Layout::PairStream => logit_mapping_pair_stream(op, l_tile),
+            Layout::Spatial => logit_mapping_spatial(op, l_tile, num_cores),
+            Layout::RoundRobinGInner => logit_mapping(op, l_tile, TbOrder::GInner),
+            Layout::RoundRobinLInner => logit_mapping(op, l_tile, TbOrder::LInner),
+        }
+    }
+
+    /// Stable names for all layouts (campaign definitions and docs).
+    pub const ALL: [Layout; 4] = [
+        Layout::PairStream,
+        Layout::Spatial,
+        Layout::RoundRobinGInner,
+        Layout::RoundRobinLInner,
+    ];
+}
+
 /// Builds the output-partitioned "pair-stream" dataflow — the layout the
 /// paper's evaluation workload uses.
 ///
 /// The H·G (KV-head, query-head) output pairs are distributed round-robin
 /// over the cores; each pair is an independent temporal stream of
-/// L-tiles over the full K[h]. A core owning `H·G / num_cores` pairs
+/// L-tiles over the full K\[h\]. A core owning `H·G / num_cores` pairs
 /// runs them *concurrently*, one per instruction window (the
 /// window-strided chunks of the scheduler) — which is why "the assigned
 /// thread blocks may span a wide range" on the unoptimized machine:
 /// every core interleaves several full-K streams, multiplying the live
-/// working set, while the G streams sharing one K[h] sit on different
+/// working set, while the G streams sharing one K\[h\] sit on different
 /// cores and only merge in the MSHRs when the machine keeps them in
 /// sync. This is the hardware-friendly kernel shape (contiguous output
 /// per core, no false sharing) that "performs well on the unoptimized
@@ -288,7 +331,7 @@ pub enum TbOrder {
 
 /// Builds the paper's spatial Logit dataflow: the G dimension (and, when
 /// cores outnumber query heads, a split of L) is mapped *spatially*
-/// across cores, so the whole machine streams each K[h] concurrently —
+/// across cores, so the whole machine streams each K\[h\] concurrently —
 /// every core computing a different query head of the same group over
 /// the same keys. This is the dataflow that exposes GQA sharing to the
 /// LLC as simultaneous cross-core requests (MSHR merges when in sync,

@@ -49,11 +49,37 @@ pub struct TraceMeta {
     pub max_block_instrs: usize,
 }
 
-/// Generates the executable program for `op` under `mapping`.
+/// Generates the executable Logit program for `op` under `mapping`.
 ///
 /// Panics if the mapping is invalid for the operator (call
 /// [`Mapping::validate`] first for a graceful error).
 pub fn generate(op: &LogitOp, mapping: &Mapping, cfg: &TraceGenConfig) -> (Program, TraceMeta) {
+    generate_with(op, mapping, cfg, |h, g, lt, l_tile| {
+        logit_block(op, cfg, h, g, lt, l_tile)
+    })
+}
+
+/// Generates a program for any workload sharing the {H, G, L, D}
+/// iteration space: the mapping decides thread-block enumeration order
+/// and core assignment, `build` supplies each block's instruction
+/// stream (`(h, g, l_tile_index, l_tile_extent) -> ThreadBlock`).
+///
+/// This is the open extension point behind
+/// [`Workload::generate`](crate::workloads::Workload::generate):
+/// enumeration logic is written once, per-operator memory behavior is
+/// plugged in.
+///
+/// Panics if the mapping is invalid for the iteration space (call
+/// [`Mapping::validate`] first for a graceful error).
+pub fn generate_with<F>(
+    op: &LogitOp,
+    mapping: &Mapping,
+    cfg: &TraceGenConfig,
+    build: F,
+) -> (Program, TraceMeta)
+where
+    F: Fn(usize, usize, usize, usize) -> ThreadBlock,
+{
     mapping
         .validate(op)
         .expect("mapping must be valid for the operator");
@@ -65,9 +91,9 @@ pub fn generate(op: &LogitOp, mapping: &Mapping, cfg: &TraceGenConfig) -> (Progr
         .iter()
         .any(|l| l.dim == Dim::H && l.kind == LoopKind::Spatial);
     let (blocks, assignment) = if spatial_h {
-        generate_pair_stream(op, cfg, l_tile, n_ltiles)
+        generate_pair_stream(op, cfg, l_tile, n_ltiles, &build)
     } else if mapping.is_spatial() {
-        generate_spatial(op, mapping, cfg, l_tile, n_ltiles)
+        generate_spatial(op, mapping, cfg, l_tile, n_ltiles, &build)
     } else {
         // Round-robin: thread-block enumeration order from the L2-level
         // temporal loops, consecutive blocks on consecutive cores.
@@ -79,7 +105,7 @@ pub fn generate(op: &LogitOp, mapping: &Mapping, cfg: &TraceGenConfig) -> (Progr
             .collect();
         let mut blocks = Vec::with_capacity(op.heads * op.group_size * n_ltiles);
         let mut emit = |h: usize, g: usize, lt: usize| {
-            blocks.push(build_block(op, cfg, h, g, lt, l_tile));
+            blocks.push(build(h, g, lt, l_tile));
         };
         iterate(&order, op, n_ltiles, &mut emit);
         let assignment = (0..blocks.len()).map(|i| i % cfg.num_cores).collect();
@@ -100,12 +126,16 @@ pub fn generate(op: &LogitOp, mapping: &Mapping, cfg: &TraceGenConfig) -> (Progr
 /// [`crate::mapping::logit_mapping_pair_stream`]). Blocks are emitted
 /// pair-major so each core's queue holds its pairs' tiles contiguously —
 /// the window-strided scheduler then runs one pair per window.
-fn generate_pair_stream(
+fn generate_pair_stream<F>(
     op: &LogitOp,
     cfg: &TraceGenConfig,
     l_tile: usize,
     n_ltiles: usize,
-) -> (Vec<ThreadBlock>, Vec<usize>) {
+    build: &F,
+) -> (Vec<ThreadBlock>, Vec<usize>)
+where
+    F: Fn(usize, usize, usize, usize) -> ThreadBlock,
+{
     let pairs = op.heads * op.group_size;
     let mut blocks = Vec::with_capacity(pairs * n_ltiles);
     let mut assignment = Vec::with_capacity(pairs * n_ltiles);
@@ -113,7 +143,7 @@ fn generate_pair_stream(
         let (h, g) = (p / op.group_size, p % op.group_size);
         let core = p % cfg.num_cores;
         for lt in 0..n_ltiles {
-            blocks.push(build_block(op, cfg, h, g, lt, l_tile));
+            blocks.push(build(h, g, lt, l_tile));
             assignment.push(core);
         }
     }
@@ -125,13 +155,17 @@ fn generate_pair_stream(
 /// `(h, l-tile, sharers)` order so that each core's subsequence — which
 /// is what its scheduler queue preserves — is its own `(h, l-tile)`
 /// temporal stream.
-fn generate_spatial(
+fn generate_spatial<F>(
     op: &LogitOp,
     mapping: &Mapping,
     cfg: &TraceGenConfig,
     l_tile: usize,
     n_ltiles: usize,
-) -> (Vec<ThreadBlock>, Vec<usize>) {
+    build: &F,
+) -> (Vec<ThreadBlock>, Vec<usize>)
+where
+    F: Fn(usize, usize, usize, usize) -> ThreadBlock,
+{
     let gs = mapping.spatial_g();
     let gt = op.group_size / gs;
     let segments = mapping.spatial_l_segments();
@@ -148,7 +182,7 @@ fn generate_spatial(
                         let g = gsi * gt + gi;
                         let lt = seg * tiles_per_seg + t;
                         let core = (gsi * segments + seg) % cfg.num_cores;
-                        blocks.push(build_block(op, cfg, h, g, lt, l_tile));
+                        blocks.push(build(h, g, lt, l_tile));
                         assignment.push(core);
                     }
                 }
@@ -207,8 +241,10 @@ fn iterate(
     }
 }
 
-/// Builds the instruction stream of one thread block.
-fn build_block(
+/// Builds the instruction stream of one decode-Logit thread block:
+/// load the Q row, stream the K rows of the L tile with amortized
+/// compute, barrier, store the tile's scores.
+pub fn logit_block(
     op: &LogitOp,
     cfg: &TraceGenConfig,
     h: usize,
@@ -253,8 +289,14 @@ fn build_block(
 }
 
 /// Splits a contiguous `bytes`-long access at `base` into vector-width
-/// loads or stores.
-fn push_vector_accesses(instrs: &mut Vec<Instr>, base: u64, bytes: u64, vlen: u64, store: bool) {
+/// loads or stores (shared by all workload block builders).
+pub fn push_vector_accesses(
+    instrs: &mut Vec<Instr>,
+    base: u64,
+    bytes: u64,
+    vlen: u64,
+    store: bool,
+) {
     let mut off = 0;
     while off < bytes {
         let chunk = vlen.min(bytes - off) as u32;

@@ -10,7 +10,7 @@
 //! each query head `g` within its group, the operator computes
 //! `score[h][g][l] = Σ_d q[h][g][d] · k[h][l][d]` — a GEMV whose memory
 //! traffic is dominated by streaming the K cache. The G query heads of a
-//! group all read the *same* K[h], which is the temporal locality that
+//! group all read the *same* K\[h\], which is the temporal locality that
 //! MSHR merging captures.
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,652 @@
+//! Open workload layer: operators as pluggable trait objects.
+//!
+//! The paper evaluates one operator (decode Logit, Q·Kᵀ) on two model
+//! shapes, and the seed API hardcoded that closed world as a two-variant
+//! `Model` enum. This module replaces it with an open one:
+//!
+//! * [`Workload`] — the trait an operator implements to participate in
+//!   experiments: an {H, G, L, D} iteration space plus a per-thread-block
+//!   instruction-stream builder. Mapping construction and thread-block
+//!   enumeration are shared (see [`Layout`] and
+//!   [`crate::tracegen::generate_with`]); only the memory behavior of
+//!   one block is operator-specific.
+//! * [`LogitWorkload`] — the paper's decode Logit operator (the former
+//!   `Model` path).
+//! * [`AttnOutputWorkload`] — the attention-output GEMV `A·V`: consumes
+//!   the probabilities the Logit operator produced and streams the V
+//!   cache, with the same GQA sharing structure (the G query heads of a
+//!   group read the same `V[h]`).
+//! * [`PrefillLogitWorkload`] — a chunked-prefill variant: several query
+//!   tokens score against the K cache per pass, raising arithmetic
+//!   intensity and widening each block's store footprint.
+//! * [`WorkloadSpec`] — the serde-round-trippable description of a
+//!   workload *family* (everything but the sequence length), so campaign
+//!   definitions can cross workloads × sequence lengths as data.
+//!
+//! All three workloads share the {H, G, L, D} space, so every [`Layout`]
+//! loop nest, the mapper and the legality constraints apply unchanged.
+
+use std::fmt;
+use std::sync::Arc;
+
+use llamcat_sim::prog::{Instr, Program, ThreadBlock};
+use llamcat_sim::types::Addr;
+use serde::{Deserialize, Serialize};
+
+use crate::mapping::{Layout, Mapping};
+use crate::tracegen::{
+    generate_with, logit_block, push_vector_accesses, TraceGenConfig, TraceMeta,
+};
+use crate::workload::{LogitOp, ELEM_BYTES};
+
+/// Base virtual address of the V cache (attention-output workload).
+/// Sits above the score region; tensors never overlap for realistic
+/// shapes (the score region tops out well below at 2·H·G·L bytes).
+pub const V_BASE: Addr = 0x10_0000_0000;
+/// Base virtual address of the attention-output partial results.
+pub const OUT_BASE: Addr = 0x80_0000_0000;
+
+/// An operator that can be lowered to per-core memory traces.
+///
+/// A workload is the pairing of an iteration space (`shape`, reusing
+/// [`LogitOp`]'s {H, G, L, D} dimensions) with a block builder
+/// (`build_block`). The provided methods derive everything else —
+/// legal mappings per [`Layout`] and full [`Program`] generation — so
+/// implementing a new operator means implementing two methods.
+pub trait Workload: fmt::Debug + Send + Sync {
+    /// Stable label, used in reports, campaign JSONL and figures.
+    fn label(&self) -> String;
+
+    /// The {H, G, L, D} iteration space the mapping machinery tiles.
+    fn shape(&self) -> LogitOp;
+
+    /// Builds the instruction stream of one thread block
+    /// (`(h, g, l_tile_index, l_tile_extent)`).
+    fn build_block(
+        &self,
+        cfg: &TraceGenConfig,
+        h: usize,
+        g: usize,
+        lt: usize,
+        l_tile: usize,
+    ) -> ThreadBlock;
+
+    /// Validates the workload shape (graceful error, no panics).
+    fn validate(&self) -> Result<(), String> {
+        self.shape().validate()
+    }
+
+    /// The loop nest of `layout` over this workload's iteration space.
+    fn mapping(&self, layout: Layout, l_tile: usize, num_cores: usize) -> Mapping {
+        layout.mapping(&self.shape(), l_tile, num_cores)
+    }
+
+    /// Walks `mapping` into an executable program.
+    ///
+    /// Panics if the mapping is invalid for the shape; validate first
+    /// ([`Mapping::validate`]) for a graceful error.
+    fn generate(&self, mapping: &Mapping, cfg: &TraceGenConfig) -> (Program, TraceMeta) {
+        let shape = self.shape();
+        generate_with(&shape, mapping, cfg, |h, g, lt, l_tile| {
+            self.build_block(cfg, h, g, lt, l_tile)
+        })
+    }
+}
+
+/// The paper's evaluated operator: decode-stage Logit (Q·Kᵀ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogitWorkload {
+    pub op: LogitOp,
+}
+
+impl LogitWorkload {
+    pub fn new(op: LogitOp) -> Self {
+        LogitWorkload { op }
+    }
+}
+
+impl Workload for LogitWorkload {
+    fn label(&self) -> String {
+        match (self.op.heads, self.op.group_size, self.op.head_dim) {
+            (8, 8, 128) => "llama3 70b".to_string(),
+            (8, 16, 128) => "llama3 405b".to_string(),
+            (h, g, d) => format!("logit h{h} g{g} d{d}"),
+        }
+    }
+
+    fn shape(&self) -> LogitOp {
+        self.op
+    }
+
+    fn build_block(
+        &self,
+        cfg: &TraceGenConfig,
+        h: usize,
+        g: usize,
+        lt: usize,
+        l_tile: usize,
+    ) -> ThreadBlock {
+        logit_block(&self.op, cfg, h, g, lt, l_tile)
+    }
+}
+
+/// Attention-output GEMV `A·V`: for each (h, g) pair,
+/// `out[d] = Σ_l A[h][g][l] · V[h][l][d]`.
+///
+/// The memory shape mirrors the Logit operator with roles swapped: the
+/// small per-pair probability row `A[h][g]` replaces Q, the streamed V
+/// cache replaces K (same footprint, same per-row bytes), and each
+/// block writes its L-tile's *partial* output row (split-L partial sums
+/// materialized for a later reduction pass), so stores never alias
+/// across blocks. GQA temporal locality is identical: the G query heads
+/// of a group stream the same `V[h]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttnOutputWorkload {
+    pub op: LogitOp,
+}
+
+impl AttnOutputWorkload {
+    pub fn new(op: LogitOp) -> Self {
+        AttnOutputWorkload { op }
+    }
+
+    /// Address of element `d` of `V[h][l]` (row-major `[h][l][d]`).
+    pub fn v_addr(&self, h: usize, l: usize, d: usize) -> Addr {
+        debug_assert!(h < self.op.heads && l < self.op.seq_len && d < self.op.head_dim);
+        V_BASE + (((h * self.op.seq_len + l) * self.op.head_dim + d) as u64) * ELEM_BYTES
+    }
+
+    /// Address of the partial output row of block (h, g, l-tile).
+    pub fn partial_out_addr(&self, h: usize, g: usize, lt: usize, n_ltiles: usize) -> Addr {
+        OUT_BASE + (((h * self.op.group_size + g) * n_ltiles + lt) as u64) * self.op.k_row_bytes()
+    }
+}
+
+impl Workload for AttnOutputWorkload {
+    fn label(&self) -> String {
+        format!(
+            "attn-out h{} g{} d{}",
+            self.op.heads, self.op.group_size, self.op.head_dim
+        )
+    }
+
+    fn shape(&self) -> LogitOp {
+        self.op
+    }
+
+    fn build_block(
+        &self,
+        cfg: &TraceGenConfig,
+        h: usize,
+        g: usize,
+        lt: usize,
+        l_tile: usize,
+    ) -> ThreadBlock {
+        let op = &self.op;
+        let vlen = cfg.vector_len_bytes;
+        let row_bytes = op.k_row_bytes();
+        let n_ltiles = op.seq_len / l_tile;
+        let l0 = lt * l_tile;
+        let mut instrs = Vec::with_capacity(l_tile * 2 + l_tile / 2 + 8);
+
+        // Load the probability tile A[h][g][l0 .. l0+l_tile] (produced
+        // by the Logit operator at the same addresses).
+        push_vector_accesses(
+            &mut instrs,
+            op.score_addr(h, g, l0),
+            l_tile as u64 * ELEM_BYTES,
+            vlen,
+            false,
+        );
+
+        // Stream the V rows of the tile, interleaving amortized compute.
+        let mut pending_compute = 0u32;
+        for li in 0..l_tile {
+            push_vector_accesses(
+                &mut instrs,
+                self.v_addr(h, l0 + li, 0),
+                row_bytes,
+                vlen,
+                false,
+            );
+            pending_compute += cfg.compute_cycles_per_row;
+            if (li + 1) % cfg.compute_flush_rows == 0 && pending_compute > 0 {
+                instrs.push(Instr::Compute {
+                    cycles: pending_compute,
+                });
+                pending_compute = 0;
+            }
+        }
+        if pending_compute > 0 {
+            instrs.push(Instr::Compute {
+                cycles: pending_compute,
+            });
+        }
+
+        // Reduce, then store this tile's partial output row.
+        instrs.push(Instr::Barrier);
+        push_vector_accesses(
+            &mut instrs,
+            self.partial_out_addr(h, g, lt, n_ltiles),
+            row_bytes,
+            vlen,
+            true,
+        );
+        ThreadBlock { instrs }
+    }
+}
+
+/// Chunked-prefill Logit: `query_tokens` query rows score against the K
+/// cache per pass (`score[t][l] = Σ_d q[t][d] · k[l][d]`).
+///
+/// Each thread block loads its pair's `query_tokens` Q rows, streams
+/// the K rows of its L tile once (K traffic is *shared* across the
+/// chunk — the higher arithmetic intensity that makes prefill
+/// compute-friendlier than decode), and stores one score tile per query
+/// token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefillLogitWorkload {
+    pub op: LogitOp,
+    /// Query tokens scored per pass (the prefill chunk size).
+    pub query_tokens: usize,
+}
+
+impl PrefillLogitWorkload {
+    pub fn new(op: LogitOp, query_tokens: usize) -> Self {
+        PrefillLogitWorkload { op, query_tokens }
+    }
+
+    /// Address of element `d` of query row `t` of pair (h, g)
+    /// (row-major `[h][g][t][d]`).
+    pub fn q_addr(&self, h: usize, g: usize, t: usize, d: usize) -> Addr {
+        use crate::workload::Q_BASE;
+        Q_BASE
+            + ((((h * self.op.group_size + g) * self.query_tokens + t) * self.op.head_dim + d)
+                as u64)
+                * ELEM_BYTES
+    }
+
+    /// Address of `score[h][g][t][l]` (row-major `[h][g][t][l]`).
+    pub fn score_addr(&self, h: usize, g: usize, t: usize, l: usize) -> Addr {
+        use crate::workload::SCORE_BASE;
+        SCORE_BASE
+            + ((((h * self.op.group_size + g) * self.query_tokens + t) * self.op.seq_len + l)
+                as u64)
+                * ELEM_BYTES
+    }
+}
+
+impl Workload for PrefillLogitWorkload {
+    fn label(&self) -> String {
+        format!(
+            "prefill h{} g{} d{} q{}",
+            self.op.heads, self.op.group_size, self.op.head_dim, self.query_tokens
+        )
+    }
+
+    fn shape(&self) -> LogitOp {
+        self.op
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        self.op.validate()?;
+        if self.query_tokens == 0 {
+            return Err("prefill chunk must cover at least one query token".into());
+        }
+        if self.query_tokens > 64 {
+            return Err(format!(
+                "prefill chunk of {} query tokens would overflow the instruction window",
+                self.query_tokens
+            ));
+        }
+        Ok(())
+    }
+
+    fn build_block(
+        &self,
+        cfg: &TraceGenConfig,
+        h: usize,
+        g: usize,
+        lt: usize,
+        l_tile: usize,
+    ) -> ThreadBlock {
+        let op = &self.op;
+        let t_count = self.query_tokens;
+        let vlen = cfg.vector_len_bytes;
+        let row_bytes = op.k_row_bytes();
+        let l0 = lt * l_tile;
+        let mut instrs = Vec::with_capacity(l_tile * 2 + t_count * 3 + 8);
+
+        // Load the chunk's Q rows for (h, g).
+        for t in 0..t_count {
+            push_vector_accesses(&mut instrs, self.q_addr(h, g, t, 0), row_bytes, vlen, false);
+        }
+
+        // Stream the K rows of the tile once; every row feeds
+        // `query_tokens` dot products.
+        let mut pending_compute = 0u32;
+        for li in 0..l_tile {
+            push_vector_accesses(
+                &mut instrs,
+                op.k_addr(h, l0 + li, 0),
+                row_bytes,
+                vlen,
+                false,
+            );
+            pending_compute += cfg.compute_cycles_per_row * t_count as u32;
+            if (li + 1) % cfg.compute_flush_rows == 0 && pending_compute > 0 {
+                instrs.push(Instr::Compute {
+                    cycles: pending_compute,
+                });
+                pending_compute = 0;
+            }
+        }
+        if pending_compute > 0 {
+            instrs.push(Instr::Compute {
+                cycles: pending_compute,
+            });
+        }
+
+        // Barrier, then one score tile per query token.
+        instrs.push(Instr::Barrier);
+        for t in 0..t_count {
+            push_vector_accesses(
+                &mut instrs,
+                self.score_addr(h, g, t, l0),
+                l_tile as u64 * ELEM_BYTES,
+                vlen,
+                true,
+            );
+        }
+        ThreadBlock { instrs }
+    }
+}
+
+/// Serde-round-trippable description of a workload family: every
+/// parameter except the sequence length, which campaign grids cross
+/// separately. [`WorkloadSpec::instantiate`] turns (spec, seq_len) into
+/// a runnable [`Workload`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// Decode-stage Logit (Q·Kᵀ).
+    Logit {
+        heads: usize,
+        group_size: usize,
+        head_dim: usize,
+    },
+    /// Attention-output GEMV (A·V).
+    AttnOutput {
+        heads: usize,
+        group_size: usize,
+        head_dim: usize,
+    },
+    /// Chunked-prefill Logit (`query_tokens` queries per pass).
+    PrefillLogit {
+        heads: usize,
+        group_size: usize,
+        head_dim: usize,
+        query_tokens: usize,
+    },
+}
+
+impl WorkloadSpec {
+    /// Llama3 70b decode Logit (H=8, G=8, D=128).
+    pub fn llama3_70b() -> Self {
+        WorkloadSpec::Logit {
+            heads: 8,
+            group_size: 8,
+            head_dim: 128,
+        }
+    }
+
+    /// Llama3 405b decode Logit (H=8, G=16, D=128).
+    pub fn llama3_405b() -> Self {
+        WorkloadSpec::Logit {
+            heads: 8,
+            group_size: 16,
+            head_dim: 128,
+        }
+    }
+
+    fn op(&self, seq_len: usize) -> LogitOp {
+        let (heads, group_size, head_dim) = match *self {
+            WorkloadSpec::Logit {
+                heads,
+                group_size,
+                head_dim,
+            }
+            | WorkloadSpec::AttnOutput {
+                heads,
+                group_size,
+                head_dim,
+            }
+            | WorkloadSpec::PrefillLogit {
+                heads,
+                group_size,
+                head_dim,
+                ..
+            } => (heads, group_size, head_dim),
+        };
+        LogitOp {
+            heads,
+            group_size,
+            seq_len,
+            head_dim,
+        }
+    }
+
+    /// Builds the runnable workload for one sequence length.
+    pub fn instantiate(&self, seq_len: usize) -> Arc<dyn Workload> {
+        let op = self.op(seq_len);
+        match *self {
+            WorkloadSpec::Logit { .. } => Arc::new(LogitWorkload::new(op)),
+            WorkloadSpec::AttnOutput { .. } => Arc::new(AttnOutputWorkload::new(op)),
+            WorkloadSpec::PrefillLogit { query_tokens, .. } => {
+                Arc::new(PrefillLogitWorkload::new(op, query_tokens))
+            }
+        }
+    }
+
+    /// The label an instantiated workload will report (seq-independent).
+    pub fn label(&self) -> String {
+        // Labels must not depend on seq_len; probe with a nominal one.
+        self.instantiate(128).label()
+    }
+
+    /// Validates the family parameters without a sequence length.
+    pub fn validate(&self) -> Result<(), String> {
+        self.instantiate(128).validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{K_BASE, SCORE_BASE};
+    use llamcat_sim::types::LINE_BYTES;
+    use std::collections::HashSet;
+
+    fn small_op() -> LogitOp {
+        LogitOp {
+            heads: 2,
+            group_size: 4,
+            seq_len: 128,
+            head_dim: 128,
+        }
+    }
+
+    #[test]
+    fn preset_labels_are_stable() {
+        assert_eq!(WorkloadSpec::llama3_70b().label(), "llama3 70b");
+        assert_eq!(WorkloadSpec::llama3_405b().label(), "llama3 405b");
+        assert_eq!(
+            WorkloadSpec::AttnOutput {
+                heads: 8,
+                group_size: 8,
+                head_dim: 128
+            }
+            .label(),
+            "attn-out h8 g8 d128"
+        );
+        assert_eq!(
+            WorkloadSpec::PrefillLogit {
+                heads: 8,
+                group_size: 8,
+                head_dim: 128,
+                query_tokens: 4
+            }
+            .label(),
+            "prefill h8 g8 d128 q4"
+        );
+    }
+
+    #[test]
+    fn logit_workload_matches_legacy_generate() {
+        let op = small_op();
+        let w = LogitWorkload::new(op);
+        let cfg = TraceGenConfig::default();
+        let mapping = w.mapping(Layout::PairStream, 32, cfg.num_cores);
+        let (p_new, meta_new) = w.generate(&mapping, &cfg);
+        let (p_old, meta_old) = crate::tracegen::generate(&op, &mapping, &cfg);
+        assert_eq!(meta_new, meta_old);
+        assert_eq!(p_new.blocks.len(), p_old.blocks.len());
+        for (a, b) in p_new.blocks.iter().zip(&p_old.blocks) {
+            assert_eq!(a.instrs, b.instrs);
+        }
+    }
+
+    #[test]
+    fn attn_output_streams_v_not_k() {
+        let w = AttnOutputWorkload::new(small_op());
+        let cfg = TraceGenConfig::default();
+        let mapping = w.mapping(Layout::PairStream, 32, cfg.num_cores);
+        let (p, meta) = w.generate(&mapping, &cfg);
+        // Same stream volume as the logit operator's K traffic, but all
+        // bulk loads land in the V region and the per-pair row loads in
+        // the score (A) region; nothing touches K.
+        for b in &p.blocks {
+            for i in &b.instrs {
+                if let Instr::Load { addr, .. } = i {
+                    let in_v = (V_BASE..OUT_BASE).contains(addr);
+                    let in_a = (SCORE_BASE..V_BASE).contains(addr);
+                    assert!(in_v || in_a, "load at {addr:#x} outside V/A regions");
+                    assert!(!(K_BASE..SCORE_BASE).contains(addr));
+                }
+            }
+        }
+        let op = small_op();
+        // V streamed once per query head + A read once per pair.
+        assert_eq!(
+            meta.total_load_bytes,
+            op.k_bytes() * op.group_size as u64 + op.score_bytes()
+        );
+        // One partial output row per block.
+        assert_eq!(
+            meta.total_store_bytes,
+            meta.num_blocks as u64 * op.k_row_bytes()
+        );
+    }
+
+    #[test]
+    fn attn_output_partial_stores_never_alias() {
+        let w = AttnOutputWorkload::new(small_op());
+        let cfg = TraceGenConfig::default();
+        let mapping = w.mapping(Layout::PairStream, 32, cfg.num_cores);
+        let (p, _) = w.generate(&mapping, &cfg);
+        let mut lines = HashSet::new();
+        for b in &p.blocks {
+            for i in &b.instrs {
+                if let Instr::Store { addr, bytes } = i {
+                    let mut a = *addr;
+                    while a < addr + *bytes as u64 {
+                        assert!(lines.insert(a / LINE_BYTES), "partial line stored twice");
+                        a += LINE_BYTES;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefill_shares_k_across_query_tokens() {
+        let op = small_op();
+        let chunk = 4;
+        let w = PrefillLogitWorkload::new(op, chunk);
+        let cfg = TraceGenConfig::default();
+        let mapping = w.mapping(Layout::PairStream, 32, cfg.num_cores);
+        let (_, meta) = w.generate(&mapping, &cfg);
+        // K streamed once per (h, g) — NOT once per query token — while
+        // Q and score traffic scale with the chunk.
+        let k_traffic = op.k_bytes() * op.group_size as u64;
+        let q_traffic =
+            (op.heads * op.group_size * (op.seq_len / 32) * chunk) as u64 * op.k_row_bytes();
+        assert_eq!(meta.total_load_bytes, k_traffic + q_traffic);
+        assert_eq!(meta.total_store_bytes, op.score_bytes() * chunk as u64);
+    }
+
+    #[test]
+    fn prefill_blocks_fit_instruction_window() {
+        let w = PrefillLogitWorkload::new(LogitOp::llama3_70b(4096), 4);
+        let cfg = TraceGenConfig::default();
+        let mapping = w.mapping(Layout::PairStream, 32, cfg.num_cores);
+        let (_, meta) = w.generate(&mapping, &cfg);
+        assert!(
+            meta.max_block_instrs <= 128,
+            "prefill blocks must fit the 128-deep instruction window, got {}",
+            meta.max_block_instrs
+        );
+    }
+
+    #[test]
+    fn prefill_validation_bounds_chunk() {
+        let op = small_op();
+        assert!(PrefillLogitWorkload::new(op, 0).validate().is_err());
+        assert!(PrefillLogitWorkload::new(op, 65).validate().is_err());
+        assert!(PrefillLogitWorkload::new(op, 8).validate().is_ok());
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let specs = [
+            WorkloadSpec::llama3_70b(),
+            WorkloadSpec::llama3_405b(),
+            WorkloadSpec::AttnOutput {
+                heads: 4,
+                group_size: 2,
+                head_dim: 64,
+            },
+            WorkloadSpec::PrefillLogit {
+                heads: 8,
+                group_size: 8,
+                head_dim: 128,
+                query_tokens: 8,
+            },
+        ];
+        for spec in specs {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec, "round-trip failed for {json}");
+        }
+    }
+
+    #[test]
+    fn all_workloads_run_under_all_layouts() {
+        let op = small_op();
+        let workloads: Vec<Arc<dyn Workload>> = vec![
+            Arc::new(LogitWorkload::new(op)),
+            Arc::new(AttnOutputWorkload::new(op)),
+            Arc::new(PrefillLogitWorkload::new(op, 2)),
+        ];
+        let cfg = TraceGenConfig::default();
+        for w in &workloads {
+            w.validate().unwrap();
+            for layout in Layout::ALL {
+                let mapping = w.mapping(layout, 32, cfg.num_cores);
+                mapping.validate(&w.shape()).unwrap();
+                let (p, meta) = w.generate(&mapping, &cfg);
+                assert_eq!(p.num_blocks(), meta.num_blocks);
+                assert!(meta.total_load_bytes > 0);
+            }
+        }
+    }
+}

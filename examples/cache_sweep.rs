@@ -1,11 +1,14 @@
 //! Cache-capacity scenario (a runnable slice of Fig 9): how sensitive
-//! each policy is to L2 size under a long context.
+//! each policy is to L2 size under a long context — expressed as one
+//! declarative [`Campaign`] over the L2 axis.
 //!
 //! ```text
 //! cargo run --release --example cache_sweep [seq_len] [70b|405b]
 //! ```
 
-use llamcat::experiment::{Experiment, Model, Policy};
+use llamcat::experiment::Model;
+use llamcat::spec::PolicySpec;
+use llamcat_bench::Campaign;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -15,12 +18,19 @@ fn main() {
         _ => Model::Llama3_70b,
     };
     let sizes = [8u64, 16, 32, 64];
-    let policies = [
-        Policy::unoptimized(),
-        Policy::dyncta(),
-        Policy::dynmg(),
-        Policy::dynmg_bma(),
-    ];
+
+    let report = Campaign::new("cache-sweep")
+        .workload(model.spec())
+        .seq_lens([seq_len])
+        .l2_sizes_mb(sizes)
+        .policies([
+            PolicySpec::unoptimized(),
+            PolicySpec::dyncta(),
+            PolicySpec::dynmg(),
+            PolicySpec::dynmg_bma(),
+        ])
+        .run()
+        .expect("cache sweep campaign");
 
     println!("L2 capacity sweep, {:?} @ seq {}\n", model, seq_len);
     print!("{:<16}", "policy");
@@ -30,15 +40,16 @@ fn main() {
     println!();
     // Normalize everything against unoptimized at the largest cache: the
     // "how much cache does this policy need" view.
-    let ref_cycles = Experiment::new(model, seq_len)
-        .l2_mb(*sizes.last().expect("non-empty"))
-        .run()
+    let ref_cycles = report
+        .policy_records(0)
+        .last()
+        .expect("largest-cache record")
+        .report
         .cycles;
-    for p in policies {
-        print!("{:<16}", p.label());
-        for &mb in &sizes {
-            let r = Experiment::new(model, seq_len).l2_mb(mb).policy(p).run();
-            print!("{:>9.3}x", ref_cycles as f64 / r.cycles as f64);
+    for (p, policy) in report.campaign.policies.iter().enumerate() {
+        print!("{:<16}", policy.label());
+        for rec in report.policy_records(p) {
+            print!("{:>9.3}x", ref_cycles as f64 / rec.report.cycles as f64);
         }
         println!();
     }

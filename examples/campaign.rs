@@ -1,0 +1,95 @@
+//! Declarative campaign runner: a JSON-defined sweep, executed in
+//! parallel, streamed as JSONL.
+//!
+//! ```text
+//! cargo run --release --example campaign                 # embedded demo grid
+//! cargo run --release --example campaign -- grid.json    # your own definition
+//! cargo run --release --example campaign -- --print-default > grid.json
+//! ```
+//!
+//! The JSONL records go to stdout (one `CellRecord` per line — cell,
+//! full `RunReport`, baseline-relative speedup); a human summary goes
+//! to stderr so redirection stays clean:
+//!
+//! ```text
+//! cargo run --release --example campaign | head -1 | python3 -m json.tool
+//! ```
+//!
+//! The embedded demo grid crosses three workload families (decode
+//! Logit, attention-output A·V, chunked prefill) with two sequence
+//! lengths and three policies — every parameter, including the full
+//! DynMg configuration, travels in the JSON.
+
+use llamcat_bench::Campaign;
+
+/// The demo grid. Tiny on purpose: it doubles as the CI smoke job.
+const DEFAULT_CAMPAIGN_JSON: &str = r#"{
+  "name": "demo-grid",
+  "workloads": [
+    {"Logit": {"heads": 8, "group_size": 8, "head_dim": 128}},
+    {"AttnOutput": {"heads": 8, "group_size": 8, "head_dim": 128}},
+    {"PrefillLogit": {"heads": 8, "group_size": 8, "head_dim": 128, "query_tokens": 4}}
+  ],
+  "seq_lens": [128, 256],
+  "l2_mb": [16],
+  "policies": [
+    {"arb": "Fifo", "throttle": "None"},
+    {"arb": "Fifo", "throttle": {"DynMg": {"config": {
+      "sampling_period": 6000, "sub_period": 1200, "max_gear": 4,
+      "gear_fractions": [0.0, 0.125, 0.25, 0.5, 0.75],
+      "in_core": {"c_idle_upper": 4, "c_mem_upper": 250, "c_mem_lower": 180}}}}},
+    {"arb": "BalancedMshrAware", "throttle": {"DynMg": {"config": {
+      "sampling_period": 6000, "sub_period": 1200, "max_gear": 4,
+      "gear_fractions": [0.0, 0.125, 0.25, 0.5, 0.75],
+      "in_core": {"c_idle_upper": 4, "c_mem_upper": 250, "c_mem_lower": 180}}}}}
+  ],
+  "baseline": {"arb": "Fifo", "throttle": "None"},
+  "layout": "PairStream",
+  "l_tile": 32,
+  "max_cycles": null
+}"#;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let json = match arg.as_deref() {
+        Some("--print-default") => {
+            println!("{DEFAULT_CAMPAIGN_JSON}");
+            return;
+        }
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read campaign file `{path}`: {e}")),
+        None => DEFAULT_CAMPAIGN_JSON.to_string(),
+    };
+
+    let campaign: Campaign =
+        serde_json::from_str(&json).expect("campaign JSON must parse (see --print-default)");
+    // Definitions are data: what we run is exactly what re-serializes.
+    let canonical = serde_json::to_string(&campaign).expect("campaign serializes");
+    let reparsed: Campaign = serde_json::from_str(&canonical).expect("canonical JSON parses");
+    assert_eq!(reparsed, campaign, "campaign must round-trip losslessly");
+
+    eprintln!(
+        "campaign `{}`: {} workloads x {} seq_lens x {} L2 sizes x {} policies = {} cells",
+        campaign.name,
+        campaign.workloads.len(),
+        campaign.seq_lens.len(),
+        campaign.l2_mb.len(),
+        campaign.policies.len(),
+        campaign.cells().len(),
+    );
+
+    let report = campaign
+        .run()
+        .unwrap_or_else(|e| panic!("campaign failed: {e}"));
+    report
+        .write_jsonl(std::io::stdout())
+        .expect("write JSONL to stdout");
+
+    if campaign.baseline.is_some() {
+        eprintln!("\ngeomean speedups over baseline:");
+        for (label, g) in report.geomeans() {
+            eprintln!("  {label:<16} {g:.3}x");
+        }
+    }
+    eprintln!("\n{} JSONL records written", report.records.len());
+}

@@ -1,11 +1,15 @@
-//! Policy explorer: run every policy combination on one workload and
-//! print the full mechanism table (a do-it-yourself Fig 8).
+//! Policy explorer: run every cell of the arbitration × throttling
+//! matrix on one workload and print the full mechanism table (a
+//! do-it-yourself Fig 8). The matrix is assembled through the open
+//! [`PolicySpec`] component registry rather than hardcoded enums.
 //!
 //! ```text
 //! cargo run --release --example policy_explorer [seq_len] [70b|405b] [l2_mb]
 //! ```
 
-use llamcat::experiment::{ArbPolicy, Experiment, Model, Policy, ThrottlePolicy};
+use llamcat::experiment::Model;
+use llamcat::spec::{ArbSpec, PolicySpec, ThrottleSpec};
+use llamcat_bench::Campaign;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -16,52 +20,57 @@ fn main() {
     };
     let l2_mb: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(16);
 
-    let throttles = [
-        ThrottlePolicy::None,
-        ThrottlePolicy::Dyncta,
-        ThrottlePolicy::Lcs,
-        ThrottlePolicy::DynMg,
-    ];
-    let arbs = [
-        ArbPolicy::Fifo,
-        ArbPolicy::Balanced,
-        ArbPolicy::MshrAware,
-        ArbPolicy::BalancedMshrAware,
-        ArbPolicy::Cobrra,
-    ];
+    // The full 4 × 5 matrix from the component name tables.
+    let throttles = ["none", "dyncta", "lcs", "dynmg"];
+    let arbs = ["fifo", "B", "MA", "BMA", "cobrra"];
+    let policies: Vec<PolicySpec> = throttles
+        .iter()
+        .flat_map(|t| {
+            arbs.iter().map(|a| {
+                PolicySpec::new(
+                    ArbSpec::from_name(a).expect("known arb"),
+                    ThrottleSpec::from_name(t).expect("known throttle"),
+                )
+            })
+        })
+        .collect();
 
     println!(
         "Exploring {} policies on {:?} seq={} L2={}MB\n",
-        throttles.len() * arbs.len(),
+        policies.len(),
         model,
         seq_len,
         l2_mb
     );
+    let report = Campaign::new("policy-explorer")
+        .workload(model.spec())
+        .seq_lens([seq_len])
+        .l2_sizes_mb([l2_mb])
+        .policies(policies)
+        .baseline(PolicySpec::unoptimized())
+        .run()
+        .expect("policy explorer campaign");
+
     println!(
         "{:<16} {:>11} {:>8} {:>7} {:>8} {:>8} {:>7} {:>11}",
         "policy", "cycles", "speedup", "l2hit", "mshrhit", "entutil", "t_cs", "dram(GB/s)"
     );
-    let mut base = None;
     let mut best: Option<(String, u64)> = None;
-    for t in throttles {
-        for a in arbs {
-            let p = Policy::new(a, t);
-            let r = Experiment::new(model, seq_len).l2_mb(l2_mb).policy(p).run();
-            let b = *base.get_or_insert(r.cycles);
-            println!(
-                "{:<16} {:>11} {:>7.3}x {:>7.3} {:>8.3} {:>8.3} {:>7.3} {:>11.2}",
-                r.policy_label,
-                r.cycles,
-                b as f64 / r.cycles as f64,
-                r.l2_hit_rate,
-                r.mshr_hit_rate,
-                r.mshr_entry_util,
-                r.t_cs,
-                r.dram_bandwidth_gbs
-            );
-            if best.as_ref().is_none_or(|(_, c)| r.cycles < *c) {
-                best = Some((r.policy_label.clone(), r.cycles));
-            }
+    for rec in &report.records {
+        let r = &rec.report;
+        println!(
+            "{:<16} {:>11} {:>7.3}x {:>7.3} {:>8.3} {:>8.3} {:>7.3} {:>11.2}",
+            r.policy_label,
+            r.cycles,
+            rec.speedup.expect("baseline set"),
+            r.l2_hit_rate,
+            r.mshr_hit_rate,
+            r.mshr_entry_util,
+            r.t_cs,
+            r.dram_bandwidth_gbs
+        );
+        if best.as_ref().is_none_or(|(_, c)| r.cycles < *c) {
+            best = Some((r.policy_label.clone(), r.cycles));
         }
     }
     let (name, cycles) = best.expect("at least one policy ran");

@@ -6,10 +6,16 @@
 //! * [`sim`] (`llamcat-sim`) — cycle-level simulator substrate
 //!   (DDR5 DRAM, sliced LLC with MSHRs, vector cores, mesh NoC);
 //! * [`trace`] (`llamcat-trace`) — analytical dataflow model and
-//!   memory-trace generator (the Timeloop-class front-end);
+//!   memory-trace generator (the Timeloop-class front-end), including
+//!   the open `Workload` trait (Logit, attention-output A·V, chunked
+//!   prefill) and the serde `WorkloadSpec` campaign currency;
 //! * [`llamcat`] — the paper's contribution: balanced / MSHR-aware
 //!   LLC arbitration and two-level dynamic multi-gear throttling, with
-//!   the DYNCTA / LCS / COBRRA baselines and the experiment API.
+//!   the DYNCTA / LCS / COBRRA baselines, the experiment API and the
+//!   serializable `PolicySpec` registry.
+//!
+//! Declarative grid sweeps (`Campaign`) live in the `llamcat-bench`
+//! crate; see `examples/campaign.rs`.
 //!
 //! See README.md for the quickstart and DESIGN.md for the architecture.
 

@@ -14,6 +14,7 @@
 //! and paste the printed rows over `GOLDEN`.
 
 use llamcat::experiment::{ArbPolicy, Experiment, Model, Policy, ThrottlePolicy};
+use llamcat::spec::PolicySpec;
 
 const MODEL: Model = Model::Llama3_70b;
 const SEQ_LEN: usize = 128;
@@ -95,6 +96,49 @@ fn golden_baselines_match_recorded_seed_behavior() {
             got_mshr, mshr_hit,
             "{:?}/{:?}: MSHR hit rate changed",
             arb, throttle
+        );
+    }
+}
+
+/// The policy registry's canonical names must match the paper-figure
+/// labels this file pins — one name per named point of the ladder,
+/// resolving to the same (arb, throttle) cell the golden table records.
+#[test]
+fn registry_labels_match_paper_figure_labels() {
+    let figure_policies = [
+        Policy::unoptimized(),
+        Policy::dyncta(),
+        Policy::lcs(),
+        Policy::cobrra(),
+        Policy::dynmg(),
+        Policy::dynmg_b(),
+        Policy::dynmg_ma(),
+        Policy::dynmg_bma(),
+        Policy::dynmg_cobrra(),
+    ];
+    let names = PolicySpec::registry_names();
+    assert_eq!(
+        names.len(),
+        figure_policies.len(),
+        "registry must cover exactly the named figure points"
+    );
+    for (name, policy) in names.iter().zip(figure_policies) {
+        assert_eq!(
+            *name,
+            policy.label(),
+            "registry order must follow the figure ladder"
+        );
+        let spec = PolicySpec::from_name(name)
+            .unwrap_or_else(|| panic!("registry name `{name}` must resolve"));
+        assert_eq!(spec, policy.spec(), "`{name}` resolves to the wrong cell");
+        assert_eq!(spec.label(), *name, "label/name round trip for `{name}`");
+        // The golden table covers this cell: the registry points into
+        // the pinned 5 × 4 matrix, not outside it.
+        assert!(
+            GOLDEN
+                .iter()
+                .any(|&(arb, thr, ..)| Policy::new(arb, thr).spec() == spec),
+            "registry name `{name}` must map into the golden matrix"
         );
     }
 }
