@@ -41,6 +41,7 @@ use std::io::{self, Write};
 
 use llamcat::experiment::{Experiment, RunReport};
 use llamcat::spec::PolicySpec;
+use llamcat_sim::system::StepMode;
 use llamcat_trace::mapping::Layout;
 use llamcat_trace::workloads::WorkloadSpec;
 use rayon::prelude::*;
@@ -70,6 +71,12 @@ pub struct Campaign {
     pub l_tile: usize,
     /// Hard cycle budget; `None` derives one per cell.
     pub max_cycles: Option<u64>,
+    /// Simulation step mode for every cell. `Skip` fast-forwards idle
+    /// cycles with byte-identical statistics; `Cycle` (the serde
+    /// default, so older campaign files keep parsing) is the
+    /// cycle-accurate reference.
+    #[serde(default)]
+    pub step_mode: StepMode,
 }
 
 /// One point of the grid, fully self-describing (what to run).
@@ -83,13 +90,14 @@ pub struct CampaignCell {
 
 impl CampaignCell {
     /// The experiment this cell describes.
-    pub fn experiment(&self, layout: Layout, l_tile: usize, max_cycles: Option<u64>) -> Experiment {
+    pub fn experiment(&self, campaign: &Campaign) -> Experiment {
         let mut e = Experiment::from_spec(&self.workload, self.seq_len)
             .policy(self.policy.clone())
             .l2_mb(self.l2_mb)
-            .layout(layout);
-        e.l_tile = l_tile;
-        e.max_cycles = max_cycles;
+            .layout(campaign.layout)
+            .step_mode(campaign.step_mode);
+        e.l_tile = campaign.l_tile;
+        e.max_cycles = campaign.max_cycles;
         e
     }
 }
@@ -126,6 +134,7 @@ impl Campaign {
             layout: Layout::default(),
             l_tile: 32,
             max_cycles: None,
+            step_mode: StepMode::default(),
         }
     }
 
@@ -180,6 +189,13 @@ impl Campaign {
 
     pub fn max_cycles(mut self, cycles: u64) -> Self {
         self.max_cycles = Some(cycles);
+        self
+    }
+
+    /// Selects the simulation step mode for every cell (default:
+    /// cycle-accurate).
+    pub fn step_mode(mut self, mode: StepMode) -> Self {
+        self.step_mode = mode;
         self
     }
 
@@ -297,10 +313,7 @@ impl Campaign {
             }
         }
 
-        let experiments: Vec<Experiment> = all
-            .iter()
-            .map(|c| c.experiment(self.layout, self.l_tile, self.max_cycles))
-            .collect();
+        let experiments: Vec<Experiment> = all.iter().map(|c| c.experiment(self)).collect();
         let mut reports = run_experiments(&experiments)?;
 
         let n_pol = self.policies.len();

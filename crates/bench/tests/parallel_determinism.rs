@@ -1,10 +1,12 @@
 //! The figure benches fan experiments out with `run_cells` (rayon).
 //! Parallel execution must not perturb results: each cell's report has
 //! to match a sequential run of the same experiment, in input order,
-//! every time.
+//! every time — in both simulation step modes, whose JSONL output must
+//! additionally be byte-identical to each other.
 
 use llamcat::experiment::{Experiment, Model, Policy};
-use llamcat_bench::{run_cells, Cell};
+use llamcat_bench::{run_cells, run_experiments, Cell};
+use llamcat_sim::system::StepMode;
 
 fn small_grid() -> Vec<Cell> {
     let policies = [
@@ -24,30 +26,37 @@ fn small_grid() -> Vec<Cell> {
         .collect()
 }
 
-#[test]
-fn parallel_sweep_matches_sequential_runs() {
-    let cells = small_grid();
-    let parallel = run_cells(&cells);
-    let sequential: Vec<_> = cells
+fn experiments(cells: &[Cell], mode: StepMode) -> Vec<Experiment> {
+    cells
         .iter()
         .map(|c| {
             Experiment::new(c.model, c.seq_len)
                 .policy(c.policy)
                 .l2_mb(c.l2_mb)
-                .run()
+                .step_mode(mode)
         })
-        .collect();
-    for (p, s) in parallel.iter().zip(&sequential) {
-        assert_eq!(p.policy_label, s.policy_label, "order not preserved");
-        assert_eq!(
-            p.cycles, s.cycles,
-            "{}: parallel != sequential",
-            p.policy_label
-        );
-        assert_eq!(
-            serde_json::to_string(p).unwrap(),
-            serde_json::to_string(s).unwrap()
-        );
+        .collect()
+}
+
+#[test]
+fn parallel_sweep_matches_sequential_runs() {
+    let cells = small_grid();
+    for mode in [StepMode::Cycle, StepMode::Skip] {
+        let exps = experiments(&cells, mode);
+        let parallel = run_experiments(&exps).unwrap();
+        let sequential: Vec<_> = exps.iter().map(|e| e.run()).collect();
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.policy_label, s.policy_label, "order not preserved");
+            assert_eq!(
+                p.cycles, s.cycles,
+                "{}: parallel != sequential ({mode:?})",
+                p.policy_label
+            );
+            assert_eq!(
+                serde_json::to_string(p).unwrap(),
+                serde_json::to_string(s).unwrap()
+            );
+        }
     }
 }
 
@@ -63,4 +72,21 @@ fn parallel_sweep_is_repeatable() {
             x.policy_label
         );
     }
+}
+
+/// Rayon-parallel sweeps in Skip mode must stream the exact bytes the
+/// cycle-accurate sweep streams: same reports, same order.
+#[test]
+fn parallel_skip_sweep_is_byte_identical_to_cycle_sweep() {
+    let cells = small_grid();
+    let cycle = run_experiments(&experiments(&cells, StepMode::Cycle)).unwrap();
+    let skip = run_experiments(&experiments(&cells, StepMode::Skip)).unwrap();
+    let jsonl = |reports: &[llamcat::experiment::RunReport]| {
+        reports
+            .iter()
+            .map(|r| serde_json::to_string(r).unwrap())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(jsonl(&cycle), jsonl(&skip));
 }

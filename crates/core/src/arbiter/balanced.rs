@@ -28,6 +28,10 @@ impl RequestArbiter for BalancedArbiter {
         balanced_pick(ctx, &all)
     }
 
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        None // stateless between selections: ticking is a no-op
+    }
+
     fn name(&self) -> &'static str {
         "B"
     }

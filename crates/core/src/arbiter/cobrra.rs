@@ -76,6 +76,22 @@ impl RequestArbiter for CobrraArbiter {
         Some(prefer)
     }
 
+    fn next_event(&self, now: u64) -> Option<u64> {
+        // `port_preference` mutates only `draining`. While it is clear,
+        // the update is idempotent under the queue lengths a skip
+        // window guarantees (empty response queue, frozen request
+        // queue), so skipping the per-cycle calls changes nothing. A
+        // set `draining` flag, however, is cleared *by* those per-cycle
+        // calls (resp_q_len <= low — reachable inside a window when the
+        // low watermark truncates to 0 on tiny response queues), so we
+        // conservatively refuse to skip until it clears.
+        if self.draining {
+            Some(now)
+        } else {
+            None
+        }
+    }
+
     fn reset(&mut self) {
         self.draining = false;
     }

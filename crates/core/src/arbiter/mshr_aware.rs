@@ -152,6 +152,16 @@ impl RequestArbiter for MshrAwareArbiter {
         self.sent.tick();
     }
 
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        // The only autonomous state is sent_reqs aging, which `skip`
+        // fast-forwards exactly — so skipping never needs to wake us.
+        None
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        self.sent.skip(cycles);
+    }
+
     fn reset(&mut self) {
         self.hit_buffer.clear();
         self.sent.clear();

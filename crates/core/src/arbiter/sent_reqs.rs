@@ -59,6 +59,23 @@ impl SentReqs {
         }
     }
 
+    /// Fast-forwards `cycles` consecutive [`SentReqs::tick`]s in closed
+    /// form (for the simulator's idle-cycle-skipping engine). Entries
+    /// age uniformly and retire in FIFO order, so subtracting and
+    /// popping expired fronts is exactly equivalent to `cycles`
+    /// individual ticks with no intervening pushes.
+    pub fn skip(&mut self, cycles: u64) {
+        if cycles == 0 || self.entries.is_empty() {
+            return;
+        }
+        for e in self.entries.iter_mut() {
+            e.remaining = e.remaining.saturating_sub(cycles);
+        }
+        while self.entries.front().is_some_and(|e| e.remaining == 0) {
+            self.entries.pop_front();
+        }
+    }
+
     /// Whether `line_addr` is in flight as a *non-hit* (i.e. will occupy
     /// or merge into an MSHR entry shortly). Used to predict MSHR hits
     /// for requests issued back-to-back to the same line.

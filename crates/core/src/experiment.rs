@@ -25,7 +25,7 @@ use std::sync::Arc;
 use llamcat_sim::config::SystemConfig;
 use llamcat_sim::prog::Program;
 use llamcat_sim::stats::SimStats;
-use llamcat_sim::system::{RunOutcome, System};
+use llamcat_sim::system::{RunOutcome, StepMode, System};
 use llamcat_trace::tracegen::TraceGenConfig;
 use llamcat_trace::workload::LogitOp;
 use llamcat_trace::workloads::{LogitWorkload, Workload, WorkloadSpec};
@@ -270,6 +270,12 @@ pub struct Experiment {
     pub l_tile: usize,
     /// Hard cycle budget; `None` derives one from the workload size.
     pub max_cycles: Option<u64>,
+    /// How the simulator advances time. [`StepMode::Skip`] fast-forwards
+    /// provably idle cycles and is byte-identical to
+    /// [`StepMode::Cycle`] in every statistic (the differential suite
+    /// `crates/sim/tests/step_mode_equiv.rs` pins this across the whole
+    /// policy grid); `Cycle` remains the default reference mode.
+    pub step_mode: StepMode,
 }
 
 impl Experiment {
@@ -293,6 +299,7 @@ impl Experiment {
             layout: Layout::default(),
             l_tile: 32,
             max_cycles: None,
+            step_mode: StepMode::default(),
         }
     }
 
@@ -327,6 +334,12 @@ impl Experiment {
 
     pub fn max_cycles(mut self, cycles: u64) -> Self {
         self.max_cycles = Some(cycles);
+        self
+    }
+
+    /// Selects the simulation step mode (default: cycle-accurate).
+    pub fn step_mode(mut self, mode: StepMode) -> Self {
+        self.step_mode = mode;
         self
     }
 
@@ -385,7 +398,7 @@ impl Experiment {
             &move |_slice| arb.build(),
             self.policy.build_throttle(),
         );
-        let (stats, outcome) = system.run(budget);
+        let (stats, outcome) = system.run_with_mode(budget, self.step_mode);
         Ok(RunReport::from_stats(self, stats, outcome))
     }
 

@@ -107,6 +107,11 @@ impl ThrottleController for Dyncta {
         }
     }
 
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        // Limits only move at sampling boundaries.
+        Some(self.next_sample)
+    }
+
     fn reset(&mut self, num_cores: usize) {
         self.prev_mem = vec![0; num_cores];
         self.prev_idle = vec![0; num_cores];

@@ -262,6 +262,13 @@ impl ThrottleController for DynMg {
         }
     }
 
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        // Between sampling boundaries the controller's state and its
+        // max_tb output are fixed; the next state change is the nearer
+        // of the in-core sub-period and the global sampling period.
+        Some(self.next_sub.min(self.next_sample))
+    }
+
     fn reset(&mut self, num_cores: usize) {
         self.gear = 0;
         self.prev_stall = 0;

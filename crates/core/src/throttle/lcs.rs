@@ -74,6 +74,14 @@ impl ThrottleController for Lcs {
         }
     }
 
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        // LCS reacts only to first-block completions (`tbs_completed`
+        // moving), which happen on core-retirement ticks — discrete
+        // events the fast-forward engine never skips. Between them the
+        // observation/decision state and the max_tb output are frozen.
+        None
+    }
+
     fn reset(&mut self, num_cores: usize) {
         self.phase = vec![
             Phase::Observe {

@@ -74,6 +74,33 @@ pub trait RequestArbiter {
         None
     }
 
+    /// Event bound for the fast-forward engine ([`crate::system::StepMode::Skip`]).
+    ///
+    /// Returns a lower bound on the first cycle `>= now` at which this
+    /// arbiter's autonomous evolution (its per-cycle [`RequestArbiter::tick`]
+    /// aging, or state mutated by [`RequestArbiter::port_preference`] under
+    /// unchanged queue lengths) could influence a future decision in a way
+    /// that [`RequestArbiter::skip`] does not reproduce. `None` means
+    /// "never": skipping `k` cycles and calling `skip(k)` is exactly
+    /// equivalent to `k` ticks. `Some(now)` disables skipping entirely —
+    /// the conservative default for implementations that have not audited
+    /// their per-cycle state.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
+    }
+
+    /// Fast-forwards `cycles` consecutive idle cycles: must leave the
+    /// arbiter in exactly the state `cycles` calls to
+    /// [`RequestArbiter::tick`] (with no intervening `select`/`note_*`
+    /// callbacks) would. The default replays `tick` literally, which is
+    /// always correct; implementations with aging state should provide a
+    /// closed form.
+    fn skip(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
     fn name(&self) -> &'static str;
 }
 
@@ -88,6 +115,10 @@ impl RequestArbiter for FifoArbiter {
         } else {
             Some(0)
         }
+    }
+
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        None // stateless: ticking it is a no-op
     }
 
     fn name(&self) -> &'static str {
@@ -131,6 +162,21 @@ pub trait ThrottleController {
     /// Called at operator start.
     fn reset(&mut self, _num_cores: usize) {}
 
+    /// Event bound for the fast-forward engine ([`crate::system::StepMode::Skip`]).
+    ///
+    /// Returns a lower bound on the first cycle `>= now` at which a call
+    /// to [`ThrottleController::tick`] could either mutate controller
+    /// state or produce a different `max_tb` than the previous call,
+    /// assuming the cumulative inputs keep accruing at their current
+    /// per-cycle rates (which is exactly what holds inside a skip
+    /// window). Period-driven controllers return their next sampling
+    /// boundary; `None` means the controller only reacts to discrete
+    /// system events (which are never skipped). `Some(now)` — the
+    /// conservative default — disables skipping.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
+    }
+
     fn name(&self) -> &'static str;
 }
 
@@ -143,6 +189,10 @@ impl ThrottleController for NoThrottle {
         for m in max_tb.iter_mut() {
             *m = inputs.num_windows;
         }
+    }
+
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        None // stateless, constant output
     }
 
     fn name(&self) -> &'static str {

@@ -60,6 +60,11 @@ pub struct SetAssocCache {
     assoc: usize,
     /// Number of low line-index bits consumed by slice selection.
     index_shift: u32,
+    /// `log2(num_sets)` when the set count is a power of two — the
+    /// common case (every Table 5 geometry); turns the per-access
+    /// div/mod pair in `set_of`/`tag_of` into shifts and masks on the
+    /// hottest path of the whole simulator.
+    sets_log2: Option<u32>,
     stamp: u64,
 }
 
@@ -75,6 +80,9 @@ impl SetAssocCache {
             num_sets,
             assoc,
             index_shift,
+            sets_log2: num_sets
+                .is_power_of_two()
+                .then(|| num_sets.trailing_zeros()),
             stamp: 1,
         }
     }
@@ -82,13 +90,21 @@ impl SetAssocCache {
     #[inline]
     fn set_of(&self, line_addr: Addr) -> usize {
         let line = line_addr >> LINE_BYTES.trailing_zeros();
-        ((line >> self.index_shift) % self.num_sets as u64) as usize
+        let idx = line >> self.index_shift;
+        match self.sets_log2 {
+            Some(b) => (idx & ((1u64 << b) - 1)) as usize,
+            None => (idx % self.num_sets as u64) as usize,
+        }
     }
 
     #[inline]
     fn tag_of(&self, line_addr: Addr) -> u64 {
         let line = line_addr >> LINE_BYTES.trailing_zeros();
-        (line >> self.index_shift) / self.num_sets as u64
+        let idx = line >> self.index_shift;
+        match self.sets_log2 {
+            Some(b) => idx >> b,
+            None => idx / self.num_sets as u64,
+        }
     }
 
     fn reconstruct(&self, set: usize, tag: u64) -> Addr {

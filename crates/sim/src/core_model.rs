@@ -358,6 +358,77 @@ impl VectorCore {
     pub fn l1_outstanding(&self) -> usize {
         self.l1.outstanding()
     }
+
+    /// Event bound for the fast-forward engine (see
+    /// `DESIGN.md`, "The event-bound contract").
+    ///
+    /// Given the core's post-tick state and `now` = the next cycle to be
+    /// executed, returns the first cycle at which `tick` could do
+    /// anything beyond the closed-form accrual that [`VectorCore::skip`]
+    /// applies. `None` means the core cannot wake itself — only an
+    /// external event (a fill via [`VectorCore::on_resp`], or a throttle
+    /// decision raising `max_tb`) can change its state, and those arrive
+    /// on cycles the system never skips.
+    ///
+    /// The three quiescent regimes and their per-cycle accruals:
+    /// * no resident block and no fetchable work → `idle_cycles`;
+    /// * asleep (every window memory-blocked) → `mem_stall_cycles`;
+    /// * vector unit busy until `t` → `active_cycles`, event at `t`.
+    pub fn next_event(&self, now: Cycle, sched: &TbScheduler) -> Option<Cycle> {
+        debug_assert!(self.outbound.is_empty(), "system drains outbound per tick");
+        let limit = self.max_tb.min(self.cfg.num_inst_windows);
+        if self.resident_tbs() == 0 {
+            if sched.has_work_for(self.id) {
+                return Some(now); // would assign a block next tick
+            }
+            return None; // pure idle accrual, forever
+        }
+        if self.asleep {
+            // tick()'s fast path re-checks this exact condition; if it
+            // fails the core wakes and re-assigns next tick.
+            if self.resident_tbs() >= limit || sched.is_empty() {
+                return None; // pure C_mem accrual
+            }
+            return Some(now);
+        }
+        // A finished-but-unretired window retires next tick.
+        if self
+            .windows
+            .iter()
+            .any(|w| w.tb.is_some() && w.pc == usize::MAX && w.outstanding == 0)
+        {
+            return Some(now);
+        }
+        // Capacity plus available work: a block would be assigned.
+        if self.resident_tbs() < limit && sched.has_work_for(self.id) {
+            return Some(now);
+        }
+        if self.compute_busy_until > now {
+            // Pure active-cycle accrual until the vector unit frees.
+            return Some(self.compute_busy_until);
+        }
+        Some(now)
+    }
+
+    /// Fast-forwards `cycles` quiescent cycles, accruing exactly the
+    /// statistics the per-cycle [`VectorCore::tick`] would have. Callers
+    /// must have validated the window against [`VectorCore::next_event`].
+    pub fn skip(&mut self, now: Cycle, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        if self.resident_tbs() == 0 {
+            self.stats.idle_cycles += cycles;
+        } else if self.asleep {
+            self.stats.mem_stall_cycles += cycles;
+        } else {
+            debug_assert!(
+                self.compute_busy_until >= now + cycles,
+                "skip window exceeds the compute-busy bound"
+            );
+            self.stats.active_cycles += cycles;
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

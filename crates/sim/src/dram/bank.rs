@@ -87,6 +87,18 @@ impl RankTiming {
         }
     }
 
+    /// Earliest cycle an ACTIVATE could issue on this rank under tRRD
+    /// and the tFAW window (a lower bound used by the fast-forward
+    /// engine; `can_activate` remains the cycle-exact check).
+    pub fn earliest_activate(&self, t: &DramTiming) -> DramCycle {
+        let mut at = self.next_act;
+        if self.act_history.len() == 4 {
+            let oldest = *self.act_history.front().expect("len checked");
+            at = at.max(oldest + t.tfaw);
+        }
+        at
+    }
+
     /// Whether an ACTIVATE may issue at `now` under tFAW and tRRD.
     pub fn can_activate(&self, now: DramCycle, t: &DramTiming) -> bool {
         if now < self.next_act {

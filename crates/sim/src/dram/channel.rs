@@ -190,6 +190,88 @@ impl Channel {
         self.read_q.is_empty() && self.write_q.is_empty() && self.returns.is_empty()
     }
 
+    /// Whether the next tick's `update_mode` would switch scheduling
+    /// mode given current queue occupancies.
+    fn would_flip_mode(&self) -> bool {
+        match self.mode {
+            Mode::Read => {
+                self.write_q.len() >= self.cfg.write_high_watermark
+                    || (self.read_q.is_empty() && !self.write_q.is_empty())
+            }
+            Mode::WriteDrain => {
+                self.write_q.len() <= self.cfg.write_low_watermark
+                    && (!self.read_q.is_empty() || self.write_q.is_empty())
+            }
+        }
+    }
+
+    /// Lower bound on the cycle at which a command could issue for
+    /// `req` (ignoring competition from other requests, which can only
+    /// delay — never advance — the actual issue).
+    fn issue_bound(&self, req: &DramQueued, reads: bool) -> DramCycle {
+        let t = &self.cfg.timing;
+        let bank = &self.banks[req.flat_bank];
+        match bank.open_row {
+            Some(open) if open == req.coord.row => {
+                if reads {
+                    self.next_rd_cmd.max(bank.next_rd)
+                } else {
+                    self.next_wr_cmd.max(bank.next_wr)
+                }
+            }
+            Some(_) => bank.next_pre,
+            None => bank
+                .next_act
+                .max(self.ranks[req.coord.rank].earliest_activate(t)),
+        }
+    }
+
+    /// Event bound for the fast-forward engine, in DRAM cycles.
+    ///
+    /// Returns the first DRAM cycle `> now()` whose tick could do
+    /// anything other than advance the clock: drain a due return, issue
+    /// a refresh, flip the scheduling mode, or issue a command for a
+    /// queued request. `None` means the channel is fully drained.
+    /// Bounds may be early (the tick then does nothing and a new bound
+    /// is computed) but never late.
+    pub fn next_event(&self) -> Option<DramCycle> {
+        let lb = self.now + 1;
+        let mut ev: Option<DramCycle> = None;
+        let mut merge = |at: DramCycle| {
+            let at = at.max(lb);
+            ev = Some(ev.map_or(at, |e: DramCycle| e.min(at)));
+        };
+        if let Some(r) = self.returns.front() {
+            merge(r.ready_at);
+        }
+        if self.cfg.refresh {
+            for rank in &self.ranks {
+                merge(rank.next_refresh);
+            }
+        }
+        if self.would_flip_mode() {
+            merge(lb);
+        }
+        let (queue, reads) = match self.mode {
+            Mode::Read => (&self.read_q, true),
+            Mode::WriteDrain => (&self.write_q, false),
+        };
+        for req in queue {
+            merge(self.issue_bound(req, reads));
+        }
+        ev
+    }
+
+    /// Fast-forwards `ticks` DRAM cycles during which (per
+    /// [`Channel::next_event`]) every tick is a pure clock advance.
+    pub fn skip(&mut self, ticks: DramCycle) {
+        debug_assert!(
+            self.next_event().is_none_or(|e| e > self.now + ticks),
+            "channel skip window crosses an event"
+        );
+        self.now += ticks;
+    }
+
     fn drain_returns(&mut self, out: &mut Vec<ReadReturn>) {
         while let Some(front) = self.returns.front() {
             if front.ready_at <= self.now {

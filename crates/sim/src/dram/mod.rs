@@ -80,6 +80,26 @@ impl DramSystem {
         self.channels.iter().all(|c| c.is_idle())
     }
 
+    /// Event bound for the fast-forward engine, in DRAM cycles: the
+    /// earliest [`Channel::next_event`] over all channels (they share
+    /// one command clock). `None` when every channel is drained and
+    /// refresh-free.
+    pub fn next_event(&self) -> Option<DramCycle> {
+        self.channels.iter().filter_map(|c| c.next_event()).min()
+    }
+
+    /// Fast-forwards all channels `ticks` pure-clock-advance DRAM
+    /// cycles (validated against [`DramSystem::next_event`] by the
+    /// caller).
+    pub fn skip(&mut self, ticks: DramCycle) {
+        if ticks == 0 {
+            return;
+        }
+        for ch in &mut self.channels {
+            ch.skip(ticks);
+        }
+    }
+
     /// Copies per-channel statistics out.
     pub fn stats(&self) -> Vec<ChannelStats> {
         self.channels.iter().map(|c| c.stats.clone()).collect()

@@ -5,6 +5,8 @@
 //! write-through it never holds dirty data; stores are forwarded to the
 //! LLC unconditionally and are posted (the core does not wait).
 
+use std::collections::HashMap;
+
 use crate::cache::{InsertPolicy, SetAssocCache};
 use crate::config::L1Config;
 use crate::types::{Addr, Cycle, WindowId};
@@ -29,10 +31,22 @@ struct MissEntry {
 }
 
 /// The L1 cache plus its outstanding-miss bookkeeping.
+///
+/// The miss table is point-addressed: every operation resolves a line
+/// through the `index` map in O(1) instead of scanning the entry array
+/// (the scans dominated whole-simulation wall time — each issued vector
+/// load probes the table several times per line, every cycle a blocked
+/// window retries). The index is used for key lookups only, never
+/// iterated, so behavior is bit-identical to the scanning version.
 pub struct L1Cache {
     cfg: L1Config,
     storage: SetAssocCache,
     misses: Vec<Option<MissEntry>>,
+    /// line address -> slot in `misses`.
+    index: HashMap<Addr, usize>,
+    /// Free slots in `misses` (stack; slot identity has no behavioral
+    /// effect — entries are only ever resolved by line address).
+    free: Vec<usize>,
     occupied: usize,
 }
 
@@ -43,6 +57,8 @@ impl L1Cache {
             cfg,
             storage: SetAssocCache::new(sets, cfg.geometry.associativity, 0),
             misses: vec![None; cfg.miss_entries],
+            index: HashMap::with_capacity(cfg.miss_entries),
+            free: (0..cfg.miss_entries).rev().collect(),
             occupied: 0,
         }
     }
@@ -61,30 +77,22 @@ impl L1Cache {
             return L1LoadOutcome::Hit;
         }
         // Merge into a pending fetch if possible.
-        if let Some(entry) = self
-            .misses
-            .iter_mut()
-            .flatten()
-            .find(|e| e.line_addr == line_addr)
-        {
+        if let Some(&slot) = self.index.get(&line_addr) {
+            let entry = self.misses[slot].as_mut().expect("indexed slot is live");
             if entry.waiters.len() >= self.cfg.miss_targets {
                 return L1LoadOutcome::Blocked;
             }
             entry.waiters.push((window, now));
             return L1LoadOutcome::MergedMiss;
         }
-        if self.occupied == self.misses.len() {
+        let Some(slot) = self.free.pop() else {
             return L1LoadOutcome::Blocked;
-        }
-        let slot = self
-            .misses
-            .iter_mut()
-            .find(|e| e.is_none())
-            .expect("occupied < capacity");
-        *slot = Some(MissEntry {
+        };
+        self.misses[slot] = Some(MissEntry {
             line_addr,
             waiters: vec![(window, now)],
         });
+        self.index.insert(line_addr, slot);
         self.occupied += 1;
         L1LoadOutcome::NewMiss
     }
@@ -103,12 +111,12 @@ impl L1Cache {
         let _ = now;
         let policy = self.insert_policy();
         self.storage.insert(line_addr, false, policy);
-        for slot in self.misses.iter_mut() {
-            if slot.as_ref().is_some_and(|e| e.line_addr == line_addr) {
-                let entry = slot.take().expect("checked above");
-                self.occupied -= 1;
-                return entry.waiters;
-            }
+        if let Some(slot) = self.index.remove(&line_addr) {
+            let entry = self.misses[slot].take().expect("indexed slot is live");
+            debug_assert_eq!(entry.line_addr, line_addr, "index points at wrong entry");
+            self.free.push(slot);
+            self.occupied -= 1;
+            return entry.waiters;
         }
         Vec::new()
     }
@@ -130,19 +138,16 @@ impl L1Cache {
 
     /// Whether a pending miss for `line_addr` can accept another waiter.
     pub fn has_target_space(&self, line_addr: Addr) -> bool {
-        self.misses
-            .iter()
-            .flatten()
-            .find(|e| e.line_addr == line_addr)
-            .is_some_and(|e| e.waiters.len() < self.cfg.miss_targets)
+        self.index.get(&line_addr).is_some_and(|&slot| {
+            self.misses[slot]
+                .as_ref()
+                .is_some_and(|e| e.waiters.len() < self.cfg.miss_targets)
+        })
     }
 
     /// Whether a miss for `line_addr` is pending.
     pub fn miss_pending(&self, line_addr: Addr) -> bool {
-        self.misses
-            .iter()
-            .flatten()
-            .any(|e| e.line_addr == line_addr)
+        self.index.contains_key(&line_addr)
     }
 }
 

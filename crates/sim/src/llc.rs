@@ -420,6 +420,124 @@ impl LlcSlice {
         }
     }
 
+    /// Whether the MSHR-pipeline head is ready but guaranteed to fail
+    /// registration — the stall regime, where every tick accrues stall
+    /// counters without changing state (only a fill can clear it, and
+    /// fills are never skipped over).
+    fn head_stalled(&self, now: Cycle) -> Option<MshrOutcome> {
+        let head = self.mshr_pipe.front()?;
+        if head.ready_at > now {
+            return None;
+        }
+        match self.mshr.probe(head.req.line_addr) {
+            o @ (MshrOutcome::FullEntries | MshrOutcome::FullTargets) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Whether the tag-pipeline head is ready, would hit, and is blocked
+    /// on the busy data port — the other per-cycle stall regime, which
+    /// resolves by itself when the port frees.
+    fn head_port_blocked(&self, now: Cycle) -> bool {
+        self.tag_pipe.front().is_some_and(|head| {
+            head.ready_at <= now
+                && !head.req.is_write
+                && now < self.data_port_free_at
+                && self.storage.probe(head.req.line_addr)
+        })
+    }
+
+    /// Event bound for the fast-forward engine (see `DESIGN.md`, "The
+    /// event-bound contract").
+    ///
+    /// Returns the first cycle `>= now` at which `tick` could do
+    /// anything beyond the closed-form accrual applied by
+    /// [`LlcSlice::skip`]: occupancy integrals, stall counters for a
+    /// blocked pipeline head, ingress rejects, and arbiter aging.
+    /// `None` means only external events (NoC deliveries, DRAM fills —
+    /// both of which the system never skips over) can change the slice.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        debug_assert!(self.outbound.is_empty(), "system drains outbound per tick");
+        // Anything in these queues is acted on (or retried) every cycle.
+        if !self.pending_fills.is_empty()
+            || !self.resp_q.is_empty()
+            || !self.dram_reads.is_empty()
+            || !self.dram_writes.is_empty()
+        {
+            return Some(now);
+        }
+        let mut ev: Option<Cycle> = None;
+        let mut merge = |at: Cycle| {
+            ev = Some(ev.map_or(at, |e: Cycle| e.min(at)));
+        };
+        if let Some(head) = self.tag_pipe.front() {
+            if head.ready_at > now {
+                merge(head.ready_at);
+            } else if self.head_port_blocked(now) {
+                // Pure stall accrual until the data port frees.
+                merge(self.data_port_free_at);
+            } else {
+                return Some(now); // head advances next tick
+            }
+        }
+        if let Some(head) = self.mshr_pipe.front() {
+            if head.ready_at > now {
+                merge(head.ready_at);
+            } else if self.head_stalled(now).is_some() {
+                // Stall accrual; only a fill (an event) can clear it.
+            } else {
+                return Some(now); // registration succeeds next tick
+            }
+        }
+        if !self.req_q.is_empty() && self.head_stalled(now).is_none() {
+            return Some(now); // arbitration can admit a request
+        }
+        if !self.ingress.is_empty() && self.req_q.len() < self.cfg.req_q_size {
+            return Some(now); // ingress drains into the request queue
+        }
+        if let Some(at) = self.arbiter.next_event(now) {
+            if at <= now {
+                return Some(now);
+            }
+            merge(at);
+        }
+        ev
+    }
+
+    /// Fast-forwards `cycles` quiescent cycles, accruing exactly what
+    /// the per-cycle [`LlcSlice::tick`] would have: occupancy
+    /// integrals, MSHR-reservation stall counters, data-port stall
+    /// counters, ingress rejects, and arbiter aging. Callers must have
+    /// validated the window against [`LlcSlice::next_event`].
+    pub fn skip(&mut self, now: Cycle, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        self.stats.mshr_occupancy_integral += self.mshr.occupancy() as u64 * cycles;
+        self.stats.req_q_occupancy_integral += self.req_q.len() as u64 * cycles;
+        self.stats.resp_q_occupancy_integral += self.resp_q.len() as u64 * cycles;
+        match self.head_stalled(now) {
+            Some(MshrOutcome::FullEntries) => {
+                self.stats.stall_cycles += cycles;
+                self.stats.stall_entry_full += cycles;
+            }
+            Some(MshrOutcome::FullTargets) => {
+                self.stats.stall_cycles += cycles;
+                self.stats.stall_target_full += cycles;
+            }
+            _ => {}
+        }
+        if self.head_port_blocked(now) {
+            self.stats.stall_cycles += cycles;
+            self.stats.stall_data_port += cycles;
+        }
+        if !self.ingress.is_empty() {
+            debug_assert!(self.req_q.len() >= self.cfg.req_q_size);
+            self.stats.req_q_rejects += cycles;
+        }
+        self.arbiter.skip(cycles);
+    }
+
     /// Slice id.
     pub fn id(&self) -> SliceId {
         self.id

@@ -102,6 +102,28 @@ impl MshrFile {
         None
     }
 
+    /// What [`MshrFile::register`] would return for `line_addr`, without
+    /// mutating the file. Used by the fast-forward engine to classify a
+    /// ready pipeline head as "would advance" vs "stalls every cycle".
+    pub fn probe(&self, line_addr: Addr) -> MshrOutcome {
+        if let Some(entry) = self
+            .entries
+            .iter()
+            .flatten()
+            .find(|e| e.line_addr == line_addr)
+        {
+            if entry.targets.len() >= self.num_targets {
+                MshrOutcome::FullTargets
+            } else {
+                MshrOutcome::Merged
+            }
+        } else if self.occupied == self.entries.len() {
+            MshrOutcome::FullEntries
+        } else {
+            MshrOutcome::Allocated
+        }
+    }
+
     /// Whether `line_addr` currently has a pending entry.
     pub fn contains(&self, line_addr: Addr) -> bool {
         self.entries

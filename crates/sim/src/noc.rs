@@ -78,22 +78,38 @@ impl Noc {
     }
 
     /// Sends a request towards `slice`, arriving after the pair latency.
-    pub fn send_req(&mut self, slice: SliceId, req: MemReq, now: Cycle) {
+    /// Returns the arrival cycle (the event-driven scheduler uses it to
+    /// wake the receiving slice).
+    pub fn send_req(&mut self, slice: SliceId, req: MemReq, now: Cycle) -> Cycle {
         let at = now + self.req_latency(req.core, slice);
         let q = &mut self.to_slice[slice];
         // Distances differ per sender, so arrival times are not
         // monotonic in send order; keep sorted (stable on ties).
         let pos = q.partition_point(|(t, _)| *t <= at);
         q.insert(pos, (at, req));
+        at
     }
 
     /// Sends a response towards its core, arriving after the pair
     /// latency beyond `ready_at` (which already includes data latency).
-    pub fn send_resp(&mut self, slice: SliceId, resp: MemResp, ready_at: Cycle) {
+    /// Returns the arrival cycle.
+    pub fn send_resp(&mut self, slice: SliceId, resp: MemResp, ready_at: Cycle) -> Cycle {
         let at = ready_at + self.resp_latency(resp.core, slice);
         let q = &mut self.to_core[resp.core];
         let pos = q.partition_point(|(t, _)| *t <= at);
         q.insert(pos, (at, resp));
+        at
+    }
+
+    /// Earliest pending request arrival for `slice` (queues are sorted
+    /// by arrival time, so the front is the minimum).
+    pub fn next_req_arrival(&self, slice: SliceId) -> Option<Cycle> {
+        self.to_slice[slice].front().map(|(at, _)| *at)
+    }
+
+    /// Earliest pending response arrival for `core`.
+    pub fn next_resp_arrival(&self, core: usize) -> Option<Cycle> {
+        self.to_core[core].front().map(|(at, _)| *at)
     }
 
     /// Pops every request due for `slice` at `now` into `out`.

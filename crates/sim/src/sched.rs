@@ -99,6 +99,26 @@ impl TbScheduler {
         Some(tb)
     }
 
+    /// Whether a [`TbScheduler::next_for`] call from `core` (any window)
+    /// could return a block right now, without mutating any queue.
+    ///
+    /// Used by the fast-forward engine: a core with free capacity and
+    /// `has_work_for == true` would assign a block on its next tick, so
+    /// it cannot be skipped over. The answer is monotone during a skip
+    /// window — queues only ever shrink, and they shrink only on
+    /// assignment ticks, which are never skipped.
+    pub fn has_work_for(&self, core: CoreId) -> bool {
+        if self.queues[core].iter().any(|q| !q.is_empty()) {
+            return true;
+        }
+        // Migration steals only from chunks holding >= 2 blocks.
+        self.migration
+            && self
+                .queues
+                .iter()
+                .any(|windows| windows.iter().any(|q| q.len() >= 2))
+    }
+
     /// Blocks not yet handed out.
     pub fn remaining(&self) -> usize {
         self.remaining

@@ -12,6 +12,8 @@
 //!    new requests into the interconnect;
 //! 5. run the throttle controller and apply its `max_tb` decisions.
 
+use serde::{Deserialize, Serialize};
+
 use crate::arb::{RequestArbiter, ThrottleController, ThrottleInputs};
 use crate::config::SystemConfig;
 use crate::core_model::VectorCore;
@@ -32,6 +34,25 @@ pub enum RunOutcome {
     CycleLimit,
 }
 
+/// How [`System::run_with_mode`] advances simulated time.
+///
+/// `Skip` is observationally equivalent to `Cycle`: every component
+/// reports a `next_event` lower bound on when it can next change state,
+/// and the run loop jumps straight to the minimum of those bounds while
+/// accruing per-cycle statistics (idle cycles, `C_mem`, stall counters,
+/// occupancy integrals, the fractional DRAM clock crossing) in closed
+/// form. `SimStats` and [`RunOutcome`] are byte-identical between the
+/// two modes — `tests/step_mode_equiv.rs` pins this over the whole
+/// policy grid. See `DESIGN.md`, "The event-bound contract".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StepMode {
+    /// One `tick()` per core cycle (the cycle-accurate reference).
+    #[default]
+    Cycle,
+    /// Fast-forward across provably idle cycles.
+    Skip,
+}
+
 /// The simulated machine.
 pub struct System {
     cfg: SystemConfig,
@@ -49,6 +70,10 @@ pub struct System {
     core_period_ps: u64,
     dram_period_ps: u64,
     max_tb: Vec<usize>,
+    /// Instrumentation: real ticks executed and cycles fast-forwarded
+    /// (Skip mode only; both zero in Cycle mode).
+    ticks_executed: u64,
+    cycles_skipped: u64,
     progress_scratch: Vec<u64>,
     c_mem_scratch: Vec<u64>,
     c_idle_scratch: Vec<u64>,
@@ -100,6 +125,8 @@ impl System {
             core_time_ps: 0,
             dram_time_ps: 0,
             max_tb: vec![cfg.core.num_inst_windows; n],
+            ticks_executed: 0,
+            cycles_skipped: 0,
             progress_scratch: vec![0; n],
             c_mem_scratch: vec![0; n],
             c_idle_scratch: vec![0; n],
@@ -118,16 +145,322 @@ impl System {
         (line_index(line_addr) % self.cfg.l2.num_slices as u64) as usize
     }
 
-    /// Runs until completion or `max_cycles`, returning statistics.
+    /// Runs until completion or `max_cycles`, returning statistics
+    /// (cycle-accurate [`StepMode::Cycle`] path).
     pub fn run(&mut self, max_cycles: Cycle) -> (SimStats, RunOutcome) {
+        self.run_with_mode(max_cycles, StepMode::Cycle)
+    }
+
+    /// Runs until completion or `max_cycles` under the given step mode.
+    ///
+    /// Both modes execute exactly the same sequence of *event* cycles in
+    /// the same 5-phase order; `Skip` replaces provably idle stretches
+    /// between events with closed-form statistic accrual. The budget is
+    /// honoured exactly: no mode ever advances `cycle` past
+    /// `max_cycles`, and both report [`RunOutcome::CycleLimit`] at the
+    /// same cycle count.
+    pub fn run_with_mode(&mut self, max_cycles: Cycle, mode: StepMode) -> (SimStats, RunOutcome) {
+        if mode == StepMode::Skip {
+            return self.run_skip(max_cycles);
+        }
         let mut outcome = RunOutcome::CycleLimit;
         while self.cycle < max_cycles {
             self.tick();
+            self.ticks_executed += 1;
             if self.is_done() {
                 outcome = RunOutcome::Completed;
                 break;
             }
         }
+        (self.collect_stats(), outcome)
+    }
+
+    /// (real ticks executed, cycles fast-forwarded) — instrumentation
+    /// for the `sim_speed` bench and skip-efficiency diagnostics.
+    pub fn step_counts(&self) -> (u64, u64) {
+        (self.ticks_executed, self.cycles_skipped)
+    }
+
+    /// A slice's wake cycle: the earlier of its own event bound and its
+    /// next NoC request arrival, clamped to the future.
+    fn slice_wake_of(slice: &LlcSlice, noc: &Noc, s: SliceId, now: Cycle) -> Cycle {
+        let own = slice.next_event(now).map_or(Cycle::MAX, |at| at.max(now));
+        let arrival = noc.next_req_arrival(s).map_or(Cycle::MAX, |at| at.max(now));
+        own.min(arrival)
+    }
+
+    /// A core's wake cycle: the earlier of its own event bound and its
+    /// next NoC response arrival, clamped to the future.
+    fn core_wake_of(
+        core: &VectorCore,
+        sched: &TbScheduler,
+        noc: &Noc,
+        c: usize,
+        now: Cycle,
+    ) -> Cycle {
+        let own = core
+            .next_event(now, sched)
+            .map_or(Cycle::MAX, |at| at.max(now));
+        let arrival = noc
+            .next_resp_arrival(c)
+            .map_or(Cycle::MAX, |at| at.max(now));
+        own.min(arrival)
+    }
+
+    /// Converts the DRAM subsystem's next event (in DRAM cycles) into
+    /// the core cycle whose clock-domain crossing executes that DRAM
+    /// tick.
+    fn dram_event_cycle(&self) -> Option<Cycle> {
+        let event = self.dram.next_event()?;
+        // `dram_time_ps == executed_dram_ticks * dram_period_ps` is an
+        // invariant of both run modes. The m-th future DRAM tick runs
+        // during the first core cycle c with
+        // (c + 1) * core_period >= dram_time + m * dram_period.
+        let now_dram = self.dram_time_ps / self.dram_period_ps;
+        debug_assert!(event > now_dram, "DRAM event bound must be in the future");
+        let target_ps = self.dram_time_ps + (event - now_dram) * self.dram_period_ps;
+        Some(target_ps.div_ceil(self.core_period_ps) - 1)
+    }
+
+    /// Fast-forwards the DRAM clock domain to `target_ps` with
+    /// provably-idle ticks only (validated upstream: the next DRAM
+    /// event lies at or beyond `target_ps`).
+    fn dram_sync_quiet(&mut self, target_ps: u64) {
+        let ticks = target_ps.saturating_sub(self.dram_time_ps) / self.dram_period_ps;
+        if ticks > 0 {
+            self.dram.skip(ticks);
+            self.dram_time_ps += ticks * self.dram_period_ps;
+        }
+    }
+
+    /// Event-driven fast-forward loop ([`StepMode::Skip`]).
+    ///
+    /// Each component carries its own wake cycle — the earliest cycle
+    /// at which its per-cycle tick could do anything beyond closed-form
+    /// accrual — plus a `synced` watermark recording how far its
+    /// accrual has been materialized. The loop jumps straight to the
+    /// minimum wake cycle and executes *only the due components*, in
+    /// the exact 5-phase order of [`System::tick`]:
+    ///
+    /// 1. due slices drain their NoC arrivals and tick (flushing
+    ///    responses and DRAM traffic, which in turn wakes cores and the
+    ///    DRAM);
+    /// 2. the DRAM clock domain advances — quiet DRAM ticks in closed
+    ///    form, event ticks for real — delivering fills (waking
+    ///    slices);
+    /// 3. due cores drain responses and tick (flushing requests, which
+    ///    wakes slices); a thread-block completion wakes the throttle
+    ///    (the LCS-style trigger);
+    /// 4. when the throttle is due, every core and slice is synced so
+    ///    the controller reads exactly the cumulative counters cycle
+    ///    mode would hand it, then its decision re-arms the core wakes.
+    ///
+    /// Quiescent components never tick; their statistics are accrued in
+    /// one multiplication when they next wake (or at exit). This is
+    /// what makes the fast path fast on event-dense workloads: a NoC
+    /// arrival at one slice no longer costs 16 core ticks, 7 idle slice
+    /// ticks, a throttle sweep and 4 DRAM channel scans.
+    fn run_skip(&mut self, max_cycles: Cycle) -> (SimStats, RunOutcome) {
+        const NEVER: Cycle = Cycle::MAX;
+        let num_cores = self.cores.len();
+        let num_slices = self.slices.len();
+        // Everything is due at the current cycle: the first iteration
+        // behaves exactly like a full `tick()`.
+        let mut wake_core = vec![self.cycle; num_cores];
+        let mut wake_slice = vec![self.cycle; num_slices];
+        let mut wake_dram = self.cycle;
+        let mut wake_throttle = self.cycle;
+        let mut synced_core = vec![self.cycle; num_cores];
+        let mut synced_slice = vec![self.cycle; num_slices];
+
+        let outcome = loop {
+            let mut now = wake_dram.min(wake_throttle);
+            for &w in &wake_core {
+                now = now.min(w);
+            }
+            for &w in &wake_slice {
+                now = now.min(w);
+            }
+            if now >= max_cycles {
+                // Budget exhausted before the next event: burn the
+                // remaining cycles in closed form, never past the
+                // budget.
+                for (i, core) in self.cores.iter_mut().enumerate() {
+                    let pending = max_cycles - synced_core[i].min(max_cycles);
+                    core.skip(synced_core[i], pending);
+                }
+                for (s, slice) in self.slices.iter_mut().enumerate() {
+                    let pending = max_cycles - synced_slice[s].min(max_cycles);
+                    slice.skip(synced_slice[s], pending);
+                }
+                // Saturate: astronomically large budgets (e.g. u64::MAX)
+                // would overflow the picosecond clock; the DRAM domain
+                // simply stops advancing past the representable horizon.
+                self.dram_sync_quiet(max_cycles.saturating_mul(self.core_period_ps));
+                self.cycles_skipped += max_cycles - self.cycle;
+                self.cycle = max_cycles;
+                break RunOutcome::CycleLimit;
+            }
+            self.cycles_skipped += now - self.cycle;
+            self.ticks_executed += 1;
+            self.cycle = now;
+
+            // Pre-sync the DRAM clock to the start of this cycle
+            // (cycle-mode ticks for earlier cycles all ran before this
+            // cycle's phase 2; they are quiet by the wake bound).
+            self.dram_sync_quiet(now * self.core_period_ps);
+
+            // Phases 1+2: due slices — deliver due arrivals, tick,
+            // flush.
+            let mut dram_touched = false;
+            for s in 0..num_slices {
+                if wake_slice[s] > now {
+                    continue;
+                }
+                let pending = now - synced_slice[s];
+                self.slices[s].skip(synced_slice[s], pending);
+                self.req_scratch.clear();
+                self.noc.drain_reqs(s, now, &mut self.req_scratch);
+                for req in self.req_scratch.drain(..) {
+                    self.slices[s].deliver(req);
+                }
+                self.slices[s].tick(now);
+                while let Some(o) = self.slices[s].outbound.pop_front() {
+                    let at = self.noc.send_resp(s, o.resp, o.at.max(now));
+                    wake_core[o.resp.core] = wake_core[o.resp.core].min(at.max(now + 1));
+                }
+                while let Some(&line) = self.slices[s].dram_reads.front() {
+                    if self.dram.enqueue_read(line, s) {
+                        self.slices[s].dram_reads.pop_front();
+                        dram_touched = true;
+                    } else {
+                        break;
+                    }
+                }
+                while let Some(&line) = self.slices[s].dram_writes.front() {
+                    if self.dram.enqueue_write(line) {
+                        self.slices[s].dram_writes.pop_front();
+                        dram_touched = true;
+                    } else {
+                        break;
+                    }
+                }
+                synced_slice[s] = now + 1;
+                wake_slice[s] = Self::slice_wake_of(&self.slices[s], &self.noc, s, now + 1);
+            }
+            if dram_touched {
+                // Fresh requests can pull the next DRAM command earlier
+                // — possibly into this very cycle's crossing window.
+                wake_dram = self.dram_event_cycle().unwrap_or(NEVER);
+            }
+
+            // Phase 3: DRAM clock domain. Only executed when an event
+            // tick falls inside this cycle's crossing window; the
+            // window then runs for real (at most two ticks at this
+            // clock ratio).
+            if wake_dram <= now {
+                let end_ps = (now + 1) * self.core_period_ps;
+                while self.dram_time_ps + self.dram_period_ps <= end_ps {
+                    self.dram_time_ps += self.dram_period_ps;
+                    self.fill_scratch.clear();
+                    self.fill_scratch.extend_from_slice(self.dram.tick());
+                    for f in &self.fill_scratch {
+                        let s = f.slice;
+                        // Sync the slice *before* the delivery mutates
+                        // it (its quiet accrual basis is the pre-fill
+                        // state, exactly as in cycle mode where the
+                        // slice ticked in phase 2).
+                        let pending = (now + 1) - synced_slice[s].min(now + 1);
+                        self.slices[s].skip(synced_slice[s], pending);
+                        synced_slice[s] = now + 1;
+                        self.slices[s].deliver_fill(f.line_addr);
+                        wake_slice[s] = now + 1;
+                    }
+                }
+                wake_dram = self.dram_event_cycle().unwrap_or(NEVER);
+            }
+
+            // Phase 4: due cores — deliver responses, tick, flush.
+            for c in 0..num_cores {
+                if wake_core[c] > now {
+                    continue;
+                }
+                let pending = now - synced_core[c];
+                self.cores[c].skip(synced_core[c], pending);
+                self.resp_scratch.clear();
+                self.noc.drain_resps(c, now, &mut self.resp_scratch);
+                for resp in self.resp_scratch.drain(..) {
+                    self.cores[c].on_resp(resp, now);
+                }
+                let tbs_before = self.cores[c].stats.tbs_completed;
+                self.cores[c].tick(now, &self.program, &mut self.sched);
+                while let Some(req) = self.cores[c].outbound.pop_front() {
+                    let slice = self.slice_of(req.line_addr);
+                    let at = self.noc.send_req(slice, req, now);
+                    wake_slice[slice] = wake_slice[slice].min(at.max(now + 1));
+                }
+                if self.cores[c].stats.tbs_completed != tbs_before {
+                    // Thread-block completions are the one discrete
+                    // input a quiescent-between-boundaries controller
+                    // may react to (LCS); run the throttle this cycle.
+                    wake_throttle = now;
+                }
+                synced_core[c] = now + 1;
+                wake_core[c] =
+                    Self::core_wake_of(&self.cores[c], &self.sched, &self.noc, c, now + 1);
+            }
+
+            // Phase 5: throttle, on its schedule or on a completion.
+            if wake_throttle <= now {
+                for (i, core) in self.cores.iter_mut().enumerate() {
+                    let pending = (now + 1) - synced_core[i].min(now + 1);
+                    core.skip(synced_core[i], pending);
+                    synced_core[i] = now + 1;
+                }
+                for (s, slice) in self.slices.iter_mut().enumerate() {
+                    let pending = (now + 1) - synced_slice[s].min(now + 1);
+                    slice.skip(synced_slice[s], pending);
+                    synced_slice[s] = now + 1;
+                }
+                self.run_throttle(now);
+                wake_throttle = match self.throttle.next_event(now + 1) {
+                    Some(at) => at.max(now + 1),
+                    None => NEVER,
+                };
+                // The decision may have freed (or capped) window
+                // capacity: re-arm every core's wake against its new
+                // max_tb.
+                for (c, wake) in wake_core.iter_mut().enumerate() {
+                    *wake = (*wake).min(Self::core_wake_of(
+                        &self.cores[c],
+                        &self.sched,
+                        &self.noc,
+                        c,
+                        now + 1,
+                    ));
+                }
+            }
+
+            self.cycle = now + 1;
+            if self.is_done() {
+                // Materialize every deferred accrual up to the final
+                // cycle (cycle mode ticked all components through
+                // `now`, idle ones included).
+                for (i, core) in self.cores.iter_mut().enumerate() {
+                    let pending = (now + 1) - synced_core[i].min(now + 1);
+                    core.skip(synced_core[i], pending);
+                }
+                for (s, slice) in self.slices.iter_mut().enumerate() {
+                    let pending = (now + 1) - synced_slice[s].min(now + 1);
+                    slice.skip(synced_slice[s], pending);
+                }
+                self.dram_sync_quiet((now + 1) * self.core_period_ps);
+                break RunOutcome::Completed;
+            }
+        };
+        // Keep the clock-domain invariant for anyone stepping the
+        // system further after a fast-forwarded run.
+        self.core_time_ps = self.cycle.saturating_mul(self.core_period_ps);
         (self.collect_stats(), outcome)
     }
 
@@ -398,6 +731,92 @@ mod tests {
         let reads: u64 = stats.channels.iter().map(|c| c.reads).sum();
         assert_eq!(reads, 1, "write-allocate fetches the line");
         stats.check_consistency().unwrap();
+    }
+
+    /// Byte-identical Cycle vs Skip equivalence on one program/config
+    /// (the cross-policy grid lives in `tests/step_mode_equiv.rs`).
+    fn assert_modes_equivalent(cfg: SystemConfig, p: Program, budget: Cycle) {
+        let (sc, oc) = build(cfg, p.clone()).run_with_mode(budget, StepMode::Cycle);
+        let (ss, os) = build(cfg, p).run_with_mode(budget, StepMode::Skip);
+        assert_eq!(oc, os, "outcome diverged");
+        assert_eq!(
+            serde_json::to_string(&sc).unwrap(),
+            serde_json::to_string(&ss).unwrap(),
+            "SimStats diverged between step modes"
+        );
+    }
+
+    #[test]
+    fn skip_mode_matches_cycle_mode_streaming() {
+        assert_modes_equivalent(small_cfg(), streaming_program(8, 8, 4), 1_000_000);
+    }
+
+    #[test]
+    fn skip_mode_matches_cycle_mode_with_refresh() {
+        let mut cfg = small_cfg();
+        cfg.dram.refresh = true;
+        assert_modes_equivalent(cfg, streaming_program(16, 8, 4), 1_000_000);
+    }
+
+    #[test]
+    fn skip_mode_matches_cycle_mode_with_compute() {
+        let mut blocks = Vec::new();
+        for b in 0..8u64 {
+            blocks.push(ThreadBlock {
+                instrs: vec![
+                    Instr::Compute { cycles: 37 },
+                    Instr::Load {
+                        addr: b * 4096,
+                        bytes: 128,
+                    },
+                    Instr::Compute { cycles: 11 },
+                    Instr::Barrier,
+                    Instr::Store {
+                        addr: b * 4096 + 2048,
+                        bytes: 64,
+                    },
+                ],
+            });
+        }
+        let p = Program::round_robin(blocks, 4);
+        assert_modes_equivalent(small_cfg(), p, 1_000_000);
+    }
+
+    #[test]
+    fn skip_mode_respects_cycle_budget_exactly() {
+        let p = streaming_program(64, 32, 4);
+        for budget in [1, 7, 10, 97, 500, 4096] {
+            let (sc, oc) = build(small_cfg(), p.clone()).run_with_mode(budget, StepMode::Cycle);
+            let (ss, os) = build(small_cfg(), p.clone()).run_with_mode(budget, StepMode::Skip);
+            assert_eq!(oc, os, "outcome diverged at budget {budget}");
+            assert_eq!(
+                sc.cycles, ss.cycles,
+                "cycle count diverged at budget {budget}"
+            );
+            assert!(ss.cycles <= budget, "skip mode ran past the budget");
+        }
+    }
+
+    #[test]
+    fn skip_mode_jumps_over_long_compute() {
+        // One long-compute block, nothing else in the machine: the fast
+        // path must cross the whole compute region in one jump and the
+        // idle cores must accrue the same idle-cycle statistics.
+        let p = Program::round_robin(
+            vec![ThreadBlock {
+                instrs: vec![Instr::Compute { cycles: 100_000 }],
+            }],
+            4,
+        );
+        let (sc, oc) = build(small_cfg(), p.clone()).run_with_mode(1_000_000, StepMode::Cycle);
+        let (ss, os) = build(small_cfg(), p).run_with_mode(1_000_000, StepMode::Skip);
+        assert_eq!(oc, RunOutcome::Completed);
+        assert_eq!(oc, os);
+        assert_eq!(
+            serde_json::to_string(&sc).unwrap(),
+            serde_json::to_string(&ss).unwrap()
+        );
+        assert!(sc.cycles > 100_000);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! Implemented directly on `proc_macro::TokenStream` (no syn/quote in
 //! this build environment). Supports non-generic structs (named, tuple,
 //! unit) and enums (unit, tuple and struct variants), plus the
-//! `#[serde(skip)]` field attribute. Anything else produces a
-//! `compile_error!` naming the unsupported construct.
+//! `#[serde(skip)]` and `#[serde(default)]` field attributes. Anything
+//! else produces a `compile_error!` naming the unsupported construct.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::iter::Peekable;
@@ -28,6 +28,10 @@ enum Trait {
 struct Field {
     name: String,
     skip: bool,
+    /// `#[serde(default)]`: a missing key deserializes to
+    /// `Default::default()` instead of erroring (serialization is
+    /// unaffected).
+    default: bool,
 }
 
 enum Fields {
@@ -67,10 +71,17 @@ fn expand(input: TokenStream, tr: Trait) -> TokenStream {
 
 type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
 
-/// Consumes leading `#[...]` attributes; returns true if one of them is
-/// `#[serde(skip)]` (other serde options are rejected).
-fn eat_attrs(it: &mut TokenIter) -> Result<bool, String> {
-    let mut skip = false;
+/// Attributes recognized on fields (and tolerated elsewhere).
+#[derive(Default, Clone, Copy)]
+struct Attrs {
+    skip: bool,
+    default: bool,
+}
+
+/// Consumes leading `#[...]` attributes; recognizes `#[serde(skip)]`
+/// and `#[serde(default)]` (other serde options are rejected).
+fn eat_attrs(it: &mut TokenIter) -> Result<Attrs, String> {
+    let mut attrs = Attrs::default();
     while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         it.next();
         match it.next() {
@@ -85,17 +96,19 @@ fn eat_attrs(it: &mut TokenIter) -> Result<bool, String> {
                         Some(TokenTree::Group(args)) => args.stream().to_string(),
                         _ => String::new(),
                     };
-                    if args.trim() == "skip" {
-                        skip = true;
-                    } else {
-                        return Err(format!("unsupported serde attribute `{args}`"));
+                    match args.trim() {
+                        "skip" => attrs.skip = true,
+                        "default" => attrs.default = true,
+                        other => {
+                            return Err(format!("unsupported serde attribute `{other}`"));
+                        }
                     }
                 }
             }
             _ => return Err("malformed attribute".into()),
         }
     }
-    Ok(skip)
+    Ok(attrs)
 }
 
 /// Consumes `pub`, `pub(crate)`, `pub(super)`, ...
@@ -174,7 +187,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut it = stream.into_iter().peekable();
     let mut fields = Vec::new();
     loop {
-        let skip = eat_attrs(&mut it)?;
+        let attrs = eat_attrs(&mut it)?;
         if it.peek().is_none() {
             break;
         }
@@ -185,7 +198,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
             other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
         }
         skip_until_comma(&mut it);
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
     }
     Ok(fields)
 }
@@ -402,6 +419,14 @@ fn de_fields_expr(type_name: &str, ctor: &str, fields: &Fields, src: &str) -> St
                 .map(|f| {
                     if f.skip {
                         format!("{}: ::core::default::Default::default(),\n", f.name)
+                    } else if f.default {
+                        format!(
+                            "{0}: match serde::get_field(__map, \"{0}\") {{\n\
+                             ::core::result::Result::Ok(__v) => serde::Deserialize::from_value(__v)?,\n\
+                             ::core::result::Result::Err(_) => ::core::default::Default::default(),\n\
+                             }},\n",
+                            f.name
+                        )
                     } else {
                         format!(
                             "{0}: serde::Deserialize::from_value(serde::get_field(__map, \"{0}\")?)?,\n",

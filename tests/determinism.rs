@@ -8,38 +8,63 @@
 //! `SimStats` and `RunReport` serializations.
 
 use llamcat::experiment::{Experiment, Model, Policy};
+use llamcat_sim::system::StepMode;
 
-/// Runs one experiment twice and asserts byte-identical results.
+/// Runs one experiment twice per step mode and asserts byte-identical
+/// results — within each mode (determinism) and across the two modes
+/// (the fast-forward engine's observational-equivalence contract).
 fn assert_deterministic(model: Model, seq_len: usize, policy: Policy) {
-    let run = || Experiment::new(model, seq_len).policy(policy).run();
-    let a = run();
-    let b = run();
+    let run = |mode| {
+        Experiment::new(model, seq_len)
+            .policy(policy)
+            .step_mode(mode)
+            .run()
+    };
+    let mut serialized = Vec::new();
+    for mode in [StepMode::Cycle, StepMode::Skip] {
+        let a = run(mode);
+        let b = run(mode);
 
+        assert_eq!(
+            a.cycles,
+            b.cycles,
+            "cycle count diverged for {} ({mode:?})",
+            policy.label()
+        );
+        assert!(a.completed && b.completed);
+
+        // Byte-identical full statistics: every counter in every component.
+        let stats_a = serde_json::to_string(a.stats.as_ref().expect("stats recorded")).unwrap();
+        let stats_b = serde_json::to_string(b.stats.as_ref().expect("stats recorded")).unwrap();
+        assert_eq!(
+            stats_a,
+            stats_b,
+            "SimStats serialization diverged for {} ({mode:?})",
+            policy.label()
+        );
+
+        // And the derived report (hit rates, bandwidth, latencies).
+        let report_a = serde_json::to_string(&a).unwrap();
+        let report_b = serde_json::to_string(&b).unwrap();
+        assert_eq!(
+            report_a,
+            report_b,
+            "RunReport diverged for {} ({mode:?})",
+            policy.label()
+        );
+        serialized.push((stats_a, report_a));
+    }
+    let (cycle, skip) = (&serialized[0], &serialized[1]);
     assert_eq!(
-        a.cycles,
-        b.cycles,
-        "cycle count diverged for {}",
+        cycle.0,
+        skip.0,
+        "SimStats diverged between step modes for {}",
         policy.label()
     );
-    assert!(a.completed && b.completed);
-
-    // Byte-identical full statistics: every counter in every component.
-    let stats_a = serde_json::to_string(a.stats.as_ref().expect("stats recorded")).unwrap();
-    let stats_b = serde_json::to_string(b.stats.as_ref().expect("stats recorded")).unwrap();
     assert_eq!(
-        stats_a,
-        stats_b,
-        "SimStats serialization diverged for {}",
-        policy.label()
-    );
-
-    // And the derived report (hit rates, bandwidth, latencies).
-    let report_a = serde_json::to_string(&a).unwrap();
-    let report_b = serde_json::to_string(&b).unwrap();
-    assert_eq!(
-        report_a,
-        report_b,
-        "RunReport diverged for {}",
+        cycle.1,
+        skip.1,
+        "RunReport diverged between step modes for {}",
         policy.label()
     );
 }
