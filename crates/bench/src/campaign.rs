@@ -40,7 +40,7 @@
 use std::io::{self, Write};
 
 use llamcat::experiment::{Experiment, RunReport};
-use llamcat::spec::PolicySpec;
+use llamcat::spec::{MixSpec, PolicySpec};
 use llamcat_sim::system::StepMode;
 use llamcat_trace::mapping::Layout;
 use llamcat_trace::workloads::WorkloadSpec;
@@ -58,6 +58,14 @@ pub struct Campaign {
     pub workloads: Vec<WorkloadSpec>,
     /// Sequence lengths, one per workload instantiation.
     pub seq_lens: Vec<usize>,
+    /// Multi-tenant serving mixes: extra scenarios appended after the
+    /// solo workload × seq_len grid (each mix carries its own per-
+    /// request sequence lengths, so it crosses only with `l2_mb` and
+    /// `policies`). Mix records additionally carry per-request fairness
+    /// metrics — slowdown vs a solo run of each request under the same
+    /// policy and machine.
+    #[serde(default)]
+    pub mixes: Vec<MixSpec>,
     /// L2 capacities in MB (`SystemConfig` override axis).
     pub l2_mb: Vec<u64>,
     /// Policies, with their configurations embedded.
@@ -80,18 +88,34 @@ pub struct Campaign {
 }
 
 /// One point of the grid, fully self-describing (what to run).
+///
+/// Mix cells carry the full [`MixSpec`] in `mix`; their `workload` /
+/// `seq_len` fields hold the first request's family and the mix's
+/// largest sequence length as representatives (labels and axes come
+/// from the spec itself).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignCell {
     pub workload: WorkloadSpec,
     pub seq_len: usize,
     pub l2_mb: u64,
     pub policy: PolicySpec,
+    /// The serving mix this cell runs, if it is a mix scenario.
+    #[serde(default)]
+    pub mix: Option<MixSpec>,
 }
 
 impl CampaignCell {
     /// The experiment this cell describes.
+    ///
+    /// Panics on a degenerate mix spec; [`Campaign::validate`] (run by
+    /// [`Campaign::run`] before any cell executes) rejects those
+    /// gracefully.
     pub fn experiment(&self, campaign: &Campaign) -> Experiment {
-        let mut e = Experiment::from_spec(&self.workload, self.seq_len)
+        let mut e = match &self.mix {
+            Some(mix) => Experiment::with_mix(mix.instantiate()),
+            None => Experiment::from_spec(&self.workload, self.seq_len),
+        };
+        e = e
             .policy(self.policy.clone())
             .l2_mb(self.l2_mb)
             .layout(campaign.layout)
@@ -102,14 +126,52 @@ impl CampaignCell {
     }
 }
 
-/// One executed cell: the cell, its report, and (when the campaign has
-/// a baseline) its speedup over the baseline on the same scenario.
-/// These are the JSONL stream's records.
+/// One request's fairness numbers inside a mix cell: its co-scheduled
+/// completion time against a solo run of the same request under the
+/// same policy and machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestFairness {
+    pub request: u32,
+    pub label: String,
+    /// Cycles the request takes running alone on the whole machine.
+    pub solo_cycles: u64,
+    /// Cycles from arrival to completion inside the mix.
+    pub mix_cycles: u64,
+    /// `solo / mix` — ≤ 1 when co-scheduling slows the request down.
+    pub speedup: f64,
+    /// `mix / solo` — the request's slowdown from interference.
+    pub slowdown: f64,
+}
+
+/// Fairness summary of one mix cell (the min/max/geomean statistics the
+/// multi-tenant scheduling literature reports).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FairnessRecord {
+    pub per_request: Vec<RequestFairness>,
+    pub min_speedup: f64,
+    pub max_speedup: f64,
+    pub geomean_speedup: f64,
+    /// The worst per-request slowdown (the fairness headline).
+    pub max_slowdown: f64,
+}
+
+/// One executed cell: the cell, the step mode it ran under, its report,
+/// and (when the campaign has a baseline) its speedup over the baseline
+/// on the same scenario; mix cells additionally carry per-request
+/// fairness. These are the JSONL stream's records, each line fully
+/// self-describing for archived sweeps.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CellRecord {
     pub cell: CampaignCell,
+    /// Step mode the cell ran under (serde default `Cycle`, so JSONL
+    /// archived before this field existed still parses).
+    #[serde(default)]
+    pub step_mode: StepMode,
     pub report: RunReport,
     pub speedup: Option<f64>,
+    /// Per-request fairness vs solo runs (mix cells only).
+    #[serde(default)]
+    pub fairness: Option<FairnessRecord>,
 }
 
 /// A finished campaign: records in deterministic cell order.
@@ -128,6 +190,7 @@ impl Campaign {
             name: name.into(),
             workloads: Vec::new(),
             seq_lens: Vec::new(),
+            mixes: Vec::new(),
             l2_mb: vec![16],
             policies: Vec::new(),
             baseline: None,
@@ -150,6 +213,18 @@ impl Campaign {
 
     pub fn seq_lens(mut self, seqs: impl IntoIterator<Item = usize>) -> Self {
         self.seq_lens.extend(seqs);
+        self
+    }
+
+    /// Adds a multi-tenant serving mix scenario (crossed with `l2_mb`
+    /// and `policies`; the mix carries its own sequence lengths).
+    pub fn mix(mut self, m: MixSpec) -> Self {
+        self.mixes.push(m);
+        self
+    }
+
+    pub fn mixes(mut self, ms: impl IntoIterator<Item = MixSpec>) -> Self {
+        self.mixes.extend(ms);
         self
     }
 
@@ -199,8 +274,9 @@ impl Campaign {
         self
     }
 
-    /// The scenario axes (everything but the policy), in enumeration
-    /// order: workload-major, then seq_len, then l2_mb.
+    /// The solo scenario axes (everything but the policy), in
+    /// enumeration order: workload-major, then seq_len, then l2_mb.
+    /// Mix scenarios follow these in [`Campaign::cells`] order.
     pub fn scenarios(&self) -> Vec<(WorkloadSpec, usize, u64)> {
         let mut out = Vec::with_capacity(self.workloads.len() * self.seq_lens.len());
         for w in &self.workloads {
@@ -213,24 +289,68 @@ impl Campaign {
         out
     }
 
+    /// Every scenario in enumeration order — the solo grid first, then
+    /// each mix crossed with `l2_mb` — expressed as policy-free cells
+    /// (the `policy` field holds a placeholder; [`Campaign::cells`]
+    /// substitutes each swept policy).
+    fn all_scenarios(&self) -> Vec<CampaignCell> {
+        let placeholder = PolicySpec::unoptimized();
+        let mut out: Vec<CampaignCell> = self
+            .scenarios()
+            .into_iter()
+            .map(|(workload, seq_len, l2_mb)| CampaignCell {
+                workload,
+                seq_len,
+                l2_mb,
+                policy: placeholder.clone(),
+                mix: None,
+            })
+            .collect();
+        for m in &self.mixes {
+            for &mb in &self.l2_mb {
+                out.push(CampaignCell {
+                    workload: m.requests.first().map(|r| r.workload).unwrap_or(
+                        // Degenerate (empty) mixes are rejected by
+                        // `validate`; keep enumeration total anyway.
+                        WorkloadSpec::llama3_70b(),
+                    ),
+                    seq_len: m.requests.iter().map(|r| r.seq_len).max().unwrap_or(0),
+                    l2_mb: mb,
+                    policy: placeholder.clone(),
+                    mix: Some(m.clone()),
+                });
+            }
+        }
+        out
+    }
+
     /// Human-readable scenario labels (columns of a speedup table).
+    /// Derived from the same enumeration as [`Campaign::cells`], so
+    /// label order always matches record order.
     pub fn scenario_labels(&self) -> Vec<String> {
         let multi_w = self.workloads.len() > 1;
         let multi_l2 = self.l2_mb.len() > 1;
-        self.scenarios()
+        self.all_scenarios()
             .iter()
-            .map(|(w, seq, mb)| {
+            .map(|cell| {
+                if let Some(m) = &cell.mix {
+                    let mut label = m.label();
+                    if multi_l2 {
+                        label.push_str(&format!(" {}MB", cell.l2_mb));
+                    }
+                    return label;
+                }
                 let mut parts = Vec::new();
                 if multi_w {
-                    parts.push(w.label());
+                    parts.push(cell.workload.label());
                 }
-                parts.push(if seq % 1024 == 0 {
-                    format!("{}K", seq / 1024)
+                parts.push(if cell.seq_len % 1024 == 0 {
+                    format!("{}K", cell.seq_len / 1024)
                 } else {
-                    format!("{seq}")
+                    format!("{}", cell.seq_len)
                 });
                 if multi_l2 {
-                    parts.push(format!("{mb}MB"));
+                    parts.push(format!("{}MB", cell.l2_mb));
                 }
                 parts.join(" ")
             })
@@ -238,29 +358,27 @@ impl Campaign {
     }
 
     /// The full cell list in deterministic order (scenarios × policies,
-    /// policy innermost).
+    /// policy innermost; solo scenarios before mixes).
     pub fn cells(&self) -> Vec<CampaignCell> {
-        let mut out = Vec::with_capacity(self.scenarios().len() * self.policies.len());
-        for (workload, seq_len, l2_mb) in self.scenarios() {
+        let scenarios = self.all_scenarios();
+        let mut out = Vec::with_capacity(scenarios.len() * self.policies.len());
+        for scenario in scenarios {
             for p in &self.policies {
-                out.push(CampaignCell {
-                    workload,
-                    seq_len,
-                    l2_mb,
-                    policy: p.clone(),
-                });
+                let mut cell = scenario.clone();
+                cell.policy = p.clone();
+                out.push(cell);
             }
         }
         out
     }
 
-    /// Rejects empty axes and invalid workloads before any simulation
-    /// starts.
+    /// Rejects empty axes, invalid workloads and degenerate mixes
+    /// before any simulation starts.
     pub fn validate(&self) -> Result<(), String> {
-        if self.workloads.is_empty() {
-            return Err("campaign has no workloads".into());
+        if self.workloads.is_empty() && self.mixes.is_empty() {
+            return Err("campaign has no workloads or mixes".into());
         }
-        if self.seq_lens.is_empty() {
+        if !self.workloads.is_empty() && self.seq_lens.is_empty() {
             return Err("campaign has no sequence lengths".into());
         }
         if self.l2_mb.is_empty() {
@@ -281,19 +399,31 @@ impl Campaign {
                 ));
             }
         }
+        for (i, m) in self.mixes.iter().enumerate() {
+            m.validate().map_err(|e| format!("mix {i}: {e}"))?;
+            for r in &m.requests {
+                if self.l_tile == 0 || r.seq_len % self.l_tile != 0 {
+                    return Err(format!(
+                        "mix {i}: l_tile {} must divide every request seq_len (got {})",
+                        self.l_tile, r.seq_len
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 
     /// Runs the whole grid in parallel and assembles the report.
     ///
-    /// The policy cells and (if not already a policy) the baseline
-    /// cells run in one rayon batch; records come back in
-    /// [`Campaign::cells`] order with baseline-relative speedups
-    /// attached.
+    /// The policy cells, (if not already a policy) the baseline cells,
+    /// and the solo fairness-reference runs of every mix cell's
+    /// requests run in one rayon batch; records come back in
+    /// [`Campaign::cells`] order with baseline-relative speedups and
+    /// (for mix cells) per-request fairness attached.
     pub fn run(&self) -> Result<CampaignReport, String> {
         self.validate()?;
         let cells = self.cells();
-        let scenarios = self.scenarios();
+        let scenarios = self.all_scenarios();
 
         // The baseline rides along as extra cells unless it is already
         // one of the swept policies.
@@ -303,15 +433,43 @@ impl Campaign {
             .and_then(|b| self.policies.iter().position(|p| p == b));
         let mut all = cells.clone();
         if let (Some(b), None) = (&self.baseline, baseline_in_grid) {
-            for (workload, seq_len, l2_mb) in &scenarios {
-                all.push(CampaignCell {
-                    workload: *workload,
-                    seq_len: *seq_len,
-                    l2_mb: *l2_mb,
-                    policy: b.clone(),
-                });
+            for scenario in &scenarios {
+                let mut cell = scenario.clone();
+                cell.policy = b.clone();
+                all.push(cell);
             }
         }
+        let n_baseline_extra = all.len() - cells.len();
+
+        // Fairness references: each mix cell compares every request
+        // against a solo run of that request under the same policy and
+        // machine. References are deduplicated across mixes and cells.
+        let mut solo_refs: Vec<CampaignCell> = Vec::new();
+        let mut fairness_refs: Vec<Option<Vec<usize>>> = Vec::with_capacity(cells.len());
+        for cell in &cells {
+            fairness_refs.push(cell.mix.as_ref().map(|m| {
+                m.requests
+                    .iter()
+                    .map(|r| {
+                        let solo = CampaignCell {
+                            workload: r.workload,
+                            seq_len: r.seq_len,
+                            l2_mb: cell.l2_mb,
+                            policy: cell.policy.clone(),
+                            mix: None,
+                        };
+                        solo_refs
+                            .iter()
+                            .position(|c| *c == solo)
+                            .unwrap_or_else(|| {
+                                solo_refs.push(solo);
+                                solo_refs.len() - 1
+                            })
+                    })
+                    .collect()
+            }));
+        }
+        all.extend(solo_refs.iter().cloned());
 
         let experiments: Vec<Experiment> = all.iter().map(|c| c.experiment(self)).collect();
         let mut reports = run_experiments(&experiments)?;
@@ -325,9 +483,13 @@ impl Campaign {
                     .map(|s| reports[s * n_pol + p].cycles)
                     .collect(),
                 // Extra cells appended after the grid, one per scenario.
-                None => reports[cells.len()..].iter().map(|r| r.cycles).collect(),
+                None => reports[cells.len()..cells.len() + n_baseline_extra]
+                    .iter()
+                    .map(|r| r.cycles)
+                    .collect(),
             }
         });
+        let solo_reports = reports.split_off(cells.len() + n_baseline_extra);
         reports.truncate(cells.len());
 
         let mut records = Vec::with_capacity(cells.len());
@@ -345,10 +507,15 @@ impl Campaign {
                 }
                 None => None,
             };
+            let fairness = fairness_refs[i]
+                .as_ref()
+                .and_then(|refs| fairness_of(&report, refs, &solo_reports));
             records.push(CellRecord {
                 cell,
+                step_mode: self.step_mode,
                 report,
                 speedup,
+                fairness,
             });
         }
         Ok(CampaignReport {
@@ -356,6 +523,45 @@ impl Campaign {
             records,
         })
     }
+}
+
+/// Assembles a mix cell's fairness record from its report and the solo
+/// reference reports. `None` when any involved run failed to complete —
+/// a slowdown against an unfinished run would be meaningless.
+fn fairness_of(
+    report: &RunReport,
+    refs: &[usize],
+    solo_reports: &[RunReport],
+) -> Option<FairnessRecord> {
+    let mut per_request = Vec::with_capacity(refs.len());
+    for (r, &solo_idx) in refs.iter().enumerate() {
+        let mix_req = report.requests.get(r)?;
+        // The solo reference time is the request's own completion in
+        // its solo run (request 0 there), not the run's drain time —
+        // so a single-request partitioned mix pins speedup exactly 1.
+        let solo_req = solo_reports.get(solo_idx)?.requests.first()?;
+        if !mix_req.completed || !solo_req.completed || mix_req.cycles == 0 || solo_req.cycles == 0
+        {
+            return None;
+        }
+        let speedup = solo_req.cycles as f64 / mix_req.cycles as f64;
+        per_request.push(RequestFairness {
+            request: r as u32,
+            label: mix_req.label.clone(),
+            solo_cycles: solo_req.cycles,
+            mix_cycles: mix_req.cycles,
+            speedup,
+            slowdown: 1.0 / speedup,
+        });
+    }
+    let speedups: Vec<f64> = per_request.iter().map(|f| f.speedup).collect();
+    Some(FairnessRecord {
+        min_speedup: speedups.iter().copied().fold(f64::INFINITY, f64::min),
+        max_speedup: speedups.iter().copied().fold(0.0, f64::max),
+        geomean_speedup: geomean(&speedups),
+        max_slowdown: per_request.iter().map(|f| f.slowdown).fold(0.0, f64::max),
+        per_request,
+    })
 }
 
 /// Runs a batch of experiments in parallel (rayon), returning reports
@@ -502,6 +708,122 @@ mod tests {
         assert!(no_policy.run().is_err());
         let bad_tile = tiny().seq_lens([100]); // 100 % 32 != 0
         assert!(bad_tile.run().is_err());
+    }
+
+    fn tiny_mix() -> MixSpec {
+        use llamcat_trace::workloads::WorkloadSpec;
+        MixSpec::interleaved()
+            .request(WorkloadSpec::llama3_70b(), 128, 0)
+            .request(
+                WorkloadSpec::PrefillLogit {
+                    heads: 8,
+                    group_size: 8,
+                    head_dim: 128,
+                    query_tokens: 4,
+                },
+                128,
+                0,
+            )
+    }
+
+    #[test]
+    fn mix_scenarios_append_after_solo_grid() {
+        let c = tiny().mix(tiny_mix());
+        let cells = c.cells();
+        // 1 solo scenario × 2 policies + 1 mix scenario × 2 policies.
+        assert_eq!(cells.len(), 4);
+        assert!(cells[0].mix.is_none() && cells[1].mix.is_none());
+        assert!(cells[2].mix.is_some() && cells[3].mix.is_some());
+        let labels = c.scenario_labels();
+        assert_eq!(labels.len(), 2);
+        assert!(
+            labels[1].starts_with("mix:ilv["),
+            "mix label: {}",
+            labels[1]
+        );
+    }
+
+    #[test]
+    fn mix_cells_carry_fairness_and_per_request_reports() {
+        let report = tiny().mix(tiny_mix()).run().unwrap();
+        assert_eq!(report.records.len(), 4);
+        for rec in &report.records[..2] {
+            assert!(rec.fairness.is_none(), "solo cells carry no fairness");
+            assert_eq!(rec.report.requests.len(), 1);
+        }
+        for rec in &report.records[2..] {
+            assert_eq!(rec.report.requests.len(), 2);
+            let f = rec.fairness.as_ref().expect("mix cells carry fairness");
+            assert_eq!(f.per_request.len(), 2);
+            for pr in &f.per_request {
+                assert!(pr.solo_cycles > 0 && pr.mix_cycles > 0);
+                assert!(
+                    pr.speedup <= 1.0 + 1e-9,
+                    "co-scheduling cannot beat a solo run of the same request \
+                     on the same machine ({}: {})",
+                    pr.label,
+                    pr.speedup
+                );
+                assert!((pr.slowdown * pr.speedup - 1.0).abs() < 1e-12);
+            }
+            assert!(f.min_speedup <= f.max_speedup);
+            assert!(f.geomean_speedup >= f.min_speedup && f.geomean_speedup <= f.max_speedup);
+            assert!(f.max_slowdown >= 1.0);
+            // Mix cells still get baseline speedups.
+            assert!(rec.speedup.is_some());
+        }
+    }
+
+    #[test]
+    fn single_request_partitioned_mix_pins_fairness_at_one() {
+        use llamcat_trace::workloads::WorkloadSpec;
+        let solo_mix = MixSpec::partitioned().request(WorkloadSpec::llama3_70b(), 128, 0);
+        let c = Campaign::new("solo-mix")
+            .mix(solo_mix)
+            .policy(PolicySpec::unoptimized());
+        let report = c.run().unwrap();
+        let f = report.records[0].fairness.as_ref().unwrap();
+        assert_eq!(f.per_request.len(), 1);
+        assert_eq!(
+            f.per_request[0].speedup, 1.0,
+            "a lone tenant on the whole machine IS the solo run"
+        );
+        assert_eq!(f.geomean_speedup, 1.0);
+        assert_eq!(f.max_slowdown, 1.0);
+    }
+
+    #[test]
+    fn mix_only_campaigns_are_valid() {
+        let c = Campaign::new("mix-only")
+            .mix(tiny_mix())
+            .policy(PolicySpec::unoptimized());
+        assert!(c.validate().is_ok(), "no solo workloads needed");
+        let bad_tile = Campaign::new("bad")
+            .mix(MixSpec::partitioned().request(
+                llamcat_trace::workloads::WorkloadSpec::llama3_70b(),
+                100, // 100 % 32 != 0
+                0,
+            ))
+            .policy(PolicySpec::unoptimized());
+        assert!(bad_tile.validate().is_err());
+        let empty_mix = Campaign::new("empty")
+            .mix(MixSpec::partitioned())
+            .policy(PolicySpec::unoptimized());
+        assert!(empty_mix.validate().is_err());
+    }
+
+    #[test]
+    fn records_carry_their_step_mode() {
+        use llamcat_sim::system::StepMode;
+        let cycle = tiny().run().unwrap();
+        assert_eq!(cycle.records[0].step_mode, StepMode::Cycle);
+        let skip = tiny().step_mode(StepMode::Skip).run().unwrap();
+        assert_eq!(skip.records[0].step_mode, StepMode::Skip);
+        let line = skip.jsonl();
+        assert!(
+            line.contains("\"step_mode\":\"Skip\""),
+            "JSONL must be self-describing: {line}"
+        );
     }
 
     #[test]

@@ -69,6 +69,7 @@ impl Cell {
             seq_len: self.seq_len,
             l2_mb: self.l2_mb,
             policy: self.policy.into(),
+            mix: None,
         }
     }
 }

@@ -3,8 +3,9 @@
 //! through serde, execute deterministically in parallel, and stream
 //! byte-identical JSONL across repeated runs.
 
-use llamcat::spec::PolicySpec;
-use llamcat_bench::Campaign;
+use llamcat::spec::{MixSpec, PolicySpec};
+use llamcat_bench::{Campaign, CellRecord};
+use llamcat_sim::system::StepMode;
 use llamcat_trace::workloads::WorkloadSpec;
 
 /// 2 workloads × 2 seq_lens × 3 policies, written as JSON by hand the
@@ -103,6 +104,76 @@ fn campaign_matches_direct_experiments() {
         report.records[0].speedup.unwrap(),
         direct.speedup_over(&base)
     );
+}
+
+/// Every JSONL record must be self-describing: it carries the step
+/// mode it ran under and round-trips through serde losslessly —
+/// including records archived *before* the field existed, which parse
+/// with the `Cycle` default.
+#[test]
+fn jsonl_records_round_trip_with_step_mode() {
+    let campaign = Campaign::new("stamp")
+        .workload(WorkloadSpec::llama3_70b())
+        .seq_lens([128])
+        .policy(PolicySpec::dynmg_bma())
+        .step_mode(StepMode::Skip);
+    let report = campaign.run().unwrap();
+    let jsonl = report.jsonl();
+    for line in jsonl.lines() {
+        let rec: CellRecord = serde_json::from_str(line).expect("record parses");
+        assert_eq!(rec.step_mode, StepMode::Skip, "record must carry its mode");
+        // Round trip: parse → serialize reproduces the archived bytes.
+        assert_eq!(serde_json::to_string(&rec).unwrap(), line);
+        // A legacy record without the field still parses, as Cycle.
+        let legacy = line.replace("\"step_mode\":\"Skip\",", "");
+        let old: CellRecord = serde_json::from_str(&legacy).expect("legacy parses");
+        assert_eq!(old.step_mode, StepMode::Cycle);
+    }
+}
+
+/// A campaign mixing solo and mix scenarios streams self-describing
+/// records: mix cells carry their `MixSpec` and fairness in the JSONL,
+/// and both kinds round-trip.
+#[test]
+fn mix_campaign_jsonl_is_self_describing() {
+    let campaign = Campaign::new("mix-jsonl")
+        .workload(WorkloadSpec::llama3_70b())
+        .seq_lens([128])
+        .mix(
+            MixSpec::partitioned()
+                .request(WorkloadSpec::llama3_70b(), 128, 0)
+                .request(WorkloadSpec::llama3_70b(), 128, 1_000),
+        )
+        .policy(PolicySpec::unoptimized())
+        .baseline(PolicySpec::unoptimized());
+    let report = campaign.run().unwrap();
+    assert_eq!(report.records.len(), 2, "one solo + one mix cell");
+    let jsonl = report.jsonl();
+    let records: Vec<CellRecord> = jsonl
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("record parses"))
+        .collect();
+    assert!(records[0].cell.mix.is_none() && records[0].fairness.is_none());
+    let mix_rec = &records[1];
+    let spec = mix_rec
+        .cell
+        .mix
+        .as_ref()
+        .expect("mix cell carries its spec");
+    assert_eq!(spec.requests.len(), 2);
+    assert_eq!(spec.requests[1].arrival, 1_000);
+    let fairness = mix_rec
+        .fairness
+        .as_ref()
+        .expect("mix cell carries fairness");
+    assert_eq!(fairness.per_request.len(), 2);
+    assert_eq!(mix_rec.report.requests.len(), 2);
+    // Round trip of the full stream.
+    let again: String = records
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap() + "\n")
+        .collect();
+    assert_eq!(again, jsonl);
 }
 
 #[test]

@@ -90,3 +90,51 @@ fn parallel_skip_sweep_is_byte_identical_to_cycle_sweep() {
     };
     assert_eq!(jsonl(&cycle), jsonl(&skip));
 }
+
+/// The same contract over a *mix* campaign: parallel execution is
+/// repeatable, and the Skip-mode JSONL — per-request stats, fairness
+/// records and all — is byte-identical to the cycle-accurate stream
+/// except for the self-describing `step_mode` fields themselves.
+#[test]
+fn parallel_mix_campaign_is_repeatable_and_mode_equivalent() {
+    use llamcat::spec::{MixSpec, PolicySpec};
+    use llamcat_bench::Campaign;
+    use llamcat_trace::workloads::WorkloadSpec;
+
+    let mix = MixSpec::interleaved()
+        .request(WorkloadSpec::llama3_70b(), 128, 0)
+        .request(
+            WorkloadSpec::PrefillLogit {
+                heads: 8,
+                group_size: 8,
+                head_dim: 128,
+                query_tokens: 4,
+            },
+            128,
+            0,
+        );
+    let campaign = |mode| {
+        Campaign::new("mix-determinism")
+            .mix(mix.clone())
+            .policy(PolicySpec::unoptimized())
+            .policy(PolicySpec::dynmg_bma())
+            .baseline(PolicySpec::unoptimized())
+            .step_mode(mode)
+    };
+
+    // Repeatability within each mode.
+    for mode in [StepMode::Cycle, StepMode::Skip] {
+        let a = campaign(mode).run().unwrap().jsonl();
+        let b = campaign(mode).run().unwrap().jsonl();
+        assert_eq!(a, b, "mix campaign JSONL diverged across runs ({mode:?})");
+    }
+
+    // Cross-mode byte-equality of everything but the mode tag itself.
+    let cycle = campaign(StepMode::Cycle).run().unwrap().jsonl();
+    let skip = campaign(StepMode::Skip).run().unwrap().jsonl();
+    assert_eq!(
+        cycle.replace("\"step_mode\":\"Cycle\"", "\"step_mode\":\"Skip\""),
+        skip,
+        "mix campaign results diverged between step modes"
+    );
+}

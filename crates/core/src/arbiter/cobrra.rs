@@ -116,6 +116,7 @@ mod tests {
             req: MemReq {
                 id: 0,
                 core: 0,
+                request: 0,
                 line_addr: 0x40,
                 is_write: false,
                 issued_at: 0,

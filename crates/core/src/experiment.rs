@@ -26,12 +26,13 @@ use llamcat_sim::config::SystemConfig;
 use llamcat_sim::prog::Program;
 use llamcat_sim::stats::SimStats;
 use llamcat_sim::system::{RunOutcome, StepMode, System};
+use llamcat_trace::mix::WorkloadMix;
 use llamcat_trace::tracegen::TraceGenConfig;
 use llamcat_trace::workload::LogitOp;
 use llamcat_trace::workloads::{LogitWorkload, Workload, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
-use crate::spec::{ArbSpec, PolicySpec, ThrottleSpec};
+use crate::spec::{ArbSpec, MixSpec, PolicySpec, ThrottleSpec};
 
 pub use llamcat_trace::mapping::Layout;
 
@@ -230,6 +231,9 @@ pub enum ExperimentError {
     /// The generated trace moves zero bytes — nothing to simulate, and
     /// the cycle-budget heuristic would be meaningless.
     EmptyTrace { workload: String },
+    /// A serving mix failed validation or composition (zero requests,
+    /// zero seq_len, more partitioned requests than cores, …).
+    InvalidMix(String),
     /// An explicit cycle budget of zero can never complete.
     ZeroCycleBudget,
     /// A speedup ratio against a zero-cycle run is undefined.
@@ -244,6 +248,7 @@ impl std::fmt::Display for ExperimentError {
             ExperimentError::EmptyTrace { workload } => {
                 write!(f, "workload `{workload}` generated a zero-byte trace")
             }
+            ExperimentError::InvalidMix(msg) => write!(f, "invalid mix: {msg}"),
             ExperimentError::ZeroCycleBudget => write!(f, "explicit cycle budget is zero"),
             ExperimentError::ZeroCycleSpeedup { detail } => {
                 write!(f, "speedup undefined: {detail}")
@@ -258,8 +263,12 @@ impl std::error::Error for ExperimentError {}
 #[derive(Debug, Clone)]
 pub struct Experiment {
     /// The operator under test (open world — see
-    /// [`llamcat_trace::workloads`]).
+    /// [`llamcat_trace::workloads`]). For mix experiments this holds
+    /// the first request's workload; the trace comes from `mix`.
     pub workload: Arc<dyn Workload>,
+    /// Multi-tenant serving mix; when set, the trace is the mix's
+    /// request-tagged composition instead of the solo `workload`.
+    pub mix: Option<WorkloadMix>,
     pub policy: PolicySpec,
     pub config: SystemConfig,
     pub tracegen: TraceGenConfig,
@@ -289,6 +298,7 @@ impl Experiment {
         let config = SystemConfig::table5();
         Experiment {
             workload,
+            mix: None,
             policy: PolicySpec::unoptimized(),
             tracegen: TraceGenConfig {
                 num_cores: config.num_cores,
@@ -306,6 +316,27 @@ impl Experiment {
     /// Instantiates a serialized workload family at one sequence length.
     pub fn from_spec(workload: &WorkloadSpec, seq_len: usize) -> Self {
         Experiment::with_workload(workload.instantiate(seq_len))
+    }
+
+    /// An experiment over a multi-tenant serving mix. The mix must hold
+    /// at least one request ([`Experiment::try_run`] rejects empty
+    /// mixes gracefully; this constructor panics on them).
+    pub fn with_mix(mix: WorkloadMix) -> Self {
+        let first = mix
+            .requests
+            .first()
+            .expect("mix must hold at least one request")
+            .workload
+            .clone();
+        let mut e = Experiment::with_workload(first);
+        e.mix = Some(mix);
+        e
+    }
+
+    /// Instantiates a serialized [`MixSpec`].
+    pub fn from_mix_spec(spec: &MixSpec) -> Result<Self, ExperimentError> {
+        spec.validate().map_err(ExperimentError::InvalidMix)?;
+        Ok(Experiment::with_mix(spec.instantiate()))
     }
 
     pub fn policy(mut self, policy: impl Into<PolicySpec>) -> Self {
@@ -344,6 +375,23 @@ impl Experiment {
     }
 
     fn checked_program(&self) -> Result<(Program, u64), ExperimentError> {
+        if let Some(mix) = &self.mix {
+            let (program, meta) = mix
+                .generate(self.layout, self.l_tile, &self.tracegen)
+                .map_err(ExperimentError::InvalidMix)?;
+            if meta.total_load_bytes == 0 {
+                return Err(ExperimentError::EmptyTrace {
+                    workload: mix.label(),
+                });
+            }
+            let latest_arrival = mix.requests.iter().map(|r| r.arrival).max().unwrap_or(0);
+            let budget = match self.max_cycles {
+                Some(0) => return Err(ExperimentError::ZeroCycleBudget),
+                Some(cycles) => cycles,
+                None => latest_arrival + meta.total_load_bytes / 4 + 20_000_000,
+            };
+            return Ok((program, budget));
+        }
         self.workload
             .validate()
             .map_err(ExperimentError::InvalidWorkload)?;
@@ -381,6 +429,12 @@ impl Experiment {
     /// Panics on invalid workload/mapping; [`Experiment::try_run`]
     /// reports those gracefully.
     pub fn build_program(&self) -> Program {
+        if let Some(mix) = &self.mix {
+            let (program, _) = mix
+                .generate(self.layout, self.l_tile, &self.tracegen)
+                .expect("mix must compose");
+            return program;
+        }
         let mapping = self
             .workload
             .mapping(self.layout, self.l_tile, self.config.num_cores);
@@ -415,6 +469,42 @@ impl Experiment {
     }
 }
 
+/// Per-request (tenant) results of one run: completion timing plus the
+/// request's LLC interference profile. Solo runs report exactly one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestReport {
+    /// Request id (index into the mix, 0 for solo runs).
+    pub request: u32,
+    /// The request's workload label.
+    pub label: String,
+    /// Cycle at which the request arrived.
+    pub arrival: u64,
+    /// Whether every thread block of the request retired in budget.
+    pub completed: bool,
+    /// Cycles from arrival to the retirement of the request's last
+    /// thread block (0 when not completed).
+    pub cycles: u64,
+    pub blocks_total: u64,
+    pub blocks_completed: u64,
+    /// LLC lookups attributed to the request.
+    pub llc_lookups: u64,
+    pub llc_hits: u64,
+    pub llc_misses: u64,
+    pub mshr_merges: u64,
+    /// LLC pipeline stall cycles charged to the request.
+    pub llc_stall_cycles: u64,
+}
+
+impl RequestReport {
+    /// The request's own L2 hit rate.
+    pub fn l2_hit_rate(&self) -> f64 {
+        if self.llc_lookups == 0 {
+            return 0.0;
+        }
+        self.llc_hits as f64 / self.llc_lookups as f64
+    }
+}
+
 /// Results of one experiment, with the metrics the paper plots.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -438,6 +528,10 @@ pub struct RunReport {
     pub mean_load_latency: f64,
     pub tb_migrations: u64,
     pub row_hit_rate: f64,
+    /// Per-request (tenant) breakdowns, in request order. Solo runs
+    /// carry exactly one entry.
+    #[serde(default)]
+    pub requests: Vec<RequestReport>,
     /// Full component statistics for deep dives.
     #[serde(skip)]
     pub stats: Option<SimStats>,
@@ -445,12 +539,48 @@ pub struct RunReport {
 
 impl RunReport {
     fn from_stats(exp: &Experiment, stats: SimStats, outcome: RunOutcome) -> Self {
+        let request_label = |i: usize| -> String {
+            match &exp.mix {
+                Some(mix) => mix.requests[i].workload.label(),
+                None => exp.workload.label(),
+            }
+        };
+        let requests = stats
+            .requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| RequestReport {
+                request: i as u32,
+                label: request_label(i),
+                arrival: r.arrival,
+                completed: r.completed,
+                cycles: r.cycles_to_completion(),
+                blocks_total: r.blocks_total,
+                blocks_completed: r.blocks_completed,
+                llc_lookups: r.llc.lookups,
+                llc_hits: r.llc.hits,
+                llc_misses: r.llc.misses,
+                mshr_merges: r.llc.mshr_merges,
+                llc_stall_cycles: r.llc.stall_cycles,
+            })
+            .collect();
+        let (workload_label, seq_len) = match &exp.mix {
+            Some(mix) => (
+                mix.label(),
+                mix.requests
+                    .iter()
+                    .map(|r| r.workload.shape().seq_len)
+                    .max()
+                    .unwrap_or(0),
+            ),
+            None => (exp.workload.label(), exp.workload.shape().seq_len),
+        };
         RunReport {
             policy_label: exp.policy.label(),
-            workload_label: exp.workload.label(),
-            seq_len: exp.workload.shape().seq_len,
+            workload_label,
+            seq_len,
             l2_mb: exp.config.l2.capacity_bytes / (1024 * 1024),
-            completed: outcome == RunOutcome::Completed,
+            completed: outcome.is_complete(),
             cycles: stats.cycles,
             l2_hit_rate: stats.l2_hit_rate(),
             mshr_hit_rate: stats.mshr_hit_rate(),
@@ -462,6 +592,7 @@ impl RunReport {
             mean_load_latency: stats.mean_load_latency(),
             tb_migrations: stats.tb_migrations,
             row_hit_rate: stats.row_hit_rate(),
+            requests,
             stats: Some(stats),
         }
     }
@@ -612,6 +743,95 @@ mod tests {
         assert!(matches!(
             e.try_run().unwrap_err(),
             ExperimentError::InvalidMapping(_)
+        ));
+    }
+
+    #[test]
+    fn solo_runs_report_one_request() {
+        let report = Experiment::new(Model::Llama3_70b, 128).run();
+        assert_eq!(report.requests.len(), 1);
+        let r = &report.requests[0];
+        assert!(r.completed);
+        assert_eq!(r.request, 0);
+        assert_eq!(r.label, "llama3 70b");
+        assert_eq!(r.blocks_completed, r.blocks_total);
+        assert!(r.cycles > 0 && r.cycles <= report.cycles);
+        assert_eq!(
+            r.llc_lookups,
+            report.stats.as_ref().unwrap().l2_lookups(),
+            "solo run: request 0 owns every lookup"
+        );
+    }
+
+    #[test]
+    fn mix_experiment_reports_per_request_completion() {
+        use crate::spec::MixSpec;
+        let spec = MixSpec::interleaved()
+            .request(WorkloadSpec::llama3_70b(), 128, 0)
+            .request(
+                WorkloadSpec::PrefillLogit {
+                    heads: 8,
+                    group_size: 8,
+                    head_dim: 128,
+                    query_tokens: 4,
+                },
+                128,
+                0,
+            );
+        let report = Experiment::from_mix_spec(&spec).unwrap().run();
+        assert!(report.completed);
+        assert_eq!(report.requests.len(), 2);
+        assert_eq!(report.requests[0].label, "llama3 70b");
+        assert_eq!(report.requests[1].label, "prefill h8 g8 d128 q4");
+        let stats = report.stats.as_ref().unwrap();
+        stats.check_consistency().unwrap();
+        for r in &report.requests {
+            assert!(r.completed);
+            assert!(r.cycles > 0);
+            assert!(r.llc_lookups > 0, "both tenants reached the LLC");
+        }
+        // The machine finishes when the slower tenant does (both start
+        // at cycle 0, so the slower tenant bounds the run).
+        let slowest = report.requests.iter().map(|r| r.cycles).max().unwrap();
+        assert!(slowest <= report.cycles);
+    }
+
+    #[test]
+    fn staggered_arrival_delays_a_request() {
+        use crate::spec::MixSpec;
+        let arrival = 50_000;
+        let spec = MixSpec::partitioned()
+            .request(WorkloadSpec::llama3_70b(), 128, 0)
+            .request(WorkloadSpec::llama3_70b(), 128, arrival);
+        let report = Experiment::from_mix_spec(&spec).unwrap().run();
+        assert!(report.completed);
+        let late = &report.requests[1];
+        assert_eq!(late.arrival, arrival);
+        assert!(
+            report.cycles >= arrival,
+            "the run cannot end before the late tenant arrives"
+        );
+        assert!(late.completed && late.cycles > 0);
+    }
+
+    #[test]
+    fn degenerate_mixes_rejected_at_experiment_level() {
+        use crate::spec::MixSpec;
+        assert!(matches!(
+            Experiment::from_mix_spec(&MixSpec::partitioned()).unwrap_err(),
+            ExperimentError::InvalidMix(_)
+        ));
+        let zero_seq = MixSpec::partitioned().request(WorkloadSpec::llama3_70b(), 0, 0);
+        assert!(Experiment::from_mix_spec(&zero_seq).is_err());
+        // More partitioned tenants than cores is caught at run time.
+        let mut spec = MixSpec::partitioned();
+        for _ in 0..17 {
+            spec = spec.request(WorkloadSpec::llama3_70b(), 128, 0);
+        }
+        let e = Experiment::from_mix_spec(&spec).unwrap();
+        assert!(matches!(
+            e.try_run().unwrap_err(),
+            ExperimentError::InvalidMix(_)
         ));
     }
 

@@ -26,6 +26,9 @@
 //! [`PolicySpec::dynmg_with`] instead.
 
 use llamcat_sim::arb::{FifoArbiter, NoThrottle, RequestArbiter, ThrottleController};
+use llamcat_sim::types::Cycle;
+use llamcat_trace::mix::{MixAssignment, WorkloadMix};
+use llamcat_trace::workloads::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
 use crate::arbiter::{BalancedArbiter, CobrraArbiter, MshrAwareArbiter};
@@ -268,6 +271,107 @@ impl PolicySpec {
     }
 }
 
+/// One request of a serde-round-trippable serving mix: a workload
+/// family instantiated at one sequence length, optionally arriving
+/// mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestSpec {
+    pub workload: WorkloadSpec,
+    pub seq_len: usize,
+    /// Cycle at which the request arrives (0 = present from the start).
+    #[serde(default)]
+    pub arrival: Cycle,
+}
+
+impl RequestSpec {
+    /// A request present from cycle 0.
+    pub fn new(workload: WorkloadSpec, seq_len: usize) -> Self {
+        RequestSpec {
+            workload,
+            seq_len,
+            arrival: 0,
+        }
+    }
+
+    /// Staggers the request's arrival.
+    pub fn arriving_at(mut self, cycle: Cycle) -> Self {
+        self.arrival = cycle;
+        self
+    }
+}
+
+/// A multi-tenant serving mix as data: the serde counterpart of
+/// [`WorkloadMix`], usable as a
+/// campaign scenario axis next to solo workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixSpec {
+    pub requests: Vec<RequestSpec>,
+    /// Core-assignment discipline ([`MixAssignment::Partitioned`] is
+    /// the serde default).
+    #[serde(default)]
+    pub assignment: MixAssignment,
+}
+
+impl MixSpec {
+    /// An empty partitioned mix; populate with [`MixSpec::request`].
+    pub fn partitioned() -> Self {
+        MixSpec {
+            requests: Vec::new(),
+            assignment: MixAssignment::Partitioned,
+        }
+    }
+
+    /// An empty interleaved mix; populate with [`MixSpec::request`].
+    pub fn interleaved() -> Self {
+        MixSpec {
+            requests: Vec::new(),
+            assignment: MixAssignment::Interleaved,
+        }
+    }
+
+    /// Adds a request to the mix.
+    pub fn request(mut self, workload: WorkloadSpec, seq_len: usize, arrival: Cycle) -> Self {
+        self.requests.push(RequestSpec {
+            workload,
+            seq_len,
+            arrival,
+        });
+        self
+    }
+
+    /// Rejects degenerate mixes: zero requests, a zero sequence length,
+    /// or an invalid workload family.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.requests.is_empty() {
+            return Err("mix has no requests".into());
+        }
+        for (i, r) in self.requests.iter().enumerate() {
+            if r.seq_len == 0 {
+                return Err(format!("mix request {i}: zero seq_len"));
+            }
+            r.workload
+                .validate()
+                .map_err(|e| format!("mix request {i}: {e}"))?;
+        }
+        self.instantiate().validate()
+    }
+
+    /// Builds the runnable [`WorkloadMix`].
+    pub fn instantiate(&self) -> WorkloadMix {
+        let mut mix = WorkloadMix::new(self.assignment);
+        for r in &self.requests {
+            mix = mix.request(r.workload.instantiate(r.seq_len), r.arrival);
+        }
+        mix
+    }
+
+    /// The label the instantiated mix reports (stable; carries every
+    /// request's family, sequence length and staggered arrival).
+    pub fn label(&self) -> String {
+        self.instantiate().label()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,6 +420,63 @@ mod tests {
         assert!(json.contains("4321"), "config must travel in the spec");
         let back: PolicySpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn mix_spec_round_trips_through_json() {
+        let mix = MixSpec::interleaved()
+            .request(WorkloadSpec::llama3_70b(), 128, 0)
+            .request(
+                WorkloadSpec::PrefillLogit {
+                    heads: 8,
+                    group_size: 8,
+                    head_dim: 128,
+                    query_tokens: 4,
+                },
+                256,
+                1_000,
+            );
+        let json = serde_json::to_string(&mix).unwrap();
+        let back: MixSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, mix);
+        // Arrival and assignment serde defaults: a minimal hand-written
+        // mix parses as partitioned, arriving at 0.
+        let minimal: MixSpec = serde_json::from_str(
+            r#"{"requests": [{"workload": {"Logit": {"heads": 8, "group_size": 8, "head_dim": 128}}, "seq_len": 128}]}"#,
+        )
+        .unwrap();
+        assert_eq!(minimal.assignment, MixAssignment::Partitioned);
+        assert_eq!(minimal.requests[0].arrival, 0);
+        minimal.validate().unwrap();
+    }
+
+    #[test]
+    fn mix_spec_rejects_degenerate_mixes() {
+        assert!(MixSpec::partitioned().validate().is_err(), "zero requests");
+        let zero_seq = MixSpec::partitioned().request(WorkloadSpec::llama3_70b(), 0, 0);
+        assert!(zero_seq.validate().is_err(), "zero seq_len");
+        let bad_family = MixSpec::partitioned().request(
+            WorkloadSpec::PrefillLogit {
+                heads: 8,
+                group_size: 8,
+                head_dim: 128,
+                query_tokens: 0,
+            },
+            128,
+            0,
+        );
+        assert!(bad_family.validate().is_err(), "invalid workload family");
+    }
+
+    #[test]
+    fn mix_spec_labels_match_instantiated_mix() {
+        let mix = MixSpec::partitioned()
+            .request(WorkloadSpec::llama3_70b(), 128, 0)
+            .request(WorkloadSpec::llama3_70b(), 256, 500);
+        assert_eq!(
+            mix.label(),
+            "mix:part[llama3 70b/L128 + llama3 70b/L256@500]"
+        );
     }
 
     #[test]

@@ -210,6 +210,7 @@ mod tests {
             req: MemReq {
                 id: addr,
                 core,
+                request: 0,
                 line_addr: addr,
                 is_write: false,
                 issued_at: 0,

@@ -61,6 +61,9 @@ pub struct VectorCore {
     asleep: bool,
     /// Requests bound for the interconnect (drained by the system).
     pub outbound: VecDeque<MemReq>,
+    /// Thread blocks retired this tick (drained by the system, which
+    /// maps them to serving requests for completion tracking).
+    pub retired: Vec<TbId>,
     pub stats: CoreStats,
 }
 
@@ -77,6 +80,7 @@ impl VectorCore {
             last_issued: 0,
             asleep: false,
             outbound: VecDeque::new(),
+            retired: Vec::new(),
             stats: CoreStats::default(),
         }
     }
@@ -125,7 +129,7 @@ impl VectorCore {
             self.asleep = false;
         }
         self.retire_finished_blocks();
-        self.assign_blocks(sched);
+        self.assign_blocks(sched, now);
         match self.try_issue(now, program) {
             IssueResult::Issued => {
                 self.stats.active_cycles += 1;
@@ -152,19 +156,20 @@ impl VectorCore {
 
     fn retire_finished_blocks(&mut self) {
         for w in &mut self.windows {
-            if let Some(_tb) = w.tb {
+            if let Some(tb) = w.tb {
                 // The pc sentinel usize::MAX marks "past the end, waiting
                 // on outstanding loads" — see try_issue.
                 if w.pc == usize::MAX && w.outstanding == 0 {
                     w.tb = None;
                     w.pc = 0;
                     self.stats.tbs_completed += 1;
+                    self.retired.push(tb);
                 }
             }
         }
     }
 
-    fn assign_blocks(&mut self, sched: &mut TbScheduler) {
+    fn assign_blocks(&mut self, sched: &mut TbScheduler, now: Cycle) {
         let mut resident = self.resident_tbs();
         while resident < self.max_tb.min(self.cfg.num_inst_windows) {
             let Some(slot) = self.windows.iter().position(|w| w.tb.is_none()) else {
@@ -172,7 +177,7 @@ impl VectorCore {
             };
             // Each window draws from its own chunk of the core's trace
             // (window-strided streams; see `sched`).
-            let Some(tb) = sched.next_for(self.id, slot) else {
+            let Some(tb) = sched.next_for(self.id, slot, now) else {
                 break;
             };
             self.windows[slot] = Window {
@@ -223,6 +228,7 @@ impl VectorCore {
             return WindowIssue::MemoryWait;
         }
         let instrs = &program.blocks[tb].instrs;
+        let request = program.request_of(tb);
         if w.pc >= instrs.len() {
             // Mark completed-pending-loads; retired next tick.
             self.windows[wi].pc = usize::MAX;
@@ -247,7 +253,7 @@ impl VectorCore {
                 }
             }
             Instr::Load { addr, bytes } => {
-                if self.issue_load(wi, addr, bytes, now) {
+                if self.issue_load(wi, addr, bytes, now, request) {
                     self.windows[wi].pc += 1;
                     self.stats.loads += 1;
                     WindowIssue::Issued
@@ -256,7 +262,7 @@ impl VectorCore {
                 }
             }
             Instr::Store { addr, bytes } => {
-                self.issue_store(addr, bytes, now);
+                self.issue_store(addr, bytes, now, request);
                 self.windows[wi].pc += 1;
                 self.stats.stores += 1;
                 WindowIssue::Issued
@@ -266,7 +272,7 @@ impl VectorCore {
 
     /// Issues every line of a vector load, or nothing (returns false)
     /// when the L1 miss table cannot accept it.
-    fn issue_load(&mut self, wi: usize, addr: Addr, bytes: u32, now: Cycle) -> bool {
+    fn issue_load(&mut self, wi: usize, addr: Addr, bytes: u32, now: Cycle, request: u32) -> bool {
         // First pass: feasibility. All lines must be admissible this
         // cycle, else the whole vector access retries (coalesced issue).
         let mut line = line_of(addr);
@@ -300,6 +306,7 @@ impl VectorCore {
                     self.outbound.push_back(MemReq {
                         id,
                         core: self.id,
+                        request,
                         line_addr: line,
                         is_write: false,
                         issued_at: now,
@@ -337,7 +344,7 @@ impl VectorCore {
         self.l1.outstanding() + fresh_so_far < self.l1.capacity()
     }
 
-    fn issue_store(&mut self, addr: Addr, bytes: u32, now: Cycle) {
+    fn issue_store(&mut self, addr: Addr, bytes: u32, now: Cycle, request: u32) {
         let mut line = line_of(addr);
         let end = addr + bytes as u64;
         while line < end {
@@ -346,6 +353,7 @@ impl VectorCore {
             self.outbound.push_back(MemReq {
                 id,
                 core: self.id,
+                request,
                 line_addr: line,
                 is_write: true,
                 issued_at: now,
@@ -378,10 +386,11 @@ impl VectorCore {
         debug_assert!(self.outbound.is_empty(), "system drains outbound per tick");
         let limit = self.max_tb.min(self.cfg.num_inst_windows);
         if self.resident_tbs() == 0 {
-            if sched.has_work_for(self.id) {
+            if sched.has_work_for(self.id, now) {
                 return Some(now); // would assign a block next tick
             }
-            return None; // pure idle accrual, forever
+            // Pure idle accrual until a gated request arrives (if ever).
+            return sched.next_release_for(self.id, now);
         }
         if self.asleep {
             // tick()'s fast path re-checks this exact condition; if it
@@ -389,7 +398,13 @@ impl VectorCore {
             if self.resident_tbs() >= limit || sched.is_empty() {
                 return None; // pure C_mem accrual
             }
-            return Some(now);
+            if sched.has_work_for(self.id, now) {
+                return Some(now);
+            }
+            // Every fetchable front is gated: the woken tick would only
+            // re-accrue C_mem and fall back asleep until the earliest
+            // release (stat-identical to staying asleep).
+            return sched.next_release_for(self.id, now);
         }
         // A finished-but-unretired window retires next tick.
         if self
@@ -400,12 +415,21 @@ impl VectorCore {
             return Some(now);
         }
         // Capacity plus available work: a block would be assigned.
-        if self.resident_tbs() < limit && sched.has_work_for(self.id) {
-            return Some(now);
-        }
+        let release = if self.resident_tbs() < limit {
+            if sched.has_work_for(self.id, now) {
+                return Some(now);
+            }
+            // Assignment happens even while the vector unit is busy, so
+            // a gated arrival bounds the quiescent window too.
+            sched.next_release_for(self.id, now)
+        } else {
+            None
+        };
         if self.compute_busy_until > now {
-            // Pure active-cycle accrual until the vector unit frees.
-            return Some(self.compute_busy_until);
+            // Pure active-cycle accrual until the vector unit frees (or
+            // a gated request arrives and would be assigned).
+            let busy = self.compute_busy_until;
+            return Some(release.map_or(busy, |r| r.min(busy)));
         }
         Some(now)
     }

@@ -22,7 +22,7 @@ use crate::arb::{ArbiterCtx, PortPreference, QueuedReq, RequestArbiter};
 use crate::cache::{InsertPolicy, SetAssocCache};
 use crate::config::{L2Config, ReqRespPolicy};
 use crate::mshr::{MshrFile, MshrOutcome, MshrSnapshot, MshrTarget};
-use crate::stats::SliceStats;
+use crate::stats::{RequestLlcStats, SliceStats};
 use crate::types::{Addr, Cycle, MemReq, MemResp, SliceId};
 
 /// A request in the tag or MSHR pipeline stage.
@@ -91,6 +91,10 @@ pub struct LlcSlice {
     /// Data array busy serving a hit readout until this cycle.
     data_port_free_at: Cycle,
     pub stats: SliceStats,
+    /// Per-serving-request attribution, indexed by request id (grown on
+    /// demand; solo traces only ever touch index 0). Every increment
+    /// mirrors an untagged `stats` increment at the same pipeline point.
+    pub request_stats: Vec<RequestLlcStats>,
 }
 
 impl LlcSlice {
@@ -122,7 +126,19 @@ impl LlcSlice {
             stall: StallKind::None,
             data_port_free_at: 0,
             stats: SliceStats::default(),
+            request_stats: Vec::new(),
         }
+    }
+
+    /// The attribution slot of serving request `r`, grown on demand.
+    #[inline]
+    fn rstat(&mut self, r: u32) -> &mut RequestLlcStats {
+        let idx = r as usize;
+        if idx >= self.request_stats.len() {
+            self.request_stats
+                .resize(idx + 1, RequestLlcStats::default());
+        }
+        &mut self.request_stats[idx]
     }
 
     /// Delivers a request from the interconnect.
@@ -251,23 +267,33 @@ impl LlcSlice {
                 self.stats.mshr_merges += 1;
                 self.stats.misses += 1;
                 self.stats.lookups += 1;
+                let r = self.rstat(head.req.request);
+                r.mshr_merges += 1;
+                r.misses += 1;
+                r.lookups += 1;
             }
             MshrOutcome::Allocated => {
                 self.mshr_pipe.pop_front();
                 self.stats.mshr_allocs += 1;
                 self.stats.misses += 1;
                 self.stats.lookups += 1;
+                let r = self.rstat(head.req.request);
+                r.mshr_allocs += 1;
+                r.misses += 1;
+                r.lookups += 1;
                 self.dram_reads.push_back(head.req.line_addr);
             }
             MshrOutcome::FullEntries => {
                 self.stall = StallKind::EntryFull;
                 self.stats.stall_cycles += 1;
                 self.stats.stall_entry_full += 1;
+                self.rstat(head.req.request).stall_cycles += 1;
             }
             MshrOutcome::FullTargets => {
                 self.stall = StallKind::TargetFull;
                 self.stats.stall_cycles += 1;
                 self.stats.stall_target_full += 1;
+                self.rstat(head.req.request).stall_cycles += 1;
             }
         }
     }
@@ -289,6 +315,7 @@ impl LlcSlice {
             // blocked, whatever the blocked resource is).
             self.stats.stall_cycles += 1;
             self.stats.stall_data_port += 1;
+            self.rstat(head.req.request).stall_cycles += 1;
             return;
         }
         self.tag_pipe.pop_front();
@@ -296,6 +323,9 @@ impl LlcSlice {
         if hit {
             self.stats.hits += 1;
             self.stats.lookups += 1;
+            let r = self.rstat(head.req.request);
+            r.hits += 1;
+            r.lookups += 1;
             self.arbiter.note_hit(head.req.line_addr);
             if !head.req.is_write {
                 self.data_port_free_at = now + self.cfg.hit_occupancy;
@@ -516,20 +546,26 @@ impl LlcSlice {
         self.stats.mshr_occupancy_integral += self.mshr.occupancy() as u64 * cycles;
         self.stats.req_q_occupancy_integral += self.req_q.len() as u64 * cycles;
         self.stats.resp_q_occupancy_integral += self.resp_q.len() as u64 * cycles;
-        match self.head_stalled(now) {
-            Some(MshrOutcome::FullEntries) => {
-                self.stats.stall_cycles += cycles;
-                self.stats.stall_entry_full += cycles;
+        // Stall attribution: a stalled pipeline head cannot change
+        // during a validated skip window (registration keeps failing,
+        // and only a fill — never skipped over — can unblock it), so
+        // every stalled cycle charges the same request the per-cycle
+        // tick would have charged.
+        if let Some(outcome) = self.head_stalled(now) {
+            let request = self.mshr_pipe.front().expect("stalled head").req.request;
+            self.stats.stall_cycles += cycles;
+            match outcome {
+                MshrOutcome::FullEntries => self.stats.stall_entry_full += cycles,
+                MshrOutcome::FullTargets => self.stats.stall_target_full += cycles,
+                _ => unreachable!("head_stalled returns only Full outcomes"),
             }
-            Some(MshrOutcome::FullTargets) => {
-                self.stats.stall_cycles += cycles;
-                self.stats.stall_target_full += cycles;
-            }
-            _ => {}
+            self.rstat(request).stall_cycles += cycles;
         }
         if self.head_port_blocked(now) {
+            let request = self.tag_pipe.front().expect("blocked head").req.request;
             self.stats.stall_cycles += cycles;
             self.stats.stall_data_port += cycles;
+            self.rstat(request).stall_cycles += cycles;
         }
         if !self.ingress.is_empty() {
             debug_assert!(self.req_q.len() >= self.cfg.req_q_size);
@@ -573,6 +609,7 @@ mod tests {
         MemReq {
             id,
             core,
+            request: 0,
             line_addr: line * LINE_BYTES * 8, // keep slice bits constant
             is_write: false,
             issued_at: 0,

@@ -157,6 +157,7 @@ mod tests {
         MemReq {
             id,
             core,
+            request: 0,
             line_addr: 0,
             is_write: false,
             issued_at: 0,

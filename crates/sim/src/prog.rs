@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::types::Addr;
+use crate::types::{Addr, Cycle};
 
 /// One vector instruction of a thread block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -75,21 +75,65 @@ impl ThreadBlock {
 /// Identifier of a thread block within a [`Program`].
 pub type TbId = usize;
 
+/// Identifier of a serving request (tenant) within a [`Program`].
+///
+/// Solo traces are request 0 throughout; multi-tenant mixes tag every
+/// thread block with the request that produced it so the simulator can
+/// attribute completion and LLC behavior per request.
+pub type RequestId = u32;
+
 /// A complete operator trace: thread blocks plus their initial
 /// assignment to cores.
 ///
 /// `assignment[i]` is the home core of block `i`; the runtime scheduler
 /// may migrate blocks to other cores when their home core falls behind.
+///
+/// `request_tags[i]` / `arrivals[i]` tag block `i` with the serving
+/// request it belongs to and the cycle at which that request arrives
+/// (blocks are not schedulable before their arrival). Both vectors are
+/// optional: empty means "one request, present from cycle 0" — the
+/// solo-trace legacy encoding, byte-compatible with pre-mix programs.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Program {
     pub blocks: Vec<ThreadBlock>,
     pub assignment: Vec<usize>,
+    /// Per-block request id; empty = all blocks belong to request 0.
+    #[serde(default)]
+    pub request_tags: Vec<RequestId>,
+    /// Per-block release cycle; empty = all blocks available at cycle 0.
+    #[serde(default)]
+    pub arrivals: Vec<Cycle>,
 }
 
 impl Program {
     pub fn new(blocks: Vec<ThreadBlock>, assignment: Vec<usize>) -> Self {
         assert_eq!(blocks.len(), assignment.len());
-        Program { blocks, assignment }
+        Program {
+            blocks,
+            assignment,
+            request_tags: Vec::new(),
+            arrivals: Vec::new(),
+        }
+    }
+
+    /// A fully tagged multi-tenant program. `request_tags` and
+    /// `arrivals` must either match `blocks` in length or be empty
+    /// (the solo defaults).
+    pub fn with_requests(
+        blocks: Vec<ThreadBlock>,
+        assignment: Vec<usize>,
+        request_tags: Vec<RequestId>,
+        arrivals: Vec<Cycle>,
+    ) -> Self {
+        assert_eq!(blocks.len(), assignment.len());
+        assert!(request_tags.is_empty() || request_tags.len() == blocks.len());
+        assert!(arrivals.is_empty() || arrivals.len() == blocks.len());
+        Program {
+            blocks,
+            assignment,
+            request_tags,
+            arrivals,
+        }
     }
 
     /// Round-robin assignment of `blocks` over `num_cores` cores, in
@@ -97,11 +141,62 @@ impl Program {
     /// is what keeps GQA-sharing blocks temporally close).
     pub fn round_robin(blocks: Vec<ThreadBlock>, num_cores: usize) -> Self {
         let assignment = (0..blocks.len()).map(|i| i % num_cores).collect();
-        Program { blocks, assignment }
+        Program::new(blocks, assignment)
     }
 
     pub fn num_blocks(&self) -> usize {
         self.blocks.len()
+    }
+
+    /// Request that thread block `tb` belongs to (0 for solo traces).
+    #[inline]
+    pub fn request_of(&self, tb: TbId) -> RequestId {
+        self.request_tags.get(tb).copied().unwrap_or(0)
+    }
+
+    /// Cycle at which thread block `tb` becomes schedulable.
+    #[inline]
+    pub fn arrival_of(&self, tb: TbId) -> Cycle {
+        self.arrivals.get(tb).copied().unwrap_or(0)
+    }
+
+    /// Number of requests in the trace: `max(tag) + 1`, or 1 for an
+    /// untagged (solo) program.
+    pub fn num_requests(&self) -> usize {
+        self.request_tags
+            .iter()
+            .map(|&r| r as usize + 1)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Thread blocks belonging to each request, indexed by request id.
+    pub fn blocks_per_request(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.num_requests()];
+        if self.request_tags.is_empty() {
+            counts[0] = self.blocks.len() as u64;
+        } else {
+            for &r in &self.request_tags {
+                counts[r as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Arrival cycle of each request (the minimum arrival over its
+    /// blocks; 0 for requests without blocks).
+    pub fn request_arrivals(&self) -> Vec<Cycle> {
+        let mut arrivals = vec![Cycle::MAX; self.num_requests()];
+        for tb in 0..self.blocks.len() {
+            let r = self.request_of(tb) as usize;
+            arrivals[r] = arrivals[r].min(self.arrival_of(tb));
+        }
+        for a in arrivals.iter_mut() {
+            if *a == Cycle::MAX {
+                *a = 0;
+            }
+        }
+        arrivals
     }
 
     /// Total bytes of load traffic in the program.
@@ -150,6 +245,54 @@ mod tests {
         let blocks = vec![ThreadBlock::default(); 5];
         let p = Program::round_robin(blocks, 2);
         assert_eq!(p.assignment, vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn untagged_program_is_one_request_from_cycle_zero() {
+        let p = Program::round_robin(vec![ThreadBlock::default(); 3], 2);
+        assert_eq!(p.num_requests(), 1);
+        assert_eq!(p.request_of(2), 0);
+        assert_eq!(p.arrival_of(2), 0);
+        assert_eq!(p.blocks_per_request(), vec![3]);
+        assert_eq!(p.request_arrivals(), vec![0]);
+    }
+
+    #[test]
+    fn tagged_program_tracks_requests_and_arrivals() {
+        let p = Program::with_requests(
+            vec![ThreadBlock::default(); 4],
+            vec![0, 1, 0, 1],
+            vec![0, 1, 1, 0],
+            vec![0, 500, 500, 0],
+        );
+        assert_eq!(p.num_requests(), 2);
+        assert_eq!(p.request_of(1), 1);
+        assert_eq!(p.arrival_of(2), 500);
+        assert_eq!(p.blocks_per_request(), vec![2, 2]);
+        assert_eq!(p.request_arrivals(), vec![0, 500]);
+    }
+
+    #[test]
+    fn tagged_serde_round_trip() {
+        let p = Program::with_requests(
+            vec![ThreadBlock::default(); 2],
+            vec![0, 1],
+            vec![0, 1],
+            vec![0, 64],
+        );
+        let s = serde_json::to_string(&p).unwrap();
+        let q: Program = serde_json::from_str(&s).unwrap();
+        assert_eq!(q.request_tags, p.request_tags);
+        assert_eq!(q.arrivals, p.arrivals);
+    }
+
+    #[test]
+    fn legacy_json_without_tags_parses() {
+        let legacy = r#"{"blocks": [{"instrs": []}], "assignment": [0]}"#;
+        let p: Program = serde_json::from_str(legacy).unwrap();
+        assert_eq!(p.num_requests(), 1);
+        assert!(p.request_tags.is_empty());
+        assert!(p.arrivals.is_empty());
     }
 
     #[test]

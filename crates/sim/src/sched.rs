@@ -21,12 +21,15 @@
 use std::collections::VecDeque;
 
 use crate::prog::{Program, TbId};
-use crate::types::{CoreId, WindowId};
+use crate::types::{CoreId, Cycle, WindowId};
 
 /// Per-core, per-window queues of pending thread blocks.
 pub struct TbScheduler {
     /// `queues[core][window]` — contiguous chunk of the core's stream.
     queues: Vec<Vec<VecDeque<TbId>>>,
+    /// Per-block release cycle (arrival of the block's request); empty
+    /// for ungated (solo) programs — every block released at cycle 0.
+    arrivals: Vec<Cycle>,
     remaining: usize,
     migrations: u64,
     /// Enable cross-core migration (on by default).
@@ -56,28 +59,49 @@ impl TbScheduler {
             .collect();
         TbScheduler {
             queues,
+            arrivals: program.arrivals.clone(),
             remaining: program.num_blocks(),
             migrations: 0,
             migration: true,
         }
     }
 
-    /// Fetches the next block for `core`'s window `window`:
+    /// Release cycle of a block (0 for ungated programs).
+    #[inline]
+    fn release_of(&self, tb: TbId) -> Cycle {
+        self.arrivals.get(tb).copied().unwrap_or(0)
+    }
+
+    /// Whether a queue's head block may be handed out at `now`. Queues
+    /// are strictly FIFO: a gated front blocks the blocks behind it
+    /// (per-window in-order delivery, the deterministic choice).
+    #[inline]
+    fn front_released(&self, q: &VecDeque<TbId>, now: Cycle) -> bool {
+        q.front().is_some_and(|&tb| self.release_of(tb) <= now)
+    }
+
+    /// Fetches the next block for `core`'s window `window` at cycle
+    /// `now`:
     /// 1. the window's own chunk;
     /// 2. the longest remaining chunk of the same core;
     /// 3. (migration) the longest backlogged chunk of any core.
-    pub fn next_for(&mut self, core: CoreId, window: WindowId) -> Option<TbId> {
-        if let Some(tb) = self.queues[core][window].pop_front() {
+    ///
+    /// A block whose request has not yet arrived (`release > now`) is
+    /// never handed out, and — queues being FIFO — shields the blocks
+    /// queued behind it.
+    pub fn next_for(&mut self, core: CoreId, window: WindowId, now: Cycle) -> Option<TbId> {
+        if self.front_released(&self.queues[core][window], now) {
+            let tb = self.queues[core][window]
+                .pop_front()
+                .expect("released front");
             self.remaining -= 1;
             return Some(tb);
         }
         // Drain sibling chunks before going remote.
-        if let Some(w) = longest_index(&self.queues[core]) {
-            if !self.queues[core][w].is_empty() {
-                let tb = self.queues[core][w].pop_front().expect("non-empty");
-                self.remaining -= 1;
-                return Some(tb);
-            }
+        if let Some(w) = self.longest_released(core, now) {
+            let tb = self.queues[core][w].pop_front().expect("released front");
+            self.remaining -= 1;
+            return Some(tb);
         }
         if !self.migration {
             return None;
@@ -87,7 +111,10 @@ impl TbScheduler {
         let mut best: Option<(usize, usize, usize)> = None; // (len, core, window)
         for (c, windows) in self.queues.iter().enumerate() {
             for (w, q) in windows.iter().enumerate() {
-                if q.len() >= 2 && best.is_none_or(|(len, _, _)| q.len() > len) {
+                if q.len() >= 2
+                    && self.front_released(q, now)
+                    && best.is_none_or(|(len, _, _)| q.len() > len)
+                {
                     best = Some((q.len(), c, w));
                 }
             }
@@ -99,24 +126,82 @@ impl TbScheduler {
         Some(tb)
     }
 
+    /// The longest chunk of `core` whose front is released (ties resolve
+    /// to the later window, matching the pre-gating `max_by_key`
+    /// behavior so ungated programs schedule identically).
+    fn longest_released(&self, core: CoreId, now: Cycle) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (len, window)
+        for (w, q) in self.queues[core].iter().enumerate() {
+            if !q.is_empty()
+                && self.front_released(q, now)
+                && best.is_none_or(|(len, _)| q.len() >= len)
+            {
+                best = Some((q.len(), w));
+            }
+        }
+        best.map(|(_, w)| w)
+    }
+
     /// Whether a [`TbScheduler::next_for`] call from `core` (any window)
-    /// could return a block right now, without mutating any queue.
+    /// could return a block at cycle `now`, without mutating any queue.
     ///
     /// Used by the fast-forward engine: a core with free capacity and
     /// `has_work_for == true` would assign a block on its next tick, so
-    /// it cannot be skipped over. The answer is monotone during a skip
-    /// window — queues only ever shrink, and they shrink only on
-    /// assignment ticks, which are never skipped.
-    pub fn has_work_for(&self, core: CoreId) -> bool {
-        if self.queues[core].iter().any(|q| !q.is_empty()) {
+    /// it cannot be skipped over. During a skip window the answer can
+    /// only flip released→exhausted (queues shrink on assignment ticks,
+    /// never skipped); it flips gated→released only at an arrival
+    /// cycle, which [`TbScheduler::next_release_for`] bounds.
+    pub fn has_work_for(&self, core: CoreId, now: Cycle) -> bool {
+        if self.queues[core]
+            .iter()
+            .any(|q| self.front_released(q, now))
+        {
             return true;
         }
         // Migration steals only from chunks holding >= 2 blocks.
         self.migration
-            && self
-                .queues
-                .iter()
-                .any(|windows| windows.iter().any(|q| q.len() >= 2))
+            && self.queues.iter().any(|windows| {
+                windows
+                    .iter()
+                    .any(|q| q.len() >= 2 && self.front_released(q, now))
+            })
+    }
+
+    /// Earliest future cycle at which `core` could gain fetchable work
+    /// from a not-yet-arrived request: the minimum release cycle over
+    /// its own queue fronts and (with migration) the fronts of
+    /// steal-eligible chunks anywhere. `None` when no gated front can
+    /// ever become available to this core.
+    ///
+    /// Never late: while every relevant front is gated, no queue pops
+    /// (owners are gated too, and steals require a released front), so
+    /// fronts — and therefore this bound — cannot move earlier.
+    pub fn next_release_for(&self, core: CoreId, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut merge = |at: Cycle| next = Some(next.map_or(at, |n: Cycle| n.min(at)));
+        for q in &self.queues[core] {
+            if let Some(&tb) = q.front() {
+                let at = self.release_of(tb);
+                if at > now {
+                    merge(at);
+                }
+            }
+        }
+        if self.migration {
+            for windows in &self.queues {
+                for q in windows {
+                    if q.len() >= 2 {
+                        if let Some(&tb) = q.front() {
+                            let at = self.release_of(tb);
+                            if at > now {
+                                merge(at);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        next
     }
 
     /// Blocks not yet handed out.
@@ -139,14 +224,6 @@ impl TbScheduler {
     }
 }
 
-fn longest_index(queues: &[VecDeque<TbId>]) -> Option<usize> {
-    queues
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, q)| q.len())
-        .map(|(i, _)| i)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,12 +238,12 @@ mod tests {
         // 8 blocks on 1 core, 4 windows: chunks [0,1], [2,3], [4,5], [6,7].
         let p = program(8, 1);
         let mut s = TbScheduler::new(&p, 1, 4);
-        assert_eq!(s.next_for(0, 0), Some(0));
-        assert_eq!(s.next_for(0, 1), Some(2));
-        assert_eq!(s.next_for(0, 2), Some(4));
-        assert_eq!(s.next_for(0, 3), Some(6));
-        assert_eq!(s.next_for(0, 0), Some(1));
-        assert_eq!(s.next_for(0, 3), Some(7));
+        assert_eq!(s.next_for(0, 0, 0), Some(0));
+        assert_eq!(s.next_for(0, 1, 0), Some(2));
+        assert_eq!(s.next_for(0, 2, 0), Some(4));
+        assert_eq!(s.next_for(0, 3, 0), Some(6));
+        assert_eq!(s.next_for(0, 0, 0), Some(1));
+        assert_eq!(s.next_for(0, 3, 0), Some(7));
         assert_eq!(s.remaining(), 2);
     }
 
@@ -175,9 +252,9 @@ mod tests {
         let p = program(8, 1);
         let mut s = TbScheduler::new(&p, 1, 4);
         // Window 0 exhausts its chunk then pulls from siblings.
-        assert_eq!(s.next_for(0, 0), Some(0));
-        assert_eq!(s.next_for(0, 0), Some(1));
-        let next = s.next_for(0, 0).unwrap();
+        assert_eq!(s.next_for(0, 0, 0), Some(0));
+        assert_eq!(s.next_for(0, 0, 0), Some(1));
+        let next = s.next_for(0, 0, 0).unwrap();
         assert!(next >= 2, "pulled from a sibling chunk");
         assert_eq!(s.migrations(), 0);
     }
@@ -189,10 +266,10 @@ mod tests {
         let mut s = TbScheduler::new(&p, 2, 2);
         // Core 0 drains everything it owns.
         for _ in 0..4 {
-            assert!(s.next_for(0, 0).is_some());
+            assert!(s.next_for(0, 0, 0).is_some());
         }
         // Core 1 still has 4 blocks in 2 chunks of 2: core 0 steals.
-        let stolen = s.next_for(0, 0).unwrap();
+        let stolen = s.next_for(0, 0, 0).unwrap();
         assert_eq!(stolen % 2, 1, "stole core 1's block");
         assert_eq!(s.migrations(), 1);
     }
@@ -201,9 +278,9 @@ mod tests {
     fn no_stealing_of_last_blocks() {
         let p = program(2, 2); // one block per core
         let mut s = TbScheduler::new(&p, 2, 2);
-        assert_eq!(s.next_for(0, 0), Some(0));
-        assert_eq!(s.next_for(0, 0), None, "peer's single block stays home");
-        assert_eq!(s.next_for(1, 0), Some(1));
+        assert_eq!(s.next_for(0, 0, 0), Some(0));
+        assert_eq!(s.next_for(0, 0, 0), None, "peer's single block stays home");
+        assert_eq!(s.next_for(1, 0, 0), Some(1));
     }
 
     #[test]
@@ -212,9 +289,9 @@ mod tests {
         let mut s = TbScheduler::new(&p, 2, 2);
         s.migration = false;
         for _ in 0..4 {
-            assert!(s.next_for(0, 0).is_some());
+            assert!(s.next_for(0, 0, 0).is_some());
         }
-        assert_eq!(s.next_for(0, 0), None);
+        assert_eq!(s.next_for(0, 0, 0), None);
         assert_eq!(s.remaining(), 4);
     }
 
@@ -224,7 +301,7 @@ mod tests {
         let mut s = TbScheduler::new(&p, 2, 4);
         let mut got = 0;
         for _ in 0..10 {
-            if s.next_for(0, 0).is_some() || s.next_for(1, 1).is_some() {
+            if s.next_for(0, 0, 0).is_some() || s.next_for(1, 1, 0).is_some() {
                 got += 1;
             }
         }

@@ -96,6 +96,77 @@ pub struct ChannelStats {
     pub read_latency_sum: u64,
 }
 
+/// LLC-side counters attributed to one serving request (tenant).
+///
+/// Every increment mirrors an untagged [`SliceStats`] increment at the
+/// exact same point of the pipeline, so per-request counters always sum
+/// to the untagged totals (a proptest in `crates/sim/tests/mix_equiv.rs`
+/// pins this), and the fast-forward engine accrues them in the same
+/// closed forms — per-request stats are byte-identical across step
+/// modes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestLlcStats {
+    /// Requests of this tenant that completed tag lookup.
+    pub lookups: u64,
+    /// Tag hits.
+    pub hits: u64,
+    /// Tag misses (merged + newly allocated).
+    pub misses: u64,
+    /// Misses merged into an existing MSHR entry.
+    pub mshr_merges: u64,
+    /// Misses that allocated a new MSHR entry.
+    pub mshr_allocs: u64,
+    /// Pipeline stall cycles charged to this tenant (the tenant whose
+    /// request sat at the blocked pipeline head).
+    pub stall_cycles: u64,
+}
+
+impl RequestLlcStats {
+    /// Accumulates another tenant-attributed counter set (used to merge
+    /// per-slice attributions into the run-level per-request view).
+    pub fn merge(&mut self, other: &RequestLlcStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.mshr_merges += other.mshr_merges;
+        self.mshr_allocs += other.mshr_allocs;
+        self.stall_cycles += other.stall_cycles;
+    }
+}
+
+/// Per-request (tenant) breakdown of a run: completion progress plus
+/// the LLC interference profile of the request's traffic.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RequestStats {
+    /// Thread blocks the request contributed to the trace.
+    pub blocks_total: u64,
+    /// Thread blocks of the request that retired.
+    pub blocks_completed: u64,
+    /// Cycle at which the request's blocks became schedulable.
+    pub arrival: Cycle,
+    /// Whether every block of the request retired within the budget.
+    pub completed: bool,
+    /// Cycle during which the request's last block retired (only
+    /// meaningful when `completed`).
+    pub completion_cycle: Cycle,
+    /// LLC counters attributed to this request, summed over slices.
+    pub llc: RequestLlcStats,
+}
+
+impl RequestStats {
+    /// Cycles from arrival to completion (0 when not completed, and 0
+    /// for a trivially-complete request that contributed no blocks).
+    /// Completion during the tick of cycle `c` counts `c + 1` elapsed
+    /// cycles, matching the run-level `SimStats::cycles` convention.
+    pub fn cycles_to_completion(&self) -> Cycle {
+        if self.completed && self.blocks_total > 0 {
+            self.completion_cycle + 1 - self.arrival
+        } else {
+            0
+        }
+    }
+}
+
 /// Aggregated statistics for a full simulation run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SimStats {
@@ -111,6 +182,11 @@ pub struct SimStats {
     pub progress: Vec<u64>,
     /// Thread blocks migrated between cores by the global scheduler.
     pub tb_migrations: u64,
+    /// Per-request (tenant) breakdowns, indexed by request id. Solo
+    /// runs report exactly one entry; legacy constructors leave it
+    /// empty until [`crate::system::System::collect_stats`] fills it.
+    #[serde(default)]
+    pub requests: Vec<RequestStats>,
 }
 
 impl SimStats {
@@ -123,6 +199,7 @@ impl SimStats {
             channels: vec![ChannelStats::default(); num_channels],
             progress: vec![0; num_cores],
             tb_migrations: 0,
+            requests: Vec::new(),
         }
     }
 
@@ -244,6 +321,51 @@ impl SimStats {
                 return Err(format!("core {i}: L1 hits+merges exceed lookups"));
             }
         }
+        if !self.requests.is_empty() {
+            // Per-request attribution must partition the untagged
+            // totals: every event and every attributed stall cycle is
+            // charged to exactly one request.
+            let sums: [(&str, u64, u64); 4] = [
+                (
+                    "lookups",
+                    self.requests.iter().map(|r| r.llc.lookups).sum(),
+                    self.slices.iter().map(|s| s.lookups).sum(),
+                ),
+                (
+                    "hits",
+                    self.requests.iter().map(|r| r.llc.hits).sum(),
+                    self.slices.iter().map(|s| s.hits).sum(),
+                ),
+                (
+                    "misses",
+                    self.requests.iter().map(|r| r.llc.misses).sum(),
+                    self.slices.iter().map(|s| s.misses).sum(),
+                ),
+                (
+                    "stall cycles",
+                    self.requests.iter().map(|r| r.llc.stall_cycles).sum(),
+                    self.slices.iter().map(|s| s.stall_cycles).sum(),
+                ),
+            ];
+            for (what, tagged, total) in sums {
+                if tagged != total {
+                    return Err(format!(
+                        "per-request {what} sum {tagged} != untagged total {total}"
+                    ));
+                }
+            }
+            for (r, req) in self.requests.iter().enumerate() {
+                if req.llc.hits + req.llc.misses != req.llc.lookups {
+                    return Err(format!("request {r}: hits + misses != lookups"));
+                }
+                if req.llc.mshr_merges + req.llc.mshr_allocs != req.llc.misses {
+                    return Err(format!("request {r}: merges + allocs != misses"));
+                }
+                if req.completed && req.blocks_completed != req.blocks_total {
+                    return Err(format!("request {r}: completed with blocks outstanding"));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -303,6 +425,49 @@ mod tests {
         s.slices[0].stall_cycles = 500;
         s.slices[1].stall_cycles = 0;
         assert!((s.t_cs() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn request_cycles_to_completion() {
+        let mut r = RequestStats {
+            arrival: 100,
+            blocks_total: 4,
+            ..Default::default()
+        };
+        assert_eq!(r.cycles_to_completion(), 0, "incomplete request");
+        r.completed = true;
+        r.completion_cycle = 499;
+        assert_eq!(r.cycles_to_completion(), 400);
+        // A trivially-complete zero-block request did no work.
+        r.blocks_total = 0;
+        assert_eq!(r.cycles_to_completion(), 0);
+    }
+
+    #[test]
+    fn consistency_checks_request_partition() {
+        let mut s = stats_with(10);
+        s.slices[0].lookups = 4;
+        s.slices[0].hits = 1;
+        s.slices[0].misses = 3;
+        s.slices[0].mshr_allocs = 3;
+        s.requests = vec![RequestStats {
+            blocks_total: 1,
+            blocks_completed: 1,
+            completed: true,
+            llc: RequestLlcStats {
+                lookups: 4,
+                hits: 1,
+                misses: 3,
+                mshr_allocs: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        }];
+        s.check_consistency().unwrap();
+        // A lost lookup attribution is caught.
+        s.requests[0].llc.lookups = 3;
+        s.requests[0].llc.hits = 0;
+        assert!(s.check_consistency().is_err());
     }
 
     #[test]

@@ -28,10 +28,23 @@ use crate::types::{line_index, Addr, Cycle, MemReq, MemResp, SliceId};
 /// Outcome of [`System::run`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunOutcome {
-    /// All thread blocks completed and the machine drained.
+    /// All thread blocks (of every serving request) completed and the
+    /// machine drained.
     Completed,
-    /// The cycle budget was exhausted first.
-    CycleLimit,
+    /// The cycle budget was exhausted first; reports how many of the
+    /// trace's serving requests had fully completed by then (solo
+    /// traces have exactly one request).
+    CycleLimit {
+        requests_completed: usize,
+        requests_total: usize,
+    },
+}
+
+impl RunOutcome {
+    /// Whether the run drained completely.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RunOutcome::Completed)
+    }
 }
 
 /// How [`System::run_with_mode`] advances simulated time.
@@ -74,6 +87,12 @@ pub struct System {
     /// (Skip mode only; both zero in Cycle mode).
     ticks_executed: u64,
     cycles_skipped: u64,
+    /// Per-serving-request completion tracking (indexed by request id).
+    req_blocks_total: Vec<u64>,
+    req_blocks_done: Vec<u64>,
+    req_arrivals: Vec<Cycle>,
+    req_completed: Vec<bool>,
+    req_completion: Vec<Cycle>,
     progress_scratch: Vec<u64>,
     c_mem_scratch: Vec<u64>,
     c_idle_scratch: Vec<u64>,
@@ -110,6 +129,12 @@ impl System {
         let noc = Noc::new(cfg.noc, cfg.num_cores, cfg.l2.num_slices);
         let dram = DramSystem::new(cfg.dram, MappingScheme::RoBaRaCoCh);
         let n = cfg.num_cores;
+        let req_blocks_total = program.blocks_per_request();
+        let req_arrivals = program.request_arrivals();
+        // A request with no blocks (possible in sparse tags) is
+        // trivially complete from the start.
+        let req_completed: Vec<bool> = req_blocks_total.iter().map(|&b| b == 0).collect();
+        let n_req = req_blocks_total.len();
         System {
             core_period_ps: cfg.core_period_ps(),
             dram_period_ps: cfg.dram.timing.tck_ps,
@@ -127,6 +152,11 @@ impl System {
             max_tb: vec![cfg.core.num_inst_windows; n],
             ticks_executed: 0,
             cycles_skipped: 0,
+            req_blocks_total,
+            req_blocks_done: vec![0; n_req],
+            req_arrivals,
+            req_completed,
+            req_completion: vec![0; n_req],
             progress_scratch: vec![0; n],
             c_mem_scratch: vec![0; n],
             c_idle_scratch: vec![0; n],
@@ -163,16 +193,40 @@ impl System {
         if mode == StepMode::Skip {
             return self.run_skip(max_cycles);
         }
-        let mut outcome = RunOutcome::CycleLimit;
+        let mut outcome = None;
         while self.cycle < max_cycles {
             self.tick();
             self.ticks_executed += 1;
             if self.is_done() {
-                outcome = RunOutcome::Completed;
+                outcome = Some(RunOutcome::Completed);
                 break;
             }
         }
+        let outcome = outcome.unwrap_or_else(|| self.cycle_limit_outcome());
         (self.collect_stats(), outcome)
+    }
+
+    /// The budget-exhausted outcome, carrying per-request completion.
+    fn cycle_limit_outcome(&self) -> RunOutcome {
+        RunOutcome::CycleLimit {
+            requests_completed: self.req_completed.iter().filter(|&&c| c).count(),
+            requests_total: self.req_completed.len(),
+        }
+    }
+
+    /// Maps this tick's retired thread blocks (drained from `core`) to
+    /// their serving requests; a request completes the cycle its last
+    /// block retires. Runs in both step modes at the same cycles —
+    /// retirement is an event, never skipped over.
+    fn note_retirements(&mut self, core: usize, now: Cycle) {
+        while let Some(tb) = self.cores[core].retired.pop() {
+            let r = self.program.request_of(tb) as usize;
+            self.req_blocks_done[r] += 1;
+            if self.req_blocks_done[r] == self.req_blocks_total[r] {
+                self.req_completed[r] = true;
+                self.req_completion[r] = now;
+            }
+        }
     }
 
     /// (real ticks executed, cycles fast-forwarded) — instrumentation
@@ -299,7 +353,7 @@ impl System {
                 self.dram_sync_quiet(max_cycles.saturating_mul(self.core_period_ps));
                 self.cycles_skipped += max_cycles - self.cycle;
                 self.cycle = max_cycles;
-                break RunOutcome::CycleLimit;
+                break self.cycle_limit_outcome();
             }
             self.cycles_skipped += now - self.cycle;
             self.ticks_executed += 1;
@@ -394,6 +448,7 @@ impl System {
                 }
                 let tbs_before = self.cores[c].stats.tbs_completed;
                 self.cores[c].tick(now, &self.program, &mut self.sched);
+                self.note_retirements(c, now);
                 while let Some(req) = self.cores[c].outbound.pop_front() {
                     let slice = self.slice_of(req.line_addr);
                     let at = self.noc.send_req(slice, req, now);
@@ -520,6 +575,7 @@ impl System {
                 self.cores[c].on_resp(resp, now);
             }
             self.cores[c].tick(now, &self.program, &mut self.sched);
+            self.note_retirements(c, now);
             while let Some(req) = self.cores[c].outbound.pop_front() {
                 let slice = self.slice_of(req.line_addr);
                 self.noc.send_req(slice, req, now);
@@ -612,6 +668,21 @@ impl System {
             }
         }
         st.tb_migrations = self.sched.migrations();
+        st.requests = (0..self.req_blocks_total.len())
+            .map(|r| crate::stats::RequestStats {
+                blocks_total: self.req_blocks_total[r],
+                blocks_completed: self.req_blocks_done[r],
+                arrival: self.req_arrivals[r],
+                completed: self.req_completed[r],
+                completion_cycle: self.req_completion[r],
+                llc: crate::stats::RequestLlcStats::default(),
+            })
+            .collect();
+        for s in &self.slices {
+            for (r, rs) in s.request_stats.iter().enumerate() {
+                st.requests[r].llc.merge(rs);
+            }
+        }
         st
     }
 
@@ -713,7 +784,14 @@ mod tests {
     fn cycle_limit_reported() {
         let p = streaming_program(64, 32, 4);
         let (_, outcome) = build(small_cfg(), p).run(10);
-        assert_eq!(outcome, RunOutcome::CycleLimit);
+        assert_eq!(
+            outcome,
+            RunOutcome::CycleLimit {
+                requests_completed: 0,
+                requests_total: 1
+            }
+        );
+        assert!(!outcome.is_complete());
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub struct MemReq {
     pub id: ReqId,
     /// Core that issued the request.
     pub core: CoreId,
+    /// Serving request (tenant) the issuing thread block belongs to;
+    /// 0 for solo traces. Pure attribution — no policy reads it.
+    pub request: u32,
     /// Line-aligned address.
     pub line_addr: Addr,
     /// True for (posted) write-through stores, false for loads.

@@ -15,8 +15,11 @@ use llamcat_sim::prog::{Instr, Program, ThreadBlock};
 use crate::tracegen::TraceMeta;
 use crate::workload::LogitOp;
 
-/// Magic header of the binary trace format.
-const MAGIC: &[u8; 8] = b"LLAMCAT1";
+/// Magic header of the original (solo, untagged) binary trace format.
+const MAGIC_V1: &[u8; 8] = b"LLAMCAT1";
+/// Magic header of the request-tagged binary trace format: every block
+/// record carries its serving-request id and arrival cycle.
+const MAGIC_V2: &[u8; 8] = b"LLAMCAT2";
 
 /// A trace plus the metadata needed to interpret or regenerate it.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -37,15 +40,28 @@ impl TraceFile {
         serde_json::from_str(s).map_err(|e| e.to_string())
     }
 
-    /// Writes the compact binary encoding.
+    /// Writes the compact binary encoding: the v1 layout for untagged
+    /// solo traces (no per-block overhead), v2 with per-block
+    /// (request, arrival) records for tagged mixes.
     pub fn write_binary<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        w.write_all(MAGIC)?;
+        let tagged = !self.program.request_tags.is_empty() || !self.program.arrivals.is_empty();
+        w.write_all(if tagged { MAGIC_V2 } else { MAGIC_V1 })?;
         let header = serde_json::to_vec(&(self.op, self.meta)).expect("header serializes");
         write_u64(w, header.len() as u64)?;
         w.write_all(&header)?;
         write_u64(w, self.program.blocks.len() as u64)?;
-        for (block, &core) in self.program.blocks.iter().zip(&self.program.assignment) {
+        for (tb, (block, &core)) in self
+            .program
+            .blocks
+            .iter()
+            .zip(&self.program.assignment)
+            .enumerate()
+        {
             write_u64(w, core as u64)?;
+            if tagged {
+                write_u64(w, self.program.request_of(tb) as u64)?;
+                write_u64(w, self.program.arrival_of(tb))?;
+            }
             write_u64(w, block.instrs.len() as u64)?;
             for i in &block.instrs {
                 match i {
@@ -72,13 +88,17 @@ impl TraceFile {
         Ok(())
     }
 
-    /// Reads the compact binary encoding.
+    /// Reads the compact binary encoding: the current request-tagged v2
+    /// layout, or the legacy v1 layout (read back as a solo request-0
+    /// trace).
     pub fn read_binary<R: Read>(r: &mut R) -> io::Result<Self> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
-        }
+        let tagged = match &magic {
+            m if m == MAGIC_V2 => true,
+            m if m == MAGIC_V1 => false,
+            _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic")),
+        };
         let header_len = read_u64(r)? as usize;
         let mut header = vec![0u8; header_len];
         r.read_exact(&mut header)?;
@@ -87,8 +107,18 @@ impl TraceFile {
         let num_blocks = read_u64(r)? as usize;
         let mut blocks = Vec::with_capacity(num_blocks);
         let mut assignment = Vec::with_capacity(num_blocks);
+        let mut request_tags = Vec::new();
+        let mut arrivals = Vec::new();
         for _ in 0..num_blocks {
             assignment.push(read_u64(r)? as usize);
+            if tagged {
+                let tag = read_u64(r)?;
+                let tag = u32::try_from(tag).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "request tag exceeds u32")
+                })?;
+                request_tags.push(tag);
+                arrivals.push(read_u64(r)?);
+            }
             let n = read_u64(r)? as usize;
             let mut instrs = Vec::with_capacity(n);
             for _ in 0..n {
@@ -121,7 +151,7 @@ impl TraceFile {
         Ok(TraceFile {
             op,
             meta,
-            program: Program { blocks, assignment },
+            program: Program::with_requests(blocks, assignment, request_tags, arrivals),
         })
     }
 }
@@ -178,6 +208,80 @@ mod tests {
         let mut buf = Vec::new();
         t.write_binary(&mut buf).unwrap();
         assert!(buf.len() < t.to_json().len());
+    }
+
+    /// A request-tagged mix trace (tags, staggered arrivals) through
+    /// the container.
+    fn tagged_sample() -> TraceFile {
+        use crate::mapping::Layout;
+        use crate::mix::{MixAssignment, WorkloadMix};
+        use crate::workloads::LogitWorkload;
+        use std::sync::Arc;
+
+        let op = LogitOp {
+            heads: 2,
+            group_size: 2,
+            seq_len: 64,
+            head_dim: 128,
+        };
+        let mix = WorkloadMix::new(MixAssignment::Interleaved)
+            .request(Arc::new(LogitWorkload::new(op)), 0)
+            .request(Arc::new(LogitWorkload::new(op)), 700);
+        let cfg = TraceGenConfig::default();
+        let (program, mix_meta) = mix.generate(Layout::PairStream, 32, &cfg).unwrap();
+        let meta = TraceMeta {
+            num_blocks: mix_meta.num_blocks,
+            total_load_bytes: mix_meta.total_load_bytes,
+            total_store_bytes: mix_meta.total_store_bytes,
+            max_block_instrs: mix_meta.max_block_instrs,
+        };
+        TraceFile { op, meta, program }
+    }
+
+    #[test]
+    fn tagged_json_round_trip() {
+        let t = tagged_sample();
+        let u = TraceFile::from_json(&t.to_json()).unwrap();
+        assert_eq!(u.program.blocks, t.program.blocks);
+        assert_eq!(u.program.request_tags, t.program.request_tags);
+        assert_eq!(u.program.arrivals, t.program.arrivals);
+        assert_eq!(u.program.num_requests(), 2);
+    }
+
+    #[test]
+    fn tagged_binary_round_trip() {
+        let t = tagged_sample();
+        let mut buf = Vec::new();
+        t.write_binary(&mut buf).unwrap();
+        assert_eq!(&buf[..8], b"LLAMCAT2");
+        let u = TraceFile::read_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(u.program.blocks, t.program.blocks);
+        assert_eq!(u.program.assignment, t.program.assignment);
+        assert_eq!(u.program.request_tags, t.program.request_tags);
+        assert_eq!(u.program.arrivals, t.program.arrivals);
+        assert_eq!(u.program.request_arrivals(), vec![0, 700]);
+    }
+
+    #[test]
+    fn untagged_traces_keep_the_compact_v1_layout() {
+        // Solo traces write the legacy v1 layout — no per-block
+        // (tag, arrival) overhead — and read back as request 0.
+        let t = sample();
+        let mut v1 = Vec::new();
+        t.write_binary(&mut v1).unwrap();
+        assert_eq!(&v1[..8], b"LLAMCAT1");
+        let u = TraceFile::read_binary(&mut v1.as_slice()).unwrap();
+        assert_eq!(u.program.blocks, t.program.blocks);
+        assert!(u.program.request_tags.is_empty());
+        assert_eq!(u.program.num_requests(), 1, "v1 traces are solo request 0");
+        // The tagged encoding pays exactly 16 extra bytes per block.
+        let mut tagged = t.clone();
+        tagged.program.request_tags = vec![0; tagged.program.blocks.len()];
+        tagged.program.arrivals = vec![0; tagged.program.blocks.len()];
+        let mut v2 = Vec::new();
+        tagged.write_binary(&mut v2).unwrap();
+        assert_eq!(&v2[..8], b"LLAMCAT2");
+        assert_eq!(v2.len(), v1.len() + 16 * t.program.blocks.len());
     }
 
     #[test]

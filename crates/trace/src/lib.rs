@@ -17,6 +17,9 @@
 //!   estimated K reuse distance (hand-written mappings also accepted);
 //! * [`tracegen`] — walks a mapping into an executable
 //!   [`Program`](llamcat_sim::prog::Program);
+//! * [`mix`] — multi-tenant serving mixes: N co-scheduled requests
+//!   (mixed prefill/decode, staggered arrivals) composed into one
+//!   request-tagged program via core partitioning or interleaving;
 //! * [`format`](mod@format) — JSON and compact binary trace persistence.
 //!
 //! ## Example
@@ -35,6 +38,7 @@
 pub mod format;
 pub mod mapper;
 pub mod mapping;
+pub mod mix;
 pub mod tracegen;
 pub mod workload;
 pub mod workloads;
@@ -44,6 +48,7 @@ pub mod prelude {
     pub use crate::format::TraceFile;
     pub use crate::mapper::{best_mapping, enumerate, Candidate, MapperConstraints};
     pub use crate::mapping::{logit_mapping, Dim, Layout, Level, Loop, LoopKind, Mapping, TbOrder};
+    pub use crate::mix::{MixAssignment, MixMeta, MixedRequest, WorkloadMix, REQUEST_VA_STRIDE};
     pub use crate::tracegen::{
         generate, generate_default, generate_with, TraceGenConfig, TraceMeta,
     };

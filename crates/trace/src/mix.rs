@@ -1,0 +1,465 @@
+//! Multi-tenant serving mixes: N co-scheduled requests in one trace.
+//!
+//! Real serving never runs one operator in isolation: a machine holds
+//! many requests at once — mixed prefill and decode, heterogeneous
+//! sequence lengths, staggered arrivals — and the shared LLC is exactly
+//! where they interfere. A [`WorkloadMix`] composes N requests (each any
+//! [`Workload`] plus an optional arrival cycle) into a single
+//! [`Program`] in which every thread block is tagged with its request
+//! id, so the simulator can attribute completion and LLC behavior per
+//! request (`SimStats::requests`).
+//!
+//! Two deterministic composition disciplines:
+//!
+//! * [`MixAssignment::Partitioned`] — the cores are split into N
+//!   contiguous groups, one per request (earlier requests get the
+//!   larger shares when the division is uneven). Requests interfere
+//!   *only* through the shared LLC, MSHRs, NoC and DRAM — the spatial
+//!   isolation discipline. A single-request partitioned mix is
+//!   bit-identical to the solo trace.
+//! * [`MixAssignment::Interleaved`] — every request is laid out over
+//!   all cores and blocks are interleaved round-robin by request, so
+//!   requests additionally contend for cores, instruction windows and
+//!   L1s — the time-sharing discipline.
+//!
+//! Tenants live in disjoint address spaces: request `r`'s trace is
+//! offset by `r * REQUEST_VA_STRIDE`, so no KV-cache line is ever
+//! (falsely) shared across requests.
+
+use std::sync::Arc;
+
+use llamcat_sim::prog::{Instr, Program, ThreadBlock};
+use llamcat_sim::types::{Addr, Cycle};
+use serde::{Deserialize, Serialize};
+
+use crate::mapping::Layout;
+use crate::tracegen::{TraceGenConfig, TraceMeta};
+use crate::workloads::Workload;
+
+/// Virtual-address stride between tenants. Larger than every tensor
+/// base the workloads use (the attention-output partials top out just
+/// above `OUT_BASE` = 2^39), so tenant address spaces never overlap.
+pub const REQUEST_VA_STRIDE: Addr = 1 << 40;
+
+/// How a mix's thread blocks are laid over the machine's cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MixAssignment {
+    /// Deterministic core partitioning: request `r` owns a contiguous
+    /// group of cores; interference is confined to the shared memory
+    /// system.
+    #[default]
+    Partitioned,
+    /// Interleaved block assignment: every request spans all cores,
+    /// blocks alternate round-robin by request in trace order.
+    Interleaved,
+}
+
+impl MixAssignment {
+    /// Stable name (labels, JSONL).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MixAssignment::Partitioned => "part",
+            MixAssignment::Interleaved => "ilv",
+        }
+    }
+}
+
+/// One co-scheduled request of a mix.
+#[derive(Debug, Clone)]
+pub struct MixedRequest {
+    /// The request's operator (sequence length baked into the shape).
+    pub workload: Arc<dyn Workload>,
+    /// Cycle at which the request arrives; its thread blocks are not
+    /// schedulable before this.
+    pub arrival: Cycle,
+}
+
+/// Per-request and aggregate metadata of a generated mix trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixMeta {
+    /// One [`TraceMeta`] per request, in request order.
+    pub per_request: Vec<TraceMeta>,
+    pub num_blocks: usize,
+    pub total_load_bytes: u64,
+    pub total_store_bytes: u64,
+    pub max_block_instrs: usize,
+}
+
+/// N requests composed into one multi-tenant trace.
+#[derive(Debug, Clone)]
+pub struct WorkloadMix {
+    pub requests: Vec<MixedRequest>,
+    pub assignment: MixAssignment,
+}
+
+impl WorkloadMix {
+    /// An empty mix with the given core-assignment discipline.
+    pub fn new(assignment: MixAssignment) -> Self {
+        WorkloadMix {
+            requests: Vec::new(),
+            assignment,
+        }
+    }
+
+    /// A single-request mix (reproduces the solo trace bit-for-bit
+    /// under [`MixAssignment::Partitioned`]).
+    pub fn solo(workload: Arc<dyn Workload>) -> Self {
+        WorkloadMix::new(MixAssignment::Partitioned).request(workload, 0)
+    }
+
+    /// Adds a request arriving at `arrival`.
+    pub fn request(mut self, workload: Arc<dyn Workload>, arrival: Cycle) -> Self {
+        self.requests.push(MixedRequest { workload, arrival });
+        self
+    }
+
+    /// Stable label: the requests' labels and sequence lengths joined,
+    /// prefixed with the assignment discipline for multi-tenant mixes.
+    pub fn label(&self) -> String {
+        let parts: Vec<String> = self
+            .requests
+            .iter()
+            .map(|r| {
+                let mut s = format!("{}/L{}", r.workload.label(), r.workload.shape().seq_len);
+                if r.arrival > 0 {
+                    s.push_str(&format!("@{}", r.arrival));
+                }
+                s
+            })
+            .collect();
+        format!("mix:{}[{}]", self.assignment.label(), parts.join(" + "))
+    }
+
+    /// Rejects degenerate mixes: no requests, or any request with an
+    /// invalid shape (zero sequence length included).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.requests.is_empty() {
+            return Err("mix has no requests".into());
+        }
+        for (r, req) in self.requests.iter().enumerate() {
+            req.workload
+                .validate()
+                .map_err(|e| format!("mix request {r} ({}): {e}", req.workload.label()))?;
+        }
+        Ok(())
+    }
+
+    /// The contiguous core shares of a partitioned mix over `num_cores`
+    /// cores: `(start, count)` per request, earlier requests taking the
+    /// larger shares when the division is uneven.
+    pub fn partition(&self, num_cores: usize) -> Result<Vec<(usize, usize)>, String> {
+        let n = self.requests.len();
+        if num_cores < n {
+            return Err(format!(
+                "partitioned mix of {n} requests needs at least {n} cores, machine has {num_cores}"
+            ));
+        }
+        let base = num_cores / n;
+        let extra = num_cores % n;
+        let mut shares = Vec::with_capacity(n);
+        let mut start = 0;
+        for r in 0..n {
+            let count = base + usize::from(r < extra);
+            shares.push((start, count));
+            start += count;
+        }
+        Ok(shares)
+    }
+
+    /// Lowers the mix to one request-tagged [`Program`].
+    ///
+    /// Every request is generated through the ordinary [`Workload`]
+    /// machinery (same `layout`, same `l_tile`), relocated into its own
+    /// address space, tagged, and composed per the assignment
+    /// discipline. Deterministic: same mix, same program.
+    pub fn generate(
+        &self,
+        layout: Layout,
+        l_tile: usize,
+        cfg: &TraceGenConfig,
+    ) -> Result<(Program, MixMeta), String> {
+        self.validate()?;
+        let per_core_counts: Vec<(usize, usize)> = match self.assignment {
+            MixAssignment::Partitioned => self.partition(cfg.num_cores)?,
+            MixAssignment::Interleaved => vec![(0, cfg.num_cores); self.requests.len()],
+        };
+
+        // Generate each request solo on its core share, then relocate
+        // into the tenant's address space.
+        let mut programs = Vec::with_capacity(self.requests.len());
+        let mut metas = Vec::with_capacity(self.requests.len());
+        for (r, (req, &(start, count))) in self.requests.iter().zip(&per_core_counts).enumerate() {
+            let shape = req.workload.shape();
+            if l_tile == 0 || !shape.seq_len.is_multiple_of(l_tile) {
+                return Err(format!(
+                    "mix request {r}: l_tile {l_tile} must divide seq_len {}",
+                    shape.seq_len
+                ));
+            }
+            let sub_cfg = TraceGenConfig {
+                num_cores: count,
+                ..*cfg
+            };
+            let mapping = req.workload.mapping(layout, l_tile, count);
+            mapping
+                .validate(&shape)
+                .map_err(|e| format!("mix request {r}: {e}"))?;
+            let (mut program, meta) = req.workload.generate(&mapping, &sub_cfg);
+            let offset = r as Addr * REQUEST_VA_STRIDE;
+            for block in &mut program.blocks {
+                relocate(block, offset);
+            }
+            for core in &mut program.assignment {
+                debug_assert!(*core < count);
+                *core += start;
+            }
+            programs.push(program);
+            metas.push(meta);
+        }
+
+        // Compose: request-major for partitioned (disjoint cores, order
+        // across requests is immaterial per core), round-robin by
+        // request for interleaved (per-core queues alternate tenants).
+        let total_blocks: usize = metas.iter().map(|m| m.num_blocks).sum();
+        let mut blocks = Vec::with_capacity(total_blocks);
+        let mut assignment = Vec::with_capacity(total_blocks);
+        let mut tags = Vec::with_capacity(total_blocks);
+        let mut arrivals = Vec::with_capacity(total_blocks);
+        let mut push = |r: usize, block: ThreadBlock, core: usize| {
+            blocks.push(block);
+            assignment.push(core);
+            tags.push(r as u32);
+            arrivals.push(self.requests[r].arrival);
+        };
+        match self.assignment {
+            MixAssignment::Partitioned => {
+                for (r, p) in programs.into_iter().enumerate() {
+                    for (block, core) in p.blocks.into_iter().zip(p.assignment) {
+                        push(r, block, core);
+                    }
+                }
+            }
+            MixAssignment::Interleaved => {
+                let mut iters: Vec<_> = programs
+                    .into_iter()
+                    .map(|p| p.blocks.into_iter().zip(p.assignment))
+                    .collect();
+                loop {
+                    let mut any = false;
+                    for (r, it) in iters.iter_mut().enumerate() {
+                        if let Some((block, core)) = it.next() {
+                            push(r, block, core);
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        break;
+                    }
+                }
+            }
+        }
+
+        let meta = MixMeta {
+            num_blocks: total_blocks,
+            total_load_bytes: metas.iter().map(|m| m.total_load_bytes).sum(),
+            total_store_bytes: metas.iter().map(|m| m.total_store_bytes).sum(),
+            max_block_instrs: metas.iter().map(|m| m.max_block_instrs).max().unwrap_or(0),
+            per_request: metas,
+        };
+        Ok((
+            Program::with_requests(blocks, assignment, tags, arrivals),
+            meta,
+        ))
+    }
+}
+
+/// Shifts a block's memory accesses into a tenant's address space.
+fn relocate(block: &mut ThreadBlock, offset: Addr) {
+    for instr in &mut block.instrs {
+        match instr {
+            Instr::Load { addr, .. } | Instr::Store { addr, .. } => {
+                debug_assert!(
+                    *addr < REQUEST_VA_STRIDE,
+                    "solo trace address {addr:#x} exceeds the tenant VA stride"
+                );
+                *addr += offset;
+            }
+            Instr::Compute { .. } | Instr::Barrier => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::LogitOp;
+    use crate::workloads::{LogitWorkload, PrefillLogitWorkload};
+    use std::collections::HashSet;
+
+    fn decode(seq_len: usize) -> Arc<dyn Workload> {
+        Arc::new(LogitWorkload::new(LogitOp {
+            heads: 2,
+            group_size: 4,
+            seq_len,
+            head_dim: 128,
+        }))
+    }
+
+    fn prefill(seq_len: usize) -> Arc<dyn Workload> {
+        Arc::new(PrefillLogitWorkload::new(
+            LogitOp {
+                heads: 2,
+                group_size: 2,
+                seq_len,
+                head_dim: 128,
+            },
+            4,
+        ))
+    }
+
+    fn cfg() -> TraceGenConfig {
+        TraceGenConfig::default()
+    }
+
+    #[test]
+    fn solo_partitioned_mix_reproduces_solo_trace() {
+        let w = decode(128);
+        let mix = WorkloadMix::solo(w.clone());
+        let (p_mix, meta) = mix.generate(Layout::PairStream, 32, &cfg()).unwrap();
+        let mapping = w.mapping(Layout::PairStream, 32, cfg().num_cores);
+        let (p_solo, solo_meta) = w.generate(&mapping, &cfg());
+        assert_eq!(p_mix.blocks, p_solo.blocks, "blocks must be bit-identical");
+        assert_eq!(p_mix.assignment, p_solo.assignment);
+        assert_eq!(p_mix.num_requests(), 1);
+        assert_eq!(meta.per_request, vec![solo_meta]);
+    }
+
+    #[test]
+    fn partitioned_requests_occupy_disjoint_cores_and_addresses() {
+        let mix = WorkloadMix::new(MixAssignment::Partitioned)
+            .request(decode(128), 0)
+            .request(prefill(128), 0);
+        let (p, meta) = mix.generate(Layout::PairStream, 32, &cfg()).unwrap();
+        assert_eq!(p.num_requests(), 2);
+        assert_eq!(meta.per_request.len(), 2);
+        let mut cores: Vec<HashSet<usize>> = vec![HashSet::new(), HashSet::new()];
+        let mut lines: Vec<HashSet<u64>> = vec![HashSet::new(), HashSet::new()];
+        for tb in 0..p.num_blocks() {
+            let r = p.request_of(tb) as usize;
+            cores[r].insert(p.assignment[tb]);
+            for i in &p.blocks[tb].instrs {
+                if let Instr::Load { addr, .. } | Instr::Store { addr, .. } = i {
+                    lines[r].insert(addr / 64);
+                    assert_eq!(
+                        (addr / REQUEST_VA_STRIDE) as usize,
+                        r,
+                        "address outside the tenant's VA window"
+                    );
+                }
+            }
+        }
+        assert!(
+            cores[0].is_disjoint(&cores[1]),
+            "core shares must not overlap"
+        );
+        // Request 0 owns cores [0, 8), request 1 owns [8, 16); each uses
+        // min(pairs, share) of its cores.
+        assert!(cores[0].iter().all(|&c| c < 8));
+        assert!(cores[1].iter().all(|&c| (8..16).contains(&c)));
+        assert!(lines[0].is_disjoint(&lines[1]));
+    }
+
+    #[test]
+    fn uneven_partition_favors_earlier_requests() {
+        let mix = WorkloadMix::new(MixAssignment::Partitioned)
+            .request(decode(128), 0)
+            .request(decode(128), 0)
+            .request(decode(128), 0);
+        // 16 cores over 3 requests: 6 + 5 + 5.
+        assert_eq!(mix.partition(16).unwrap(), vec![(0, 6), (6, 5), (11, 5)]);
+        assert!(mix.partition(2).is_err(), "more requests than cores");
+    }
+
+    #[test]
+    fn interleaved_alternates_requests_in_block_order() {
+        let mix = WorkloadMix::new(MixAssignment::Interleaved)
+            .request(decode(128), 0)
+            .request(decode(128), 0);
+        let (p, _) = mix.generate(Layout::PairStream, 32, &cfg()).unwrap();
+        // Both requests have the same block count: tags strictly
+        // alternate 0, 1, 0, 1, ...
+        for tb in 0..p.num_blocks() {
+            assert_eq!(p.request_of(tb), (tb % 2) as u32);
+        }
+        // Both requests share the same (full-machine) core layout: the
+        // decode shape has 8 (h, g) pairs, so both land on cores 0..8.
+        let cores_of = |r: u32| -> HashSet<usize> {
+            (0..p.num_blocks())
+                .filter(|&tb| p.request_of(tb) == r)
+                .map(|tb| p.assignment[tb])
+                .collect()
+        };
+        assert_eq!(cores_of(0).len(), 8);
+        assert_eq!(
+            cores_of(0),
+            cores_of(1),
+            "interleaved tenants contend for cores"
+        );
+    }
+
+    #[test]
+    fn arrivals_tag_every_block_of_the_request() {
+        let mix = WorkloadMix::new(MixAssignment::Partitioned)
+            .request(decode(128), 0)
+            .request(decode(128), 5_000);
+        let (p, _) = mix.generate(Layout::PairStream, 32, &cfg()).unwrap();
+        for tb in 0..p.num_blocks() {
+            let expect = if p.request_of(tb) == 0 { 0 } else { 5_000 };
+            assert_eq!(p.arrival_of(tb), expect);
+        }
+        assert_eq!(p.request_arrivals(), vec![0, 5_000]);
+    }
+
+    #[test]
+    fn labels_are_stable_and_carry_arrivals() {
+        let mix = WorkloadMix::new(MixAssignment::Interleaved)
+            .request(decode(128), 0)
+            .request(prefill(256), 1_000);
+        assert_eq!(
+            mix.label(),
+            "mix:ilv[logit h2 g4 d128/L128 + prefill h2 g2 d128 q4/L256@1000]"
+        );
+    }
+
+    #[test]
+    fn degenerate_mixes_are_rejected() {
+        assert!(WorkloadMix::new(MixAssignment::Partitioned)
+            .validate()
+            .is_err());
+        let zero_seq = WorkloadMix::solo(decode(0));
+        assert!(
+            zero_seq.validate().is_err(),
+            "zero seq_len must be rejected"
+        );
+        let bad_tile = WorkloadMix::solo(decode(128));
+        assert!(bad_tile.generate(Layout::PairStream, 48, &cfg()).is_err());
+    }
+
+    #[test]
+    fn mix_meta_sums_per_request_traffic() {
+        let mix = WorkloadMix::new(MixAssignment::Interleaved)
+            .request(decode(128), 0)
+            .request(prefill(128), 0);
+        let (p, meta) = mix.generate(Layout::PairStream, 32, &cfg()).unwrap();
+        assert_eq!(meta.num_blocks, p.num_blocks());
+        assert_eq!(
+            meta.total_load_bytes,
+            meta.per_request
+                .iter()
+                .map(|m| m.total_load_bytes)
+                .sum::<u64>()
+        );
+        assert_eq!(meta.total_load_bytes, p.total_load_bytes());
+        assert_eq!(meta.total_store_bytes, p.total_store_bytes());
+    }
+}

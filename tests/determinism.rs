@@ -8,7 +8,9 @@
 //! `SimStats` and `RunReport` serializations.
 
 use llamcat::experiment::{Experiment, Model, Policy};
+use llamcat::spec::MixSpec;
 use llamcat_sim::system::StepMode;
+use llamcat_trace::workloads::WorkloadSpec;
 
 /// Runs one experiment twice per step mode and asserts byte-identical
 /// results — within each mode (determinism) and across the two modes
@@ -85,4 +87,61 @@ fn full_policy_stack_is_deterministic() {
 fn baselines_are_deterministic() {
     assert_deterministic(Model::Llama3_405b, 128, Policy::dyncta());
     assert_deterministic(Model::Llama3_405b, 128, Policy::dynmg_cobrra());
+}
+
+/// The mix analogue of [`assert_deterministic`]: identical mix, policy
+/// and step mode ⇒ byte-identical `SimStats` (including the per-request
+/// breakdowns) and `RunReport`, within each mode and across the modes.
+fn assert_mix_deterministic(mix: &MixSpec, policy: Policy) {
+    let run = |mode| {
+        Experiment::from_mix_spec(mix)
+            .expect("valid mix")
+            .policy(policy)
+            .step_mode(mode)
+            .run()
+    };
+    let mut serialized = Vec::new();
+    for mode in [StepMode::Cycle, StepMode::Skip] {
+        let a = run(mode);
+        let b = run(mode);
+        assert!(a.completed && b.completed);
+        assert_eq!(a.requests.len(), b.requests.len());
+        let stats_a = serde_json::to_string(a.stats.as_ref().unwrap()).unwrap();
+        let stats_b = serde_json::to_string(b.stats.as_ref().unwrap()).unwrap();
+        assert_eq!(stats_a, stats_b, "mix SimStats diverged within {mode:?}");
+        let report_a = serde_json::to_string(&a).unwrap();
+        let report_b = serde_json::to_string(&b).unwrap();
+        assert_eq!(report_a, report_b, "mix RunReport diverged within {mode:?}");
+        serialized.push((stats_a, report_a));
+    }
+    assert_eq!(
+        serialized[0], serialized[1],
+        "mix run diverged between step modes (per-request stats included)"
+    );
+}
+
+#[test]
+fn interleaved_mix_is_deterministic_in_both_modes() {
+    let mix = MixSpec::interleaved()
+        .request(WorkloadSpec::llama3_70b(), 128, 0)
+        .request(
+            WorkloadSpec::PrefillLogit {
+                heads: 8,
+                group_size: 8,
+                head_dim: 128,
+                query_tokens: 4,
+            },
+            128,
+            0,
+        );
+    assert_mix_deterministic(&mix, Policy::unoptimized());
+    assert_mix_deterministic(&mix, Policy::dynmg_bma());
+}
+
+#[test]
+fn staggered_partitioned_mix_is_deterministic_in_both_modes() {
+    let mix = MixSpec::partitioned()
+        .request(WorkloadSpec::llama3_70b(), 128, 0)
+        .request(WorkloadSpec::llama3_70b(), 128, 20_000);
+    assert_mix_deterministic(&mix, Policy::dynmg());
 }

@@ -14,7 +14,8 @@
 //! and paste the printed rows over `GOLDEN`.
 
 use llamcat::experiment::{ArbPolicy, Experiment, Model, Policy, ThrottlePolicy};
-use llamcat::spec::PolicySpec;
+use llamcat::spec::{MixSpec, PolicySpec};
+use llamcat_trace::workloads::WorkloadSpec;
 
 const MODEL: Model = Model::Llama3_70b;
 const SEQ_LEN: usize = 128;
@@ -152,6 +153,148 @@ fn print_golden_table() {
             let (cycles, l2, mshr) = run_cell(arb, throttle);
             println!(
                 "    (ArbPolicy::{arb:?}, ThrottlePolicy::{throttle:?}, {cycles}, {l2:?}, {mshr:?}),"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serving-mix golden table: the multi-tenant analogue of `GOLDEN`.
+// ---------------------------------------------------------------------
+
+/// The canonical 2-request serving mix: the paper's decode Logit
+/// co-scheduled (interleaved) with a chunked-prefill request on the
+/// same machine — the smallest scenario where requests contend for
+/// cores, MSHRs and the LLC at once.
+fn canonical_mix() -> MixSpec {
+    MixSpec::interleaved()
+        .request(WorkloadSpec::llama3_70b(), SEQ_LEN, 0)
+        .request(
+            WorkloadSpec::PrefillLogit {
+                heads: 8,
+                group_size: 8,
+                head_dim: 128,
+                query_tokens: 4,
+            },
+            SEQ_LEN,
+            0,
+        )
+}
+
+/// Recorded mix behavior per policy cell: (arb, throttle, machine
+/// cycles, decode-request cycles-to-completion, prefill-request
+/// cycles-to-completion, l2_hit_rate). Exact values — the simulator is
+/// deterministic and both step modes are byte-identical.
+#[rustfmt::skip]
+const GOLDEN_MIX: &[(ArbPolicy, ThrottlePolicy, u64, u64, u64, f64)] = &[
+    (ArbPolicy::Fifo, ThrottlePolicy::None, 37906, 37509, 37819, 0.5032210855560497),
+    (ArbPolicy::Fifo, ThrottlePolicy::Dyncta, 37906, 37509, 37819, 0.5032210855560497),
+    (ArbPolicy::Fifo, ThrottlePolicy::Lcs, 37906, 37509, 37819, 0.5032210855560497),
+    (ArbPolicy::Fifo, ThrottlePolicy::DynMg, 37644, 36303, 37393, 0.39732885751994035),
+    (ArbPolicy::Balanced, ThrottlePolicy::None, 39751, 39158, 39671, 0.6325438609074868),
+    (ArbPolicy::Balanced, ThrottlePolicy::Dyncta, 39751, 39158, 39671, 0.6325438609074868),
+    (ArbPolicy::Balanced, ThrottlePolicy::Lcs, 39751, 39158, 39671, 0.6325438609074868),
+    (ArbPolicy::Balanced, ThrottlePolicy::DynMg, 40172, 39613, 39924, 0.5130677747528299),
+    (ArbPolicy::MshrAware, ThrottlePolicy::None, 39055, 38349, 38786, 0.5695312836876374),
+    (ArbPolicy::MshrAware, ThrottlePolicy::Dyncta, 39055, 38349, 38786, 0.5695312836876374),
+    (ArbPolicy::MshrAware, ThrottlePolicy::Lcs, 39055, 38349, 38786, 0.5695312836876374),
+    (ArbPolicy::MshrAware, ThrottlePolicy::DynMg, 38460, 37336, 38321, 0.5467932877420838),
+    (ArbPolicy::BalancedMshrAware, ThrottlePolicy::None, 36184, 35688, 36084, 0.4770563143608083),
+    (ArbPolicy::BalancedMshrAware, ThrottlePolicy::Dyncta, 36184, 35688, 36084, 0.4770563143608083),
+    (ArbPolicy::BalancedMshrAware, ThrottlePolicy::Lcs, 36184, 35688, 36084, 0.4770563143608083),
+    (ArbPolicy::BalancedMshrAware, ThrottlePolicy::DynMg, 39831, 37178, 39492, 0.5042102248317342),
+    (ArbPolicy::Cobrra, ThrottlePolicy::None, 38918, 37849, 38321, 0.45194224178723524),
+    (ArbPolicy::Cobrra, ThrottlePolicy::Dyncta, 38918, 37849, 38321, 0.45194224178723524),
+    (ArbPolicy::Cobrra, ThrottlePolicy::Lcs, 38918, 37849, 38321, 0.45194224178723524),
+    (ArbPolicy::Cobrra, ThrottlePolicy::DynMg, 39796, 39145, 39332, 0.46688846186938937),
+];
+
+fn run_mix_cell(arb: ArbPolicy, throttle: ThrottlePolicy) -> (u64, u64, u64, f64) {
+    let report = Experiment::from_mix_spec(&canonical_mix())
+        .expect("canonical mix is valid")
+        .policy(Policy::new(arb, throttle))
+        .run();
+    assert!(
+        report.completed,
+        "golden mix cell {:?}/{:?} did not complete",
+        arb, throttle
+    );
+    assert_eq!(report.requests.len(), 2);
+    assert!(report.requests.iter().all(|r| r.completed));
+    report.stats.as_ref().unwrap().check_consistency().unwrap();
+    (
+        report.cycles,
+        report.requests[0].cycles,
+        report.requests[1].cycles,
+        report.l2_hit_rate,
+    )
+}
+
+#[test]
+fn golden_mix_baselines_match_recorded_behavior() {
+    assert_eq!(
+        GOLDEN_MIX.len(),
+        ARBS.len() * THROTTLES.len(),
+        "golden mix table must cover every policy cell"
+    );
+    for &(arb, throttle, cycles, decode_cycles, prefill_cycles, l2_hit) in GOLDEN_MIX {
+        let (got_cycles, got_decode, got_prefill, got_l2) = run_mix_cell(arb, throttle);
+        assert_eq!(
+            got_cycles, cycles,
+            "{:?}/{:?}: mix cycles changed (recorded {cycles}, got {got_cycles})",
+            arb, throttle
+        );
+        assert_eq!(
+            got_decode, decode_cycles,
+            "{:?}/{:?}: decode request completion changed",
+            arb, throttle
+        );
+        assert_eq!(
+            got_prefill, prefill_cycles,
+            "{:?}/{:?}: prefill request completion changed",
+            arb, throttle
+        );
+        assert_eq!(
+            got_l2, l2_hit,
+            "{:?}/{:?}: L2 hit rate changed",
+            arb, throttle
+        );
+    }
+}
+
+/// A single-request partitioned mix IS the solo experiment: it must
+/// reproduce the recorded solo golden table bit-for-bit — the
+/// no-behavioural-drift guarantee for every legacy experiment.
+#[test]
+fn single_request_mix_reproduces_solo_golden_table() {
+    for &(arb, throttle, cycles, l2_hit, mshr_hit) in GOLDEN {
+        let spec = MixSpec::partitioned().request(WorkloadSpec::llama3_70b(), SEQ_LEN, 0);
+        let report = Experiment::from_mix_spec(&spec)
+            .expect("solo mix is valid")
+            .policy(Policy::new(arb, throttle))
+            .run();
+        assert!(report.completed);
+        assert_eq!(
+            report.cycles, cycles,
+            "{:?}/{:?}: single-request mix drifted from the solo golden cycles",
+            arb, throttle
+        );
+        assert_eq!(report.l2_hit_rate, l2_hit);
+        assert_eq!(report.mshr_hit_rate, mshr_hit);
+        assert_eq!(report.requests.len(), 1);
+        assert!(report.requests[0].completed);
+    }
+}
+
+/// Prints the current mix table in `GOLDEN_MIX` literal syntax.
+#[test]
+#[ignore = "regenerates the golden mix table; run with --ignored --nocapture"]
+fn print_golden_mix_table() {
+    for &arb in &ARBS {
+        for &throttle in &THROTTLES {
+            let (cycles, decode, prefill, l2) = run_mix_cell(arb, throttle);
+            println!(
+                "    (ArbPolicy::{arb:?}, ThrottlePolicy::{throttle:?}, {cycles}, {decode}, {prefill}, {l2:?}),"
             );
         }
     }
