@@ -17,6 +17,7 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use llamcat::experiment::{Experiment, Model, Policy};
+use llamcat::spec::MixSpec;
 use llamcat_sim::arb::{FifoArbiter, NoThrottle};
 use llamcat_sim::cache::{InsertPolicy, SetAssocCache};
 use llamcat_sim::config::{DramConfig, SystemConfig};
@@ -25,6 +26,7 @@ use llamcat_sim::mshr::{MshrFile, MshrTarget};
 use llamcat_sim::prog::{Instr, Program, ThreadBlock};
 use llamcat_sim::system::{StepMode, System};
 use llamcat_sim::types::LINE_BYTES;
+use llamcat_trace::workloads::WorkloadSpec;
 
 fn bench_cache(c: &mut Criterion) {
     c.bench_function("cache/access_hit", |b| {
@@ -60,7 +62,7 @@ fn bench_mshr(c: &mut Criterion) {
         b.iter(|| {
             addr += 64;
             mshr.register(addr, t);
-            std::hint::black_box(mshr.complete(addr))
+            std::hint::black_box(mshr.complete(addr).map(|targets| targets.len()))
         });
     });
 }
@@ -204,9 +206,120 @@ fn bench_step_mode(_c: &mut Criterion) {
     println!("  dynmg+BMA (cpr 1): cycle {t_cycle:.3}s skip {t_skip:.3}s");
 }
 
+/// One measured throughput cell for the machine-readable report.
+struct SpeedCell {
+    workload: &'static str,
+    mode: llamcat_sim::system::StepMode,
+    cycles: u64,
+    wall_s: f64,
+}
+
+impl SpeedCell {
+    fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall_s
+    }
+}
+
+/// Runs one experiment in both step modes, best-of-`reps` wall time.
+fn measure_cell(workload: &'static str, e: &Experiment, reps: usize, out: &mut Vec<SpeedCell>) {
+    use llamcat_sim::system::StepMode;
+    for mode in [StepMode::Cycle, StepMode::Skip] {
+        let exp = e.clone().step_mode(mode);
+        let mut best = f64::MAX;
+        let mut cycles = 0;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let r = exp.run();
+            best = best.min(t0.elapsed().as_secs_f64());
+            cycles = r.cycles;
+        }
+        out.push(SpeedCell {
+            workload,
+            mode,
+            cycles,
+            wall_s: best,
+        });
+    }
+}
+
+/// End-to-end simulator throughput on the ISSUE-5 benchmark cells —
+/// the fig7-shaped memory-bound decode trace, a prefill trace, and one
+/// PR-4 serving mix — in both step modes. Prints a table and, when
+/// `LLAMCAT_SIM_SPEED_JSON` names a path, writes the machine-readable
+/// report that `BENCH_sim_speed.json` archives (the perf-trajectory
+/// artifact future PRs compare against).
+fn bench_sim_speed_cells(_c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (seq_len, reps) = if test_mode { (256, 1) } else { (2048, 3) };
+
+    let mut cells = Vec::new();
+    let decode = Experiment::new(Model::Llama3_70b, seq_len).policy(Policy::unoptimized());
+    measure_cell("fig7-decode-70b", &decode, reps, &mut cells);
+    let decode_bma = Experiment::new(Model::Llama3_70b, seq_len).policy(Policy::dynmg_bma());
+    measure_cell("fig7-decode-70b-dynmg+BMA", &decode_bma, reps, &mut cells);
+    let prefill = Experiment::from_spec(
+        &WorkloadSpec::PrefillLogit {
+            heads: 8,
+            group_size: 8,
+            head_dim: 128,
+            query_tokens: 16,
+        },
+        seq_len,
+    )
+    .policy(Policy::unoptimized());
+    measure_cell("prefill-logit", &prefill, reps, &mut cells);
+    let mix = MixSpec::partitioned()
+        .request(WorkloadSpec::llama3_70b(), seq_len, 0)
+        .request(
+            WorkloadSpec::PrefillLogit {
+                heads: 8,
+                group_size: 8,
+                head_dim: 128,
+                query_tokens: 4,
+            },
+            seq_len / 2,
+            0,
+        );
+    let mix_exp = Experiment::from_mix_spec(&mix)
+        .expect("mix composes")
+        .policy(Policy::dynmg_bma());
+    measure_cell("mix-decode+prefill-dynmg+BMA", &mix_exp, reps, &mut cells);
+
+    println!("\n### sim_speed cells (seq {seq_len}, best of {reps})");
+    for cell in &cells {
+        println!(
+            "{:<30} {:?}: {:>10} cycles  {:>7.3}s  {:>12.0} cyc/s",
+            cell.workload,
+            cell.mode,
+            cell.cycles,
+            cell.wall_s,
+            cell.cycles_per_sec()
+        );
+    }
+
+    if let Ok(path) = std::env::var("LLAMCAT_SIM_SPEED_JSON") {
+        let mut json = String::from("{\n  \"schema\": \"llamcat-sim-speed/1\",\n");
+        json.push_str(&format!("  \"seq_len\": {seq_len},\n  \"cells\": [\n"));
+        for (i, cell) in cells.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"mode\": \"{:?}\", \"cycles\": {}, \"wall_s\": {:.4}, \"cycles_per_sec\": {:.0}}}{}\n",
+                cell.workload,
+                cell.mode,
+                cell.cycles,
+                cell.wall_s,
+                cell.cycles_per_sec(),
+                if i + 1 == cells.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("write sim_speed JSON report");
+        println!("wrote {path}");
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_cache, bench_mshr, bench_dram, bench_system, bench_step_mode
+    targets = bench_cache, bench_mshr, bench_dram, bench_system, bench_step_mode, bench_sim_speed_cells
 }
 criterion_main!(benches);

@@ -9,13 +9,22 @@
 
 use llamcat_sim::arb::{ArbiterCtx, RequestArbiter};
 
-/// Selects the queue index whose core has minimum served-count.
-/// Shared by the standalone B arbiter and by BMA tie-breaking.
+/// The policy-B ordering key: least-served core first, FIFO (queue
+/// position) among ties. The single source of truth for both the
+/// standalone B arbiter and BMA tie-breaking.
+#[inline]
+fn balanced_key(ctx: &ArbiterCtx<'_>, i: usize) -> (u64, usize) {
+    (ctx.served[ctx.req(i).core], i)
+}
+
+/// Selects the queue index whose core has minimum served-count among
+/// `candidates`. Shared by the standalone B arbiter and by BMA
+/// tie-breaking.
 pub(crate) fn balanced_pick(ctx: &ArbiterCtx<'_>, candidates: &[usize]) -> Option<usize> {
     candidates
         .iter()
         .copied()
-        .min_by_key(|&i| (ctx.served[ctx.queue[i].req.core], i))
+        .min_by_key(|&i| balanced_key(ctx, i))
 }
 
 /// Policy B: serve cores on an equivalent basis.
@@ -24,8 +33,13 @@ pub struct BalancedArbiter;
 
 impl RequestArbiter for BalancedArbiter {
     fn select(&mut self, ctx: &ArbiterCtx<'_>) -> Option<usize> {
-        let all: Vec<usize> = (0..ctx.queue.len()).collect();
-        balanced_pick(ctx, &all)
+        // Direct min over the queue (allocation-free; candidate lists
+        // only exist on the BMA tie-break path).
+        (0..ctx.len()).min_by_key(|&i| balanced_key(ctx, i))
+    }
+
+    fn wants_mshr_snapshot(&self) -> bool {
+        false // progress counters only; never reads ctx.mshr
     }
 
     fn next_event(&self, _now: u64) -> Option<u64> {
@@ -41,32 +55,39 @@ impl RequestArbiter for BalancedArbiter {
 mod tests {
     use super::*;
     use llamcat_sim::mshr::MshrSnapshot;
+    use llamcat_sim::pool::{ReqHandle, ReqPool};
     use llamcat_sim::types::MemReq;
 
+    fn pool_with(reqs: &[(usize, u64)]) -> (ReqPool, Vec<ReqHandle>) {
+        let mut pool = ReqPool::default();
+        let handles = reqs
+            .iter()
+            .map(|&(core, addr)| {
+                pool.alloc(MemReq {
+                    id: addr,
+                    core,
+                    request: 0,
+                    line_addr: addr,
+                    is_write: false,
+                    issued_at: 0,
+                })
+            })
+            .collect();
+        (pool, handles)
+    }
+
     fn ctx_with<'a>(
-        queue: &'a [llamcat_sim::arb::QueuedReq],
+        queue: &'a [ReqHandle],
+        pool: &'a ReqPool,
         served: &'a [u64],
         snap: &'a MshrSnapshot,
     ) -> ArbiterCtx<'a> {
         ArbiterCtx {
             queue,
+            pool,
             mshr: snap,
             served,
             cycle: 0,
-        }
-    }
-
-    fn q(core: usize, addr: u64) -> llamcat_sim::arb::QueuedReq {
-        llamcat_sim::arb::QueuedReq {
-            req: MemReq {
-                id: addr,
-                core,
-                request: 0,
-                line_addr: addr,
-                is_write: false,
-                issued_at: 0,
-            },
-            enqueued_at: 0,
         }
     }
 
@@ -74,28 +95,27 @@ mod tests {
     fn picks_least_served_core() {
         let mut b = BalancedArbiter;
         let snap = MshrSnapshot::default();
-        let queue = vec![q(0, 0x40), q(1, 0x80), q(2, 0xc0)];
+        let (pool, queue) = pool_with(&[(0, 0x40), (1, 0x80), (2, 0xc0)]);
         let served = vec![10, 2, 5];
-        assert_eq!(b.select(&ctx_with(&queue, &served, &snap)), Some(1));
+        assert_eq!(b.select(&ctx_with(&queue, &pool, &served, &snap)), Some(1));
     }
 
     #[test]
     fn fifo_among_ties() {
         let mut b = BalancedArbiter;
         let snap = MshrSnapshot::default();
-        let queue = vec![q(2, 0x40), q(1, 0x80), q(1, 0xc0)];
+        let (pool, queue) = pool_with(&[(2, 0x40), (1, 0x80), (1, 0xc0)]);
         let served = vec![0, 3, 3];
-        // Cores 1 and 2... core 2 has served 3? served[2]=3, served[1]=3:
-        // tie between all three queue entries' cores? served[2]=3 for
-        // entry 0, served[1]=3 for entries 1 and 2. All tie; FIFO wins.
-        assert_eq!(b.select(&ctx_with(&queue, &served, &snap)), Some(0));
+        // served[2]=3 for entry 0, served[1]=3 for entries 1 and 2.
+        // All tie; FIFO wins.
+        assert_eq!(b.select(&ctx_with(&queue, &pool, &served, &snap)), Some(0));
     }
 
     #[test]
     fn empty_queue_yields_none() {
         let mut b = BalancedArbiter;
         let snap = MshrSnapshot::default();
-        let queue: Vec<llamcat_sim::arb::QueuedReq> = vec![];
-        assert_eq!(b.select(&ctx_with(&queue, &[0, 0], &snap)), None);
+        let pool = ReqPool::default();
+        assert_eq!(b.select(&ctx_with(&[], &pool, &[0, 0], &snap)), None);
     }
 }

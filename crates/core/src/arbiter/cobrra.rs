@@ -53,6 +53,10 @@ impl RequestArbiter for CobrraArbiter {
         }
     }
 
+    fn wants_mshr_snapshot(&self) -> bool {
+        false // FIFO selection; blind to MSHR state by design
+    }
+
     fn port_preference(
         &mut self,
         req_q_len: usize,
@@ -104,7 +108,6 @@ impl RequestArbiter for CobrraArbiter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use llamcat_sim::arb::QueuedReq;
     use llamcat_sim::mshr::MshrSnapshot;
     use llamcat_sim::types::MemReq;
 
@@ -112,19 +115,18 @@ mod tests {
     fn fifo_request_selection() {
         let mut a = CobrraArbiter::new();
         let snap = MshrSnapshot::default();
-        let queue = vec![QueuedReq {
-            req: MemReq {
-                id: 0,
-                core: 0,
-                request: 0,
-                line_addr: 0x40,
-                is_write: false,
-                issued_at: 0,
-            },
-            enqueued_at: 0,
-        }];
+        let mut pool = llamcat_sim::pool::ReqPool::default();
+        let queue = vec![pool.alloc(MemReq {
+            id: 0,
+            core: 0,
+            request: 0,
+            line_addr: 0x40,
+            is_write: false,
+            issued_at: 0,
+        })];
         let ctx = ArbiterCtx {
             queue: &queue,
+            pool: &pool,
             mshr: &snap,
             served: &[0],
             cycle: 0,

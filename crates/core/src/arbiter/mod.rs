@@ -19,3 +19,86 @@ pub use cobrra::CobrraArbiter;
 pub use hit_buffer::HitBuffer;
 pub use mshr_aware::{MshrAwareArbiter, MshrAwareConfig, TieBreak};
 pub use sent_reqs::SentReqs;
+
+use llamcat_sim::arb::{ArbiterCtx, FifoArbiter, PortPreference, RequestArbiter};
+use llamcat_sim::types::Cycle;
+
+/// Closed-world enum over every arbiter this crate knows, used to
+/// monomorphize the simulator's per-tick dispatch: the experiment layer
+/// builds a `System<ArbiterKind, ThrottleKind>` so the hot loop issues
+/// no virtual calls (the variant check is a predictable branch — every
+/// slice holds the same variant for a whole run). `Box<dyn
+/// RequestArbiter>` remains available for policies outside this set.
+pub enum ArbiterKind {
+    Fifo(FifoArbiter),
+    Balanced(BalancedArbiter),
+    MshrAware(MshrAwareArbiter),
+    Cobrra(CobrraArbiter),
+}
+
+macro_rules! each_arbiter {
+    ($self:ident, $inner:ident => $body:expr) => {
+        match $self {
+            ArbiterKind::Fifo($inner) => $body,
+            ArbiterKind::Balanced($inner) => $body,
+            ArbiterKind::MshrAware($inner) => $body,
+            ArbiterKind::Cobrra($inner) => $body,
+        }
+    };
+}
+
+impl RequestArbiter for ArbiterKind {
+    #[inline]
+    fn select(&mut self, ctx: &ArbiterCtx<'_>) -> Option<usize> {
+        each_arbiter!(self, a => a.select(ctx))
+    }
+
+    #[inline]
+    fn note_hit(&mut self, line_addr: u64) {
+        each_arbiter!(self, a => a.note_hit(line_addr))
+    }
+
+    #[inline]
+    fn note_fill(&mut self, line_addr: u64) {
+        each_arbiter!(self, a => a.note_fill(line_addr))
+    }
+
+    #[inline]
+    fn tick(&mut self) {
+        each_arbiter!(self, a => a.tick())
+    }
+
+    #[inline]
+    fn reset(&mut self) {
+        each_arbiter!(self, a => a.reset())
+    }
+
+    #[inline]
+    fn wants_mshr_snapshot(&self) -> bool {
+        each_arbiter!(self, a => a.wants_mshr_snapshot())
+    }
+
+    #[inline]
+    fn port_preference(
+        &mut self,
+        req_q_len: usize,
+        resp_q_len: usize,
+        resp_q_cap: usize,
+    ) -> Option<PortPreference> {
+        each_arbiter!(self, a => a.port_preference(req_q_len, resp_q_len, resp_q_cap))
+    }
+
+    #[inline]
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        each_arbiter!(self, a => a.next_event(now))
+    }
+
+    #[inline]
+    fn skip(&mut self, cycles: u64) {
+        each_arbiter!(self, a => a.skip(cycles))
+    }
+
+    fn name(&self) -> &'static str {
+        each_arbiter!(self, a => a.name())
+    }
+}

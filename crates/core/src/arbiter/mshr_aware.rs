@@ -102,14 +102,14 @@ impl MshrAwareArbiter {
 
 impl RequestArbiter for MshrAwareArbiter {
     fn select(&mut self, ctx: &ArbiterCtx<'_>) -> Option<usize> {
-        if ctx.queue.is_empty() {
+        if ctx.is_empty() {
             return None;
         }
         // Rank: 0 = inferred cache hit, 1 = inferred MSHR hit, 2 = rest.
         let mut best_rank = u8::MAX;
         self.scratch.clear();
-        for (i, q) in ctx.queue.iter().enumerate() {
-            let line = q.req.line_addr;
+        for (i, req) in ctx.iter().enumerate() {
+            let line = req.line_addr;
             let rank = if self.spec_hit(line) {
                 0
             } else if self.spec_mshr_hit(ctx, line) {
@@ -133,7 +133,7 @@ impl RequestArbiter for MshrAwareArbiter {
         }?;
         // Step 4 of Fig 5: the chosen request enters sent_reqs with its
         // spec_hit_result bit.
-        let line = ctx.queue[choice].req.line_addr;
+        let line = ctx.req(choice).line_addr;
         self.sent.push(line, best_rank == 0);
         Some(choice)
     }
@@ -178,22 +178,26 @@ impl RequestArbiter for MshrAwareArbiter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use llamcat_sim::arb::QueuedReq;
     use llamcat_sim::mshr::{MshrFile, MshrSnapshot, MshrTarget};
+    use llamcat_sim::pool::{ReqHandle, ReqPool};
     use llamcat_sim::types::MemReq;
 
-    fn q(core: usize, addr: u64) -> QueuedReq {
-        QueuedReq {
-            req: MemReq {
-                id: addr,
-                core,
-                request: 0,
-                line_addr: addr,
-                is_write: false,
-                issued_at: 0,
-            },
-            enqueued_at: 0,
-        }
+    fn pool_with(reqs: &[(usize, u64)]) -> (ReqPool, Vec<ReqHandle>) {
+        let mut pool = ReqPool::default();
+        let handles = reqs
+            .iter()
+            .map(|&(core, addr)| {
+                pool.alloc(MemReq {
+                    id: addr,
+                    core,
+                    request: 0,
+                    line_addr: addr,
+                    is_write: false,
+                    issued_at: 0,
+                })
+            })
+            .collect();
+        (pool, handles)
     }
 
     fn snapshot_with(lines: &[(u64, usize)], targets: usize) -> MshrSnapshot {
@@ -216,12 +220,14 @@ mod tests {
     }
 
     fn ctx<'a>(
-        queue: &'a [QueuedReq],
+        queue: &'a [ReqHandle],
+        pool: &'a ReqPool,
         snap: &'a MshrSnapshot,
         served: &'a [u64],
     ) -> ArbiterCtx<'a> {
         ArbiterCtx {
             queue,
+            pool,
             mshr: snap,
             served,
             cycle: 0,
@@ -233,18 +239,18 @@ mod tests {
         let mut a = MshrAwareArbiter::ma();
         a.note_hit(0xc0);
         let snap = MshrSnapshot::default();
-        let queue = vec![q(0, 0x40), q(1, 0x80), q(2, 0xc0)];
+        let (pool, queue) = pool_with(&[(0, 0x40), (1, 0x80), (2, 0xc0)]);
         let served = vec![0, 0, 0];
-        assert_eq!(a.select(&ctx(&queue, &snap, &served)), Some(2));
+        assert_eq!(a.select(&ctx(&queue, &pool, &snap, &served)), Some(2));
     }
 
     #[test]
     fn prefers_mshr_hit_over_plain_miss() {
         let mut a = MshrAwareArbiter::ma();
         let snap = snapshot_with(&[(0x80, 1)], 8);
-        let queue = vec![q(0, 0x40), q(1, 0x80)];
+        let (pool, queue) = pool_with(&[(0, 0x40), (1, 0x80)]);
         let served = vec![0, 0];
-        assert_eq!(a.select(&ctx(&queue, &snap, &served)), Some(1));
+        assert_eq!(a.select(&ctx(&queue, &pool, &snap, &served)), Some(1));
     }
 
     #[test]
@@ -252,10 +258,10 @@ mod tests {
         let mut a = MshrAwareArbiter::ma();
         // Entry with all 4 targets used: merging would stall.
         let snap = snapshot_with(&[(0x80, 4)], 4);
-        let queue = vec![q(0, 0x40), q(1, 0x80)];
+        let (pool, queue) = pool_with(&[(0, 0x40), (1, 0x80)]);
         let served = vec![0, 0];
         assert_eq!(
-            a.select(&ctx(&queue, &snap, &served)),
+            a.select(&ctx(&queue, &pool, &snap, &served)),
             Some(0),
             "FIFO among plain requests when merge would stall"
         );
@@ -267,12 +273,15 @@ mod tests {
         let snap = MshrSnapshot::default();
         let served = vec![0, 0];
         // First selection: plain miss to 0x40 goes into sent_reqs.
-        let queue = vec![q(0, 0x40)];
-        assert_eq!(a.select(&ctx(&queue, &snap, &served)), Some(0));
+        let (pool, queue) = pool_with(&[(0, 0x40)]);
+        assert_eq!(a.select(&ctx(&queue, &pool, &snap, &served)), Some(0));
         // Second selection: another request to 0x40 is predicted to merge
         // even though the snapshot is still empty.
-        let queue = vec![q(1, 0x80), q(0, 0x40)];
-        assert_eq!(a.select(&ctx(&queue, &snap, &served)), Some(1 /* 0x40 */));
+        let (pool, queue) = pool_with(&[(1, 0x80), (0, 0x40)]);
+        assert_eq!(
+            a.select(&ctx(&queue, &pool, &snap, &served)),
+            Some(1 /* 0x40 */)
+        );
     }
 
     #[test]
@@ -283,12 +292,12 @@ mod tests {
         let served = vec![0, 0];
         // 0x40 chosen as a speculated hit: it must NOT count as a pending
         // miss afterwards.
-        let queue = vec![q(0, 0x40)];
-        assert_eq!(a.select(&ctx(&queue, &snap, &served)), Some(0));
+        let (pool, queue) = pool_with(&[(0, 0x40)]);
+        assert_eq!(a.select(&ctx(&queue, &pool, &snap, &served)), Some(0));
         // A plain miss to 0x80 vs a second 0x40 (still predicted hit via
         // the hit buffer): 0x40 wins by rank 0, not by pending-miss.
-        let queue = vec![q(1, 0x80), q(0, 0x40)];
-        assert_eq!(a.select(&ctx(&queue, &snap, &served)), Some(1));
+        let (pool, queue) = pool_with(&[(1, 0x80), (0, 0x40)]);
+        assert_eq!(a.select(&ctx(&queue, &pool, &snap, &served)), Some(1));
     }
 
     #[test]
@@ -296,18 +305,18 @@ mod tests {
         let mut a = MshrAwareArbiter::bma();
         let snap = MshrSnapshot::default();
         // No speculation info: all requests tie at rank 2.
-        let queue = vec![q(0, 0x40), q(1, 0x80), q(2, 0xc0)];
+        let (pool, queue) = pool_with(&[(0, 0x40), (1, 0x80), (2, 0xc0)]);
         let served = vec![9, 1, 5];
-        assert_eq!(a.select(&ctx(&queue, &snap, &served)), Some(1));
+        assert_eq!(a.select(&ctx(&queue, &pool, &snap, &served)), Some(1));
     }
 
     #[test]
     fn ma_tie_breaks_fifo() {
         let mut a = MshrAwareArbiter::ma();
         let snap = MshrSnapshot::default();
-        let queue = vec![q(0, 0x40), q(1, 0x80)];
+        let (pool, queue) = pool_with(&[(0, 0x40), (1, 0x80)]);
         let served = vec![9, 1];
-        assert_eq!(a.select(&ctx(&queue, &snap, &served)), Some(0));
+        assert_eq!(a.select(&ctx(&queue, &pool, &snap, &served)), Some(0));
     }
 
     #[test]
@@ -315,15 +324,15 @@ mod tests {
         let mut a = MshrAwareArbiter::ma();
         let snap = MshrSnapshot::default();
         let served = vec![0, 0];
-        let queue = vec![q(0, 0x40)];
-        a.select(&ctx(&queue, &snap, &served));
+        let (pool, queue) = pool_with(&[(0, 0x40)]);
+        a.select(&ctx(&queue, &pool, &snap, &served));
         for _ in 0..8 {
             a.tick();
         }
         // After hit+mshr latency the prediction expires; 0x40 no longer
         // preferred.
-        let queue = vec![q(1, 0x80), q(0, 0x40)];
-        assert_eq!(a.select(&ctx(&queue, &snap, &served)), Some(0));
+        let (pool, queue) = pool_with(&[(1, 0x80), (0, 0x40)]);
+        assert_eq!(a.select(&ctx(&queue, &pool, &snap, &served)), Some(0));
     }
 
     #[test]
@@ -332,9 +341,13 @@ mod tests {
         a.note_hit(0x40);
         a.reset();
         let snap = MshrSnapshot::default();
-        let queue = vec![q(1, 0x80), q(0, 0x40)];
+        let (pool, queue) = pool_with(&[(1, 0x80), (0, 0x40)]);
         let served = vec![0, 0];
-        assert_eq!(a.select(&ctx(&queue, &snap, &served)), Some(0), "FIFO");
+        assert_eq!(
+            a.select(&ctx(&queue, &pool, &snap, &served)),
+            Some(0),
+            "FIFO"
+        );
     }
 
     #[test]

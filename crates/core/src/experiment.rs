@@ -443,14 +443,19 @@ impl Experiment {
     }
 
     /// Runs the experiment to completion, rejecting degenerate inputs.
+    ///
+    /// The system is built over the closed-world policy enums
+    /// (`System<ArbiterKind, ThrottleKind>`), so the whole tick loop
+    /// monomorphizes — the `Box<dyn ...>` construction path survives
+    /// only for callers wiring policies outside the registry.
     pub fn try_run(&self) -> Result<RunReport, ExperimentError> {
         let (program, budget) = self.checked_program()?;
         let arb = self.policy.arb.clone();
         let mut system = System::new(
             self.config,
             program,
-            &move |_slice| arb.build(),
-            self.policy.build_throttle(),
+            &move |_slice| arb.build_kind(),
+            self.policy.throttle.build_kind(),
         );
         let (stats, outcome) = system.run_with_mode(budget, self.step_mode);
         Ok(RunReport::from_stats(self, stats, outcome))

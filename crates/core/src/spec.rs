@@ -31,8 +31,8 @@ use llamcat_trace::mix::{MixAssignment, WorkloadMix};
 use llamcat_trace::workloads::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
-use crate::arbiter::{BalancedArbiter, CobrraArbiter, MshrAwareArbiter};
-use crate::throttle::{DynMg, DynMgConfig, Dyncta, DynctaConfig, Lcs};
+use crate::arbiter::{ArbiterKind, BalancedArbiter, CobrraArbiter, MshrAwareArbiter};
+use crate::throttle::{DynMg, DynMgConfig, Dyncta, DynctaConfig, Lcs, ThrottleKind};
 
 /// Request-arbitration policy with its configuration embedded.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,7 +61,8 @@ impl ArbSpec {
         }
     }
 
-    /// Instantiates the arbiter for one LLC slice.
+    /// Instantiates the arbiter for one LLC slice (type-erased; the
+    /// hot path uses [`ArbSpec::build_kind`]).
     pub fn build(&self) -> Box<dyn RequestArbiter> {
         match self {
             ArbSpec::Fifo => Box::new(FifoArbiter),
@@ -69,6 +70,19 @@ impl ArbSpec {
             ArbSpec::MshrAware => Box::new(MshrAwareArbiter::ma()),
             ArbSpec::BalancedMshrAware => Box::new(MshrAwareArbiter::bma()),
             ArbSpec::Cobrra => Box::new(CobrraArbiter::new()),
+        }
+    }
+
+    /// Instantiates the arbiter as the closed-world [`ArbiterKind`]
+    /// enum — the monomorphized construction path the experiment layer
+    /// uses so the simulator tick loop is free of virtual dispatch.
+    pub fn build_kind(&self) -> ArbiterKind {
+        match self {
+            ArbSpec::Fifo => ArbiterKind::Fifo(FifoArbiter),
+            ArbSpec::Balanced => ArbiterKind::Balanced(BalancedArbiter),
+            ArbSpec::MshrAware => ArbiterKind::MshrAware(MshrAwareArbiter::ma()),
+            ArbSpec::BalancedMshrAware => ArbiterKind::MshrAware(MshrAwareArbiter::bma()),
+            ArbSpec::Cobrra => ArbiterKind::Cobrra(CobrraArbiter::new()),
         }
     }
 
@@ -123,13 +137,25 @@ impl ThrottleSpec {
         }
     }
 
-    /// Instantiates the throttle controller.
+    /// Instantiates the throttle controller (type-erased; the hot path
+    /// uses [`ThrottleSpec::build_kind`]).
     pub fn build(&self) -> Box<dyn ThrottleController> {
         match self {
             ThrottleSpec::None => Box::new(NoThrottle),
             ThrottleSpec::Dyncta { config } => Box::new(Dyncta::new(*config)),
             ThrottleSpec::Lcs => Box::new(Lcs::new()),
             ThrottleSpec::DynMg { config } => Box::new(DynMg::new(config.clone())),
+        }
+    }
+
+    /// Instantiates the controller as the closed-world
+    /// [`ThrottleKind`] enum (see [`ArbSpec::build_kind`]).
+    pub fn build_kind(&self) -> ThrottleKind {
+        match self {
+            ThrottleSpec::None => ThrottleKind::None(NoThrottle),
+            ThrottleSpec::Dyncta { config } => ThrottleKind::Dyncta(Dyncta::new(*config)),
+            ThrottleSpec::Lcs => ThrottleKind::Lcs(Lcs::new()),
+            ThrottleSpec::DynMg { config } => ThrottleKind::DynMg(DynMg::new(config.clone())),
         }
     }
 
@@ -268,6 +294,12 @@ impl PolicySpec {
     /// Instantiates the throttle controller.
     pub fn build_throttle(&self) -> Box<dyn ThrottleController> {
         self.throttle.build()
+    }
+
+    /// Instantiates both policies as closed-world enums for the
+    /// monomorphized `System<ArbiterKind, ThrottleKind>` hot path.
+    pub fn build_kinds(&self) -> (ArbiterKind, ThrottleKind) {
+        (self.arb.build_kind(), self.throttle.build_kind())
     }
 }
 

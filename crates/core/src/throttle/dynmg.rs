@@ -130,6 +130,9 @@ pub struct DynMg {
     /// Persistent per-core in-core block limit.
     in_core_limit: Vec<usize>,
     throttled: Vec<bool>,
+    /// Scratch for the per-sample velocity sort (reused; sampling never
+    /// allocates).
+    order_scratch: Vec<usize>,
     /// Most recent classification (exposed for tests / reports).
     pub last_contention: Contention,
 }
@@ -152,6 +155,7 @@ impl DynMg {
             prev_progress: Vec::new(),
             in_core_limit: Vec::new(),
             throttled: Vec::new(),
+            order_scratch: Vec::new(),
             last_contention: Contention::Low,
         }
     }
@@ -190,9 +194,11 @@ impl DynMg {
         // currently racing ahead; cumulative counts lag role swaps).
         let n = inputs.progress.len();
         let k = self.cfg.throttled_at(self.gear, n);
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by_key(|&c| {
-            let v = inputs.progress[c].saturating_sub(self.prev_progress[c]);
+        self.order_scratch.clear();
+        self.order_scratch.extend(0..n);
+        let prev = &self.prev_progress;
+        self.order_scratch.sort_by_key(|&c| {
+            let v = inputs.progress[c].saturating_sub(prev[c]);
             std::cmp::Reverse((v, std::cmp::Reverse(c)))
         });
         for c in 0..n {
@@ -201,7 +207,7 @@ impl DynMg {
         for t in self.throttled.iter_mut() {
             *t = false;
         }
-        for &c in order.iter().take(k) {
+        for &c in self.order_scratch.iter().take(k) {
             self.throttled[c] = true;
         }
     }

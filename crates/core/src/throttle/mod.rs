@@ -14,3 +14,48 @@ pub mod lcs;
 pub use dyncta::{Dyncta, DynctaConfig};
 pub use dynmg::{Contention, DynMg, DynMgConfig, InCoreConfig};
 pub use lcs::Lcs;
+
+use llamcat_sim::arb::{NoThrottle, ThrottleController, ThrottleInputs};
+use llamcat_sim::types::Cycle;
+
+/// Closed-world enum over every throttle controller this crate knows
+/// (the monomorphization counterpart of
+/// [`crate::arbiter::ArbiterKind`]).
+pub enum ThrottleKind {
+    None(NoThrottle),
+    Dyncta(Dyncta),
+    Lcs(Lcs),
+    DynMg(DynMg),
+}
+
+macro_rules! each_throttle {
+    ($self:ident, $inner:ident => $body:expr) => {
+        match $self {
+            ThrottleKind::None($inner) => $body,
+            ThrottleKind::Dyncta($inner) => $body,
+            ThrottleKind::Lcs($inner) => $body,
+            ThrottleKind::DynMg($inner) => $body,
+        }
+    };
+}
+
+impl ThrottleController for ThrottleKind {
+    #[inline]
+    fn tick(&mut self, inputs: &ThrottleInputs<'_>, max_tb: &mut [usize]) {
+        each_throttle!(self, t => t.tick(inputs, max_tb))
+    }
+
+    #[inline]
+    fn reset(&mut self, num_cores: usize) {
+        each_throttle!(self, t => t.reset(num_cores))
+    }
+
+    #[inline]
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        each_throttle!(self, t => t.next_event(now))
+    }
+
+    fn name(&self) -> &'static str {
+        each_throttle!(self, t => t.name())
+    }
+}

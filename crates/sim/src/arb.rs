@@ -7,22 +7,22 @@
 //! implemented in the `llamcat` crate on top of these interfaces.
 
 use crate::mshr::MshrSnapshot;
+use crate::pool::{ReqHandle, ReqPool};
 use crate::types::{Cycle, MemReq};
-
-/// One element of a slice's request queue, as seen by the arbiter.
-#[derive(Debug, Clone, Copy)]
-pub struct QueuedReq {
-    pub req: MemReq,
-    /// Core cycle at which the request entered this queue.
-    pub enqueued_at: Cycle,
-}
 
 /// Everything an arbiter may consult when choosing a request
 /// (Fig 4/Fig 5 of the paper: the queue itself, the per-core served
 /// counters, and the real-time MSHR snapshot wire).
+///
+/// The request queue is handle-based (see [`crate::pool`]): `queue`
+/// lists the live requests in FIFO order (index 0 is oldest) and
+/// [`ArbiterCtx::req`] resolves one against the pool. Indices returned
+/// by [`RequestArbiter::select`] are positions in `queue`.
 pub struct ArbiterCtx<'a> {
-    /// Request queue contents in FIFO order (index 0 is oldest).
-    pub queue: &'a [QueuedReq],
+    /// Request-queue handles in FIFO order (index 0 is oldest).
+    pub queue: &'a [ReqHandle],
+    /// The arena the handles point into.
+    pub pool: &'a ReqPool,
     /// Real-time MSHR summary for this slice.
     pub mshr: &'a MshrSnapshot,
     /// Requests served per core by this slice since operator start
@@ -30,6 +30,32 @@ pub struct ArbiterCtx<'a> {
     pub served: &'a [u64],
     /// Current core cycle.
     pub cycle: Cycle,
+}
+
+impl<'a> ArbiterCtx<'a> {
+    /// Queue length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue holds no requests.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The queued request at FIFO position `i`.
+    #[inline]
+    pub fn req(&self, i: usize) -> &'a MemReq {
+        self.pool.get(self.queue[i])
+    }
+
+    /// Iterates the queued requests in FIFO order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = &'a MemReq> + '_ {
+        self.queue.iter().map(|&h| self.pool.get(h))
+    }
 }
 
 /// Which path gets the shared storage port this cycle.
@@ -61,6 +87,16 @@ pub trait RequestArbiter {
 
     /// Called at operator start; clears all history.
     fn reset(&mut self) {}
+
+    /// Whether this arbiter reads the MSHR snapshot wire
+    /// ([`ArbiterCtx::mshr`]). When false, the slice skips rebuilding
+    /// the snapshot before `select` and the ctx carries a stale one —
+    /// a pure hot-path optimization for policies that are blind to MSHR
+    /// state (FIFO, B, COBRRA). Implementations returning false must
+    /// never read `ctx.mshr`.
+    fn wants_mshr_snapshot(&self) -> bool {
+        true
+    }
 
     /// Optional dynamic override of the request/response storage-port
     /// arbitration (used by the COBRRA baseline). `None` keeps the
@@ -104,17 +140,73 @@ pub trait RequestArbiter {
     fn name(&self) -> &'static str;
 }
 
+/// Forwarding impl so boxed (type-erased) arbiters plug into the
+/// monomorphized [`crate::llc::LlcSlice`]/[`crate::system::System`]
+/// generics: `Box<dyn RequestArbiter>` remains the open-world default,
+/// while closed-world callers (the experiment layer's enum dispatch)
+/// pay no virtual calls on the per-tick path.
+impl<A: RequestArbiter + ?Sized> RequestArbiter for Box<A> {
+    fn select(&mut self, ctx: &ArbiterCtx<'_>) -> Option<usize> {
+        (**self).select(ctx)
+    }
+
+    fn note_hit(&mut self, line_addr: u64) {
+        (**self).note_hit(line_addr);
+    }
+
+    fn note_fill(&mut self, line_addr: u64) {
+        (**self).note_fill(line_addr);
+    }
+
+    fn tick(&mut self) {
+        (**self).tick();
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+
+    fn wants_mshr_snapshot(&self) -> bool {
+        (**self).wants_mshr_snapshot()
+    }
+
+    fn port_preference(
+        &mut self,
+        req_q_len: usize,
+        resp_q_len: usize,
+        resp_q_cap: usize,
+    ) -> Option<PortPreference> {
+        (**self).port_preference(req_q_len, resp_q_len, resp_q_cap)
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        (**self).next_event(now)
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        (**self).skip(cycles);
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// Default arbitration: first-come, first-served.
 #[derive(Debug, Default, Clone)]
 pub struct FifoArbiter;
 
 impl RequestArbiter for FifoArbiter {
     fn select(&mut self, ctx: &ArbiterCtx<'_>) -> Option<usize> {
-        if ctx.queue.is_empty() {
+        if ctx.is_empty() {
             None
         } else {
             Some(0)
         }
+    }
+
+    fn wants_mshr_snapshot(&self) -> bool {
+        false
     }
 
     fn next_event(&self, _now: Cycle) -> Option<Cycle> {
@@ -180,6 +272,27 @@ pub trait ThrottleController {
     fn name(&self) -> &'static str;
 }
 
+/// Forwarding impl mirroring the [`RequestArbiter`] one: keeps
+/// `Box<dyn ThrottleController>` working as the open-world default for
+/// the generic [`crate::system::System`].
+impl<T: ThrottleController + ?Sized> ThrottleController for Box<T> {
+    fn tick(&mut self, inputs: &ThrottleInputs<'_>, max_tb: &mut [usize]) {
+        (**self).tick(inputs, max_tb);
+    }
+
+    fn reset(&mut self, num_cores: usize) {
+        (**self).reset(num_cores);
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        (**self).next_event(now)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// Default: no throttling (all windows usable).
 #[derive(Debug, Default, Clone)]
 pub struct NoThrottle;
@@ -205,27 +318,32 @@ mod tests {
     use super::*;
     use crate::mshr::MshrSnapshot;
 
-    fn req(core: usize, addr: u64) -> QueuedReq {
-        QueuedReq {
-            req: MemReq {
-                id: addr,
-                core,
-                request: 0,
-                line_addr: addr,
-                is_write: false,
-                issued_at: 0,
-            },
-            enqueued_at: 0,
-        }
+    fn pool_with(reqs: &[(usize, u64)]) -> (ReqPool, Vec<ReqHandle>) {
+        let mut pool = ReqPool::default();
+        let handles = reqs
+            .iter()
+            .map(|&(core, addr)| {
+                pool.alloc(MemReq {
+                    id: addr,
+                    core,
+                    request: 0,
+                    line_addr: addr,
+                    is_write: false,
+                    issued_at: 0,
+                })
+            })
+            .collect();
+        (pool, handles)
     }
 
     #[test]
     fn fifo_picks_oldest() {
         let mut a = FifoArbiter;
         let snap = MshrSnapshot::default();
-        let q = vec![req(1, 0x40), req(0, 0x80)];
+        let (pool, q) = pool_with(&[(1, 0x40), (0, 0x80)]);
         let ctx = ArbiterCtx {
             queue: &q,
+            pool: &pool,
             mshr: &snap,
             served: &[0, 0],
             cycle: 0,
@@ -233,6 +351,7 @@ mod tests {
         assert_eq!(a.select(&ctx), Some(0));
         let ctx = ArbiterCtx {
             queue: &[],
+            pool: &pool,
             mshr: &snap,
             served: &[0, 0],
             cycle: 0,

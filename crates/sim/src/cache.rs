@@ -12,25 +12,6 @@
 
 use crate::types::{Addr, LINE_BYTES};
 
-/// One way of a cache set.
-#[derive(Debug, Clone, Copy)]
-struct Way {
-    valid: bool,
-    tag: u64,
-    dirty: bool,
-    /// LRU stamp: larger is more recently used.
-    lru: u64,
-}
-
-impl Way {
-    const EMPTY: Way = Way {
-        valid: false,
-        tag: 0,
-        dirty: false,
-        lru: 0,
-    };
-}
-
 /// An evicted line returned by [`SetAssocCache::insert`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Victim {
@@ -48,14 +29,32 @@ pub enum InsertPolicy {
     Lru,
 }
 
+/// Sentinel for an empty way. Safe because a real tag is a line index
+/// shifted right by at least the set bits: reaching `u64::MAX` would
+/// require a byte address far beyond the simulated physical space.
+const INVALID_TAG: u64 = u64::MAX;
+
 /// Set-associative cache storage with true-LRU replacement.
 ///
 /// The cache operates on line-aligned addresses. Set indexing can be
 /// offset by `index_shift` so that a sliced LLC can first peel off the
 /// slice-select bits (`set = (line >> index_shift) % num_sets`).
+///
+/// Storage is structure-of-arrays: the lookup path scans a dense
+/// `u64` tag row (one host cache line for an 8-way set, and the
+/// compiler vectorizes the compare), while LRU stamps and dirty bits —
+/// needed only on hits and fills — live in separate arrays. The seed's
+/// array-of-`Way`-structs spread each set scan over several cache
+/// lines, and these scans are the single hottest memory pattern in the
+/// simulator (multi-megabyte LLC models never fit the host cache).
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    sets: Vec<Way>,
+    /// Way tags, `num_sets * assoc`, [`INVALID_TAG`] = empty way.
+    tags: Vec<u64>,
+    /// LRU stamps (larger = more recently used), parallel to `tags`.
+    lru: Vec<u64>,
+    /// Per-set dirty bitmasks (bit `i` = way `i`; assoc <= 64).
+    dirty: Vec<u64>,
     num_sets: usize,
     assoc: usize,
     /// Number of low line-index bits consumed by slice selection.
@@ -75,8 +74,11 @@ impl SetAssocCache {
     /// set index (used by sliced caches; pass 0 for a private cache).
     pub fn new(num_sets: usize, assoc: usize, index_shift: u32) -> Self {
         assert!(num_sets > 0 && assoc > 0);
+        assert!(assoc <= 64, "dirty bitmask holds at most 64 ways");
         SetAssocCache {
-            sets: vec![Way::EMPTY; num_sets * assoc],
+            tags: vec![INVALID_TAG; num_sets * assoc],
+            lru: vec![0; num_sets * assoc],
+            dirty: vec![0; num_sets],
             num_sets,
             assoc,
             index_shift,
@@ -112,21 +114,67 @@ impl SetAssocCache {
         line << LINE_BYTES.trailing_zeros()
     }
 
+    /// Index of the way holding `tag` within `set`'s tag row, if any.
+    /// [`INVALID_TAG`] marks empty ways, so no validity mask is needed
+    /// on the lookup path — the scan is a dense `u64` compare.
     #[inline]
-    fn ways(&self, set: usize) -> &[Way] {
-        &self.sets[set * self.assoc..(set + 1) * self.assoc]
+    fn way_of(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.assoc;
+        self.tags[base..base + self.assoc]
+            .iter()
+            .position(|&t| t == tag)
     }
 
+    /// Hints the host CPU to pull `line_addr`'s set (tag row and LRU
+    /// row) into cache. The modelled arrays span megabytes, so every
+    /// set touch is a host cache miss unless issued ahead of use; the
+    /// slice pipeline knows a line's set several simulated cycles
+    /// before the scan (arbitration → tag lookup, fill → response
+    /// dequeue) — exactly the window a prefetch needs. Behaviorally a
+    /// no-op.
     #[inline]
-    fn ways_mut(&mut self, set: usize) -> &mut [Way] {
-        &mut self.sets[set * self.assoc..(set + 1) * self.assoc]
+    pub fn prefetch(&self, line_addr: Addr) {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let base = self.set_of(line_addr) * self.assoc;
+            _mm_prefetch(self.tags.as_ptr().add(base).cast::<i8>(), _MM_HINT_T0);
+            _mm_prefetch(self.lru.as_ptr().add(base).cast::<i8>(), _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = line_addr;
     }
 
     /// Probes for `line_addr` without modifying replacement state.
+    #[inline]
     pub fn probe(&self, line_addr: Addr) -> bool {
         let set = self.set_of(line_addr);
         let tag = self.tag_of(line_addr);
-        self.ways(set).iter().any(|w| w.valid && w.tag == tag)
+        self.way_of(set, tag).is_some()
+    }
+
+    /// Locates `line_addr` without modifying replacement state,
+    /// returning its `(set, way)` for a later [`SetAssocCache::touch`].
+    /// Lets a caller split the tag scan from the LRU update so a
+    /// classify-then-commit sequence scans each set only once.
+    #[inline]
+    pub fn find(&self, line_addr: Addr) -> Option<(usize, usize)> {
+        let set = self.set_of(line_addr);
+        let tag = self.tag_of(line_addr);
+        self.way_of(set, tag).map(|way| (set, way))
+    }
+
+    /// Completes the hit that [`SetAssocCache::find`] located: bumps the
+    /// LRU stamp (and the dirty bit for writes) exactly as
+    /// [`SetAssocCache::access`] would have. Only valid while no other
+    /// mutation has intervened since the `find`.
+    #[inline]
+    pub fn touch(&mut self, set: usize, way: usize, write: bool) {
+        self.stamp += 1;
+        self.lru[set * self.assoc + way] = self.stamp;
+        if write {
+            self.dirty[set] |= 1 << way;
+        }
     }
 
     /// Looks up `line_addr`; on hit, updates LRU (and the dirty bit when
@@ -135,17 +183,16 @@ impl SetAssocCache {
         let set = self.set_of(line_addr);
         let tag = self.tag_of(line_addr);
         self.stamp += 1;
-        let stamp = self.stamp;
-        for w in self.ways_mut(set) {
-            if w.valid && w.tag == tag {
-                w.lru = stamp;
+        match self.way_of(set, tag) {
+            Some(way) => {
+                self.lru[set * self.assoc + way] = self.stamp;
                 if write {
-                    w.dirty = true;
+                    self.dirty[set] |= 1 << way;
                 }
-                return true;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Inserts `line_addr` (replacing the LRU way if the set is full) and
@@ -156,51 +203,49 @@ impl SetAssocCache {
     pub fn insert(&mut self, line_addr: Addr, dirty: bool, policy: InsertPolicy) -> Option<Victim> {
         let set = self.set_of(line_addr);
         let tag = self.tag_of(line_addr);
+        let base = set * self.assoc;
         self.stamp += 1;
         let stamp = self.stamp;
         // Already present: refresh.
-        for w in self.ways_mut(set) {
-            if w.valid && w.tag == tag {
-                w.lru = stamp;
-                w.dirty |= dirty;
-                return None;
+        if let Some(way) = self.way_of(set, tag) {
+            self.lru[base + way] = stamp;
+            if dirty {
+                self.dirty[set] |= 1 << way;
             }
+            return None;
         }
         let insert_lru = match policy {
             InsertPolicy::Mru => stamp,
             // Lower than every live stamp => evicted first.
             InsertPolicy::Lru => 0,
         };
-        // Empty way?
-        for w in self.ways_mut(set) {
-            if !w.valid {
-                *w = Way {
-                    valid: true,
-                    tag,
-                    dirty,
-                    lru: insert_lru,
-                };
-                return None;
+        // Empty way? (First-empty order matches the seed.)
+        if let Some(way) = self.way_of(set, INVALID_TAG) {
+            self.tags[base + way] = tag;
+            self.lru[base + way] = insert_lru;
+            if dirty {
+                self.dirty[set] |= 1 << way;
+            } else {
+                self.dirty[set] &= !(1 << way);
             }
+            return None;
         }
-        // Evict the LRU way.
-        let (vi, _) = self
-            .ways(set)
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.lru)
+        // Evict the LRU way (first minimal stamp, as the seed's
+        // `min_by_key` returned).
+        let vi = (0..self.assoc)
+            .min_by_key(|&i| self.lru[base + i])
             .expect("associativity > 0");
-        let victim_way = self.ways(set)[vi];
         let victim = Victim {
-            line_addr: self.reconstruct(set, victim_way.tag),
-            dirty: victim_way.dirty,
+            line_addr: self.reconstruct(set, self.tags[base + vi]),
+            dirty: self.dirty[set] & (1 << vi) != 0,
         };
-        self.ways_mut(set)[vi] = Way {
-            valid: true,
-            tag,
-            dirty,
-            lru: insert_lru,
-        };
+        self.tags[base + vi] = tag;
+        self.lru[base + vi] = insert_lru;
+        if dirty {
+            self.dirty[set] |= 1 << vi;
+        } else {
+            self.dirty[set] &= !(1 << vi);
+        }
         Some(victim)
     }
 
@@ -208,18 +253,14 @@ impl SetAssocCache {
     pub fn invalidate(&mut self, line_addr: Addr) -> Option<bool> {
         let set = self.set_of(line_addr);
         let tag = self.tag_of(line_addr);
-        for w in self.ways_mut(set) {
-            if w.valid && w.tag == tag {
-                w.valid = false;
-                return Some(w.dirty);
-            }
-        }
-        None
+        let way = self.way_of(set, tag)?;
+        self.tags[set * self.assoc + way] = INVALID_TAG;
+        Some(self.dirty[set] & (1 << way) != 0)
     }
 
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().filter(|w| w.valid).count()
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
     }
 
     pub fn num_sets(&self) -> usize {

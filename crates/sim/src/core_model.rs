@@ -12,26 +12,40 @@
 use std::collections::VecDeque;
 
 use crate::config::{CoreConfig, L1Config};
-use crate::l1::{L1Cache, L1LoadOutcome};
-use crate::prog::{Instr, Program, TbId};
+use crate::l1::{L1Cache, L1Class, L1LoadOutcome};
+use crate::pool::{ReqHandle, ReqPool};
+use crate::prog::{FlatProgram, Instr, TbId};
 use crate::sched::TbScheduler;
 use crate::stats::CoreStats;
 use crate::types::{line_of, Addr, CoreId, Cycle, MemReq, MemResp, LINE_BYTES};
 
+/// Sentinel for "no thread block" / "past the end" (see `Window`).
+const NONE32: u32 = u32::MAX;
+
+/// One instruction window, packed to 12 bytes so a core's whole window
+/// file fits one cache line — the issue loop re-reads it every awake
+/// tick. `tb == NONE32` means empty; `pc == NONE32` is the
+/// past-the-end sentinel ("all instructions issued, waiting on
+/// outstanding loads").
 #[derive(Debug, Clone, Copy)]
 struct Window {
-    tb: Option<TbId>,
-    pc: usize,
+    tb: u32,
+    pc: u32,
     /// Line loads in flight for this window's thread block.
-    outstanding: usize,
+    outstanding: u32,
 }
 
 impl Window {
     const EMPTY: Window = Window {
-        tb: None,
+        tb: NONE32,
         pc: 0,
         outstanding: 0,
     };
+
+    #[inline]
+    fn tb(&self) -> Option<TbId> {
+        (self.tb != NONE32).then_some(self.tb as TbId)
+    }
 }
 
 /// Why the core could not issue this cycle (used for C_mem / C_idle
@@ -52,6 +66,14 @@ pub struct VectorCore {
     windows: Vec<Window>,
     /// Throttle input: maximum resident thread blocks.
     pub max_tb: usize,
+    /// Incrementally maintained count of windows holding a thread block
+    /// (kept exactly in sync with `windows`; avoids the per-tick scans
+    /// the seed paid in `resident_tbs`).
+    resident: usize,
+    /// A window is finished-but-unretired (pc sentinel reached with no
+    /// outstanding loads). Gates the retire scan to the ticks that can
+    /// actually retire something.
+    retire_pending: bool,
     compute_busy_until: Cycle,
     next_seq: u64,
     last_issued: usize,
@@ -59,8 +81,13 @@ pub struct VectorCore {
     /// fill arrives or a new block is assigned, so issue evaluation is
     /// skipped (pure simulation speed-up, no behavioural effect).
     asleep: bool,
-    /// Requests bound for the interconnect (drained by the system).
-    pub outbound: VecDeque<MemReq>,
+    /// Per-issue scratch of line classifications (reused; no per-load
+    /// allocation after the first vector access).
+    class_scratch: Vec<L1Class>,
+    /// Requests bound for the interconnect, as pool handles — the
+    /// arena slot is written once here at issue and the 4-byte handle
+    /// is what travels (drained by the system).
+    pub outbound: VecDeque<ReqHandle>,
     /// Thread blocks retired this tick (drained by the system, which
     /// maps them to serving requests for completion tracking).
     pub retired: Vec<TbId>,
@@ -75,19 +102,28 @@ impl VectorCore {
             l1: L1Cache::new(l1cfg),
             windows: vec![Window::EMPTY; cfg.num_inst_windows],
             max_tb: cfg.num_inst_windows,
+            resident: 0,
+            retire_pending: false,
             compute_busy_until: 0,
             next_seq: 0,
             last_issued: 0,
             asleep: false,
-            outbound: VecDeque::new(),
-            retired: Vec::new(),
+            class_scratch: Vec::with_capacity(8),
+            outbound: VecDeque::with_capacity(64),
+            retired: Vec::with_capacity(cfg.num_inst_windows),
             stats: CoreStats::default(),
         }
     }
 
     /// Number of thread blocks currently resident.
+    #[inline]
     pub fn resident_tbs(&self) -> usize {
-        self.windows.iter().filter(|w| w.tb.is_some()).count()
+        debug_assert_eq!(
+            self.resident,
+            self.windows.iter().filter(|w| w.tb().is_some()).count(),
+            "resident counter out of sync"
+        );
+        self.resident
     }
 
     /// True when the core holds no work at all.
@@ -104,17 +140,26 @@ impl VectorCore {
     /// Delivers a fill response from the LLC.
     pub fn on_resp(&mut self, resp: MemResp, now: Cycle) {
         self.asleep = false;
-        for (window, issued_at) in self.l1.fill(resp.line_addr, now) {
+        for &(window, issued_at) in self.l1.fill(resp.line_addr, now) {
             let w = &mut self.windows[window];
             debug_assert!(w.outstanding > 0, "fill for window with no loads");
             w.outstanding = w.outstanding.saturating_sub(1);
+            if w.outstanding == 0 && w.pc == NONE32 {
+                self.retire_pending = true;
+            }
             self.stats.load_latency_sum += now.saturating_sub(issued_at);
             self.stats.load_count += 1;
         }
     }
 
     /// Advances the core one cycle.
-    pub fn tick(&mut self, now: Cycle, program: &Program, sched: &mut TbScheduler) {
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        program: &FlatProgram,
+        sched: &mut TbScheduler,
+        pool: &mut ReqPool,
+    ) {
         if self.asleep {
             // Fast path: every window is waiting on memory and no fill
             // has arrived since; re-evaluating issue would be a no-op.
@@ -130,7 +175,7 @@ impl VectorCore {
         }
         self.retire_finished_blocks();
         self.assign_blocks(sched, now);
-        match self.try_issue(now, program) {
+        match self.try_issue(now, program, pool) {
             IssueResult::Issued => {
                 self.stats.active_cycles += 1;
                 self.stats.instrs_issued += 1;
@@ -142,11 +187,7 @@ impl VectorCore {
                 self.stats.mem_stall_cycles += 1;
                 // Sleep only if no window is finished-but-unretired; a
                 // retirable window must pick up fresh work next cycle.
-                let retirable = self
-                    .windows
-                    .iter()
-                    .any(|w| w.tb.is_some() && w.pc == usize::MAX && w.outstanding == 0);
-                self.asleep = !retirable;
+                self.asleep = !self.retire_pending;
             }
             IssueResult::NothingResident => {
                 self.stats.idle_cycles += 1;
@@ -155,24 +196,29 @@ impl VectorCore {
     }
 
     fn retire_finished_blocks(&mut self) {
+        if !self.retire_pending {
+            return;
+        }
         for w in &mut self.windows {
-            if let Some(tb) = w.tb {
-                // The pc sentinel usize::MAX marks "past the end, waiting
-                // on outstanding loads" — see try_issue.
-                if w.pc == usize::MAX && w.outstanding == 0 {
-                    w.tb = None;
+            if let Some(tb) = w.tb() {
+                // The pc sentinel marks "past the end, waiting on
+                // outstanding loads" — see try_issue.
+                if w.pc == NONE32 && w.outstanding == 0 {
+                    w.tb = NONE32;
                     w.pc = 0;
+                    self.resident -= 1;
                     self.stats.tbs_completed += 1;
                     self.retired.push(tb);
                 }
             }
         }
+        self.retire_pending = false;
     }
 
     fn assign_blocks(&mut self, sched: &mut TbScheduler, now: Cycle) {
         let mut resident = self.resident_tbs();
         while resident < self.max_tb.min(self.cfg.num_inst_windows) {
-            let Some(slot) = self.windows.iter().position(|w| w.tb.is_none()) else {
+            let Some(slot) = self.windows.iter().position(|w| w.tb == NONE32) else {
                 break;
             };
             // Each window draws from its own chunk of the core's trace
@@ -180,16 +226,18 @@ impl VectorCore {
             let Some(tb) = sched.next_for(self.id, slot, now) else {
                 break;
             };
+            debug_assert!(tb < NONE32 as usize, "TbId overflows the packed window");
             self.windows[slot] = Window {
-                tb: Some(tb),
+                tb: tb as u32,
                 pc: 0,
                 outstanding: 0,
             };
+            self.resident += 1;
             resident += 1;
         }
     }
 
-    fn try_issue(&mut self, now: Cycle, program: &Program) -> IssueResult {
+    fn try_issue(&mut self, now: Cycle, program: &FlatProgram, pool: &mut ReqPool) -> IssueResult {
         if self.resident_tbs() == 0 {
             return IssueResult::NothingResident;
         }
@@ -200,7 +248,7 @@ impl VectorCore {
         let mut any_memory_wait = false;
         for k in 0..n {
             let wi = (self.last_issued + k) % n;
-            match self.try_issue_window(wi, now, program) {
+            match self.try_issue_window(wi, now, program, pool) {
                 WindowIssue::Issued => {
                     self.last_issued = wi;
                     return IssueResult::Issued;
@@ -218,27 +266,34 @@ impl VectorCore {
         }
     }
 
-    fn try_issue_window(&mut self, wi: usize, now: Cycle, program: &Program) -> WindowIssue {
+    fn try_issue_window(
+        &mut self,
+        wi: usize,
+        now: Cycle,
+        program: &FlatProgram,
+        pool: &mut ReqPool,
+    ) -> WindowIssue {
         let w = self.windows[wi];
-        let Some(tb) = w.tb else {
+        let Some(tb) = w.tb() else {
             return WindowIssue::Empty;
         };
-        if w.pc == usize::MAX {
+        if w.pc == NONE32 {
             // Implicit end-of-block barrier.
             return WindowIssue::MemoryWait;
         }
-        let instrs = &program.blocks[tb].instrs;
+        let instrs = program.block(tb);
         let request = program.request_of(tb);
-        if w.pc >= instrs.len() {
+        if w.pc as usize >= instrs.len() {
             // Mark completed-pending-loads; retired next tick.
-            self.windows[wi].pc = usize::MAX;
+            self.windows[wi].pc = NONE32;
             return if w.outstanding == 0 {
+                self.retire_pending = true;
                 WindowIssue::Empty
             } else {
                 WindowIssue::MemoryWait
             };
         }
-        match instrs[w.pc] {
+        match instrs[w.pc as usize] {
             Instr::Compute { cycles } => {
                 self.compute_busy_until = now + cycles as u64;
                 self.windows[wi].pc += 1;
@@ -253,7 +308,7 @@ impl VectorCore {
                 }
             }
             Instr::Load { addr, bytes } => {
-                if self.issue_load(wi, addr, bytes, now, request) {
+                if self.issue_load(wi, addr, bytes, now, request, pool) {
                     self.windows[wi].pc += 1;
                     self.stats.loads += 1;
                     WindowIssue::Issued
@@ -262,7 +317,7 @@ impl VectorCore {
                 }
             }
             Instr::Store { addr, bytes } => {
-                self.issue_store(addr, bytes, now, request);
+                self.issue_store(addr, bytes, now, request, pool);
                 self.windows[wi].pc += 1;
                 self.stats.stores += 1;
                 WindowIssue::Issued
@@ -272,27 +327,44 @@ impl VectorCore {
 
     /// Issues every line of a vector load, or nothing (returns false)
     /// when the L1 miss table cannot accept it.
-    fn issue_load(&mut self, wi: usize, addr: Addr, bytes: u32, now: Cycle, request: u32) -> bool {
+    ///
+    /// Coalesced issue: a read-only classify pass proves every line
+    /// admissible, then a commit pass applies the cached
+    /// classifications — each line's tag scan and miss-table lookup run
+    /// exactly once (the seed's feasibility pass re-ran them both).
+    fn issue_load(
+        &mut self,
+        wi: usize,
+        addr: Addr,
+        bytes: u32,
+        now: Cycle,
+        request: u32,
+        pool: &mut ReqPool,
+    ) -> bool {
         // First pass: feasibility. All lines must be admissible this
         // cycle, else the whole vector access retries (coalesced issue).
         let mut line = line_of(addr);
         let end = addr + bytes as u64;
+        self.class_scratch.clear();
         // Dry-run bookkeeping of how many fresh entries we need.
         let mut fresh = 0usize;
         while line < end {
-            if !self.l1_can_accept(line, fresh) {
-                return false;
+            let class = self.l1.classify(line, fresh);
+            match class {
+                L1Class::Blocked => return false,
+                L1Class::New => fresh += 1,
+                _ => {}
             }
-            if self.l1_would_allocate(line) {
-                fresh += 1;
-            }
+            self.class_scratch.push(class);
             line += LINE_BYTES;
         }
-        // Second pass: commit.
+        // Second pass: commit the cached classifications (no L1 state
+        // changed in between — same cycle, same window).
         let mut line = line_of(addr);
-        while line < end {
+        for k in 0..self.class_scratch.len() {
+            let class = self.class_scratch[k];
             self.stats.l1_lookups += 1;
-            match self.l1.load(line, wi, now) {
+            match self.l1.commit(line, class, wi, now) {
                 L1LoadOutcome::Hit => {
                     self.stats.l1_hits += 1;
                 }
@@ -303,7 +375,7 @@ impl VectorCore {
                 L1LoadOutcome::NewMiss => {
                     self.windows[wi].outstanding += 1;
                     let id = self.fresh_id();
-                    self.outbound.push_back(MemReq {
+                    let h = pool.alloc(MemReq {
                         id,
                         core: self.id,
                         request,
@@ -311,6 +383,7 @@ impl VectorCore {
                         is_write: false,
                         issued_at: now,
                     });
+                    self.outbound.push_back(h);
                 }
                 L1LoadOutcome::Blocked => {
                     unreachable!("feasibility pass admitted this line");
@@ -321,36 +394,20 @@ impl VectorCore {
         true
     }
 
-    fn l1_would_allocate(&self, line: Addr) -> bool {
-        !self.l1_probe(line) && !self.l1.miss_pending(line)
-    }
-
-    fn l1_probe(&self, line: Addr) -> bool {
-        // Probe without touching LRU state (feasibility only).
-        self.l1_storage_probe(line)
-    }
-
-    fn l1_storage_probe(&self, line: Addr) -> bool {
-        self.l1.probe(line)
-    }
-
-    fn l1_can_accept(&self, line: Addr, fresh_so_far: usize) -> bool {
-        if self.l1_probe(line) {
-            return true;
-        }
-        if self.l1.miss_pending(line) {
-            return self.l1.has_target_space(line);
-        }
-        self.l1.outstanding() + fresh_so_far < self.l1.capacity()
-    }
-
-    fn issue_store(&mut self, addr: Addr, bytes: u32, now: Cycle, request: u32) {
+    fn issue_store(
+        &mut self,
+        addr: Addr,
+        bytes: u32,
+        now: Cycle,
+        request: u32,
+        pool: &mut ReqPool,
+    ) {
         let mut line = line_of(addr);
         let end = addr + bytes as u64;
         while line < end {
             self.l1.store(line);
             let id = self.fresh_id();
-            self.outbound.push_back(MemReq {
+            let h = pool.alloc(MemReq {
                 id,
                 core: self.id,
                 request,
@@ -358,6 +415,7 @@ impl VectorCore {
                 is_write: true,
                 issued_at: now,
             });
+            self.outbound.push_back(h);
             line += LINE_BYTES;
         }
     }
@@ -407,11 +465,7 @@ impl VectorCore {
             return sched.next_release_for(self.id, now);
         }
         // A finished-but-unretired window retires next tick.
-        if self
-            .windows
-            .iter()
-            .any(|w| w.tb.is_some() && w.pc == usize::MAX && w.outstanding == 0)
-        {
+        if self.retire_pending {
             return Some(now);
         }
         // Capacity plus available work: a block would be assigned.
@@ -466,14 +520,14 @@ enum WindowIssue {
 mod tests {
     use super::*;
     use crate::config::SystemConfig;
-    use crate::prog::ThreadBlock;
+    use crate::prog::{Program, ThreadBlock};
 
-    fn setup(blocks: Vec<ThreadBlock>) -> (VectorCore, Program, TbScheduler) {
+    fn setup(blocks: Vec<ThreadBlock>) -> (VectorCore, FlatProgram, TbScheduler, ReqPool) {
         let cfg = SystemConfig::table5();
         let program = Program::round_robin(blocks, 1);
         let sched = TbScheduler::new(&program, 1, 4);
         let core = VectorCore::new(0, cfg.core, cfg.l1);
-        (core, program, sched)
+        (core, FlatProgram::new(&program), sched, ReqPool::default())
     }
 
     fn load(addr: Addr) -> Instr {
@@ -485,10 +539,10 @@ mod tests {
         let tb = ThreadBlock {
             instrs: vec![Instr::Compute { cycles: 3 }, Instr::Compute { cycles: 2 }],
         };
-        let (mut core, program, mut sched) = setup(vec![tb]);
+        let (mut core, program, mut sched, mut pool) = setup(vec![tb]);
         let mut now = 0;
         while core.stats.tbs_completed == 0 && now < 100 {
-            core.tick(now, &program, &mut sched);
+            core.tick(now, &program, &mut sched, &mut pool);
             now += 1;
         }
         assert_eq!(core.stats.tbs_completed, 1);
@@ -501,9 +555,9 @@ mod tests {
         let tb = ThreadBlock {
             instrs: vec![load(0), Instr::Barrier],
         };
-        let (mut core, program, mut sched) = setup(vec![tb]);
+        let (mut core, program, mut sched, mut pool) = setup(vec![tb]);
         for now in 0..5 {
-            core.tick(now, &program, &mut sched);
+            core.tick(now, &program, &mut sched, &mut pool);
         }
         // 128 B vector load = 2 line requests.
         assert_eq!(core.outbound.len(), 2);
@@ -514,26 +568,26 @@ mod tests {
             "C_mem accrues while waiting"
         );
         // Respond to both lines.
-        let r1 = core.outbound.pop_front().unwrap();
-        let r2 = core.outbound.pop_front().unwrap();
-        core.on_resp(
-            MemResp {
-                id: r1.id,
-                core: 0,
-                line_addr: r1.line_addr,
-            },
-            10,
-        );
-        core.on_resp(
-            MemResp {
-                id: r2.id,
-                core: 0,
-                line_addr: r2.line_addr,
-            },
-            11,
-        );
+        for (i, h) in core
+            .outbound
+            .drain(..)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .enumerate()
+        {
+            let req = *pool.get(h);
+            pool.release(h);
+            core.on_resp(
+                MemResp {
+                    id: req.id,
+                    core: 0,
+                    line_addr: req.line_addr,
+                },
+                10 + i as u64,
+            );
+        }
         for now in 12..16 {
-            core.tick(now, &program, &mut sched);
+            core.tick(now, &program, &mut sched, &mut pool);
         }
         assert_eq!(core.stats.tbs_completed, 1);
         assert_eq!(core.stats.load_count, 2);
@@ -546,9 +600,9 @@ mod tests {
         let mk = |addr| ThreadBlock {
             instrs: vec![load(addr), Instr::Barrier],
         };
-        let (mut core, program, mut sched) = setup(vec![mk(0), mk(4096)]);
+        let (mut core, program, mut sched, mut pool) = setup(vec![mk(0), mk(4096)]);
         for now in 0..4 {
-            core.tick(now, &program, &mut sched);
+            core.tick(now, &program, &mut sched, &mut pool);
         }
         // Both blocks' loads are in flight concurrently.
         assert_eq!(core.outbound.len(), 4);
@@ -561,10 +615,10 @@ mod tests {
             instrs: vec![load(addr), Instr::Barrier],
         };
         let blocks: Vec<_> = (0..6).map(|i| mk(i * 4096)).collect();
-        let (mut core, program, mut sched) = setup(blocks);
+        let (mut core, program, mut sched, mut pool) = setup(blocks);
         core.max_tb = 1;
         for now in 0..3 {
-            core.tick(now, &program, &mut sched);
+            core.tick(now, &program, &mut sched, &mut pool);
         }
         assert_eq!(core.resident_tbs(), 1, "throttled to one block");
         assert_eq!(core.outbound.len(), 2, "only block 0's lines issued");
@@ -578,21 +632,21 @@ mod tests {
                 bytes: 64,
             }],
         };
-        let (mut core, program, mut sched) = setup(vec![tb]);
+        let (mut core, program, mut sched, mut pool) = setup(vec![tb]);
         for now in 0..4 {
-            core.tick(now, &program, &mut sched);
+            core.tick(now, &program, &mut sched, &mut pool);
         }
         assert_eq!(core.stats.stores, 1);
-        let req = core.outbound.pop_front().unwrap();
-        assert!(req.is_write);
+        let h = core.outbound.pop_front().unwrap();
+        assert!(pool.get(h).is_write);
         assert_eq!(core.stats.tbs_completed, 1, "no waiting on stores");
     }
 
     #[test]
     fn idle_cycles_accrue_without_work() {
-        let (mut core, program, mut sched) = setup(vec![]);
+        let (mut core, program, mut sched, mut pool) = setup(vec![]);
         for now in 0..10 {
-            core.tick(now, &program, &mut sched);
+            core.tick(now, &program, &mut sched, &mut pool);
         }
         assert_eq!(core.stats.idle_cycles, 10);
     }
@@ -602,24 +656,26 @@ mod tests {
         let tb = ThreadBlock {
             instrs: vec![load(0), Instr::Barrier, load(0), Instr::Barrier],
         };
-        let (mut core, program, mut sched) = setup(vec![tb]);
+        let (mut core, program, mut sched, mut pool) = setup(vec![tb]);
         for now in 0..5 {
-            core.tick(now, &program, &mut sched);
+            core.tick(now, &program, &mut sched, &mut pool);
         }
         let reqs: Vec<_> = core.outbound.drain(..).collect();
         assert_eq!(reqs.len(), 2);
-        for (i, r) in reqs.iter().enumerate() {
+        for (i, h) in reqs.into_iter().enumerate() {
+            let req = *pool.get(h);
+            pool.release(h);
             core.on_resp(
                 MemResp {
-                    id: r.id,
+                    id: req.id,
                     core: 0,
-                    line_addr: r.line_addr,
+                    line_addr: req.line_addr,
                 },
                 6 + i as u64,
             );
         }
         for now in 8..20 {
-            core.tick(now, &program, &mut sched);
+            core.tick(now, &program, &mut sched, &mut pool);
         }
         assert_eq!(core.stats.tbs_completed, 1);
         assert_eq!(core.outbound.len(), 0, "second load hits in L1");

@@ -60,6 +60,12 @@ pub struct Channel {
     next_rd_cmd: DramCycle,
     /// Earliest cycle the next WRITE column command may issue.
     next_wr_cmd: DramCycle,
+    /// Cycle-mode fast path: a tick that did nothing computes
+    /// [`Channel::next_event`] (never late) and the controller skips
+    /// the FR-FCFS scans until that bound. Cleared on every enqueue
+    /// (external state change). Pure wall-clock optimization — skipped
+    /// ticks are exactly the ticks that would have done nothing.
+    quiet_until: DramCycle,
     pub stats: ChannelStats,
 }
 
@@ -87,6 +93,7 @@ impl Channel {
             mode: Mode::Read,
             next_rd_cmd: 0,
             next_wr_cmd: 0,
+            quiet_until: 0,
             stats: ChannelStats::default(),
         }
     }
@@ -113,11 +120,13 @@ impl Channel {
                 line_addr,
                 slice,
             });
+            self.quiet_until = 0;
             return true;
         }
         if !self.can_accept_read() {
             return false;
         }
+        self.quiet_until = 0;
         let flat_bank = coord.flat_bank(&self.cfg);
         self.read_q.push_back(DramQueued {
             line_addr,
@@ -136,6 +145,7 @@ impl Channel {
         if !self.can_accept_write() {
             return false;
         }
+        self.quiet_until = 0;
         let flat_bank = coord.flat_bank(&self.cfg);
         self.write_q.push_back(DramQueued {
             line_addr,
@@ -153,22 +163,46 @@ impl Channel {
     /// into `out`.
     pub fn tick(&mut self, out: &mut Vec<ReadReturn>) {
         self.now += 1;
-        self.drain_returns(out);
-        if self.cfg.refresh && self.try_refresh() {
-            return; // refresh consumed the command slot
+        if self.now < self.quiet_until {
+            // A previous do-nothing tick proved (via the `next_event`
+            // bound, which is never late) that no command, refresh,
+            // mode flip or return can happen before `quiet_until`;
+            // enqueues in between cleared the gate.
+            return;
         }
-        self.update_mode();
-        match self.mode {
-            Mode::Read => {
-                if !self.try_issue(true) {
-                    // Opportunistic write issue would complicate turnaround
-                    // accounting; idle cycles are left idle as real
-                    // read-priority controllers mostly do outside drains.
-                }
+        let before = (
+            self.stats.reads,
+            self.stats.writes,
+            self.stats.activates,
+            self.stats.precharges,
+            self.stats.refreshes,
+            self.returns.len(),
+            self.mode,
+        );
+        self.drain_returns(out);
+        let acted = if self.cfg.refresh && self.try_refresh() {
+            true // refresh consumed the command slot
+        } else {
+            self.update_mode();
+            match self.mode {
+                Mode::Read => self.try_issue(true),
+                // Opportunistic write issue would complicate turnaround
+                // accounting; idle cycles are left idle as real
+                // read-priority controllers mostly do outside drains.
+                Mode::WriteDrain => self.try_issue(false),
             }
-            Mode::WriteDrain => {
-                self.try_issue(false);
-            }
+        };
+        let after = (
+            self.stats.reads,
+            self.stats.writes,
+            self.stats.activates,
+            self.stats.precharges,
+            self.stats.refreshes,
+            self.returns.len(),
+            self.mode,
+        );
+        if !acted && before == after {
+            self.quiet_until = self.next_event().unwrap_or(DramCycle::MAX);
         }
     }
 

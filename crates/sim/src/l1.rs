@@ -5,10 +5,9 @@
 //! write-through it never holds dirty data; stores are forwarded to the
 //! LLC unconditionally and are posted (the core does not wait).
 
-use std::collections::HashMap;
-
 use crate::cache::{InsertPolicy, SetAssocCache};
 use crate::config::L1Config;
+use crate::hash::AddrHashMap;
 use crate::types::{Addr, Cycle, WindowId};
 
 /// Result of presenting one line-sized load to the L1.
@@ -24,10 +23,21 @@ pub enum L1LoadOutcome {
     Blocked,
 }
 
-#[derive(Debug, Clone)]
-struct MissEntry {
-    line_addr: Addr,
-    waiters: Vec<(WindowId, Cycle)>,
+/// A read-only classification of one line-sized load, produced by
+/// [`L1Cache::classify`] and redeemable with [`L1Cache::commit`] in the
+/// same cycle. Splitting the two halves lets the core's coalesced-issue
+/// feasibility pass reuse its tag scans and hash lookups for the commit
+/// pass (the seed re-ran both per line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1Class {
+    /// Hit in storage at `(set, way)`.
+    Hit { set: usize, way: usize },
+    /// Mergeable into the pending miss in slot `slot`.
+    Merge { slot: usize },
+    /// Admissible as a fresh miss.
+    New,
+    /// Not admissible this cycle (miss table or target list full).
+    Blocked,
 }
 
 /// The L1 cache plus its outstanding-miss bookkeeping.
@@ -38,14 +48,25 @@ struct MissEntry {
 /// load probes the table several times per line, every cycle a blocked
 /// window retries). The index is used for key lookups only, never
 /// iterated, so behavior is bit-identical to the scanning version.
+///
+/// Data-oriented layout: waiter lists live in fixed-size windows of one
+/// flat preallocated buffer (`miss_entries x miss_targets`), so the
+/// table performs zero heap allocations after construction —
+/// [`L1Cache::fill`] returns the waiters as a borrowed slice instead of
+/// the per-miss `Vec` the seed allocated.
 pub struct L1Cache {
     cfg: L1Config,
     storage: SetAssocCache,
-    misses: Vec<Option<MissEntry>>,
-    /// line address -> slot in `misses`.
-    index: HashMap<Addr, usize>,
-    /// Free slots in `misses` (stack; slot identity has no behavioral
-    /// effect — entries are only ever resolved by line address).
+    /// Line address per miss slot (meaningful only for live slots).
+    miss_line: Vec<Addr>,
+    /// Live waiter count per miss slot.
+    waiter_len: Vec<usize>,
+    /// Flat waiter storage: slot `i` owns `[i * miss_targets ..]`.
+    waiters: Vec<(WindowId, Cycle)>,
+    /// line address -> slot (fast multiply hash; keys are internal).
+    index: AddrHashMap<Addr, usize>,
+    /// Free slots (stack; slot identity has no behavioral effect —
+    /// entries are only ever resolved by line address).
     free: Vec<usize>,
     occupied: usize,
 }
@@ -53,11 +74,19 @@ pub struct L1Cache {
 impl L1Cache {
     pub fn new(cfg: L1Config) -> Self {
         let sets = cfg.geometry.num_sets();
+        let mut index = AddrHashMap::default();
+        // 2x headroom keeps the live count at or below half the usable
+        // capacity, so tombstone churn is absorbed by in-place rehashes
+        // — the map never allocates again after construction (pinned by
+        // `tests/alloc_regression.rs`).
+        index.reserve(cfg.miss_entries * 2);
         L1Cache {
             cfg,
             storage: SetAssocCache::new(sets, cfg.geometry.associativity, 0),
-            misses: vec![None; cfg.miss_entries],
-            index: HashMap::with_capacity(cfg.miss_entries),
+            miss_line: vec![0; cfg.miss_entries],
+            waiter_len: vec![0; cfg.miss_entries],
+            waiters: vec![(0, 0); cfg.miss_entries * cfg.miss_targets],
+            index,
             free: (0..cfg.miss_entries).rev().collect(),
             occupied: 0,
         }
@@ -71,30 +100,68 @@ impl L1Cache {
         }
     }
 
-    /// Presents a line-sized load from `window` at cycle `now`.
-    pub fn load(&mut self, line_addr: Addr, window: WindowId, now: Cycle) -> L1LoadOutcome {
-        if self.storage.access(line_addr, false) {
-            return L1LoadOutcome::Hit;
+    /// Classifies a line-sized load without mutating any state.
+    ///
+    /// `fresh_so_far` counts new misses already classified (but not yet
+    /// committed) in the same coalesced vector access, so capacity is
+    /// judged against the post-commit table.
+    pub fn classify(&self, line_addr: Addr, fresh_so_far: usize) -> L1Class {
+        if let Some((set, way)) = self.storage.find(line_addr) {
+            return L1Class::Hit { set, way };
         }
-        // Merge into a pending fetch if possible.
         if let Some(&slot) = self.index.get(&line_addr) {
-            let entry = self.misses[slot].as_mut().expect("indexed slot is live");
-            if entry.waiters.len() >= self.cfg.miss_targets {
-                return L1LoadOutcome::Blocked;
+            if self.waiter_len[slot] >= self.cfg.miss_targets {
+                L1Class::Blocked
+            } else {
+                L1Class::Merge { slot }
             }
-            entry.waiters.push((window, now));
-            return L1LoadOutcome::MergedMiss;
+        } else if self.occupied + fresh_so_far < self.miss_line.len() {
+            L1Class::New
+        } else {
+            L1Class::Blocked
         }
-        let Some(slot) = self.free.pop() else {
-            return L1LoadOutcome::Blocked;
-        };
-        self.misses[slot] = Some(MissEntry {
-            line_addr,
-            waiters: vec![(window, now)],
-        });
-        self.index.insert(line_addr, slot);
-        self.occupied += 1;
-        L1LoadOutcome::NewMiss
+    }
+
+    /// Commits a classification from [`L1Cache::classify`]. Only valid
+    /// in the same cycle with no intervening L1 mutations (the core's
+    /// two-pass coalesced issue guarantees this).
+    pub fn commit(
+        &mut self,
+        line_addr: Addr,
+        class: L1Class,
+        window: WindowId,
+        now: Cycle,
+    ) -> L1LoadOutcome {
+        match class {
+            L1Class::Hit { set, way } => {
+                self.storage.touch(set, way, false);
+                L1LoadOutcome::Hit
+            }
+            L1Class::Merge { slot } => {
+                let len = self.waiter_len[slot];
+                debug_assert!(len < self.cfg.miss_targets, "classified merge has room");
+                self.waiters[slot * self.cfg.miss_targets + len] = (window, now);
+                self.waiter_len[slot] = len + 1;
+                L1LoadOutcome::MergedMiss
+            }
+            L1Class::New => {
+                let slot = self.free.pop().expect("classified new miss has capacity");
+                self.miss_line[slot] = line_addr;
+                self.waiters[slot * self.cfg.miss_targets] = (window, now);
+                self.waiter_len[slot] = 1;
+                self.index.insert(line_addr, slot);
+                self.occupied += 1;
+                L1LoadOutcome::NewMiss
+            }
+            L1Class::Blocked => L1LoadOutcome::Blocked,
+        }
+    }
+
+    /// Presents a line-sized load from `window` at cycle `now`
+    /// (classify + commit in one step).
+    pub fn load(&mut self, line_addr: Addr, window: WindowId, now: Cycle) -> L1LoadOutcome {
+        let class = self.classify(line_addr, 0);
+        self.commit(line_addr, class, window, now)
     }
 
     /// Presents a line-sized store. Write-no-allocate / write-through:
@@ -106,19 +173,24 @@ impl L1Cache {
     }
 
     /// A fill returned from the LLC: installs the line (allocate-on-fill)
-    /// and returns the waiting windows with their issue cycles.
-    pub fn fill(&mut self, line_addr: Addr, now: Cycle) -> Vec<(WindowId, Cycle)> {
+    /// and returns the waiting windows with their issue cycles as a
+    /// slice borrowed from the flat waiter storage (valid until the next
+    /// `load`).
+    pub fn fill(&mut self, line_addr: Addr, now: Cycle) -> &[(WindowId, Cycle)] {
         let _ = now;
         let policy = self.insert_policy();
         self.storage.insert(line_addr, false, policy);
         if let Some(slot) = self.index.remove(&line_addr) {
-            let entry = self.misses[slot].take().expect("indexed slot is live");
-            debug_assert_eq!(entry.line_addr, line_addr, "index points at wrong entry");
+            debug_assert_eq!(
+                self.miss_line[slot], line_addr,
+                "index points at wrong entry"
+            );
             self.free.push(slot);
             self.occupied -= 1;
-            return entry.waiters;
+            let base = slot * self.cfg.miss_targets;
+            return &self.waiters[base..base + self.waiter_len[slot]];
         }
-        Vec::new()
+        &[]
     }
 
     /// Outstanding distinct line misses.
@@ -128,7 +200,7 @@ impl L1Cache {
 
     /// Miss-table capacity (`miss_entries`).
     pub fn capacity(&self) -> usize {
-        self.misses.len()
+        self.miss_line.len()
     }
 
     /// Probes storage without touching replacement state.
@@ -138,11 +210,9 @@ impl L1Cache {
 
     /// Whether a pending miss for `line_addr` can accept another waiter.
     pub fn has_target_space(&self, line_addr: Addr) -> bool {
-        self.index.get(&line_addr).is_some_and(|&slot| {
-            self.misses[slot]
-                .as_ref()
-                .is_some_and(|e| e.waiters.len() < self.cfg.miss_targets)
-        })
+        self.index
+            .get(&line_addr)
+            .is_some_and(|&slot| self.waiter_len[slot] < self.cfg.miss_targets)
     }
 
     /// Whether a miss for `line_addr` is pending.

@@ -53,10 +53,12 @@ pub mod cache;
 pub mod config;
 pub mod core_model;
 pub mod dram;
+pub mod hash;
 pub mod l1;
 pub mod llc;
 pub mod mshr;
 pub mod noc;
+pub mod pool;
 pub mod prog;
 pub mod sched;
 pub mod stats;
@@ -66,14 +68,15 @@ pub mod types;
 /// Convenient re-exports of the types most users need.
 pub mod prelude {
     pub use crate::arb::{
-        ArbiterCtx, FifoArbiter, NoThrottle, PortPreference, QueuedReq, RequestArbiter,
-        ThrottleController, ThrottleInputs,
+        ArbiterCtx, FifoArbiter, NoThrottle, PortPreference, RequestArbiter, ThrottleController,
+        ThrottleInputs,
     };
     pub use crate::config::{
         CacheGeometry, CoreConfig, DramConfig, DramTiming, L1Config, L2Config, NocConfig,
         ReqRespPolicy, SystemConfig,
     };
     pub use crate::mshr::{MshrSnapshot, SnapshotEntry};
+    pub use crate::pool::{ReqHandle, ReqPool};
     pub use crate::prog::{Instr, Program, TbId, ThreadBlock};
     pub use crate::stats::SimStats;
     pub use crate::system::{RunOutcome, System};

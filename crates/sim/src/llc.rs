@@ -15,20 +15,29 @@
 //! 5. when a response dequeues it is written into cache storage
 //!    (alloc-on-fill, write-allocate), contending with the request path
 //!    for the storage port under the configured request-response policy.
+//!
+//! Data-oriented hot path (see `DESIGN.md`, "Hot path anatomy"): a
+//! request lives in the [`ReqPool`] arena from core issue to
+//! hit/MSHR-resolution, and every queue here (`ingress`, `req_q`, the
+//! tag and MSHR pipes) moves only its 4-byte [`ReqHandle`]. The slice
+//! is generic over its arbiter so the closed-world policy set
+//! monomorphizes (no virtual dispatch per tick); `Box<dyn
+//! RequestArbiter>` remains the default for open-world callers.
 
 use std::collections::VecDeque;
 
-use crate::arb::{ArbiterCtx, PortPreference, QueuedReq, RequestArbiter};
+use crate::arb::{ArbiterCtx, PortPreference, RequestArbiter};
 use crate::cache::{InsertPolicy, SetAssocCache};
 use crate::config::{L2Config, ReqRespPolicy};
 use crate::mshr::{MshrFile, MshrOutcome, MshrSnapshot, MshrTarget};
+use crate::pool::{ReqHandle, ReqPool};
 use crate::stats::{RequestLlcStats, SliceStats};
-use crate::types::{Addr, Cycle, MemReq, MemResp, SliceId};
+use crate::types::{Addr, Cycle, MemResp, SliceId};
 
 /// A request in the tag or MSHR pipeline stage.
 #[derive(Debug, Clone, Copy)]
 struct PipeEntry {
-    req: MemReq,
+    h: ReqHandle,
     ready_at: Cycle,
 }
 
@@ -62,18 +71,21 @@ enum StallKind {
 }
 
 /// One slice of the shared L2.
-pub struct LlcSlice {
+pub struct LlcSlice<A: RequestArbiter = Box<dyn RequestArbiter>> {
     id: SliceId,
     cfg: L2Config,
     storage: SetAssocCache,
     mshr: MshrFile,
     snapshot: MshrSnapshot,
-    arbiter: Box<dyn RequestArbiter>,
+    arbiter: A,
 
     /// Requests delivered by the NoC but not yet admitted to the request
     /// queue (models wires/ingress buffering when the queue is full).
-    ingress: VecDeque<MemReq>,
-    req_q: Vec<QueuedReq>,
+    ingress: VecDeque<ReqHandle>,
+    /// FIFO-ordered request-queue handles (index 0 oldest). Arbitration
+    /// removes from arbitrary positions; `Vec::remove` keeps the order
+    /// stable and only shifts 4-byte handles.
+    req_q: Vec<ReqHandle>,
     resp_q: VecDeque<RespQEntry>,
     tag_pipe: VecDeque<PipeEntry>,
     mshr_pipe: VecDeque<PipeEntry>,
@@ -88,6 +100,11 @@ pub struct LlcSlice {
     /// Per-core requests served since operator start (Fig 4 `cnt`).
     served: Vec<u64>,
     stall: StallKind,
+    /// A standing stall's registration retry is guaranteed to fail
+    /// again until a fill mutates the MSHR file (nothing else frees
+    /// entries or targets), so the retry is skipped and the stall
+    /// counters re-accrued directly. Cleared by `process_fill`.
+    stall_sticky: bool,
     /// Data array busy serving a hit readout until this cycle.
     data_port_free_at: Cycle,
     pub stats: SliceStats,
@@ -97,13 +114,8 @@ pub struct LlcSlice {
     pub request_stats: Vec<RequestLlcStats>,
 }
 
-impl LlcSlice {
-    pub fn new(
-        id: SliceId,
-        cfg: L2Config,
-        num_cores: usize,
-        arbiter: Box<dyn RequestArbiter>,
-    ) -> Self {
+impl<A: RequestArbiter> LlcSlice<A> {
+    pub fn new(id: SliceId, cfg: L2Config, num_cores: usize, arbiter: A) -> Self {
         let sets = cfg.sets_per_slice();
         let index_shift = (cfg.num_slices as u64).trailing_zeros();
         LlcSlice {
@@ -113,17 +125,26 @@ impl LlcSlice {
             mshr: MshrFile::new(cfg.mshr_entries, cfg.mshr_targets),
             snapshot: MshrSnapshot::default(),
             arbiter,
-            ingress: VecDeque::new(),
+            // Preallocated to their realistic high-water marks so the
+            // steady-state tick loop never grows a ring (pinned by
+            // `tests/alloc_regression.rs`); they still grow if a
+            // pathological configuration exceeds these. Ingress models
+            // unbounded wires and can absorb most of the machine's
+            // in-flight window on one hot slice — the system resizes it
+            // to the configuration-derived bound via
+            // [`LlcSlice::reserve_ingress`].
+            ingress: VecDeque::with_capacity(64),
             req_q: Vec::with_capacity(cfg.req_q_size),
             resp_q: VecDeque::with_capacity(cfg.resp_q_size),
-            tag_pipe: VecDeque::new(),
-            mshr_pipe: VecDeque::new(),
-            pending_fills: VecDeque::new(),
-            dram_reads: VecDeque::new(),
-            dram_writes: VecDeque::new(),
-            outbound: VecDeque::new(),
+            tag_pipe: VecDeque::with_capacity(64),
+            mshr_pipe: VecDeque::with_capacity(64),
+            pending_fills: VecDeque::with_capacity(64),
+            dram_reads: VecDeque::with_capacity(256),
+            dram_writes: VecDeque::with_capacity(256),
+            outbound: VecDeque::with_capacity(64),
             served: vec![0; num_cores],
             stall: StallKind::None,
+            stall_sticky: false,
             data_port_free_at: 0,
             stats: SliceStats::default(),
             request_stats: Vec::new(),
@@ -141,9 +162,18 @@ impl LlcSlice {
         &mut self.request_stats[idx]
     }
 
+    /// Preallocates the ingress ring for `capacity` buffered requests
+    /// (the system passes its whole-machine in-flight bound, so a hot
+    /// slice absorbing most of the window never grows the ring
+    /// mid-run).
+    pub fn reserve_ingress(&mut self, capacity: usize) {
+        self.ingress
+            .reserve(capacity.saturating_sub(self.ingress.capacity()));
+    }
+
     /// Delivers a request from the interconnect.
-    pub fn deliver(&mut self, req: MemReq) {
-        self.ingress.push_back(req);
+    pub fn deliver(&mut self, h: ReqHandle) {
+        self.ingress.push_back(h);
     }
 
     /// Delivers a completed DRAM fill.
@@ -177,23 +207,23 @@ impl LlcSlice {
     }
 
     /// Advances the slice by one core cycle.
-    pub fn tick(&mut self, now: Cycle) {
+    pub fn tick(&mut self, now: Cycle, pool: &mut ReqPool) {
         // Occupancy statistics (integrals for mean occupancy).
         self.stats.mshr_occupancy_integral += self.mshr.occupancy() as u64;
         self.stats.req_q_occupancy_integral += self.req_q.len() as u64;
         self.stats.resp_q_occupancy_integral += self.resp_q.len() as u64;
 
         // (4)/(4') Process at most one DRAM fill per cycle.
-        self.process_fill(now);
+        self.process_fill(now, pool);
 
         // MSHR pipeline head: resolves misses, may stall the slice.
-        self.advance_mshr_pipe(now);
+        self.advance_mshr_pipe(now, pool);
 
         // Tag pipeline: classify hits and misses.
-        self.advance_tag_pipe(now);
+        self.advance_tag_pipe(now, pool);
 
         // Storage port: response path vs request path.
-        self.storage_port(now);
+        self.storage_port(now, pool);
 
         // Admit ingress traffic into the request queue.
         self.drain_ingress();
@@ -201,7 +231,7 @@ impl LlcSlice {
         self.arbiter.tick();
     }
 
-    fn process_fill(&mut self, now: Cycle) {
+    fn process_fill(&mut self, now: Cycle, pool: &ReqPool) {
         let Some(&PendingFill { line_addr }) = self.pending_fills.front() else {
             return;
         };
@@ -209,9 +239,9 @@ impl LlcSlice {
             return; // response queue full: fill waits, MSHR stays occupied
         }
         self.pending_fills.pop_front();
-        let targets = self.mshr.complete(line_addr).unwrap_or_default();
+        self.stall_sticky = false;
         let mut dirty = false;
-        for t in &targets {
+        for t in self.mshr.complete(line_addr).unwrap_or(&[]) {
             if t.is_write {
                 dirty = true;
             } else {
@@ -226,29 +256,40 @@ impl LlcSlice {
                 });
             }
         }
+        // The storage write happens when this response wins the port —
+        // at least a cycle away; warm its set row now.
+        self.storage.prefetch(line_addr);
         self.resp_q.push_back(RespQEntry { line_addr, dirty });
         self.arbiter.note_fill(line_addr);
         // Replay: misses queued behind the MSHR stage for this very line
         // (typically a request that stalled on a full target list) go
         // back through the tag pipeline — the line is arriving, so they
-        // will hit in storage instead of refetching from DRAM.
-        if self.mshr_pipe.iter().any(|p| p.req.line_addr == line_addr) {
-            let mut kept = VecDeque::with_capacity(self.mshr_pipe.len());
-            while let Some(entry) = self.mshr_pipe.pop_front() {
-                if entry.req.line_addr == line_addr {
+        // will hit in storage instead of refetching from DRAM. The pipe
+        // is partitioned by rotating it in place (pop each entry once,
+        // re-push the keepers), which preserves relative order without
+        // the per-fill `VecDeque` rebuild the seed allocated here.
+        if self
+            .mshr_pipe
+            .iter()
+            .any(|p| pool.get(p.h).line_addr == line_addr)
+        {
+            for _ in 0..self.mshr_pipe.len() {
+                let entry = self.mshr_pipe.pop_front().expect("iterating pipe length");
+                if pool.get(entry.h).line_addr == line_addr {
                     self.tag_pipe.push_back(PipeEntry {
-                        req: entry.req,
+                        h: entry.h,
                         ready_at: now + self.cfg.hit_latency,
                     });
                 } else {
-                    kept.push_back(entry);
+                    self.mshr_pipe.push_back(entry);
                 }
             }
-            self.mshr_pipe = kept;
         }
     }
 
-    fn advance_mshr_pipe(&mut self, now: Cycle) {
+    fn advance_mshr_pipe(&mut self, now: Cycle, pool: &mut ReqPool) {
+        let sticky = self.stall_sticky;
+        let prior = self.stall;
         self.stall = StallKind::None;
         let Some(head) = self.mshr_pipe.front().copied() else {
             return;
@@ -256,97 +297,120 @@ impl LlcSlice {
         if head.ready_at > now {
             return;
         }
+        if sticky {
+            // No fill touched the MSHR since the last failed
+            // registration: the retry would fail identically. Re-accrue
+            // the same stall counters without the lookup.
+            let request = pool.get(head.h).request;
+            self.stall = prior;
+            self.stats.stall_cycles += 1;
+            match prior {
+                StallKind::EntryFull => self.stats.stall_entry_full += 1,
+                StallKind::TargetFull => self.stats.stall_target_full += 1,
+                StallKind::None => unreachable!("sticky stall without a kind"),
+            }
+            self.rstat(request).stall_cycles += 1;
+            return;
+        }
+        let req = *pool.get(head.h);
         let target = MshrTarget {
-            req_id: head.req.id,
-            core: head.req.core,
-            is_write: head.req.is_write,
+            req_id: req.id,
+            core: req.core,
+            is_write: req.is_write,
         };
-        match self.mshr.register(head.req.line_addr, target) {
+        match self.mshr.register(req.line_addr, target) {
             MshrOutcome::Merged => {
                 self.mshr_pipe.pop_front();
+                pool.release(head.h);
                 self.stats.mshr_merges += 1;
                 self.stats.misses += 1;
                 self.stats.lookups += 1;
-                let r = self.rstat(head.req.request);
+                let r = self.rstat(req.request);
                 r.mshr_merges += 1;
                 r.misses += 1;
                 r.lookups += 1;
             }
             MshrOutcome::Allocated => {
                 self.mshr_pipe.pop_front();
+                pool.release(head.h);
                 self.stats.mshr_allocs += 1;
                 self.stats.misses += 1;
                 self.stats.lookups += 1;
-                let r = self.rstat(head.req.request);
+                let r = self.rstat(req.request);
                 r.mshr_allocs += 1;
                 r.misses += 1;
                 r.lookups += 1;
-                self.dram_reads.push_back(head.req.line_addr);
+                self.dram_reads.push_back(req.line_addr);
             }
             MshrOutcome::FullEntries => {
                 self.stall = StallKind::EntryFull;
+                self.stall_sticky = true;
                 self.stats.stall_cycles += 1;
                 self.stats.stall_entry_full += 1;
-                self.rstat(head.req.request).stall_cycles += 1;
+                self.rstat(req.request).stall_cycles += 1;
             }
             MshrOutcome::FullTargets => {
                 self.stall = StallKind::TargetFull;
+                self.stall_sticky = true;
                 self.stats.stall_cycles += 1;
                 self.stats.stall_target_full += 1;
-                self.rstat(head.req.request).stall_cycles += 1;
+                self.rstat(req.request).stall_cycles += 1;
             }
         }
     }
 
-    fn advance_tag_pipe(&mut self, now: Cycle) {
+    fn advance_tag_pipe(&mut self, now: Cycle, pool: &mut ReqPool) {
         let Some(head) = self.tag_pipe.front().copied() else {
             return;
         };
         if head.ready_at > now {
             return;
         }
+        let req = *pool.get(head.h);
         // A hit readout needs the data port; while it is busy the tag
         // pipe backs up (hit bandwidth is a real, scarce resource).
-        // Probe first so misses are not blocked by port availability.
-        let would_hit = self.storage.probe(head.req.line_addr);
-        if would_hit && !head.req.is_write && now < self.data_port_free_at {
+        // Probe so misses are not blocked by port availability — but
+        // only when the port is actually busy (the port-free common
+        // case skips the tag scan entirely; `access` below decides).
+        if now < self.data_port_free_at && !req.is_write && self.storage.probe(req.line_addr) {
             // The cache cannot accept this hit: a stall in the paper's
             // sense (t_cs counts every cycle the cache pipeline is
             // blocked, whatever the blocked resource is).
             self.stats.stall_cycles += 1;
             self.stats.stall_data_port += 1;
-            self.rstat(head.req.request).stall_cycles += 1;
+            self.rstat(req.request).stall_cycles += 1;
             return;
         }
         self.tag_pipe.pop_front();
-        let hit = self.storage.access(head.req.line_addr, head.req.is_write);
+        let hit = self.storage.access(req.line_addr, req.is_write);
         if hit {
+            pool.release(head.h);
             self.stats.hits += 1;
             self.stats.lookups += 1;
-            let r = self.rstat(head.req.request);
+            let r = self.rstat(req.request);
             r.hits += 1;
             r.lookups += 1;
-            self.arbiter.note_hit(head.req.line_addr);
-            if !head.req.is_write {
+            self.arbiter.note_hit(req.line_addr);
+            if !req.is_write {
                 self.data_port_free_at = now + self.cfg.hit_occupancy;
                 self.outbound.push_back(OutboundResp {
                     at: now + self.cfg.data_latency,
                     resp: MemResp {
-                        id: head.req.id,
-                        core: head.req.core,
-                        line_addr: head.req.line_addr,
+                        id: req.id,
+                        core: req.core,
+                        line_addr: req.line_addr,
                     },
                 });
             }
         } else {
             self.mshr_pipe.push_back(PipeEntry {
-                req: head.req,
+                h: head.h,
                 ready_at: now + self.cfg.mshr_latency,
             });
         }
     }
 
-    fn storage_port(&mut self, now: Cycle) {
+    fn storage_port(&mut self, now: Cycle, pool: &mut ReqPool) {
         let prefer = self
             .arbiter
             .port_preference(self.req_q.len(), self.resp_q.len(), self.cfg.resp_q_size)
@@ -376,11 +440,11 @@ impl LlcSlice {
                 if self.pop_response(now) {
                     self.stats.resp_port_cycles += 1;
                 } else {
-                    self.try_arbitrate(now);
+                    self.try_arbitrate(now, pool);
                 }
             }
             PortPreference::Request => {
-                if !self.try_arbitrate(now) && self.pop_response(now) {
+                if !self.try_arbitrate(now, pool) && self.pop_response(now) {
                     self.stats.resp_port_cycles += 1;
                 }
             }
@@ -407,16 +471,19 @@ impl LlcSlice {
 
     /// (2) Consult the arbiter and start a tag lookup. Returns true if a
     /// request entered the pipeline.
-    fn try_arbitrate(&mut self, now: Cycle) -> bool {
+    fn try_arbitrate(&mut self, now: Cycle, pool: &ReqPool) -> bool {
         if self.stall != StallKind::None {
             return false; // MSHR reservation failure stalls the pipeline
         }
         if self.req_q.is_empty() {
             return false;
         }
-        self.mshr.snapshot_into(&mut self.snapshot);
+        if self.arbiter.wants_mshr_snapshot() {
+            self.mshr.snapshot_into(&mut self.snapshot);
+        }
         let ctx = ArbiterCtx {
             queue: &self.req_q,
+            pool,
             mshr: &self.snapshot,
             served: &self.served,
             cycle: now,
@@ -426,10 +493,13 @@ impl LlcSlice {
         };
         debug_assert!(idx < self.req_q.len(), "arbiter returned invalid index");
         let chosen = self.req_q.remove(idx);
-        self.served[chosen.req.core] += 1;
+        self.served[pool.get(chosen).core] += 1;
         self.stats.req_port_cycles += 1;
+        // The tag scan runs `hit_latency` simulated cycles from now —
+        // ideal distance to hide the host-memory latency of the set row.
+        self.storage.prefetch(pool.get(chosen).line_addr);
         self.tag_pipe.push_back(PipeEntry {
-            req: chosen.req,
+            h: chosen,
             ready_at: now + self.cfg.hit_latency,
         });
         true
@@ -437,13 +507,10 @@ impl LlcSlice {
 
     fn drain_ingress(&mut self) {
         while self.req_q.len() < self.cfg.req_q_size {
-            let Some(req) = self.ingress.pop_front() else {
+            let Some(h) = self.ingress.pop_front() else {
                 return;
             };
-            self.req_q.push(QueuedReq {
-                req,
-                enqueued_at: 0,
-            });
+            self.req_q.push(h);
         }
         if !self.ingress.is_empty() {
             self.stats.req_q_rejects += 1;
@@ -454,12 +521,12 @@ impl LlcSlice {
     /// registration — the stall regime, where every tick accrues stall
     /// counters without changing state (only a fill can clear it, and
     /// fills are never skipped over).
-    fn head_stalled(&self, now: Cycle) -> Option<MshrOutcome> {
+    fn head_stalled(&self, now: Cycle, pool: &ReqPool) -> Option<MshrOutcome> {
         let head = self.mshr_pipe.front()?;
         if head.ready_at > now {
             return None;
         }
-        match self.mshr.probe(head.req.line_addr) {
+        match self.mshr.probe(pool.get(head.h).line_addr) {
             o @ (MshrOutcome::FullEntries | MshrOutcome::FullTargets) => Some(o),
             _ => None,
         }
@@ -468,12 +535,13 @@ impl LlcSlice {
     /// Whether the tag-pipeline head is ready, would hit, and is blocked
     /// on the busy data port — the other per-cycle stall regime, which
     /// resolves by itself when the port frees.
-    fn head_port_blocked(&self, now: Cycle) -> bool {
+    fn head_port_blocked(&self, now: Cycle, pool: &ReqPool) -> bool {
         self.tag_pipe.front().is_some_and(|head| {
+            let req = pool.get(head.h);
             head.ready_at <= now
-                && !head.req.is_write
+                && !req.is_write
                 && now < self.data_port_free_at
-                && self.storage.probe(head.req.line_addr)
+                && self.storage.probe(req.line_addr)
         })
     }
 
@@ -486,7 +554,7 @@ impl LlcSlice {
     /// blocked pipeline head, ingress rejects, and arbiter aging.
     /// `None` means only external events (NoC deliveries, DRAM fills —
     /// both of which the system never skips over) can change the slice.
-    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+    pub fn next_event(&self, now: Cycle, pool: &ReqPool) -> Option<Cycle> {
         debug_assert!(self.outbound.is_empty(), "system drains outbound per tick");
         // Anything in these queues is acted on (or retried) every cycle.
         if !self.pending_fills.is_empty()
@@ -503,7 +571,7 @@ impl LlcSlice {
         if let Some(head) = self.tag_pipe.front() {
             if head.ready_at > now {
                 merge(head.ready_at);
-            } else if self.head_port_blocked(now) {
+            } else if self.head_port_blocked(now, pool) {
                 // Pure stall accrual until the data port frees.
                 merge(self.data_port_free_at);
             } else {
@@ -513,13 +581,13 @@ impl LlcSlice {
         if let Some(head) = self.mshr_pipe.front() {
             if head.ready_at > now {
                 merge(head.ready_at);
-            } else if self.head_stalled(now).is_some() {
+            } else if self.head_stalled(now, pool).is_some() {
                 // Stall accrual; only a fill (an event) can clear it.
             } else {
                 return Some(now); // registration succeeds next tick
             }
         }
-        if !self.req_q.is_empty() && self.head_stalled(now).is_none() {
+        if !self.req_q.is_empty() && self.head_stalled(now, pool).is_none() {
             return Some(now); // arbitration can admit a request
         }
         if !self.ingress.is_empty() && self.req_q.len() < self.cfg.req_q_size {
@@ -539,7 +607,7 @@ impl LlcSlice {
     /// integrals, MSHR-reservation stall counters, data-port stall
     /// counters, ingress rejects, and arbiter aging. Callers must have
     /// validated the window against [`LlcSlice::next_event`].
-    pub fn skip(&mut self, now: Cycle, cycles: u64) {
+    pub fn skip(&mut self, now: Cycle, cycles: u64, pool: &ReqPool) {
         if cycles == 0 {
             return;
         }
@@ -551,8 +619,9 @@ impl LlcSlice {
         // and only a fill — never skipped over — can unblock it), so
         // every stalled cycle charges the same request the per-cycle
         // tick would have charged.
-        if let Some(outcome) = self.head_stalled(now) {
-            let request = self.mshr_pipe.front().expect("stalled head").req.request;
+        if let Some(outcome) = self.head_stalled(now, pool) {
+            let head = self.mshr_pipe.front().expect("stalled head");
+            let request = pool.get(head.h).request;
             self.stats.stall_cycles += cycles;
             match outcome {
                 MshrOutcome::FullEntries => self.stats.stall_entry_full += cycles,
@@ -561,8 +630,9 @@ impl LlcSlice {
             }
             self.rstat(request).stall_cycles += cycles;
         }
-        if self.head_port_blocked(now) {
-            let request = self.tag_pipe.front().expect("blocked head").req.request;
+        if self.head_port_blocked(now, pool) {
+            let head = self.tag_pipe.front().expect("blocked head");
+            let request = pool.get(head.h).request;
             self.stats.stall_cycles += cycles;
             self.stats.stall_data_port += cycles;
             self.rstat(request).stall_cycles += cycles;
@@ -595,92 +665,105 @@ mod tests {
     use super::*;
     use crate::arb::FifoArbiter;
     use crate::config::SystemConfig;
-    use crate::types::LINE_BYTES;
+    use crate::types::{MemReq, LINE_BYTES};
 
     fn slice_cfg() -> L2Config {
         SystemConfig::table5().l2
     }
 
-    fn mk_slice() -> LlcSlice {
-        LlcSlice::new(0, slice_cfg(), 4, Box::new(FifoArbiter))
+    fn mk_slice() -> (LlcSlice<FifoArbiter>, ReqPool) {
+        (
+            LlcSlice::new(0, slice_cfg(), 4, FifoArbiter),
+            ReqPool::default(),
+        )
     }
 
-    fn read(id: u64, core: usize, line: u64) -> MemReq {
-        MemReq {
+    fn read(pool: &mut ReqPool, id: u64, core: usize, line: u64) -> ReqHandle {
+        pool.alloc(MemReq {
             id,
             core,
             request: 0,
             line_addr: line * LINE_BYTES * 8, // keep slice bits constant
             is_write: false,
             issued_at: 0,
-        }
+        })
     }
 
-    fn run(slice: &mut LlcSlice, from: Cycle, cycles: Cycle) -> Cycle {
+    fn run(
+        slice: &mut LlcSlice<FifoArbiter>,
+        pool: &mut ReqPool,
+        from: Cycle,
+        cycles: Cycle,
+    ) -> Cycle {
         for c in from..from + cycles {
-            slice.tick(c);
+            slice.tick(c, pool);
         }
         from + cycles
     }
 
     #[test]
     fn miss_allocates_and_dispatches_dram_read() {
-        let mut s = mk_slice();
-        s.deliver(read(1, 0, 1));
-        run(&mut s, 0, 20);
+        let (mut s, mut pool) = mk_slice();
+        let h = read(&mut pool, 1, 0, 1);
+        s.deliver(h);
+        run(&mut s, &mut pool, 0, 20);
         assert_eq!(s.stats.misses, 1);
         assert_eq!(s.stats.mshr_allocs, 1);
         assert_eq!(s.dram_reads.len(), 1);
         assert_eq!(s.mshr_occupancy(), 1);
+        assert_eq!(pool.live(), 0, "handle recycled at MSHR registration");
     }
 
     #[test]
     fn fill_forwards_directly_and_installs_line() {
-        let mut s = mk_slice();
-        let r = read(7, 2, 3);
+        let (mut s, mut pool) = mk_slice();
+        let r = read(&mut pool, 7, 2, 3);
         s.deliver(r);
-        let now = run(&mut s, 0, 20);
+        let now = run(&mut s, &mut pool, 0, 20);
         let line = s.dram_reads.pop_front().unwrap();
         s.deliver_fill(line);
-        let now = run(&mut s, now, 5);
+        let now = run(&mut s, &mut pool, now, 5);
         // Direct forward (4') produced a response for core 2.
         let resp = s.outbound.pop_back().expect("forwarded response");
         assert_eq!(resp.resp.core, 2);
         assert_eq!(resp.resp.id, 7);
         assert_eq!(s.mshr_occupancy(), 0, "MSHR freed at fill");
         // The line is now resident: a second read hits.
-        let now = run(&mut s, now, 5);
-        s.deliver(read(8, 1, 3));
-        run(&mut s, now, 40);
+        let now = run(&mut s, &mut pool, now, 5);
+        let h = read(&mut pool, 8, 1, 3);
+        s.deliver(h);
+        run(&mut s, &mut pool, now, 40);
         assert_eq!(s.stats.hits, 1);
         assert_eq!(s.stats.fills, 1);
     }
 
     #[test]
     fn merges_share_one_dram_access() {
-        let mut s = mk_slice();
-        s.deliver(read(1, 0, 5));
-        s.deliver(read(2, 1, 5));
-        s.deliver(read(3, 2, 5));
-        run(&mut s, 0, 40);
+        let (mut s, mut pool) = mk_slice();
+        for (id, core) in [(1, 0), (2, 1), (3, 2)] {
+            let h = read(&mut pool, id, core, 5);
+            s.deliver(h);
+        }
+        run(&mut s, &mut pool, 0, 40);
         assert_eq!(s.stats.mshr_allocs, 1);
         assert_eq!(s.stats.mshr_merges, 2);
         assert_eq!(s.dram_reads.len(), 1, "one fetch serves three requesters");
         let line = s.dram_reads.pop_front().unwrap();
         s.deliver_fill(line);
-        run(&mut s, 40, 5);
+        run(&mut s, &mut pool, 40, 5);
         assert_eq!(s.outbound.len(), 3, "every requester gets data");
     }
 
     #[test]
     fn entry_exhaustion_stalls_pipeline() {
-        let mut s = mk_slice();
+        let (mut s, mut pool) = mk_slice();
         let cfg = slice_cfg();
         // Fill all MSHR entries with distinct lines, then send one more.
         for i in 0..cfg.mshr_entries as u64 + 1 {
-            s.deliver(read(i, 0, 10 + i));
+            let h = read(&mut pool, i, 0, 10 + i);
+            s.deliver(h);
         }
-        run(&mut s, 0, 200);
+        run(&mut s, &mut pool, 0, 200);
         assert_eq!(s.stats.mshr_allocs, cfg.mshr_entries as u64);
         assert!(s.stats.stall_cycles > 0, "pipeline must stall");
         assert!(s.stats.stall_entry_full > 0);
@@ -688,7 +771,7 @@ mod tests {
         // A fill releases the stall.
         let line = s.dram_reads.pop_front().unwrap();
         s.deliver_fill(line);
-        run(&mut s, 200, 20);
+        run(&mut s, &mut pool, 200, 20);
         assert_eq!(
             s.stats.mshr_allocs,
             cfg.mshr_entries as u64 + 1,
@@ -698,12 +781,13 @@ mod tests {
 
     #[test]
     fn target_exhaustion_stalls_pipeline() {
-        let mut s = mk_slice();
+        let (mut s, mut pool) = mk_slice();
         let cfg = slice_cfg();
         for i in 0..cfg.mshr_targets as u64 + 1 {
-            s.deliver(read(i, (i % 4) as usize, 5));
+            let h = read(&mut pool, i, (i % 4) as usize, 5);
+            s.deliver(h);
         }
-        run(&mut s, 0, 300);
+        run(&mut s, &mut pool, 0, 300);
         assert_eq!(s.stats.mshr_allocs, 1);
         assert_eq!(s.stats.mshr_merges, cfg.mshr_targets as u64 - 1);
         assert!(s.stats.stall_target_full > 0);
@@ -711,15 +795,21 @@ mod tests {
 
     #[test]
     fn write_miss_fetches_then_dirties() {
-        let mut s = mk_slice();
-        let mut w = read(1, 0, 9);
-        w.is_write = true;
+        let (mut s, mut pool) = mk_slice();
+        let w = pool.alloc(MemReq {
+            id: 1,
+            core: 0,
+            request: 0,
+            line_addr: 9 * LINE_BYTES * 8,
+            is_write: true,
+            issued_at: 0,
+        });
         s.deliver(w);
-        run(&mut s, 0, 20);
+        run(&mut s, &mut pool, 0, 20);
         assert_eq!(s.stats.misses, 1, "write-allocate fetches the line");
         let line = s.dram_reads.pop_front().unwrap();
         s.deliver_fill(line);
-        run(&mut s, 20, 10);
+        run(&mut s, &mut pool, 20, 10);
         assert!(s.outbound.is_empty(), "writes are posted: no response");
         // Evict it by filling the set: dirty writeback must appear.
         // (Directly test via invalidate-like path: insert conflicting lines.)
@@ -728,20 +818,22 @@ mod tests {
 
     #[test]
     fn hit_latency_plus_data_latency() {
-        let mut s = mk_slice();
+        let (mut s, mut pool) = mk_slice();
         let cfg = slice_cfg();
-        s.deliver(read(1, 0, 4));
-        run(&mut s, 0, 20);
+        let h = read(&mut pool, 1, 0, 4);
+        s.deliver(h);
+        run(&mut s, &mut pool, 0, 20);
         let line = s.dram_reads.pop_front().unwrap();
         s.deliver_fill(line);
-        let now = run(&mut s, 20, 10);
+        let now = run(&mut s, &mut pool, 20, 10);
         s.outbound.clear();
         // Second access hits: response time = arbitration + hit + data.
-        s.deliver(read(2, 0, 4));
+        let h = read(&mut pool, 2, 0, 4);
+        s.deliver(h);
         let start = now;
         let mut resp_at = None;
         for c in now..now + 100 {
-            s.tick(c);
+            s.tick(c, &mut pool);
             if let Some(o) = s.outbound.front() {
                 resp_at = Some(o.at);
                 break;
@@ -759,11 +851,12 @@ mod tests {
 
     #[test]
     fn served_counters_track_cores() {
-        let mut s = mk_slice();
-        s.deliver(read(1, 0, 1));
-        s.deliver(read(2, 1, 2));
-        s.deliver(read(3, 1, 3));
-        run(&mut s, 0, 50);
+        let (mut s, mut pool) = mk_slice();
+        for (id, core, line) in [(1, 0, 1), (2, 1, 2), (3, 1, 3)] {
+            let h = read(&mut pool, id, core, line);
+            s.deliver(h);
+        }
+        run(&mut s, &mut pool, 0, 50);
         assert_eq!(s.served()[0], 1);
         assert_eq!(s.served()[1], 2);
         s.start_operator();
@@ -772,15 +865,16 @@ mod tests {
 
     #[test]
     fn req_q_capacity_backpressures_to_ingress() {
-        let mut s = mk_slice();
+        let (mut s, mut pool) = mk_slice();
         let cfg = slice_cfg();
         // MSHR capacity is 6; deliver far more distinct misses at once.
         for i in 0..40u64 {
-            s.deliver(read(i, 0, 100 + i));
+            let h = read(&mut pool, i, 0, 100 + i);
+            s.deliver(h);
         }
-        s.tick(0);
+        s.tick(0, &mut pool);
         assert!(s.req_q.len() <= cfg.req_q_size);
-        run(&mut s, 1, 50);
+        run(&mut s, &mut pool, 1, 50);
         assert!(s.stats.req_q_rejects > 0, "ingress should have backed up");
     }
 }

@@ -35,16 +35,24 @@ pub struct MshrTarget {
     pub is_write: bool,
 }
 
-#[derive(Debug, Clone)]
-struct MshrEntry {
-    line_addr: Addr,
-    targets: Vec<MshrTarget>,
-}
-
 /// The MSHR file of one LLC slice.
+///
+/// Data-oriented layout: entry metadata lives in small parallel arrays
+/// and every entry's target list occupies a fixed-size window of one
+/// flat preallocated buffer. The file performs **zero heap allocations
+/// after construction** — [`MshrFile::complete`] hands back the
+/// retiring entry's targets as a borrowed slice instead of a fresh
+/// `Vec` (the seed implementation allocated one `Vec` per LLC miss,
+/// which dominated the steady-state tick's allocator traffic).
 #[derive(Debug, Clone)]
 pub struct MshrFile {
-    entries: Vec<Option<MshrEntry>>,
+    /// Line address per entry slot (meaningful only where `valid`).
+    lines: Vec<Addr>,
+    valid: Vec<bool>,
+    /// Live target count per entry slot.
+    target_len: Vec<usize>,
+    /// Flat target storage: slot `i` owns `[i * num_targets ..]`.
+    targets: Vec<MshrTarget>,
     num_targets: usize,
     occupied: usize,
 }
@@ -52,35 +60,46 @@ pub struct MshrFile {
 impl MshrFile {
     pub fn new(num_entries: usize, num_targets: usize) -> Self {
         assert!(num_entries > 0 && num_targets > 0);
+        let filler = MshrTarget {
+            req_id: 0,
+            core: 0,
+            is_write: false,
+        };
         MshrFile {
-            entries: vec![None; num_entries],
+            lines: vec![0; num_entries],
+            valid: vec![false; num_entries],
+            target_len: vec![0; num_entries],
+            targets: vec![filler; num_entries * num_targets],
             num_targets,
             occupied: 0,
         }
     }
 
+    /// Slot holding `line_addr`, if pending.
+    #[inline]
+    fn slot_of(&self, line_addr: Addr) -> Option<usize> {
+        (0..self.lines.len()).find(|&i| self.valid[i] && self.lines[i] == line_addr)
+    }
+
     /// Attempts to register a miss for `line_addr` on behalf of `target`.
     pub fn register(&mut self, line_addr: Addr, target: MshrTarget) -> MshrOutcome {
         // Merge path first: the line may already be pending.
-        if let Some(entry) = self
-            .entries
-            .iter_mut()
-            .flatten()
-            .find(|e| e.line_addr == line_addr)
-        {
-            if entry.targets.len() >= self.num_targets {
+        if let Some(slot) = self.slot_of(line_addr) {
+            let len = self.target_len[slot];
+            if len >= self.num_targets {
                 return MshrOutcome::FullTargets;
             }
-            entry.targets.push(target);
+            self.targets[slot * self.num_targets + len] = target;
+            self.target_len[slot] = len + 1;
             return MshrOutcome::Merged;
         }
         // Allocate a fresh entry.
-        match self.entries.iter_mut().find(|e| e.is_none()) {
+        match self.valid.iter().position(|&v| !v) {
             Some(slot) => {
-                *slot = Some(MshrEntry {
-                    line_addr,
-                    targets: vec![target],
-                });
+                self.lines[slot] = line_addr;
+                self.valid[slot] = true;
+                self.targets[slot * self.num_targets] = target;
+                self.target_len[slot] = 1;
                 self.occupied += 1;
                 MshrOutcome::Allocated
             }
@@ -89,35 +108,28 @@ impl MshrFile {
     }
 
     /// Frees the entry for `line_addr` (DRAM fill arrived) and returns its
-    /// waiting targets. Returns `None` if no entry matches (e.g. a
-    /// write-back completion).
-    pub fn complete(&mut self, line_addr: Addr) -> Option<Vec<MshrTarget>> {
-        for slot in self.entries.iter_mut() {
-            if slot.as_ref().is_some_and(|e| e.line_addr == line_addr) {
-                let entry = slot.take().expect("checked above");
-                self.occupied -= 1;
-                return Some(entry.targets);
-            }
-        }
-        None
+    /// waiting targets as a slice borrowed from the file's flat storage
+    /// (valid until the next `register`). Returns `None` if no entry
+    /// matches (e.g. a write-back completion).
+    pub fn complete(&mut self, line_addr: Addr) -> Option<&[MshrTarget]> {
+        let slot = self.slot_of(line_addr)?;
+        self.valid[slot] = false;
+        self.occupied -= 1;
+        let base = slot * self.num_targets;
+        Some(&self.targets[base..base + self.target_len[slot]])
     }
 
     /// What [`MshrFile::register`] would return for `line_addr`, without
     /// mutating the file. Used by the fast-forward engine to classify a
     /// ready pipeline head as "would advance" vs "stalls every cycle".
     pub fn probe(&self, line_addr: Addr) -> MshrOutcome {
-        if let Some(entry) = self
-            .entries
-            .iter()
-            .flatten()
-            .find(|e| e.line_addr == line_addr)
-        {
-            if entry.targets.len() >= self.num_targets {
+        if let Some(slot) = self.slot_of(line_addr) {
+            if self.target_len[slot] >= self.num_targets {
                 MshrOutcome::FullTargets
             } else {
                 MshrOutcome::Merged
             }
-        } else if self.occupied == self.entries.len() {
+        } else if self.occupied == self.lines.len() {
             MshrOutcome::FullEntries
         } else {
             MshrOutcome::Allocated
@@ -126,19 +138,13 @@ impl MshrFile {
 
     /// Whether `line_addr` currently has a pending entry.
     pub fn contains(&self, line_addr: Addr) -> bool {
-        self.entries
-            .iter()
-            .flatten()
-            .any(|e| e.line_addr == line_addr)
+        self.slot_of(line_addr).is_some()
     }
 
     /// Remaining target slots for a pending line (None if not pending).
     pub fn free_targets(&self, line_addr: Addr) -> Option<usize> {
-        self.entries
-            .iter()
-            .flatten()
-            .find(|e| e.line_addr == line_addr)
-            .map(|e| self.num_targets - e.targets.len())
+        self.slot_of(line_addr)
+            .map(|slot| self.num_targets - self.target_len[slot])
     }
 
     /// Occupied entries.
@@ -148,24 +154,26 @@ impl MshrFile {
 
     /// Total entries (`numEntry`).
     pub fn capacity(&self) -> usize {
-        self.entries.len()
+        self.lines.len()
     }
 
     pub fn is_full(&self) -> bool {
-        self.occupied == self.entries.len()
+        self.occupied == self.lines.len()
     }
 
     /// Builds a snapshot for the arbiter "direct wire" (addr + target
     /// count per live entry).
     pub fn snapshot_into(&self, snap: &mut MshrSnapshot) {
         snap.entries.clear();
-        for e in self.entries.iter().flatten() {
-            snap.entries.push(SnapshotEntry {
-                line_addr: e.line_addr,
-                num_targets: e.targets.len(),
-            });
+        for i in 0..self.lines.len() {
+            if self.valid[i] {
+                snap.entries.push(SnapshotEntry {
+                    line_addr: self.lines[i],
+                    num_targets: self.target_len[i],
+                });
+            }
         }
-        snap.capacity = self.entries.len();
+        snap.capacity = self.lines.len();
         snap.num_targets = self.num_targets;
     }
 }

@@ -15,12 +15,69 @@
 use std::collections::VecDeque;
 
 use crate::config::NocConfig;
-use crate::types::{Cycle, MemReq, MemResp, SliceId};
+use crate::pool::{ReqHandle, ReqPool};
+use crate::types::{Cycle, MemResp, SliceId};
+
+/// One direction of lanes in structure-of-arrays form: a ring buffer of
+/// arrival cycles (sorted, because every sorted-insert decision reads
+/// only this array) parallel to a ring buffer of payloads. The seed's
+/// `VecDeque<(Cycle, MemReq)>` moved 48-byte tuples on every sorted
+/// insert; here the scan and the shift touch the dense `Cycle` ring,
+/// and the payload shift moves 4-byte handles (requests) or 24-byte
+/// responses.
+#[derive(Debug, Clone)]
+struct Lane<P: Copy> {
+    at: VecDeque<Cycle>,
+    payload: VecDeque<P>,
+}
+
+impl<P: Copy> Default for Lane<P> {
+    fn default() -> Self {
+        // Preallocated to the realistic in-flight high-water mark so
+        // steady-state sends never grow the rings.
+        Lane {
+            at: VecDeque::with_capacity(128),
+            payload: VecDeque::with_capacity(128),
+        }
+    }
+}
+
+impl<P: Copy> Lane<P> {
+    /// Inserts keeping `at` sorted, stable on ties (FIFO among equal
+    /// arrivals — the order the seed's `partition_point` insert
+    /// produced).
+    #[inline]
+    fn insert_sorted(&mut self, at: Cycle, payload: P) {
+        let pos = self.at.partition_point(|&t| t <= at);
+        self.at.insert(pos, at);
+        self.payload.insert(pos, payload);
+    }
+
+    #[inline]
+    fn front_at(&self) -> Option<Cycle> {
+        self.at.front().copied()
+    }
+
+    #[inline]
+    fn pop_due(&mut self, now: Cycle) -> Option<P> {
+        if *self.at.front()? <= now {
+            self.at.pop_front();
+            self.payload.pop_front()
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.at.is_empty()
+    }
+}
 
 /// Delay pipe carrying requests to slices and responses to cores.
 pub struct Noc {
-    to_slice: Vec<VecDeque<(Cycle, MemReq)>>,
-    to_core: Vec<VecDeque<(Cycle, MemResp)>>,
+    to_slice: Vec<Lane<ReqHandle>>,
+    to_core: Vec<Lane<MemResp>>,
     /// Request latency per (core, slice) pair (row-major by core).
     req_lat: Vec<u64>,
     /// Response latency per (core, slice) pair.
@@ -44,8 +101,8 @@ impl Noc {
             }
         }
         Noc {
-            to_slice: vec![VecDeque::new(); num_slices],
-            to_core: vec![VecDeque::new(); num_cores],
+            to_slice: vec![Lane::default(); num_slices],
+            to_core: vec![Lane::default(); num_cores],
             req_lat,
             resp_lat,
             num_slices,
@@ -77,16 +134,14 @@ impl Noc {
         self.resp_lat[core * self.num_slices + slice]
     }
 
-    /// Sends a request towards `slice`, arriving after the pair latency.
-    /// Returns the arrival cycle (the event-driven scheduler uses it to
-    /// wake the receiving slice).
-    pub fn send_req(&mut self, slice: SliceId, req: MemReq, now: Cycle) -> Cycle {
-        let at = now + self.req_latency(req.core, slice);
-        let q = &mut self.to_slice[slice];
+    /// Sends a pooled request towards `slice`, arriving after the pair
+    /// latency. Returns the arrival cycle (the event-driven scheduler
+    /// uses it to wake the receiving slice).
+    pub fn send_req(&mut self, slice: SliceId, h: ReqHandle, now: Cycle, pool: &ReqPool) -> Cycle {
+        let at = now + self.req_latency(pool.get(h).core, slice);
         // Distances differ per sender, so arrival times are not
         // monotonic in send order; keep sorted (stable on ties).
-        let pos = q.partition_point(|(t, _)| *t <= at);
-        q.insert(pos, (at, req));
+        self.to_slice[slice].insert_sorted(at, h);
         at
     }
 
@@ -95,43 +150,46 @@ impl Noc {
     /// Returns the arrival cycle.
     pub fn send_resp(&mut self, slice: SliceId, resp: MemResp, ready_at: Cycle) -> Cycle {
         let at = ready_at + self.resp_latency(resp.core, slice);
-        let q = &mut self.to_core[resp.core];
-        let pos = q.partition_point(|(t, _)| *t <= at);
-        q.insert(pos, (at, resp));
+        self.to_core[resp.core].insert_sorted(at, resp);
         at
     }
 
-    /// Earliest pending request arrival for `slice` (queues are sorted
+    /// Earliest pending request arrival for `slice` (lanes are sorted
     /// by arrival time, so the front is the minimum).
     pub fn next_req_arrival(&self, slice: SliceId) -> Option<Cycle> {
-        self.to_slice[slice].front().map(|(at, _)| *at)
+        self.to_slice[slice].front_at()
     }
 
     /// Earliest pending response arrival for `core`.
     pub fn next_resp_arrival(&self, core: usize) -> Option<Cycle> {
-        self.to_core[core].front().map(|(at, _)| *at)
+        self.to_core[core].front_at()
     }
 
     /// Pops every request due for `slice` at `now` into `out`.
-    pub fn drain_reqs(&mut self, slice: SliceId, now: Cycle, out: &mut Vec<MemReq>) {
-        while let Some((at, _)) = self.to_slice[slice].front() {
-            if *at <= now {
-                out.push(self.to_slice[slice].pop_front().expect("front exists").1);
-            } else {
-                break;
-            }
+    pub fn drain_reqs(&mut self, slice: SliceId, now: Cycle, out: &mut Vec<ReqHandle>) {
+        while let Some(h) = self.to_slice[slice].pop_due(now) {
+            out.push(h);
         }
+    }
+
+    /// Pops the next request due for `slice` at `now`, if any (the
+    /// scratch-free drain the system loop uses).
+    #[inline]
+    pub fn pop_due_req(&mut self, slice: SliceId, now: Cycle) -> Option<ReqHandle> {
+        self.to_slice[slice].pop_due(now)
     }
 
     /// Pops every response due for `core` at `now` into `out`.
     pub fn drain_resps(&mut self, core: usize, now: Cycle, out: &mut Vec<MemResp>) {
-        while let Some((at, _)) = self.to_core[core].front() {
-            if *at <= now {
-                out.push(self.to_core[core].pop_front().expect("front exists").1);
-            } else {
-                break;
-            }
+        while let Some(resp) = self.to_core[core].pop_due(now) {
+            out.push(resp);
         }
+    }
+
+    /// Pops the next response due for `core` at `now`, if any.
+    #[inline]
+    pub fn pop_due_resp(&mut self, core: usize, now: Cycle) -> Option<MemResp> {
+        self.to_core[core].pop_due(now)
     }
 
     /// True when no messages are in flight.
@@ -143,6 +201,7 @@ impl Noc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::MemReq;
 
     fn cfg_uniform(lat: u64) -> NocConfig {
         NocConfig {
@@ -153,39 +212,46 @@ mod tests {
         }
     }
 
-    fn req(id: u64, core: usize) -> MemReq {
-        MemReq {
+    fn req(pool: &mut ReqPool, id: u64, core: usize) -> ReqHandle {
+        pool.alloc(MemReq {
             id,
             core,
             request: 0,
             line_addr: 0,
             is_write: false,
             issued_at: 0,
-        }
+        })
     }
 
     #[test]
     fn request_arrives_after_latency() {
+        let mut pool = ReqPool::default();
         let mut noc = Noc::new(cfg_uniform(6), 1, 2);
-        noc.send_req(1, req(42, 0), 10);
+        let h = req(&mut pool, 42, 0);
+        noc.send_req(1, h, 10, &pool);
         let mut out = Vec::new();
         noc.drain_reqs(1, 15, &mut out);
         assert!(out.is_empty());
         noc.drain_reqs(1, 16, &mut out);
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].id, 42);
+        assert_eq!(pool.get(out[0]).id, 42);
         assert!(noc.is_idle());
     }
 
     #[test]
     fn order_is_preserved_for_equal_latency() {
+        let mut pool = ReqPool::default();
         let mut noc = Noc::new(cfg_uniform(3), 1, 1);
-        noc.send_req(0, req(1, 0), 0);
-        noc.send_req(0, req(2, 0), 0);
-        noc.send_req(0, req(3, 0), 1);
+        for (id, at) in [(1, 0), (2, 0), (3, 1)] {
+            let h = req(&mut pool, id, 0);
+            noc.send_req(0, h, at, &pool);
+        }
         let mut out = Vec::new();
         noc.drain_reqs(0, 100, &mut out);
-        assert_eq!(out.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            out.iter().map(|&h| pool.get(h).id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]
@@ -239,15 +305,18 @@ mod tests {
             hop_latency: 2,
             mesh: true,
         };
+        let mut pool = ReqPool::default();
         let mut noc = Noc::new(cfg, 16, 8);
         // Core 3 sits at (3,0): 7 hops from slice 0. Core 12 sits at
         // (0,3): 1 hop. The far core sends first but arrives second.
         assert!(noc.req_latency(3, 0) > noc.req_latency(12, 0));
-        noc.send_req(0, req(1, 3), 0); // far
-        noc.send_req(0, req(2, 12), 0); // near
+        let far = req(&mut pool, 1, 3);
+        noc.send_req(0, far, 0, &pool);
+        let near = req(&mut pool, 2, 12);
+        noc.send_req(0, near, 0, &pool);
         let mut out = Vec::new();
         noc.drain_reqs(0, 1000, &mut out);
         assert_eq!(out.len(), 2);
-        assert_eq!(out[0].id, 2, "nearer sender arrives first");
+        assert_eq!(pool.get(out[0]).id, 2, "nearer sender arrives first");
     }
 }

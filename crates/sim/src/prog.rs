@@ -75,6 +75,54 @@ impl ThreadBlock {
 /// Identifier of a thread block within a [`Program`].
 pub type TbId = usize;
 
+/// Flattened, cache-dense view of a [`Program`] for the per-cycle issue
+/// path: all instructions in one contiguous array with per-block
+/// offsets and request tags in parallel arrays. The nested
+/// `Vec<ThreadBlock>` costs two dependent pointer loads per
+/// instruction fetch — paid by every window evaluation of every awake
+/// core tick; the flat view costs one load from a dense offset table.
+/// Built once by the system at construction; the serde-facing
+/// [`Program`] is unchanged.
+#[derive(Debug, Clone)]
+pub struct FlatProgram {
+    instrs: Vec<Instr>,
+    /// `start[tb]..start[tb + 1]` is block `tb`'s instruction range.
+    start: Vec<u32>,
+    /// Per-block serving-request tag (resolved; never empty).
+    request: Vec<RequestId>,
+}
+
+impl FlatProgram {
+    pub fn new(p: &Program) -> Self {
+        let total: usize = p.blocks.iter().map(|b| b.instrs.len()).sum();
+        let mut instrs = Vec::with_capacity(total);
+        let mut start = Vec::with_capacity(p.blocks.len() + 1);
+        for b in &p.blocks {
+            start.push(instrs.len() as u32);
+            instrs.extend_from_slice(&b.instrs);
+        }
+        start.push(instrs.len() as u32);
+        let request = (0..p.blocks.len()).map(|tb| p.request_of(tb)).collect();
+        FlatProgram {
+            instrs,
+            start,
+            request,
+        }
+    }
+
+    /// Block `tb`'s instructions.
+    #[inline]
+    pub fn block(&self, tb: TbId) -> &[Instr] {
+        &self.instrs[self.start[tb] as usize..self.start[tb + 1] as usize]
+    }
+
+    /// Serving request of block `tb`.
+    #[inline]
+    pub fn request_of(&self, tb: TbId) -> RequestId {
+        self.request[tb]
+    }
+}
+
 /// Identifier of a serving request (tenant) within a [`Program`].
 ///
 /// Solo traces are request 0 throughout; multi-tenant mixes tag every

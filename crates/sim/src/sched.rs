@@ -31,6 +31,13 @@ pub struct TbScheduler {
     /// for ungated (solo) programs — every block released at cycle 0.
     arrivals: Vec<Cycle>,
     remaining: usize,
+    /// Number of chunks still holding >= 2 blocks — a necessary
+    /// condition for migration stealing. Queues only shrink after
+    /// construction, so this is a cheap monotone gate that skips the
+    /// whole-machine steal scan once no chunk is stealable (the scan
+    /// otherwise runs every tick a core has a free window and an empty
+    /// home queue — the entire drain phase).
+    steal_candidates: usize,
     migrations: u64,
     /// Enable cross-core migration (on by default).
     pub migration: bool,
@@ -45,7 +52,7 @@ impl TbScheduler {
         for (tb, &core) in program.assignment.iter().enumerate() {
             per_core[core % num_cores].push(tb);
         }
-        let queues = per_core
+        let queues: Vec<Vec<VecDeque<TbId>>> = per_core
             .into_iter()
             .map(|list| {
                 let n = list.len();
@@ -57,13 +64,32 @@ impl TbScheduler {
                 chunks
             })
             .collect();
+        let steal_candidates = queues
+            .iter()
+            .flat_map(|ws| ws.iter())
+            .filter(|q| q.len() >= 2)
+            .count();
         TbScheduler {
             queues,
             arrivals: program.arrivals.clone(),
             remaining: program.num_blocks(),
+            steal_candidates,
             migrations: 0,
             migration: true,
         }
+    }
+
+    /// Pops the front of chunk `(core, window)`, maintaining the
+    /// remaining and steal-candidate counters.
+    #[inline]
+    fn pop_front_of(&mut self, core: CoreId, window: usize) -> TbId {
+        let q = &mut self.queues[core][window];
+        let tb = q.pop_front().expect("pop from non-empty chunk");
+        if q.len() == 1 {
+            self.steal_candidates -= 1;
+        }
+        self.remaining -= 1;
+        tb
     }
 
     /// Release cycle of a block (0 for ungated programs).
@@ -91,19 +117,13 @@ impl TbScheduler {
     /// queued behind it.
     pub fn next_for(&mut self, core: CoreId, window: WindowId, now: Cycle) -> Option<TbId> {
         if self.front_released(&self.queues[core][window], now) {
-            let tb = self.queues[core][window]
-                .pop_front()
-                .expect("released front");
-            self.remaining -= 1;
-            return Some(tb);
+            return Some(self.pop_front_of(core, window));
         }
         // Drain sibling chunks before going remote.
         if let Some(w) = self.longest_released(core, now) {
-            let tb = self.queues[core][w].pop_front().expect("released front");
-            self.remaining -= 1;
-            return Some(tb);
+            return Some(self.pop_front_of(core, w));
         }
-        if !self.migration {
+        if !self.migration || self.steal_candidates == 0 {
             return None;
         }
         // Steal from the most backlogged chunk anywhere (>= 2 blocks so
@@ -120,8 +140,7 @@ impl TbScheduler {
             }
         }
         let (_, c, w) = best?;
-        let tb = self.queues[c][w].pop_front().expect("len >= 2");
-        self.remaining -= 1;
+        let tb = self.pop_front_of(c, w);
         self.migrations += 1;
         Some(tb)
     }
@@ -160,6 +179,7 @@ impl TbScheduler {
         }
         // Migration steals only from chunks holding >= 2 blocks.
         self.migration
+            && self.steal_candidates > 0
             && self.queues.iter().any(|windows| {
                 windows
                     .iter()
@@ -187,7 +207,7 @@ impl TbScheduler {
                 }
             }
         }
-        if self.migration {
+        if self.migration && self.steal_candidates > 0 {
             for windows in &self.queues {
                 for q in windows {
                     if q.len() >= 2 {

@@ -20,10 +20,11 @@ use crate::core_model::VectorCore;
 use crate::dram::{DramSystem, MappingScheme};
 use crate::llc::LlcSlice;
 use crate::noc::Noc;
-use crate::prog::Program;
+use crate::pool::ReqPool;
+use crate::prog::{FlatProgram, Program};
 use crate::sched::TbScheduler;
 use crate::stats::SimStats;
-use crate::types::{line_index, Addr, Cycle, MemReq, MemResp, SliceId};
+use crate::types::{line_index, Addr, Cycle, SliceId};
 
 /// Outcome of [`System::run`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,15 +68,30 @@ pub enum StepMode {
 }
 
 /// The simulated machine.
-pub struct System {
+///
+/// Generic over its policy types so the experiment layer can
+/// monomorphize the whole tick loop (enum dispatch, zero virtual calls
+/// on the hot path); the defaults keep the seed's open-world
+/// `Box<dyn ...>` API working unchanged for tests and external users.
+pub struct System<A = Box<dyn RequestArbiter>, T = Box<dyn ThrottleController>>
+where
+    A: RequestArbiter,
+    T: ThrottleController,
+{
     cfg: SystemConfig,
     program: Program,
+    /// Dense issue-path view of `program` (see [`FlatProgram`]).
+    flat: FlatProgram,
     cores: Vec<VectorCore>,
-    slices: Vec<LlcSlice>,
+    slices: Vec<LlcSlice<A>>,
     noc: Noc,
     dram: DramSystem,
     sched: TbScheduler,
-    throttle: Box<dyn ThrottleController>,
+    throttle: T,
+    /// Arena for in-flight requests: allocated once at core issue,
+    /// recycled at LLC resolution; every queue in between moves 4-byte
+    /// handles.
+    pool: ReqPool,
     cycle: Cycle,
     /// Picosecond accumulators for the clock-domain crossing.
     core_time_ps: u64,
@@ -83,6 +99,14 @@ pub struct System {
     core_period_ps: u64,
     dram_period_ps: u64,
     max_tb: Vec<usize>,
+    /// Cycle-mode throttle gate: the next cycle at which the controller
+    /// could change state or output (its `next_event` bound). Between
+    /// boundaries `run_throttle` — and its whole-machine input sweep —
+    /// is skipped, exactly as the Skip engine's phase 5 does.
+    throttle_wake: Cycle,
+    /// Set by [`System::note_retirements`] when a thread block retired
+    /// this tick (the LCS-style discrete throttle trigger).
+    tb_retired: bool,
     /// Instrumentation: real ticks executed and cycles fast-forwarded
     /// (Skip mode only; both zero in Cycle mode).
     ticks_executed: u64,
@@ -98,12 +122,10 @@ pub struct System {
     c_idle_scratch: Vec<u64>,
     tbs_done_scratch: Vec<u64>,
     active_tbs_scratch: Vec<usize>,
-    req_scratch: Vec<MemReq>,
-    resp_scratch: Vec<MemResp>,
     fill_scratch: Vec<crate::dram::ReadReturn>,
 }
 
-impl System {
+impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
     /// Builds a system running `program` with the given policies.
     ///
     /// `make_arbiter` is invoked once per slice so each slice owns an
@@ -111,8 +133,8 @@ impl System {
     pub fn new(
         cfg: SystemConfig,
         program: Program,
-        make_arbiter: &dyn Fn(SliceId) -> Box<dyn RequestArbiter>,
-        mut throttle: Box<dyn ThrottleController>,
+        make_arbiter: &dyn Fn(SliceId) -> A,
+        mut throttle: T,
     ) -> Self {
         cfg.validate().expect("invalid system configuration");
         let cores = (0..cfg.num_cores)
@@ -135,21 +157,37 @@ impl System {
         // trivially complete from the start.
         let req_completed: Vec<bool> = req_blocks_total.iter().map(|&b| b == 0).collect();
         let n_req = req_blocks_total.len();
+        // In-flight requests are bounded by the per-core L1 miss
+        // tables (loads) plus posted stores in transit through the NoC
+        // and slice queues; 2x headroom keeps the arena from growing
+        // mid-run (pinned by `tests/alloc_regression.rs`). A single hot
+        // slice's ingress can buffer most of that window, so each
+        // slice's ring is preallocated to the same bound.
+        let in_flight_bound = 2 * n * cfg.l1.miss_entries + 256;
+        let pool = ReqPool::with_capacity(in_flight_bound);
+        for s in &mut slices {
+            s.reserve_ingress(in_flight_bound);
+        }
+        let flat = FlatProgram::new(&program);
         System {
             core_period_ps: cfg.core_period_ps(),
             dram_period_ps: cfg.dram.timing.tck_ps,
             cfg,
             program,
+            flat,
             cores,
             slices,
             noc,
             dram,
             sched,
             throttle,
+            pool,
             cycle: 0,
             core_time_ps: 0,
             dram_time_ps: 0,
             max_tb: vec![cfg.core.num_inst_windows; n],
+            throttle_wake: 0,
+            tb_retired: false,
             ticks_executed: 0,
             cycles_skipped: 0,
             req_blocks_total,
@@ -162,8 +200,6 @@ impl System {
             c_idle_scratch: vec![0; n],
             tbs_done_scratch: vec![0; n],
             active_tbs_scratch: vec![0; n],
-            req_scratch: Vec::with_capacity(64),
-            resp_scratch: Vec::with_capacity(64),
             fill_scratch: Vec::with_capacity(64),
         }
     }
@@ -220,6 +256,7 @@ impl System {
     /// retirement is an event, never skipped over.
     fn note_retirements(&mut self, core: usize, now: Cycle) {
         while let Some(tb) = self.cores[core].retired.pop() {
+            self.tb_retired = true;
             let r = self.program.request_of(tb) as usize;
             self.req_blocks_done[r] += 1;
             if self.req_blocks_done[r] == self.req_blocks_total[r] {
@@ -237,8 +274,16 @@ impl System {
 
     /// A slice's wake cycle: the earlier of its own event bound and its
     /// next NoC request arrival, clamped to the future.
-    fn slice_wake_of(slice: &LlcSlice, noc: &Noc, s: SliceId, now: Cycle) -> Cycle {
-        let own = slice.next_event(now).map_or(Cycle::MAX, |at| at.max(now));
+    fn slice_wake_of(
+        slice: &LlcSlice<A>,
+        noc: &Noc,
+        pool: &ReqPool,
+        s: SliceId,
+        now: Cycle,
+    ) -> Cycle {
+        let own = slice
+            .next_event(now, pool)
+            .map_or(Cycle::MAX, |at| at.max(now));
         let arrival = noc.next_req_arrival(s).map_or(Cycle::MAX, |at| at.max(now));
         own.min(arrival)
     }
@@ -345,7 +390,7 @@ impl System {
                 }
                 for (s, slice) in self.slices.iter_mut().enumerate() {
                     let pending = max_cycles - synced_slice[s].min(max_cycles);
-                    slice.skip(synced_slice[s], pending);
+                    slice.skip(synced_slice[s], pending, &self.pool);
                 }
                 // Saturate: astronomically large budgets (e.g. u64::MAX)
                 // would overflow the picosecond clock; the DRAM domain
@@ -372,13 +417,11 @@ impl System {
                     continue;
                 }
                 let pending = now - synced_slice[s];
-                self.slices[s].skip(synced_slice[s], pending);
-                self.req_scratch.clear();
-                self.noc.drain_reqs(s, now, &mut self.req_scratch);
-                for req in self.req_scratch.drain(..) {
-                    self.slices[s].deliver(req);
+                self.slices[s].skip(synced_slice[s], pending, &self.pool);
+                while let Some(h) = self.noc.pop_due_req(s, now) {
+                    self.slices[s].deliver(h);
                 }
-                self.slices[s].tick(now);
+                self.slices[s].tick(now, &mut self.pool);
                 while let Some(o) = self.slices[s].outbound.pop_front() {
                     let at = self.noc.send_resp(s, o.resp, o.at.max(now));
                     wake_core[o.resp.core] = wake_core[o.resp.core].min(at.max(now + 1));
@@ -400,7 +443,8 @@ impl System {
                     }
                 }
                 synced_slice[s] = now + 1;
-                wake_slice[s] = Self::slice_wake_of(&self.slices[s], &self.noc, s, now + 1);
+                wake_slice[s] =
+                    Self::slice_wake_of(&self.slices[s], &self.noc, &self.pool, s, now + 1);
             }
             if dram_touched {
                 // Fresh requests can pull the next DRAM command earlier
@@ -425,7 +469,7 @@ impl System {
                         // state, exactly as in cycle mode where the
                         // slice ticked in phase 2).
                         let pending = (now + 1) - synced_slice[s].min(now + 1);
-                        self.slices[s].skip(synced_slice[s], pending);
+                        self.slices[s].skip(synced_slice[s], pending, &self.pool);
                         synced_slice[s] = now + 1;
                         self.slices[s].deliver_fill(f.line_addr);
                         wake_slice[s] = now + 1;
@@ -441,17 +485,15 @@ impl System {
                 }
                 let pending = now - synced_core[c];
                 self.cores[c].skip(synced_core[c], pending);
-                self.resp_scratch.clear();
-                self.noc.drain_resps(c, now, &mut self.resp_scratch);
-                for resp in self.resp_scratch.drain(..) {
+                while let Some(resp) = self.noc.pop_due_resp(c, now) {
                     self.cores[c].on_resp(resp, now);
                 }
                 let tbs_before = self.cores[c].stats.tbs_completed;
-                self.cores[c].tick(now, &self.program, &mut self.sched);
+                self.cores[c].tick(now, &self.flat, &mut self.sched, &mut self.pool);
                 self.note_retirements(c, now);
-                while let Some(req) = self.cores[c].outbound.pop_front() {
-                    let slice = self.slice_of(req.line_addr);
-                    let at = self.noc.send_req(slice, req, now);
+                while let Some(h) = self.cores[c].outbound.pop_front() {
+                    let slice = self.slice_of(self.pool.get(h).line_addr);
+                    let at = self.noc.send_req(slice, h, now, &self.pool);
                     wake_slice[slice] = wake_slice[slice].min(at.max(now + 1));
                 }
                 if self.cores[c].stats.tbs_completed != tbs_before {
@@ -474,7 +516,7 @@ impl System {
                 }
                 for (s, slice) in self.slices.iter_mut().enumerate() {
                     let pending = (now + 1) - synced_slice[s].min(now + 1);
-                    slice.skip(synced_slice[s], pending);
+                    slice.skip(synced_slice[s], pending, &self.pool);
                     synced_slice[s] = now + 1;
                 }
                 self.run_throttle(now);
@@ -507,7 +549,7 @@ impl System {
                 }
                 for (s, slice) in self.slices.iter_mut().enumerate() {
                     let pending = (now + 1) - synced_slice[s].min(now + 1);
-                    slice.skip(synced_slice[s], pending);
+                    slice.skip(synced_slice[s], pending, &self.pool);
                 }
                 self.dram_sync_quiet((now + 1) * self.core_period_ps);
                 break RunOutcome::Completed;
@@ -522,19 +564,19 @@ impl System {
     /// Single-cycle step (public for fine-grained tests).
     pub fn tick(&mut self) {
         let now = self.cycle;
+        self.tb_retired = false;
 
-        // 1. Interconnect -> slice request queues.
+        // 1. Interconnect -> slice request queues (scratch-free: the
+        // NoC pops due handles straight into the slice's ingress).
         for s in 0..self.slices.len() {
-            self.req_scratch.clear();
-            self.noc.drain_reqs(s, now, &mut self.req_scratch);
-            for req in self.req_scratch.drain(..) {
-                self.slices[s].deliver(req);
+            while let Some(h) = self.noc.pop_due_req(s, now) {
+                self.slices[s].deliver(h);
             }
         }
 
         // 2. Slices.
         for s in 0..self.slices.len() {
-            self.slices[s].tick(now);
+            self.slices[s].tick(now, &mut self.pool);
             // Outbound responses into the NoC.
             while let Some(o) = self.slices[s].outbound.pop_front() {
                 self.noc.send_resp(s, o.resp, o.at.max(now));
@@ -569,21 +611,31 @@ impl System {
 
         // 4. Cores.
         for c in 0..self.cores.len() {
-            self.resp_scratch.clear();
-            self.noc.drain_resps(c, now, &mut self.resp_scratch);
-            for resp in self.resp_scratch.drain(..) {
+            while let Some(resp) = self.noc.pop_due_resp(c, now) {
                 self.cores[c].on_resp(resp, now);
             }
-            self.cores[c].tick(now, &self.program, &mut self.sched);
+            self.cores[c].tick(now, &self.flat, &mut self.sched, &mut self.pool);
             self.note_retirements(c, now);
-            while let Some(req) = self.cores[c].outbound.pop_front() {
-                let slice = self.slice_of(req.line_addr);
-                self.noc.send_req(slice, req, now);
+            while let Some(h) = self.cores[c].outbound.pop_front() {
+                let slice = self.slice_of(self.pool.get(h).line_addr);
+                self.noc.send_req(slice, h, now, &self.pool);
             }
         }
 
-        // 5. Throttling.
-        self.run_throttle(now);
+        // 5. Throttling — event-gated, mirroring the Skip engine's
+        // phase 5: controllers promise (via `next_event`) that between
+        // boundaries their state and `max_tb` output are frozen, and the
+        // one discrete input they may react to is a thread-block
+        // completion. Skipping the call also skips the whole-machine
+        // input sweep, which the per-cycle path paid even for
+        // `NoThrottle`.
+        if now >= self.throttle_wake || self.tb_retired {
+            self.run_throttle(now);
+            self.throttle_wake = match self.throttle.next_event(now + 1) {
+                Some(at) => at.max(now + 1),
+                None => Cycle::MAX,
+            };
+        }
 
         self.cycle += 1;
     }

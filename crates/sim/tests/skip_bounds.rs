@@ -235,7 +235,9 @@ proptest! {
         let program = decode_program(&blocks, 1);
         let total_blocks = program.num_blocks() as u64;
         let mut sched = TbScheduler::new(&program, 1, cfg.core.num_inst_windows);
+        let flat = llamcat_sim::prog::FlatProgram::new(&program);
         let mut core = VectorCore::new(0, cfg.core, cfg.l1);
+        let mut pool = llamcat_sim::pool::ReqPool::default();
         // (due cycle, response) — emulates the LLC/NoC round trip.
         let mut pending: Vec<(Cycle, MemResp)> = Vec::new();
         let mut completed = false;
@@ -264,7 +266,7 @@ proptest! {
             );
             let accrual_before =
                 core.stats.idle_cycles + core.stats.mem_stall_cycles + core.stats.active_cycles;
-            core.tick(now, &program, &mut sched);
+            core.tick(now, &flat, &mut sched, &mut pool);
             if quiet {
                 let after = (
                     core.stats.instrs_issued,
@@ -284,7 +286,9 @@ proptest! {
                     "quiet tick must accrue exactly one cycle"
                 );
             }
-            while let Some(req) = core.outbound.pop_front() {
+            while let Some(h) = core.outbound.pop_front() {
+                let req = *pool.get(h);
+                pool.release(h);
                 let due = now + 5 + (req.id.wrapping_mul(delay_salt)) % 60;
                 pending.push((
                     due,
