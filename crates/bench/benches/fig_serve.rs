@@ -1,0 +1,290 @@
+//! fig_serve: open-system serving — arrival-rate sweep to the
+//! saturation knee.
+//!
+//! The paper (and fig_mix) evaluate closed request sets: every request
+//! is known before cycle 0. This target opens the system: a seeded
+//! Poisson arrival process feeds the request injector mid-run, and a
+//! serving scheduler (FCFS, max-concurrency, continuous batching)
+//! decides when queued requests reach the machine. Sweeping the
+//! arrival rate from light load toward saturation locates the knee —
+//! the rate where p99 TTFT departs from its light-load plateau — for
+//! each (serving policy × cache policy) cell.
+//!
+//! Every sweep point runs in both step modes and asserts byte-identical
+//! per-request statistics (arrival, admission, TTFT, TBT), extending
+//! the Skip ≡ Cycle guarantee to mid-run injection. One JSON record per
+//! (cell, rate) point goes to stdout; when `LLAMCAT_FIG_SERVE_JSON`
+//! names a path, a machine-readable report with simulator throughput
+//! (cyc/s) and the per-cell knee is written there (the artifact
+//! `BENCH_sim_speed.json` archives).
+//!
+//! Scale via `LLAMCAT_SCALE` as usual (full | half | quick).
+
+use std::time::Instant;
+
+use llamcat::experiment::{Experiment, Model, Policy, RunReport};
+use llamcat::spec::{ArrivalSpec, PolicySpec, ServePolicySpec, ServeSpec};
+use llamcat_bench::{run_experiments, scale_divisor, scale_label};
+use llamcat_sim::system::StepMode;
+
+/// One serving cell of the sweep: a serving policy × a cache policy.
+struct ServeCell {
+    name: &'static str,
+    scheduler: ServePolicySpec,
+    policy: PolicySpec,
+}
+
+fn cells() -> Vec<ServeCell> {
+    vec![
+        ServeCell {
+            name: "fcfs/unoptimized",
+            scheduler: ServePolicySpec::Fcfs,
+            policy: PolicySpec::unoptimized(),
+        },
+        ServeCell {
+            name: "fcfs/dynmg+BMA",
+            scheduler: ServePolicySpec::Fcfs,
+            policy: PolicySpec::dynmg_bma(),
+        },
+        ServeCell {
+            name: "maxc2/dynmg+BMA",
+            scheduler: ServePolicySpec::MaxConcurrency { max: 2 },
+            policy: PolicySpec::dynmg_bma(),
+        },
+        ServeCell {
+            name: "cb4/dynmg+BMA",
+            scheduler: ServePolicySpec::ContinuousBatching { slots: 4 },
+            policy: PolicySpec::dynmg_bma(),
+        },
+    ]
+}
+
+fn serve_spec(seq_len: usize, n_req: usize, mean_gap: u64, cell: &ServeCell) -> ServeSpec {
+    ServeSpec::new(
+        Model::Llama3_70b.spec(),
+        seq_len,
+        n_req,
+        ArrivalSpec::Poisson { mean_gap, seed: 7 },
+    )
+    .scheduler(cell.scheduler)
+}
+
+/// Sorted-sample quantile (nearest rank on the sorted slice).
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty(), "quantile of an empty sample");
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// One finished sweep point: the latency profile of a (cell, rate) run.
+struct SweepPoint {
+    mean_gap: u64,
+    p50_ttft: u64,
+    p99_ttft: u64,
+    mean_queue_delay: f64,
+    completed: usize,
+    cycles: u64,
+}
+
+fn point_of(report: &RunReport, mean_gap: u64) -> SweepPoint {
+    let mut ttfts: Vec<u64> = report.requests.iter().filter_map(|r| r.ttft).collect();
+    ttfts.sort_unstable();
+    assert!(
+        !ttfts.is_empty(),
+        "no request retired a block at gap {mean_gap}"
+    );
+    let delays: Vec<u64> = report
+        .requests
+        .iter()
+        .filter_map(|r| r.queue_delay)
+        .collect();
+    SweepPoint {
+        mean_gap,
+        p50_ttft: quantile(&ttfts, 0.50),
+        p99_ttft: quantile(&ttfts, 0.99),
+        mean_queue_delay: delays.iter().sum::<u64>() as f64 / delays.len().max(1) as f64,
+        completed: report.requests.iter().filter(|r| r.completed).count(),
+        cycles: report.cycles,
+    }
+}
+
+fn main() {
+    let div = scale_divisor();
+    let seq_len = 1024 / div;
+    let n_req = if div >= 8 { 4 } else { 8 };
+
+    // Calibrate the rate axis in units of the solo service time, so
+    // the sweep brackets the knee at every scale: gaps well above the
+    // service time are the open ("light load") regime, gaps below it
+    // force queueing.
+    let solo = Experiment::new(Model::Llama3_70b, seq_len)
+        .policy(Policy::dynmg_bma())
+        .run();
+    assert!(solo.completed && solo.cycles > 0);
+    let svc = solo.cycles;
+    let gap_factors: &[f64] = if div >= 8 {
+        &[4.0, 1.0, 0.25]
+    } else {
+        &[8.0, 4.0, 2.0, 1.0, 0.5, 0.25]
+    };
+    let gaps: Vec<u64> = gap_factors
+        .iter()
+        .map(|f| ((svc as f64 * f) as u64).max(1))
+        .collect();
+
+    println!(
+        "# fig_serve — open-system arrival-rate sweep to the saturation knee \
+         (scale: {}, seq {seq_len}, {n_req} requests, solo service {svc} cycles)",
+        scale_label()
+    );
+
+    // The whole sweep — every (cell, gap) in both step modes — as one
+    // parallel batch.
+    let cell_defs = cells();
+    let mut experiments = Vec::new();
+    for cell in &cell_defs {
+        for &gap in &gaps {
+            let spec = serve_spec(seq_len, n_req, gap, cell);
+            for mode in [StepMode::Cycle, StepMode::Skip] {
+                experiments.push(
+                    Experiment::from_serve_spec(&spec)
+                        .expect("serve spec composes")
+                        .policy(cell.policy.clone())
+                        .step_mode(mode),
+                );
+            }
+        }
+    }
+    let reports = run_experiments(&experiments).expect("fig_serve sweep");
+
+    let mut json_points: Vec<String> = Vec::new();
+    let mut knees: Vec<(String, Option<u64>)> = Vec::new();
+    for (c, cell) in cell_defs.iter().enumerate() {
+        println!("\n### {} ({})", cell.name, cell.policy.label());
+        println!(
+            "{:>12} {:>14} {:>10} {:>10} {:>12} {:>10}",
+            "mean-gap", "rate/Mcyc", "p50-ttft", "p99-ttft", "mean-queue", "completed"
+        );
+        let mut points = Vec::with_capacity(gaps.len());
+        for (g, &gap) in gaps.iter().enumerate() {
+            let base = (c * gaps.len() + g) * 2;
+            let (cycle, skip) = (&reports[base], &reports[base + 1]);
+            assert_eq!(
+                serde_json::to_string(&cycle.requests).unwrap(),
+                serde_json::to_string(&skip.requests).unwrap(),
+                "per-request stats diverged between step modes ({}, gap {gap})",
+                cell.name
+            );
+            assert_eq!(cycle.cycles, skip.cycles);
+            let pt = point_of(cycle, gap);
+            println!(
+                "{:>12} {:>14.2} {:>10} {:>10} {:>12.0} {:>7}/{}",
+                pt.mean_gap,
+                1e6 / pt.mean_gap as f64,
+                pt.p50_ttft,
+                pt.p99_ttft,
+                pt.mean_queue_delay,
+                pt.completed,
+                n_req
+            );
+            points.push(pt);
+        }
+        // The knee: the first rate (sweeping load upward) whose p99
+        // TTFT leaves the light-load plateau by more than 3x.
+        let plateau = points[0].p99_ttft.max(1);
+        let knee = points
+            .iter()
+            .find(|p| p.p99_ttft > plateau.saturating_mul(3))
+            .map(|p| p.mean_gap);
+        match knee {
+            Some(gap) => println!(
+                "    knee: p99 TTFT exceeds 3x light-load plateau at mean gap {gap} \
+                 ({:.2} requests/Mcyc)",
+                1e6 / gap as f64
+            ),
+            None => println!("    knee: not reached in this sweep"),
+        }
+        for pt in &points {
+            json_points.push(format!(
+                "{{\"cell\": \"{}\", \"policy\": \"{}\", \"mean_gap\": {}, \
+                 \"rate_per_mcyc\": {:.4}, \"p50_ttft\": {}, \"p99_ttft\": {}, \
+                 \"mean_queue_delay\": {:.1}, \"completed\": {}, \"cycles\": {}, \
+                 \"knee_gap\": {}}}",
+                cell.name,
+                cell.policy.label(),
+                pt.mean_gap,
+                1e6 / pt.mean_gap as f64,
+                pt.p50_ttft,
+                pt.p99_ttft,
+                pt.mean_queue_delay,
+                pt.completed,
+                pt.cycles,
+                knee.map_or("null".into(), |g| g.to_string()),
+            ));
+        }
+        knees.push((cell.name.to_string(), knee));
+    }
+
+    // Deterministic JSONL artifact (byte-identical across runs).
+    println!("\n## JSONL");
+    for line in &json_points {
+        println!("{line}");
+    }
+
+    // Simulator throughput on a representative serve cell, both modes,
+    // sequential timing (the cyc/s figure BENCH_sim_speed.json tracks).
+    let mid_gap = gaps[gaps.len() / 2];
+    let spec = serve_spec(seq_len, n_req, mid_gap, &cell_defs[1]);
+    let mut speed = Vec::new();
+    for mode in [StepMode::Cycle, StepMode::Skip] {
+        let exp = Experiment::from_serve_spec(&spec)
+            .expect("serve spec composes")
+            .policy(cell_defs[1].policy.clone())
+            .step_mode(mode);
+        let t0 = Instant::now();
+        let r = exp.run();
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "[fig_serve] throughput {} {mode:?}: {} cycles in {wall:.3}s = {:.0} cyc/s",
+            cell_defs[1].name,
+            r.cycles,
+            r.cycles as f64 / wall
+        );
+        speed.push((mode, r.cycles, wall));
+    }
+
+    if let Ok(path) = std::env::var("LLAMCAT_FIG_SERVE_JSON") {
+        let mut json = String::from("{\n  \"schema\": \"llamcat-fig-serve/1\",\n");
+        json.push_str(&format!(
+            "  \"seq_len\": {seq_len},\n  \"num_requests\": {n_req},\n  \"solo_service_cycles\": {svc},\n"
+        ));
+        json.push_str("  \"throughput\": [\n");
+        for (i, (mode, cycles, wall)) in speed.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"cell\": \"{}\", \"mode\": \"{mode:?}\", \"cycles\": {cycles}, \
+                 \"wall_s\": {wall:.4}, \"cycles_per_sec\": {:.0}}}{}\n",
+                cell_defs[1].name,
+                *cycles as f64 / wall,
+                if i + 1 == speed.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ],\n  \"knees\": [\n");
+        for (i, (name, knee)) in knees.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"cell\": \"{name}\", \"knee_gap\": {}}}{}\n",
+                knee.map_or("null".into(), |g| g.to_string()),
+                if i + 1 == knees.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ],\n  \"points\": [\n");
+        for (i, line) in json_points.iter().enumerate() {
+            json.push_str(&format!(
+                "    {line}{}\n",
+                if i + 1 == json_points.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("write fig_serve JSON report");
+        println!("wrote {path}");
+    }
+}

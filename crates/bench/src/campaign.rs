@@ -40,7 +40,8 @@
 use std::io::{self, Write};
 
 use llamcat::experiment::{Experiment, RunReport};
-use llamcat::spec::{MixSpec, PolicySpec};
+use llamcat::spec::{MixSpec, PolicySpec, ServeSpec};
+use llamcat_sim::config::SystemConfig;
 use llamcat_sim::system::StepMode;
 use llamcat_trace::mapping::Layout;
 use llamcat_trace::workloads::WorkloadSpec;
@@ -66,6 +67,12 @@ pub struct Campaign {
     /// policy and machine.
     #[serde(default)]
     pub mixes: Vec<MixSpec>,
+    /// Open-system serve scenarios: appended after the mixes (each
+    /// carries its own arrival schedule and serving policy, crossing
+    /// only with `l2_mb` and `policies`). Serve records report
+    /// per-request admission/TTFT/TBT latencies instead of fairness.
+    #[serde(default)]
+    pub serves: Vec<ServeSpec>,
     /// L2 capacities in MB (`SystemConfig` override axis).
     pub l2_mb: Vec<u64>,
     /// Policies, with their configurations embedded.
@@ -102,6 +109,9 @@ pub struct CampaignCell {
     /// The serving mix this cell runs, if it is a mix scenario.
     #[serde(default)]
     pub mix: Option<MixSpec>,
+    /// The open-system serve scenario this cell runs, if any.
+    #[serde(default)]
+    pub serve: Option<ServeSpec>,
 }
 
 impl CampaignCell {
@@ -111,9 +121,13 @@ impl CampaignCell {
     /// [`Campaign::run`] before any cell executes) rejects those
     /// gracefully.
     pub fn experiment(&self, campaign: &Campaign) -> Experiment {
-        let mut e = match &self.mix {
-            Some(mix) => Experiment::with_mix(mix.instantiate()),
-            None => Experiment::from_spec(&self.workload, self.seq_len),
+        let mut e = if let Some(spec) = &self.serve {
+            Experiment::from_serve_spec(spec).expect("validated serve spec")
+        } else {
+            match &self.mix {
+                Some(mix) => Experiment::with_mix(mix.instantiate()),
+                None => Experiment::from_spec(&self.workload, self.seq_len),
+            }
         };
         e = e
             .policy(self.policy.clone())
@@ -172,6 +186,12 @@ pub struct CellRecord {
     /// Per-request fairness vs solo runs (mix cells only).
     #[serde(default)]
     pub fairness: Option<FairnessRecord>,
+    /// Why fairness entries were dropped from this mix cell, when any
+    /// were (e.g. a solo reference hit the cycle budget). `fairness` is
+    /// `None` with this set when every entry dropped — never a record
+    /// of NaN/0.0 folds over an empty set.
+    #[serde(default)]
+    pub fairness_drop_reason: Option<String>,
 }
 
 /// A finished campaign: records in deterministic cell order.
@@ -191,6 +211,7 @@ impl Campaign {
             workloads: Vec::new(),
             seq_lens: Vec::new(),
             mixes: Vec::new(),
+            serves: Vec::new(),
             l2_mb: vec![16],
             policies: Vec::new(),
             baseline: None,
@@ -225,6 +246,19 @@ impl Campaign {
 
     pub fn mixes(mut self, ms: impl IntoIterator<Item = MixSpec>) -> Self {
         self.mixes.extend(ms);
+        self
+    }
+
+    /// Adds an open-system serve scenario (crossed with `l2_mb` and
+    /// `policies`; the scenario carries its own arrival schedule and
+    /// serving policy).
+    pub fn serve(mut self, s: ServeSpec) -> Self {
+        self.serves.push(s);
+        self
+    }
+
+    pub fn serves(mut self, ss: impl IntoIterator<Item = ServeSpec>) -> Self {
+        self.serves.extend(ss);
         self
     }
 
@@ -304,6 +338,7 @@ impl Campaign {
                 l2_mb,
                 policy: placeholder.clone(),
                 mix: None,
+                serve: None,
             })
             .collect();
         for m in &self.mixes {
@@ -318,6 +353,19 @@ impl Campaign {
                     l2_mb: mb,
                     policy: placeholder.clone(),
                     mix: Some(m.clone()),
+                    serve: None,
+                });
+            }
+        }
+        for s in &self.serves {
+            for &mb in &self.l2_mb {
+                out.push(CampaignCell {
+                    workload: s.workload,
+                    seq_len: s.seq_len,
+                    l2_mb: mb,
+                    policy: placeholder.clone(),
+                    mix: None,
+                    serve: Some(s.clone()),
                 });
             }
         }
@@ -333,6 +381,13 @@ impl Campaign {
         self.all_scenarios()
             .iter()
             .map(|cell| {
+                if let Some(s) = &cell.serve {
+                    let mut label = s.label();
+                    if multi_l2 {
+                        label.push_str(&format!(" {}MB", cell.l2_mb));
+                    }
+                    return label;
+                }
                 if let Some(m) = &cell.mix {
                     let mut label = m.label();
                     if multi_l2 {
@@ -375,8 +430,8 @@ impl Campaign {
     /// Rejects empty axes, invalid workloads and degenerate mixes
     /// before any simulation starts.
     pub fn validate(&self) -> Result<(), String> {
-        if self.workloads.is_empty() && self.mixes.is_empty() {
-            return Err("campaign has no workloads or mixes".into());
+        if self.workloads.is_empty() && self.mixes.is_empty() && self.serves.is_empty() {
+            return Err("campaign has no workloads, mixes or serve scenarios".into());
         }
         if !self.workloads.is_empty() && self.seq_lens.is_empty() {
             return Err("campaign has no sequence lengths".into());
@@ -408,6 +463,17 @@ impl Campaign {
                         self.l_tile, r.seq_len
                     ));
                 }
+            }
+        }
+        let num_cores = SystemConfig::table5().num_cores;
+        for (i, s) in self.serves.iter().enumerate() {
+            s.validate(num_cores)
+                .map_err(|e| format!("serve scenario {i}: {e}"))?;
+            if self.l_tile == 0 || s.seq_len % self.l_tile != 0 {
+                return Err(format!(
+                    "serve scenario {i}: l_tile {} must divide seq_len {}",
+                    self.l_tile, s.seq_len
+                ));
             }
         }
         Ok(())
@@ -457,6 +523,7 @@ impl Campaign {
                             l2_mb: cell.l2_mb,
                             policy: cell.policy.clone(),
                             mix: None,
+                            serve: None,
                         };
                         solo_refs
                             .iter()
@@ -507,15 +574,26 @@ impl Campaign {
                 }
                 None => None,
             };
-            let fairness = fairness_refs[i]
-                .as_ref()
-                .and_then(|refs| fairness_of(&report, refs, &solo_reports));
+            let (fairness, fairness_drop_reason) = match fairness_refs[i].as_ref() {
+                Some(refs) => {
+                    let (f, reason) = fairness_of(&report, refs, &solo_reports);
+                    if let Some(r) = &reason {
+                        eprintln!(
+                            "campaign `{}`: fairness entries dropped in cell {i} ({}): {r}",
+                            self.name, report.policy_label
+                        );
+                    }
+                    (f, reason)
+                }
+                None => (None, None),
+            };
             records.push(CellRecord {
                 cell,
                 step_mode: self.step_mode,
                 report,
                 speedup,
                 fairness,
+                fairness_drop_reason,
             });
         }
         Ok(CampaignReport {
@@ -526,23 +604,52 @@ impl Campaign {
 }
 
 /// Assembles a mix cell's fairness record from its report and the solo
-/// reference reports. `None` when any involved run failed to complete —
-/// a slowdown against an unfinished run would be meaningless.
+/// reference reports. A request whose slowdown would be meaningless —
+/// either side failed to complete, or completed in zero cycles — is
+/// dropped *individually*, with the reasons joined into the second
+/// return value. The record is `None` only when every entry dropped:
+/// the summary folds never run over an empty set, so the JSONL carries
+/// an explicit `null` + reason instead of `NaN`/`0.0`/infinite
+/// sentinels.
 fn fairness_of(
     report: &RunReport,
     refs: &[usize],
     solo_reports: &[RunReport],
-) -> Option<FairnessRecord> {
+) -> (Option<FairnessRecord>, Option<String>) {
     let mut per_request = Vec::with_capacity(refs.len());
+    let mut dropped: Vec<String> = Vec::new();
     for (r, &solo_idx) in refs.iter().enumerate() {
-        let mix_req = report.requests.get(r)?;
+        let Some(mix_req) = report.requests.get(r) else {
+            dropped.push(format!("request {r}: missing from the mix report"));
+            continue;
+        };
         // The solo reference time is the request's own completion in
         // its solo run (request 0 there), not the run's drain time —
         // so a single-request partitioned mix pins speedup exactly 1.
-        let solo_req = solo_reports.get(solo_idx)?.requests.first()?;
-        if !mix_req.completed || !solo_req.completed || mix_req.cycles == 0 || solo_req.cycles == 0
-        {
-            return None;
+        let Some(solo_req) = solo_reports.get(solo_idx).and_then(|s| s.requests.first()) else {
+            dropped.push(format!("request {r}: missing solo reference run"));
+            continue;
+        };
+        if !mix_req.completed {
+            dropped.push(format!(
+                "request {r} ({}): hit the cycle budget inside the mix",
+                mix_req.label
+            ));
+            continue;
+        }
+        if !solo_req.completed {
+            dropped.push(format!(
+                "request {r} ({}): solo reference hit the cycle budget",
+                mix_req.label
+            ));
+            continue;
+        }
+        if mix_req.cycles == 0 || solo_req.cycles == 0 {
+            dropped.push(format!(
+                "request {r} ({}): zero-cycle completion",
+                mix_req.label
+            ));
+            continue;
         }
         let speedup = solo_req.cycles as f64 / mix_req.cycles as f64;
         per_request.push(RequestFairness {
@@ -554,14 +661,22 @@ fn fairness_of(
             slowdown: 1.0 / speedup,
         });
     }
+    let reason = (!dropped.is_empty()).then(|| dropped.join("; "));
+    if per_request.is_empty() {
+        return (
+            None,
+            Some(reason.unwrap_or_else(|| "mix cell reported no requests".into())),
+        );
+    }
     let speedups: Vec<f64> = per_request.iter().map(|f| f.speedup).collect();
-    Some(FairnessRecord {
+    let record = FairnessRecord {
         min_speedup: speedups.iter().copied().fold(f64::INFINITY, f64::min),
         max_speedup: speedups.iter().copied().fold(0.0, f64::max),
         geomean_speedup: geomean(&speedups),
         max_slowdown: per_request.iter().map(|f| f.slowdown).fold(0.0, f64::max),
         per_request,
-    })
+    };
+    (Some(record), reason)
 }
 
 /// Runs a batch of experiments in parallel (rayon), returning reports
@@ -810,6 +925,99 @@ mod tests {
             .mix(MixSpec::partitioned())
             .policy(PolicySpec::unoptimized());
         assert!(empty_mix.validate().is_err());
+    }
+
+    fn tiny_serve() -> ServeSpec {
+        use llamcat::spec::{ArrivalSpec, ServePolicySpec};
+        use llamcat_trace::workloads::WorkloadSpec;
+        ServeSpec::new(
+            WorkloadSpec::llama3_70b(),
+            128,
+            3,
+            ArrivalSpec::Fixed {
+                period: 5_000,
+                start: 0,
+            },
+        )
+        .scheduler(ServePolicySpec::MaxConcurrency { max: 2 })
+    }
+
+    #[test]
+    fn serve_scenarios_append_after_mixes_with_latency_reports() {
+        let c = tiny().mix(tiny_mix()).serve(tiny_serve());
+        let cells = c.cells();
+        // (1 solo + 1 mix + 1 serve) scenarios × 2 policies.
+        assert_eq!(cells.len(), 6);
+        assert!(cells[4].serve.is_some() && cells[5].serve.is_some());
+        let labels = c.scenario_labels();
+        assert!(
+            labels[2].starts_with("serve:maxc2["),
+            "serve label: {}",
+            labels[2]
+        );
+
+        let report = c.run().unwrap();
+        for rec in &report.records[4..] {
+            assert!(rec.fairness.is_none(), "serve cells carry no fairness");
+            assert!(rec.fairness_drop_reason.is_none());
+            assert_eq!(rec.report.requests.len(), 3);
+            for r in &rec.report.requests {
+                assert!(r.completed);
+                assert!(r.admitted.is_some() && r.ttft.is_some());
+            }
+            assert!(rec.speedup.is_some(), "serve cells get baseline speedups");
+        }
+    }
+
+    #[test]
+    fn serve_campaigns_validate_their_scenarios() {
+        use llamcat::spec::ServePolicySpec;
+        let c = Campaign::new("serve-only")
+            .serve(tiny_serve())
+            .policy(PolicySpec::unoptimized());
+        assert!(c.validate().is_ok(), "no solo workloads needed");
+        let bad = Campaign::new("bad")
+            .serve(tiny_serve().scheduler(ServePolicySpec::ContinuousBatching { slots: 999 }))
+            .policy(PolicySpec::unoptimized());
+        assert!(bad.validate().is_err());
+        let bad_tile = Campaign::new("bad-tile")
+            .serve(ServeSpec {
+                seq_len: 100,
+                ..tiny_serve()
+            })
+            .policy(PolicySpec::unoptimized());
+        assert!(bad_tile.validate().is_err());
+    }
+
+    #[test]
+    fn starved_fairness_cells_emit_none_with_reason_not_nan() {
+        // A budget so small that every run (mix and solo references)
+        // hits CycleLimit: every fairness entry drops, and the record
+        // must be an explicit None + reason — not folds over an empty
+        // set leaking NaN / 0.0 / infinities into the JSONL.
+        let report = Campaign::new("starved")
+            .mix(tiny_mix())
+            .policy(PolicySpec::unoptimized())
+            .max_cycles(1_000)
+            .run()
+            .unwrap();
+        let rec = &report.records[0];
+        assert!(!rec.report.completed, "budget must bite for this test");
+        assert!(rec.fairness.is_none());
+        let reason = rec.fairness_drop_reason.as_ref().expect("drop reason");
+        assert!(
+            reason.contains("cycle budget"),
+            "reason names the budget: {reason}"
+        );
+
+        // The record round-trips through its JSONL line intact.
+        let jsonl = report.jsonl();
+        assert!(!jsonl.contains("NaN") && !jsonl.contains("inf"), "{jsonl}");
+        let line = jsonl.lines().next().unwrap();
+        let back: CellRecord = serde_json::from_str(line).expect("reparse JSONL record");
+        assert!(back.fairness.is_none());
+        assert_eq!(back.fairness_drop_reason.as_deref(), Some(reason.as_str()));
+        assert_eq!(back.cell, rec.cell);
     }
 
     #[test]

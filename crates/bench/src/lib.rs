@@ -70,6 +70,7 @@ impl Cell {
             l2_mb: self.l2_mb,
             policy: self.policy.into(),
             mix: None,
+            serve: None,
         }
     }
 }

@@ -24,15 +24,16 @@ use std::sync::Arc;
 
 use llamcat_sim::config::SystemConfig;
 use llamcat_sim::prog::Program;
+use llamcat_sim::serve::RequestInjector;
 use llamcat_sim::stats::SimStats;
 use llamcat_sim::system::{RunOutcome, StepMode, System};
-use llamcat_trace::mix::WorkloadMix;
+use llamcat_trace::mix::{generate_serve_set, WorkloadMix};
 use llamcat_trace::tracegen::TraceGenConfig;
 use llamcat_trace::workload::LogitOp;
 use llamcat_trace::workloads::{LogitWorkload, Workload, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
-use crate::spec::{ArbSpec, MixSpec, PolicySpec, ThrottleSpec};
+use crate::spec::{ArbSpec, MixSpec, PolicySpec, ServeSpec, ThrottleSpec};
 
 pub use llamcat_trace::mapping::Layout;
 
@@ -234,6 +235,10 @@ pub enum ExperimentError {
     /// A serving mix failed validation or composition (zero requests,
     /// zero seq_len, more partitioned requests than cores, …).
     InvalidMix(String),
+    /// An open-system serve scenario failed validation or composition
+    /// (zero requests, invalid arrival schedule, more continuous-batching
+    /// slots than cores, …).
+    InvalidServe(String),
     /// An explicit cycle budget of zero can never complete.
     ZeroCycleBudget,
     /// A speedup ratio against a zero-cycle run is undefined.
@@ -249,6 +254,7 @@ impl std::fmt::Display for ExperimentError {
                 write!(f, "workload `{workload}` generated a zero-byte trace")
             }
             ExperimentError::InvalidMix(msg) => write!(f, "invalid mix: {msg}"),
+            ExperimentError::InvalidServe(msg) => write!(f, "invalid serve scenario: {msg}"),
             ExperimentError::ZeroCycleBudget => write!(f, "explicit cycle budget is zero"),
             ExperimentError::ZeroCycleSpeedup { detail } => {
                 write!(f, "speedup undefined: {detail}")
@@ -269,6 +275,10 @@ pub struct Experiment {
     /// Multi-tenant serving mix; when set, the trace is the mix's
     /// request-tagged composition instead of the solo `workload`.
     pub mix: Option<WorkloadMix>,
+    /// Open-system serve scenario; when set, requests are injected
+    /// mid-run by a [`RequestInjector`] under the scenario's arrival
+    /// schedule and serving policy instead of being scheduled up front.
+    pub serve: Option<ServeSpec>,
     pub policy: PolicySpec,
     pub config: SystemConfig,
     pub tracegen: TraceGenConfig,
@@ -299,6 +309,7 @@ impl Experiment {
         Experiment {
             workload,
             mix: None,
+            serve: None,
             policy: PolicySpec::unoptimized(),
             tracegen: TraceGenConfig {
                 num_cores: config.num_cores,
@@ -339,6 +350,17 @@ impl Experiment {
         Ok(Experiment::with_mix(spec.instantiate()))
     }
 
+    /// Instantiates a serialized open-system [`ServeSpec`]: requests
+    /// arrive mid-run under the scenario's seeded arrival schedule and
+    /// are admitted by its serving policy.
+    pub fn from_serve_spec(spec: &ServeSpec) -> Result<Self, ExperimentError> {
+        let mut e = Experiment::with_workload(spec.workload.instantiate(spec.seq_len));
+        spec.validate(e.config.num_cores)
+            .map_err(ExperimentError::InvalidServe)?;
+        e.serve = Some(spec.clone());
+        Ok(e)
+    }
+
     pub fn policy(mut self, policy: impl Into<PolicySpec>) -> Self {
         self.policy = policy.into();
         self
@@ -374,7 +396,51 @@ impl Experiment {
         self
     }
 
-    fn checked_program(&self) -> Result<(Program, u64), ExperimentError> {
+    /// Composes the serve scenario's trace and its request injector.
+    fn serve_program(
+        &self,
+        spec: &ServeSpec,
+    ) -> Result<(Program, u64, RequestInjector), ExperimentError> {
+        spec.validate(self.config.num_cores)
+            .map_err(ExperimentError::InvalidServe)?;
+        let requests: Vec<Arc<dyn Workload>> =
+            vec![spec.workload.instantiate(spec.seq_len); spec.num_requests];
+        let (program, meta) = generate_serve_set(
+            &requests,
+            spec.cores_per_request(self.config.num_cores),
+            self.layout,
+            self.l_tile,
+            &self.tracegen,
+        )
+        .map_err(ExperimentError::InvalidServe)?;
+        if meta.total_load_bytes == 0 {
+            return Err(ExperimentError::EmptyTrace {
+                workload: spec.label(),
+            });
+        }
+        let arrivals = spec.request_arrivals();
+        let last_arrival = arrivals.last().copied().unwrap_or(0);
+        let budget = match self.max_cycles {
+            Some(0) => return Err(ExperimentError::ZeroCycleBudget),
+            Some(cycles) => cycles,
+            None => last_arrival + meta.total_load_bytes / 4 + 20_000_000,
+        };
+        let injector = RequestInjector::new(
+            &program,
+            arrivals,
+            spec.scheduler.to_sim(),
+            self.config.num_cores,
+            self.config.core.num_inst_windows,
+        )
+        .map_err(ExperimentError::InvalidServe)?;
+        Ok((program, budget, injector))
+    }
+
+    fn checked_program(&self) -> Result<(Program, u64, Option<RequestInjector>), ExperimentError> {
+        if let Some(spec) = &self.serve {
+            let (program, budget, injector) = self.serve_program(spec)?;
+            return Ok((program, budget, Some(injector)));
+        }
         if let Some(mix) = &self.mix {
             let (program, meta) = mix
                 .generate(self.layout, self.l_tile, &self.tracegen)
@@ -390,7 +456,7 @@ impl Experiment {
                 Some(cycles) => cycles,
                 None => latest_arrival + meta.total_load_bytes / 4 + 20_000_000,
             };
-            return Ok((program, budget));
+            return Ok((program, budget, None));
         }
         self.workload
             .validate()
@@ -421,7 +487,7 @@ impl Experiment {
             Some(cycles) => cycles,
             None => meta.total_load_bytes / 4 + 20_000_000,
         };
-        Ok((program, budget))
+        Ok((program, budget, None))
     }
 
     /// Generates the trace for this experiment (exposed for inspection).
@@ -429,6 +495,10 @@ impl Experiment {
     /// Panics on invalid workload/mapping; [`Experiment::try_run`]
     /// reports those gracefully.
     pub fn build_program(&self) -> Program {
+        if let Some(spec) = &self.serve {
+            let (program, _, _) = self.serve_program(spec).expect("serve set must compose");
+            return program;
+        }
         if let Some(mix) = &self.mix {
             let (program, _) = mix
                 .generate(self.layout, self.l_tile, &self.tracegen)
@@ -449,7 +519,7 @@ impl Experiment {
     /// monomorphizes — the `Box<dyn ...>` construction path survives
     /// only for callers wiring policies outside the registry.
     pub fn try_run(&self) -> Result<RunReport, ExperimentError> {
-        let (program, budget) = self.checked_program()?;
+        let (program, budget, injector) = self.checked_program()?;
         let arb = self.policy.arb.clone();
         let mut system = System::new(
             self.config,
@@ -457,6 +527,9 @@ impl Experiment {
             &move |_slice| arb.build_kind(),
             self.policy.throttle.build_kind(),
         );
+        if let Some(injector) = injector {
+            system.attach_injector(injector);
+        }
         let (stats, outcome) = system.run_with_mode(budget, self.step_mode);
         Ok(RunReport::from_stats(self, stats, outcome))
     }
@@ -489,6 +562,23 @@ pub struct RequestReport {
     /// Cycles from arrival to the retirement of the request's last
     /// thread block (0 when not completed).
     pub cycles: u64,
+    /// Cycle at which a serving scheduler admitted the request to the
+    /// machine (equals `arrival` for closed runs; `None` when the run
+    /// ended with the request still queued).
+    #[serde(default)]
+    pub admitted: Option<u64>,
+    /// Time to first token: cycles from arrival to the first retired
+    /// thread block (`None` until one retires).
+    #[serde(default)]
+    pub ttft: Option<u64>,
+    /// Mean time between tokens: cycles per thread block after the
+    /// first (`None` unless the request completed with >= 2 blocks).
+    #[serde(default)]
+    pub mean_tbt: Option<f64>,
+    /// Cycles the request waited in the admission queue (0 for closed
+    /// runs; `None` when never admitted).
+    #[serde(default)]
+    pub queue_delay: Option<u64>,
     pub blocks_total: u64,
     pub blocks_completed: u64,
     /// LLC lookups attributed to the request.
@@ -560,6 +650,10 @@ impl RunReport {
                 arrival: r.arrival,
                 completed: r.completed,
                 cycles: r.cycles_to_completion(),
+                admitted: r.admitted,
+                ttft: r.ttft(),
+                mean_tbt: r.mean_tbt(),
+                queue_delay: r.queue_delay(),
                 blocks_total: r.blocks_total,
                 blocks_completed: r.blocks_completed,
                 llc_lookups: r.llc.lookups,
@@ -569,16 +663,20 @@ impl RunReport {
                 llc_stall_cycles: r.llc.stall_cycles,
             })
             .collect();
-        let (workload_label, seq_len) = match &exp.mix {
-            Some(mix) => (
-                mix.label(),
-                mix.requests
-                    .iter()
-                    .map(|r| r.workload.shape().seq_len)
-                    .max()
-                    .unwrap_or(0),
-            ),
-            None => (exp.workload.label(), exp.workload.shape().seq_len),
+        let (workload_label, seq_len) = if let Some(spec) = &exp.serve {
+            (spec.label(), spec.seq_len)
+        } else {
+            match &exp.mix {
+                Some(mix) => (
+                    mix.label(),
+                    mix.requests
+                        .iter()
+                        .map(|r| r.workload.shape().seq_len)
+                        .max()
+                        .unwrap_or(0),
+                ),
+                None => (exp.workload.label(), exp.workload.shape().seq_len),
+            }
         };
         RunReport {
             policy_label: exp.policy.label(),
@@ -837,6 +935,69 @@ mod tests {
         assert!(matches!(
             e.try_run().unwrap_err(),
             ExperimentError::InvalidMix(_)
+        ));
+    }
+
+    #[test]
+    fn serve_experiment_tracks_latencies_and_matches_modes() {
+        use crate::spec::{ArrivalSpec, ServePolicySpec, ServeSpec};
+        let spec = ServeSpec::new(
+            WorkloadSpec::llama3_70b(),
+            128,
+            3,
+            ArrivalSpec::Fixed {
+                period: 2_000,
+                start: 0,
+            },
+        )
+        .scheduler(ServePolicySpec::ContinuousBatching { slots: 2 });
+        let exp = Experiment::from_serve_spec(&spec)
+            .unwrap()
+            .policy(Policy::dynmg_bma());
+        let cycle = exp.clone().step_mode(StepMode::Cycle).run();
+        let skip = exp.step_mode(StepMode::Skip).run();
+        assert!(cycle.completed);
+        assert_eq!(cycle.requests.len(), 3);
+        for (c, s) in cycle.requests.iter().zip(&skip.requests) {
+            assert_eq!(c, s, "Skip must report byte-identical request stats");
+            assert!(c.completed);
+            let admitted = c.admitted.expect("admitted");
+            assert!(admitted >= c.arrival);
+            assert_eq!(c.queue_delay, Some(admitted - c.arrival));
+            assert!(c.ttft.expect("ttft") >= 1);
+            assert!(c.mean_tbt.expect("tbt") > 0.0);
+        }
+        assert_eq!(cycle.cycles, skip.cycles);
+        assert!(cycle.workload_label.starts_with("serve:cb2["));
+    }
+
+    #[test]
+    fn degenerate_serves_rejected_at_experiment_level() {
+        use crate::spec::{ArrivalSpec, ServePolicySpec, ServeSpec};
+        let base = ServeSpec::new(
+            WorkloadSpec::llama3_70b(),
+            128,
+            2,
+            ArrivalSpec::Fixed {
+                period: 100,
+                start: 0,
+            },
+        );
+        let zero = ServeSpec {
+            num_requests: 0,
+            ..base.clone()
+        };
+        assert!(matches!(
+            Experiment::from_serve_spec(&zero).unwrap_err(),
+            ExperimentError::InvalidServe(_)
+        ));
+        // Too many slots for the machine is caught against the actual
+        // config at run time even if the spec was built elsewhere.
+        let mut e = Experiment::from_serve_spec(&base).unwrap();
+        e.serve = Some(base.scheduler(ServePolicySpec::ContinuousBatching { slots: 999 }));
+        assert!(matches!(
+            e.try_run().unwrap_err(),
+            ExperimentError::InvalidServe(_)
         ));
     }
 

@@ -26,7 +26,9 @@
 //! [`PolicySpec::dynmg_with`] instead.
 
 use llamcat_sim::arb::{FifoArbiter, NoThrottle, RequestArbiter, ThrottleController};
+use llamcat_sim::serve::ServePolicy;
 use llamcat_sim::types::Cycle;
+pub use llamcat_trace::arrivals::ArrivalSpec;
 use llamcat_trace::mix::{MixAssignment, WorkloadMix};
 use llamcat_trace::workloads::WorkloadSpec;
 use serde::{Deserialize, Serialize};
@@ -404,6 +406,137 @@ impl MixSpec {
     }
 }
 
+/// Serving-scheduler admission policy as serde data — the third policy
+/// axis (beside arbitration x throttling) of an open-system run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ServePolicySpec {
+    /// Admit every request the cycle it arrives.
+    #[default]
+    Fcfs,
+    /// FCFS admission capped at `max` requests in flight.
+    MaxConcurrency { max: usize },
+    /// Continuous batching over `slots` contiguous core groups: a
+    /// completion immediately hands the freed group to the next queued
+    /// request.
+    ContinuousBatching { slots: usize },
+}
+
+impl ServePolicySpec {
+    /// Stable name (labels, JSONL).
+    pub fn label(&self) -> String {
+        self.to_sim().label()
+    }
+
+    /// The simulator-side policy.
+    pub fn to_sim(&self) -> ServePolicy {
+        match *self {
+            ServePolicySpec::Fcfs => ServePolicy::Fcfs,
+            ServePolicySpec::MaxConcurrency { max } => ServePolicy::MaxConcurrency { max },
+            ServePolicySpec::ContinuousBatching { slots } => {
+                ServePolicy::ContinuousBatching { slots }
+            }
+        }
+    }
+}
+
+/// An open-system serving scenario as data: `num_requests` copies of
+/// one workload family, arrival cycles drawn from a seeded
+/// [`ArrivalSpec`], admitted mid-run by a [`ServePolicySpec`]. The
+/// serde counterpart of the simulator's request injector, usable as a
+/// campaign scenario axis next to solo workloads and closed mixes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSpec {
+    pub workload: WorkloadSpec,
+    pub seq_len: usize,
+    pub num_requests: usize,
+    pub arrivals: ArrivalSpec,
+    /// Admission policy ([`ServePolicySpec::Fcfs`] is the serde
+    /// default).
+    #[serde(default)]
+    pub scheduler: ServePolicySpec,
+}
+
+impl ServeSpec {
+    /// An FCFS serve scenario; override the scheduler with
+    /// [`ServeSpec::scheduler`].
+    pub fn new(
+        workload: WorkloadSpec,
+        seq_len: usize,
+        num_requests: usize,
+        arrivals: ArrivalSpec,
+    ) -> Self {
+        ServeSpec {
+            workload,
+            seq_len,
+            num_requests,
+            arrivals,
+            scheduler: ServePolicySpec::Fcfs,
+        }
+    }
+
+    /// Sets the admission policy.
+    pub fn scheduler(mut self, scheduler: ServePolicySpec) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Relative home-core range each request's trace is generated on,
+    /// for a machine of `num_cores` cores: the full machine for
+    /// FCFS/max-concurrency, one slot's group for continuous batching.
+    pub fn cores_per_request(&self, num_cores: usize) -> usize {
+        match self.scheduler {
+            ServePolicySpec::ContinuousBatching { slots } if slots > 0 => {
+                (num_cores / slots).max(1)
+            }
+            _ => num_cores,
+        }
+    }
+
+    /// Rejects degenerate scenarios: zero requests, zero seq_len, an
+    /// invalid workload family, arrival schedule or scheduler shape.
+    pub fn validate(&self, num_cores: usize) -> Result<(), String> {
+        if self.num_requests == 0 {
+            return Err("serve scenario has no requests".into());
+        }
+        if self.seq_len == 0 {
+            return Err("serve scenario: zero seq_len".into());
+        }
+        self.workload
+            .validate()
+            .map_err(|e| format!("serve scenario: {e}"))?;
+        self.arrivals.validate(self.num_requests)?;
+        match self.scheduler {
+            ServePolicySpec::MaxConcurrency { max: 0 } => {
+                Err("serve scenario: max-concurrency needs max >= 1".into())
+            }
+            ServePolicySpec::ContinuousBatching { slots } if slots == 0 || slots > num_cores => {
+                Err(format!(
+                    "serve scenario: continuous batching needs 1 <= slots <= num_cores ({num_cores}), got {slots}"
+                ))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The per-request arrival schedule.
+    pub fn request_arrivals(&self) -> Vec<Cycle> {
+        self.arrivals.arrivals(self.num_requests)
+    }
+
+    /// Stable label, e.g.
+    /// `serve:cb4[llama3 70b/L128 x8 @ poisson(g500,s7)]`.
+    pub fn label(&self) -> String {
+        format!(
+            "serve:{}[{}/L{} x{} @ {}]",
+            self.scheduler.label(),
+            self.workload.instantiate(self.seq_len).label(),
+            self.seq_len,
+            self.num_requests,
+            self.arrivals.label()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,5 +651,115 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(PolicySpec::dynmg_with(cfg).label(), "dynmg");
+    }
+
+    #[test]
+    fn serve_spec_validates_and_labels() {
+        let spec = ServeSpec::new(
+            WorkloadSpec::llama3_70b(),
+            128,
+            8,
+            ArrivalSpec::Poisson {
+                mean_gap: 500,
+                seed: 7,
+            },
+        )
+        .scheduler(ServePolicySpec::ContinuousBatching { slots: 4 });
+        spec.validate(16).expect("valid serve spec");
+        assert_eq!(spec.cores_per_request(16), 4);
+        assert_eq!(
+            spec.label(),
+            "serve:cb4[llama3 70b/L128 x8 @ poisson(g500,s7)]"
+        );
+        assert_eq!(spec.request_arrivals().len(), 8);
+
+        let fcfs = ServeSpec::new(
+            WorkloadSpec::llama3_70b(),
+            128,
+            2,
+            ArrivalSpec::Fixed {
+                period: 100,
+                start: 0,
+            },
+        );
+        assert_eq!(fcfs.cores_per_request(16), 16, "fcfs spans the machine");
+        assert_eq!(fcfs.scheduler, ServePolicySpec::Fcfs, "default policy");
+    }
+
+    #[test]
+    fn serve_spec_rejects_degenerate_shapes() {
+        let base = ServeSpec::new(
+            WorkloadSpec::llama3_70b(),
+            128,
+            4,
+            ArrivalSpec::Fixed {
+                period: 100,
+                start: 0,
+            },
+        );
+        assert!(
+            ServeSpec {
+                num_requests: 0,
+                ..base.clone()
+            }
+            .validate(16)
+            .is_err(),
+            "zero requests"
+        );
+        assert!(
+            base.clone()
+                .scheduler(ServePolicySpec::MaxConcurrency { max: 0 })
+                .validate(16)
+                .is_err(),
+            "max-concurrency with max 0"
+        );
+        assert!(
+            base.clone()
+                .scheduler(ServePolicySpec::ContinuousBatching { slots: 32 })
+                .validate(16)
+                .is_err(),
+            "more slots than cores"
+        );
+        assert!(
+            ServeSpec {
+                arrivals: ArrivalSpec::Trace { cycles: vec![0] },
+                ..base.clone()
+            }
+            .validate(16)
+            .is_err(),
+            "trace shorter than request count"
+        );
+    }
+
+    #[test]
+    fn serve_spec_serde_round_trips_and_defaults_scheduler() {
+        let spec = ServeSpec::new(
+            WorkloadSpec::llama3_70b(),
+            256,
+            4,
+            ArrivalSpec::Bursty {
+                burst: 2,
+                gap_in_burst: 10,
+                burst_gap: 1000,
+                seed: 3,
+            },
+        )
+        .scheduler(ServePolicySpec::MaxConcurrency { max: 2 });
+        let json = serde_json::to_string(&spec).expect("serialize");
+        let back: ServeSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, spec);
+
+        // A hand-written doc omitting `scheduler` defaults to FCFS.
+        let fcfs = ServeSpec {
+            scheduler: ServePolicySpec::Fcfs,
+            ..spec
+        };
+        let with_field = serde_json::to_string(&fcfs).expect("serialize fcfs");
+        let probe = serde_json::to_string(&ServePolicySpec::Fcfs).expect("serialize policy");
+        let without_field = with_field.replace(&format!(",\"scheduler\":{probe}"), "");
+        assert_ne!(without_field, with_field, "scheduler field was stripped");
+        let defaulted: ServeSpec =
+            serde_json::from_str(&without_field).expect("deserialize without scheduler");
+        assert_eq!(defaulted, fcfs);
     }
 }

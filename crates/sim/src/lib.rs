@@ -15,7 +15,11 @@
 //!   refresh and row-buffer accounting ([`dram`]);
 //! * Policy interfaces for request arbitration and thread throttling
 //!   ([`arb`]) — the paper's CAT policies and its baselines live in the
-//!   companion `llamcat` crate.
+//!   companion `llamcat` crate;
+//! * **Open-system serving** ([`serve`]) — a request injector that
+//!   admits work mid-run under a pluggable serving policy (FCFS,
+//!   max-concurrency, continuous batching), with a never-late wake
+//!   bound so fast-forwarding stays exact.
 //!
 //! The simulator is deterministic: identical configuration and program
 //! yield identical cycle counts and statistics.
@@ -61,6 +65,7 @@ pub mod noc;
 pub mod pool;
 pub mod prog;
 pub mod sched;
+pub mod serve;
 pub mod stats;
 pub mod system;
 pub mod types;
@@ -78,6 +83,7 @@ pub mod prelude {
     pub use crate::mshr::{MshrSnapshot, SnapshotEntry};
     pub use crate::pool::{ReqHandle, ReqPool};
     pub use crate::prog::{Instr, Program, TbId, ThreadBlock};
+    pub use crate::serve::{RequestInjector, ServePolicy};
     pub use crate::stats::SimStats;
     pub use crate::system::{RunOutcome, System};
     pub use crate::types::{Addr, CoreId, Cycle, MemReq, MemResp, SliceId, LINE_BYTES};

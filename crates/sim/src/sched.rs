@@ -32,11 +32,12 @@ pub struct TbScheduler {
     arrivals: Vec<Cycle>,
     remaining: usize,
     /// Number of chunks still holding >= 2 blocks — a necessary
-    /// condition for migration stealing. Queues only shrink after
-    /// construction, so this is a cheap monotone gate that skips the
-    /// whole-machine steal scan once no chunk is stealable (the scan
-    /// otherwise runs every tick a core has a free window and an empty
-    /// home queue — the entire drain phase).
+    /// condition for migration stealing. Queues shrink on assignment
+    /// (`pop_front_of`) and grow only at open-system injection
+    /// (`inject`), both of which maintain the counter, so this is a
+    /// cheap gate that skips the whole-machine steal scan once no chunk
+    /// is stealable (the scan otherwise runs every tick a core has a
+    /// free window and an empty home queue — the entire drain phase).
     steal_candidates: usize,
     migrations: u64,
     /// Enable cross-core migration (on by default).
@@ -169,7 +170,9 @@ impl TbScheduler {
     /// it cannot be skipped over. During a skip window the answer can
     /// only flip released→exhausted (queues shrink on assignment ticks,
     /// never skipped); it flips gated→released only at an arrival
-    /// cycle, which [`TbScheduler::next_release_for`] bounds.
+    /// cycle, which [`TbScheduler::next_release_for`] bounds, and
+    /// exhausted→released only at an open-system injection, which
+    /// re-arms the affected cores' wake bounds at the admission cycle.
     pub fn has_work_for(&self, core: CoreId, now: Cycle) -> bool {
         if self.queues[core]
             .iter()
@@ -222,6 +225,42 @@ impl TbScheduler {
             }
         }
         next
+    }
+
+    /// Switches to open-system mode: every queued block is withheld
+    /// until re-introduced via [`TbScheduler::inject`] (the serving
+    /// scheduler's admission path). Counters reset so
+    /// [`TbScheduler::is_empty`] reflects injected work only. Must run
+    /// before the first tick — withholding mid-run would strand blocks.
+    pub fn withhold_all(&mut self) {
+        for windows in &mut self.queues {
+            for q in windows.iter_mut() {
+                q.clear();
+            }
+        }
+        self.remaining = 0;
+        self.steal_candidates = 0;
+    }
+
+    /// Pushes one admitted block onto chunk `(core, window)` — the
+    /// open-system injection path. Mirrors the bookkeeping of
+    /// `TbScheduler::pop_front_of`: a queue growing to 2 blocks
+    /// becomes a steal candidate. Injected blocks carry no `arrivals`
+    /// entry (serve programs are arrival-free), so admission *is*
+    /// release; the fast-forward engine must re-arm the wake bound of
+    /// any core that can now fetch work, because pre-admission bounds
+    /// never saw these blocks.
+    pub fn inject(&mut self, tb: TbId, core: CoreId, window: WindowId) {
+        debug_assert!(
+            self.release_of(tb) == 0,
+            "injected blocks must not also be arrival-gated"
+        );
+        let q = &mut self.queues[core][window];
+        q.push_back(tb);
+        if q.len() == 2 {
+            self.steal_candidates += 1;
+        }
+        self.remaining += 1;
     }
 
     /// Blocks not yet handed out.
@@ -313,6 +352,29 @@ mod tests {
         }
         assert_eq!(s.next_for(0, 0, 0), None);
         assert_eq!(s.remaining(), 4);
+    }
+
+    #[test]
+    fn withhold_then_inject_releases_blocks_on_demand() {
+        let p = program(4, 2);
+        let mut s = TbScheduler::new(&p, 2, 2);
+        s.withhold_all();
+        assert!(s.is_empty());
+        assert!(!s.has_work_for(0, 0));
+        assert_eq!(s.next_for(0, 0, 0), None);
+        // Inject block 0 onto core 0 window 0, block 1 + 3 onto core 1.
+        s.inject(0, 0, 0);
+        s.inject(1, 1, 0);
+        s.inject(3, 1, 0);
+        assert_eq!(s.remaining(), 3);
+        assert!(s.has_work_for(0, 5));
+        assert_eq!(s.next_for(0, 0, 5), Some(0));
+        // Core 1's chunk of 2 is a steal candidate for idle core 0.
+        assert!(s.has_work_for(0, 5));
+        assert_eq!(s.next_for(0, 0, 5), Some(1));
+        assert_eq!(s.migrations(), 1);
+        assert_eq!(s.next_for(1, 0, 5), Some(3));
+        assert!(s.is_empty());
     }
 
     #[test]

@@ -1,0 +1,416 @@
+//! Open-system serving: mid-run request injection.
+//!
+//! PR 4's serving mixes are a *closed* system — every request is
+//! pre-tagged into the [`Program`] with a fixed arrival cycle. This
+//! module opens the system: a [`RequestInjector`] holds the request
+//! arrival schedule (drawn from a seeded arrival process upstream) and
+//! a [`ServePolicy`] — the third policy axis beside arbitration ×
+//! throttling — and decides, mid-run, when each request's thread
+//! blocks become visible to the [`TbScheduler`].
+//!
+//! ## Injection contract (never-late, like every other wake bound)
+//!
+//! The fast-forward engine may only skip a cycle range if no component
+//! changes state inside it. Admission changes scheduler state, so the
+//! injector exports a wake bound with the same discipline as the NoC
+//! queues and the throttle sampler:
+//!
+//! * **queue empty** → no bound (the injector is drained);
+//! * **admission capacity available** → the front request's arrival
+//!   cycle: nothing can be admitted earlier, and the bound cannot move
+//!   earlier because the schedule is fixed up front;
+//! * **capacity-blocked** → no bound from the injector itself; the
+//!   *completion* that frees capacity is a retirement event the engine
+//!   already executes, and the system re-arms the injector wake to
+//!   `now + 1` at that retirement.
+//!
+//! Admissions run as **phase 0** of the tick (before NoC delivery), so
+//! a block admitted at cycle `t` is fetchable by its core's phase-4
+//! tick of the same cycle — in both step modes, at the same cycles,
+//! which is what keeps `StepMode::Skip` byte-identical to `Cycle`.
+//!
+//! ## Determinism
+//!
+//! The admission queue is statically sorted by `(arrival, request id)`,
+//! so two requests landing on the same cycle are admitted in request-id
+//! order — there is no tie to break at run time.
+
+use std::collections::VecDeque;
+
+use crate::prog::{Program, RequestId, TbId};
+use crate::sched::TbScheduler;
+use crate::types::{CoreId, Cycle, WindowId};
+
+/// Serving-scheduler admission policy: when does a queued request's
+/// work become visible to the thread-block scheduler?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServePolicy {
+    /// Admit every request the cycle it arrives, onto its home cores.
+    /// The machine is time-shared by the thread-block scheduler alone.
+    Fcfs,
+    /// Admit in FCFS order but keep at most `max` requests in flight;
+    /// later arrivals wait in the admission queue until a completion
+    /// frees a slot.
+    MaxConcurrency { max: usize },
+    /// Continuous batching: the cores are split into `slots` contiguous
+    /// groups; each admitted request owns one group until it completes,
+    /// and a completion immediately hands the freed group to the next
+    /// queued request (lowest-numbered free slot, FCFS order).
+    ContinuousBatching { slots: usize },
+}
+
+impl ServePolicy {
+    /// Stable name (labels, JSONL).
+    pub fn label(&self) -> String {
+        match self {
+            ServePolicy::Fcfs => "fcfs".into(),
+            ServePolicy::MaxConcurrency { max } => format!("maxc{max}"),
+            ServePolicy::ContinuousBatching { slots } => format!("cb{slots}"),
+        }
+    }
+}
+
+/// Per-block injection target: `(block, relative home core, window)`,
+/// precomputed at construction so admission allocates nothing.
+type InjectPlan = Vec<(TbId, CoreId, WindowId)>;
+
+/// The open-system request injector: arrival schedule + admission
+/// queue + serving policy.
+///
+/// Built against an *open* program — request-tagged, arrival-free,
+/// home cores relative to `0..cores_per_request()` (see
+/// `llamcat_trace::mix::generate_serve_set`). Attach to a system with
+/// `System::attach_injector` before running.
+pub struct RequestInjector {
+    policy: ServePolicy,
+    /// Arrival cycle per request (the open-system schedule).
+    arrivals: Vec<Cycle>,
+    /// Requests not yet admitted, sorted by `(arrival, request id)`.
+    queue: VecDeque<RequestId>,
+    /// Injection plan per request, in `TbId` order.
+    plan: Vec<InjectPlan>,
+    /// Width of the relative home-core range each request was traced on.
+    cores_per_request: usize,
+    /// Requests admitted but not yet completed.
+    in_flight: usize,
+    /// Continuous batching: which request owns each core group (empty
+    /// for the other policies).
+    slots: Vec<Option<RequestId>>,
+    /// Continuous batching: the slot each request was admitted into.
+    slot_of: Vec<usize>,
+}
+
+impl RequestInjector {
+    /// Builds the injector for `program` with the given arrival
+    /// schedule. `num_cores` / `num_windows` must match the system the
+    /// injector will attach to; the per-request chunking mirrors
+    /// [`TbScheduler::new`] so an FCFS-admitted request is queued
+    /// exactly as a closed program would queue it.
+    pub fn new(
+        program: &Program,
+        arrivals: Vec<Cycle>,
+        policy: ServePolicy,
+        num_cores: usize,
+        num_windows: usize,
+    ) -> Result<Self, String> {
+        let n = program.num_requests();
+        if arrivals.len() != n {
+            return Err(format!(
+                "arrival schedule covers {} requests, program has {n}",
+                arrivals.len()
+            ));
+        }
+        if !program.arrivals.is_empty() {
+            return Err("open-system programs must not carry per-block arrivals".into());
+        }
+        let cores_per_request = match policy {
+            ServePolicy::Fcfs => num_cores,
+            ServePolicy::MaxConcurrency { max } => {
+                if max == 0 {
+                    return Err("max-concurrency policy needs max >= 1".into());
+                }
+                num_cores
+            }
+            ServePolicy::ContinuousBatching { slots } => {
+                if slots == 0 || slots > num_cores {
+                    return Err(format!(
+                        "continuous batching needs 1 <= slots <= num_cores ({num_cores}), got {slots}"
+                    ));
+                }
+                num_cores / slots
+            }
+        };
+        // Group each request's blocks per relative home core, then
+        // split each core's list into `num_windows` contiguous chunks —
+        // the same strided-window layout TbScheduler::new builds.
+        let mut per_core: Vec<Vec<Vec<TbId>>> = vec![vec![Vec::new(); cores_per_request]; n];
+        for (tb, &core) in program.assignment.iter().enumerate() {
+            if core >= cores_per_request {
+                return Err(format!(
+                    "block {tb} homes on relative core {core}, policy {} allows 0..{cores_per_request}",
+                    policy.label()
+                ));
+            }
+            per_core[program.request_of(tb) as usize][core].push(tb);
+        }
+        let mut plan: Vec<InjectPlan> = Vec::with_capacity(n);
+        for (r, cores) in per_core.into_iter().enumerate() {
+            let mut p = InjectPlan::new();
+            for (core, list) in cores.into_iter().enumerate() {
+                let len = list.len();
+                let chunk = len.div_ceil(num_windows).max(1);
+                for (i, tb) in list.into_iter().enumerate() {
+                    p.push((tb, core, (i / chunk).min(num_windows - 1)));
+                }
+            }
+            if p.is_empty() {
+                return Err(format!("request {r} contributed no thread blocks"));
+            }
+            plan.push(p);
+        }
+        let mut order: Vec<RequestId> = (0..n as RequestId).collect();
+        order.sort_by_key(|&r| (arrivals[r as usize], r));
+        let slot_count = match policy {
+            ServePolicy::ContinuousBatching { slots } => slots,
+            _ => 0,
+        };
+        Ok(RequestInjector {
+            policy,
+            arrivals,
+            queue: order.into(),
+            plan,
+            cores_per_request,
+            in_flight: 0,
+            slots: vec![None; slot_count],
+            slot_of: vec![0; n],
+        })
+    }
+
+    /// The arrival schedule, indexed by request id.
+    pub fn arrivals(&self) -> &[Cycle] {
+        &self.arrivals
+    }
+
+    pub fn num_requests(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Whether every request has been admitted (not necessarily
+    /// completed — in-flight work lives in the scheduler and cores).
+    pub fn drained(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the policy could admit one more request right now.
+    fn has_capacity(&self) -> bool {
+        match self.policy {
+            ServePolicy::Fcfs => true,
+            ServePolicy::MaxConcurrency { max } => self.in_flight < max,
+            ServePolicy::ContinuousBatching { .. } => self.slots.iter().any(|s| s.is_none()),
+        }
+    }
+
+    /// Admits every due request at cycle `now`, pushing its blocks into
+    /// the scheduler and stamping `admitted_at[request]`. Returns
+    /// whether anything was admitted (the caller must then re-arm core
+    /// wake bounds — newly injected work is fetchable *this* cycle).
+    pub fn run_admissions(
+        &mut self,
+        now: Cycle,
+        sched: &mut TbScheduler,
+        admitted_at: &mut [Cycle],
+    ) -> bool {
+        let mut any = false;
+        while let Some(&r) = self.queue.front() {
+            if self.arrivals[r as usize] > now {
+                break;
+            }
+            let base_core = match self.policy {
+                ServePolicy::Fcfs => 0,
+                ServePolicy::MaxConcurrency { max } => {
+                    if self.in_flight >= max {
+                        break;
+                    }
+                    0
+                }
+                ServePolicy::ContinuousBatching { .. } => {
+                    let Some(slot) = self.slots.iter().position(|s| s.is_none()) else {
+                        break;
+                    };
+                    self.slots[slot] = Some(r);
+                    self.slot_of[r as usize] = slot;
+                    slot * self.cores_per_request
+                }
+            };
+            self.queue.pop_front();
+            self.in_flight += 1;
+            admitted_at[r as usize] = now;
+            for &(tb, core, window) in &self.plan[r as usize] {
+                sched.inject(tb, base_core + core, window);
+            }
+            any = true;
+        }
+        any
+    }
+
+    /// Records the completion of request `r`, freeing its admission
+    /// capacity (and, for continuous batching, its core group).
+    pub fn note_completion(&mut self, r: RequestId) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        if matches!(self.policy, ServePolicy::ContinuousBatching { .. }) {
+            let slot = self.slot_of[r as usize];
+            if self.slots[slot] == Some(r) {
+                self.slots[slot] = None;
+            }
+        }
+    }
+
+    /// Never-late wake bound: the earliest future cycle (>= `now`) at
+    /// which an admission could happen, or `None` when the injector is
+    /// drained or capacity-blocked (a completion event re-arms the
+    /// bound in the latter case).
+    pub fn next_wake(&self, now: Cycle) -> Option<Cycle> {
+        let &front = self.queue.front()?;
+        self.has_capacity()
+            .then(|| self.arrivals[front as usize].max(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prog::ThreadBlock;
+
+    /// 2 requests x 2 blocks each, relative core 0..2, arrival-free.
+    fn open_program(requests: usize, blocks_per: usize, cores: usize) -> Program {
+        let n = requests * blocks_per;
+        let blocks = vec![ThreadBlock::default(); n];
+        let assignment = (0..n).map(|i| i % cores).collect();
+        let tags = (0..n).map(|i| (i / blocks_per) as RequestId).collect();
+        Program::with_requests(blocks, assignment, tags, Vec::new())
+    }
+
+    fn sched_of(p: &Program, cores: usize, windows: usize) -> TbScheduler {
+        let mut s = TbScheduler::new(p, cores, windows);
+        s.withhold_all();
+        s
+    }
+
+    #[test]
+    fn fcfs_admits_on_arrival_in_id_order() {
+        let p = open_program(3, 2, 4);
+        let mut inj =
+            RequestInjector::new(&p, vec![100, 100, 400], ServePolicy::Fcfs, 4, 2).unwrap();
+        let mut sched = sched_of(&p, 4, 2);
+        let mut admitted = vec![Cycle::MAX; 3];
+        assert_eq!(inj.next_wake(0), Some(100));
+        assert!(!inj.run_admissions(50, &mut sched, &mut admitted));
+        // Both cycle-100 requests admitted together, id order is the
+        // queue order; request 2 stays queued.
+        assert!(inj.run_admissions(100, &mut sched, &mut admitted));
+        assert_eq!(admitted, vec![100, 100, Cycle::MAX]);
+        assert_eq!(sched.remaining(), 4);
+        assert_eq!(inj.next_wake(101), Some(400));
+        assert!(inj.run_admissions(400, &mut sched, &mut admitted));
+        assert!(inj.drained());
+        assert_eq!(inj.next_wake(401), None);
+    }
+
+    #[test]
+    fn max_concurrency_blocks_until_completion() {
+        let p = open_program(3, 1, 2);
+        let mut inj = RequestInjector::new(
+            &p,
+            vec![0, 0, 0],
+            ServePolicy::MaxConcurrency { max: 2 },
+            2,
+            1,
+        )
+        .unwrap();
+        let mut sched = sched_of(&p, 2, 1);
+        let mut admitted = vec![Cycle::MAX; 3];
+        inj.run_admissions(0, &mut sched, &mut admitted);
+        assert_eq!(admitted, vec![0, 0, Cycle::MAX]);
+        // Capacity-blocked: no wake bound of its own.
+        assert_eq!(inj.next_wake(1), None);
+        inj.note_completion(0);
+        assert_eq!(inj.next_wake(5), Some(5));
+        inj.run_admissions(5, &mut sched, &mut admitted);
+        assert_eq!(admitted[2], 5);
+    }
+
+    #[test]
+    fn continuous_batching_reassigns_freed_slots() {
+        // 4 cores, 2 slots of 2 cores; blocks on relative cores 0..2.
+        let p = open_program(3, 2, 2);
+        let mut inj = RequestInjector::new(
+            &p,
+            vec![0, 0, 0],
+            ServePolicy::ContinuousBatching { slots: 2 },
+            4,
+            1,
+        )
+        .unwrap();
+        let mut sched = sched_of(&p, 4, 1);
+        let mut admitted = vec![Cycle::MAX; 3];
+        inj.run_admissions(0, &mut sched, &mut admitted);
+        // Requests 0, 1 take slots 0, 1; request 2 waits.
+        assert_eq!(admitted, vec![0, 0, Cycle::MAX]);
+        assert_eq!(sched.queue_len(0) + sched.queue_len(1), 2, "slot 0");
+        assert_eq!(sched.queue_len(2) + sched.queue_len(3), 2, "slot 1");
+        // Request 1 completes: its slot (cores 2..4) goes to request 2.
+        inj.note_completion(1);
+        inj.run_admissions(7, &mut sched, &mut admitted);
+        assert_eq!(admitted[2], 7);
+        assert_eq!(sched.queue_len(2) + sched.queue_len(3), 4, "reused slot 1");
+    }
+
+    #[test]
+    fn construction_rejects_degenerate_setups() {
+        let p = open_program(2, 1, 2);
+        assert!(
+            RequestInjector::new(&p, vec![0], ServePolicy::Fcfs, 2, 1).is_err(),
+            "short arrival schedule"
+        );
+        assert!(
+            RequestInjector::new(&p, vec![0, 0], ServePolicy::MaxConcurrency { max: 0 }, 2, 1)
+                .is_err()
+        );
+        assert!(RequestInjector::new(
+            &p,
+            vec![0, 0],
+            ServePolicy::ContinuousBatching { slots: 8 },
+            4,
+            1
+        )
+        .is_err());
+        // CB with 2 slots over 4 cores leaves relative cores 0..2: a
+        // block homed on core 3 cannot fit a slot.
+        let wide = open_program(2, 4, 4);
+        assert!(RequestInjector::new(
+            &wide,
+            vec![0, 0],
+            ServePolicy::ContinuousBatching { slots: 2 },
+            4,
+            1
+        )
+        .is_err());
+        let gated = Program::with_requests(
+            vec![ThreadBlock::default(); 2],
+            vec![0, 1],
+            vec![0, 1],
+            vec![0, 50],
+        );
+        assert!(
+            RequestInjector::new(&gated, vec![0, 50], ServePolicy::Fcfs, 2, 1).is_err(),
+            "pre-tagged arrivals must be rejected"
+        );
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        assert_eq!(ServePolicy::Fcfs.label(), "fcfs");
+        assert_eq!(ServePolicy::MaxConcurrency { max: 4 }.label(), "maxc4");
+        assert_eq!(ServePolicy::ContinuousBatching { slots: 8 }.label(), "cb8");
+    }
+}

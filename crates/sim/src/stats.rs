@@ -149,6 +149,15 @@ pub struct RequestStats {
     /// Cycle during which the request's last block retired (only
     /// meaningful when `completed`).
     pub completion_cycle: Cycle,
+    /// Cycle at which the serving scheduler admitted the request —
+    /// equal to `arrival` for closed (pre-tagged) runs, later under an
+    /// open-system admission queue. `None` while still queued.
+    #[serde(default)]
+    pub admitted: Option<Cycle>,
+    /// Cycle during which the request's *first* block retired. `None`
+    /// until then.
+    #[serde(default)]
+    pub first_retire: Option<Cycle>,
     /// LLC counters attributed to this request, summed over slices.
     pub llc: RequestLlcStats,
 }
@@ -164,6 +173,33 @@ impl RequestStats {
         } else {
             0
         }
+    }
+
+    /// Time-to-first-token proxy: cycles from *arrival* to the first
+    /// retired block (inclusive of the retiring cycle, like
+    /// [`RequestStats::cycles_to_completion`]). Queueing delay under an
+    /// open-system admission policy is included — that is the latency a
+    /// client would see. `None` until a block retires.
+    pub fn ttft(&self) -> Option<Cycle> {
+        self.first_retire.map(|c| c + 1 - self.arrival)
+    }
+
+    /// Mean time-between-tokens proxy: average cycles between
+    /// consecutive block retirements after the first. `None` unless
+    /// the request completed with at least two blocks.
+    pub fn mean_tbt(&self) -> Option<f64> {
+        if self.completed && self.blocks_total >= 2 {
+            let first = self.first_retire?;
+            Some((self.completion_cycle - first) as f64 / (self.blocks_total - 1) as f64)
+        } else {
+            None
+        }
+    }
+
+    /// Cycles the request waited in the admission queue (0 for closed
+    /// runs, where admission *is* arrival). `None` while still queued.
+    pub fn queue_delay(&self) -> Option<Cycle> {
+        self.admitted.map(|a| a - self.arrival)
     }
 }
 
@@ -441,6 +477,28 @@ mod tests {
         // A trivially-complete zero-block request did no work.
         r.blocks_total = 0;
         assert_eq!(r.cycles_to_completion(), 0);
+    }
+
+    #[test]
+    fn request_latency_metrics() {
+        let mut r = RequestStats {
+            arrival: 100,
+            blocks_total: 5,
+            ..Default::default()
+        };
+        assert_eq!(r.ttft(), None, "no block retired yet");
+        assert_eq!(r.queue_delay(), None, "still queued");
+        r.admitted = Some(160);
+        r.first_retire = Some(199);
+        assert_eq!(r.queue_delay(), Some(60));
+        assert_eq!(r.ttft(), Some(100), "arrival -> first retire, inclusive");
+        assert_eq!(r.mean_tbt(), None, "not completed yet");
+        r.completed = true;
+        r.completion_cycle = 599;
+        assert_eq!(r.mean_tbt(), Some(100.0), "(599 - 199) / 4 blocks");
+        // Closed runs: admission is arrival, queue delay 0.
+        r.admitted = Some(r.arrival);
+        assert_eq!(r.queue_delay(), Some(0));
     }
 
     #[test]

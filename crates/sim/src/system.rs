@@ -3,6 +3,8 @@
 //! Tick order within one core cycle is fixed (and documented) so that
 //! runs are bit-reproducible:
 //!
+//! 0. (open-system runs) admit due requests from the injector, making
+//!    their thread blocks visible to the scheduler this cycle;
 //! 1. deliver due interconnect requests to slices;
 //! 2. tick every LLC slice, then flush its outbound responses, DRAM
 //!    reads and write-backs;
@@ -23,6 +25,7 @@ use crate::noc::Noc;
 use crate::pool::ReqPool;
 use crate::prog::{FlatProgram, Program};
 use crate::sched::TbScheduler;
+use crate::serve::RequestInjector;
 use crate::stats::SimStats;
 use crate::types::{line_index, Addr, Cycle, SliceId};
 
@@ -111,12 +114,25 @@ where
     /// (Skip mode only; both zero in Cycle mode).
     ticks_executed: u64,
     cycles_skipped: u64,
+    /// Open-system request injector (None for closed/pre-tagged runs).
+    injector: Option<RequestInjector>,
+    /// The injector's never-late wake bound: the next cycle at which an
+    /// admission could happen (`Cycle::MAX` when drained,
+    /// capacity-blocked, or closed). Re-armed after every admission
+    /// sweep and at every request completion.
+    inject_wake: Cycle,
     /// Per-serving-request completion tracking (indexed by request id).
     req_blocks_total: Vec<u64>,
     req_blocks_done: Vec<u64>,
     req_arrivals: Vec<Cycle>,
     req_completed: Vec<bool>,
     req_completion: Vec<Cycle>,
+    /// Admission cycle per request (`Cycle::MAX` = not yet admitted;
+    /// closed runs admit at arrival by definition).
+    req_admitted: Vec<Cycle>,
+    /// Cycle of each request's first block retirement (`Cycle::MAX`
+    /// until one retires) — the TTFT numerator.
+    req_first_retire: Vec<Cycle>,
     progress_scratch: Vec<u64>,
     c_mem_scratch: Vec<u64>,
     c_idle_scratch: Vec<u64>,
@@ -190,6 +206,10 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
             tb_retired: false,
             ticks_executed: 0,
             cycles_skipped: 0,
+            injector: None,
+            inject_wake: Cycle::MAX,
+            req_admitted: req_arrivals.clone(),
+            req_first_retire: vec![Cycle::MAX; n_req],
             req_blocks_total,
             req_blocks_done: vec![0; n_req],
             req_arrivals,
@@ -202,6 +222,47 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
             active_tbs_scratch: vec![0; n],
             fill_scratch: Vec::with_capacity(64),
         }
+    }
+
+    /// Switches the run to **open-system serving**: withholds every
+    /// thread block from the scheduler and hands release authority to
+    /// `injector`, which admits requests mid-run under its serving
+    /// policy. Request arrivals (for stats and TTFT) become the
+    /// injector's schedule. Must be called before the first tick.
+    ///
+    /// The program must be an *open* serve set — request-tagged,
+    /// arrival-free, with home cores relative to the injector's slot
+    /// width (see `llamcat_trace::mix::generate_serve_set`).
+    pub fn attach_injector(&mut self, injector: RequestInjector) {
+        assert_eq!(self.cycle, 0, "attach the injector before running");
+        assert_eq!(
+            injector.num_requests(),
+            self.req_blocks_total.len(),
+            "injector and program disagree on the request count"
+        );
+        self.sched.withhold_all();
+        self.req_arrivals = injector.arrivals().to_vec();
+        for a in self.req_admitted.iter_mut() {
+            *a = Cycle::MAX;
+        }
+        self.inject_wake = 0;
+        self.injector = Some(injector);
+    }
+
+    /// Runs the injector's admission sweep at cycle `now` and re-arms
+    /// `inject_wake`. Returns whether anything was admitted (Skip mode
+    /// must then re-arm core wake bounds — newly injected blocks are
+    /// fetchable this very cycle).
+    fn run_injector(&mut self, now: Cycle) -> bool {
+        let Some(inj) = self.injector.as_mut() else {
+            self.inject_wake = Cycle::MAX;
+            return false;
+        };
+        let admitted = inj.run_admissions(now, &mut self.sched, &mut self.req_admitted);
+        // Next arrival-driven admission opportunity; a capacity-blocked
+        // queue re-arms at the completion that frees the capacity.
+        self.inject_wake = inj.next_wake(now + 1).unwrap_or(Cycle::MAX);
+        admitted
     }
 
     /// Slice that owns `line_addr` (slices interleave on low line bits,
@@ -259,9 +320,21 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
             self.tb_retired = true;
             let r = self.program.request_of(tb) as usize;
             self.req_blocks_done[r] += 1;
+            if self.req_first_retire[r] == Cycle::MAX {
+                self.req_first_retire[r] = now;
+            }
             if self.req_blocks_done[r] == self.req_blocks_total[r] {
                 self.req_completed[r] = true;
                 self.req_completion[r] = now;
+                if let Some(inj) = self.injector.as_mut() {
+                    // The completion frees admission capacity; the
+                    // earliest cycle the freed capacity can admit is the
+                    // next one (this cycle's phase 0 already ran).
+                    inj.note_completion(r as u32);
+                    if !inj.drained() {
+                        self.inject_wake = self.inject_wake.min(now + 1);
+                    }
+                }
             }
         }
     }
@@ -373,7 +446,7 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
         let mut synced_slice = vec![self.cycle; num_slices];
 
         let outcome = loop {
-            let mut now = wake_dram.min(wake_throttle);
+            let mut now = wake_dram.min(wake_throttle).min(self.inject_wake);
             for &w in &wake_core {
                 now = now.min(w);
             }
@@ -408,6 +481,22 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
             // (cycle-mode ticks for earlier cycles all ran before this
             // cycle's phase 2; they are quiet by the wake bound).
             self.dram_sync_quiet(now * self.core_period_ps);
+
+            // Phase 0: open-system request injection. Admission changes
+            // scheduler state, so every core's wake bound — computed
+            // before these blocks existed — must be re-armed: an idle
+            // core can fetch injected work this very cycle.
+            if self.inject_wake <= now && self.run_injector(now) {
+                for (c, wake) in wake_core.iter_mut().enumerate() {
+                    *wake = (*wake).min(Self::core_wake_of(
+                        &self.cores[c],
+                        &self.sched,
+                        &self.noc,
+                        c,
+                        now,
+                    ));
+                }
+            }
 
             // Phases 1+2: due slices — deliver due arrivals, tick,
             // flush.
@@ -566,6 +655,14 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
         let now = self.cycle;
         self.tb_retired = false;
 
+        // 0. Open-system request injection — before anything else, so a
+        // request admitted at cycle t is fetchable by its core's phase-4
+        // tick of the same cycle (the Skip engine runs this phase at the
+        // same cycles via `inject_wake`).
+        if now >= self.inject_wake {
+            self.run_injector(now);
+        }
+
         // 1. Interconnect -> slice request queues (scratch-free: the
         // NoC pops due handles straight into the slice's ingress).
         for s in 0..self.slices.len() {
@@ -681,9 +778,12 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
         }
     }
 
-    /// True when every component has drained.
+    /// True when every component has drained — including the request
+    /// injector: an open-system run is not done while requests are
+    /// still waiting for admission, however idle the machine is.
     pub fn is_done(&self) -> bool {
-        self.sched.is_empty()
+        self.injector.as_ref().is_none_or(|i| i.drained())
+            && self.sched.is_empty()
             && self.cores.iter().all(|c| c.is_idle())
             && self.noc.is_idle()
             && self.slices.iter().all(|s| s.is_idle())
@@ -727,6 +827,9 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
                 arrival: self.req_arrivals[r],
                 completed: self.req_completed[r],
                 completion_cycle: self.req_completion[r],
+                admitted: (self.req_admitted[r] != Cycle::MAX).then_some(self.req_admitted[r]),
+                first_retire: (self.req_first_retire[r] != Cycle::MAX)
+                    .then_some(self.req_first_retire[r]),
                 llc: crate::stats::RequestLlcStats::default(),
             })
             .collect();
@@ -947,6 +1050,134 @@ mod tests {
             serde_json::to_string(&ss).unwrap()
         );
         assert!(sc.cycles > 100_000);
+    }
+
+    /// Arrival-free, request-tagged program: `requests` x `blocks_per`
+    /// streaming blocks homed on relative cores `0..cores`.
+    fn open_program(requests: usize, blocks_per: usize, cores: usize) -> Program {
+        let mut blocks = Vec::new();
+        let mut tags = Vec::new();
+        for r in 0..requests {
+            for b in 0..blocks_per {
+                let addr = ((r as u64) << 40) + (b as u64) * 256;
+                blocks.push(ThreadBlock {
+                    instrs: vec![
+                        Instr::Load { addr, bytes: 128 },
+                        Instr::Load {
+                            addr: addr + 128,
+                            bytes: 128,
+                        },
+                        Instr::Barrier,
+                    ],
+                });
+                tags.push(r as u32);
+            }
+        }
+        let assignment = (0..blocks.len()).map(|i| i % cores).collect();
+        Program::with_requests(blocks, assignment, tags, Vec::new())
+    }
+
+    fn build_open(
+        cfg: SystemConfig,
+        p: &Program,
+        policy: crate::serve::ServePolicy,
+        arrivals: Vec<Cycle>,
+    ) -> System {
+        let inj = RequestInjector::new(
+            p,
+            arrivals,
+            policy,
+            cfg.num_cores,
+            cfg.core.num_inst_windows,
+        )
+        .expect("valid injector");
+        let mut sys = build(cfg, p.clone());
+        sys.attach_injector(inj);
+        sys
+    }
+
+    #[test]
+    fn open_serving_completes_and_tracks_latencies() {
+        use crate::serve::ServePolicy;
+        let cfg = small_cfg();
+        let p = open_program(3, 4, 4);
+        let arrivals = vec![0, 1_000, 1_000];
+        let mut sys = build_open(cfg, &p, ServePolicy::Fcfs, arrivals.clone());
+        let (stats, outcome) = sys.run(1_000_000);
+        assert_eq!(outcome, RunOutcome::Completed);
+        stats.check_consistency().unwrap();
+        assert_eq!(stats.requests.len(), 3);
+        for (r, rs) in stats.requests.iter().enumerate() {
+            assert!(rs.completed, "request {r} must complete");
+            assert_eq!(rs.arrival, arrivals[r]);
+            assert_eq!(rs.admitted, Some(arrivals[r]), "FCFS admits on arrival");
+            assert!(rs.ttft().unwrap() >= 1);
+            assert!(rs.first_retire.unwrap() <= rs.completion_cycle);
+            assert!(rs.mean_tbt().unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn open_serving_modes_are_byte_identical() {
+        use crate::serve::ServePolicy;
+        // Same-cycle duplicate arrivals included on purpose.
+        let arrivals = vec![0, 500, 500, 20_000];
+        for policy in [
+            ServePolicy::Fcfs,
+            ServePolicy::MaxConcurrency { max: 1 },
+            ServePolicy::ContinuousBatching { slots: 2 },
+        ] {
+            // A request's trace is homed on its policy's slot width:
+            // the full machine for FCFS/max-concurrency, one core per
+            // slot under 2-way continuous batching on 2 cores.
+            let width = match policy {
+                ServePolicy::ContinuousBatching { slots } => 2 / slots,
+                _ => 2,
+            };
+            let p = open_program(4, 3, width);
+            let run = |mode| {
+                let mut cfg = small_cfg();
+                cfg.num_cores = 2;
+                let mut sys = build_open(cfg, &p, policy, arrivals.clone());
+                sys.run_with_mode(2_000_000, mode)
+            };
+            let (sc, oc) = run(StepMode::Cycle);
+            let (ss, os) = run(StepMode::Skip);
+            assert_eq!(oc, os, "{}: outcome diverged", policy.label());
+            assert_eq!(oc, RunOutcome::Completed);
+            assert_eq!(
+                serde_json::to_string(&sc).unwrap(),
+                serde_json::to_string(&ss).unwrap(),
+                "{}: SimStats diverged between step modes",
+                policy.label()
+            );
+            // Capacity-gated policies admit the same-cycle pair in
+            // request-id order; the serialized equality above already
+            // pins admission cycles, this pins the order is usable.
+            let a1 = sc.requests[1].admitted.unwrap();
+            let a2 = sc.requests[2].admitted.unwrap();
+            assert!(a1 <= a2, "{}: id order broken", policy.label());
+        }
+    }
+
+    #[test]
+    fn capacity_blocked_injector_still_drains() {
+        use crate::serve::ServePolicy;
+        // One slot, three requests all arriving at cycle 0: the machine
+        // serializes them, and the idle gaps between completions and
+        // re-admissions must fast-forward without stalling the loop.
+        let mut cfg = small_cfg();
+        cfg.num_cores = 2;
+        let p = open_program(3, 2, 2);
+        let mut sys = build_open(cfg, &p, ServePolicy::MaxConcurrency { max: 1 }, vec![0; 3]);
+        let (stats, outcome) = sys.run_with_mode(2_000_000, StepMode::Skip);
+        assert_eq!(outcome, RunOutcome::Completed);
+        // Strictly serialized: each admission waits for the previous
+        // completion.
+        assert!(stats.requests[1].admitted.unwrap() > stats.requests[0].completion_cycle);
+        assert!(stats.requests[2].admitted.unwrap() > stats.requests[1].completion_cycle);
+        assert!(stats.requests[0].queue_delay().unwrap() == 0);
+        assert!(stats.requests[2].queue_delay().unwrap() > 0);
     }
 
     #[test]

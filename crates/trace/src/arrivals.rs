@@ -1,0 +1,274 @@
+//! Deterministic open-system arrival processes.
+//!
+//! PR 4's serving mixes were a *closed* system: every request was
+//! pre-tagged into the `Program` with a fixed arrival cycle. Open-system
+//! serving instead draws request arrival cycles from a seeded
+//! [`ArrivalSpec`] and lets the simulator's request injector admit work
+//! mid-run. This module is the arrival half of that contract: given a
+//! request count it produces a sorted, reproducible arrival schedule —
+//! the injector half lives in `llamcat-sim::serve`.
+//!
+//! All randomness is a hand-rolled splitmix64 stream keyed by the spec's
+//! `seed`, so a spec serializes to JSON and replays to the identical
+//! schedule on every run (the property the Skip-vs-Cycle differential
+//! suite leans on).
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated cycle count (mirrors `llamcat_sim::types::Cycle`; this
+/// crate deliberately stays independent of the simulator's clock types
+/// beyond the alias).
+pub type Cycle = u64;
+
+/// splitmix64: tiny, high-quality, dependency-free PRNG. One u64 of
+/// state, one output per step.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform sample in `[0, 1)` with 53 bits of mantissa.
+#[inline]
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Exponential inter-arrival gap with the given mean, rounded to whole
+/// cycles. `1 - u` keeps the argument of `ln` in `(0, 1]`.
+#[inline]
+fn exp_gap(state: &mut u64, mean: u64) -> Cycle {
+    let u = unit_f64(state);
+    (-(mean as f64) * (1.0 - u).ln()).round() as Cycle
+}
+
+/// A deterministic, seeded arrival process: how request arrival cycles
+/// are drawn for an open-system serving run.
+///
+/// Every variant yields a nondecreasing schedule; requests are numbered
+/// in arrival order, so request ids double as the FCFS tiebreak when
+/// two requests land on the same cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalSpec {
+    /// One request every `period` cycles, starting at `start`.
+    Fixed {
+        period: Cycle,
+        #[serde(default)]
+        start: Cycle,
+    },
+    /// Poisson process: exponential inter-arrival gaps with mean
+    /// `mean_gap` cycles (arrival rate = 1 / `mean_gap`).
+    Poisson { mean_gap: u64, seed: u64 },
+    /// Bursts of `burst` requests, `gap_in_burst` cycles apart inside a
+    /// burst, with exponential inter-burst gaps of mean `burst_gap`.
+    Bursty {
+        burst: usize,
+        gap_in_burst: Cycle,
+        burst_gap: u64,
+        seed: u64,
+    },
+    /// Trace replay: explicit arrival cycles (must cover every request;
+    /// sorted on use).
+    Trace { cycles: Vec<Cycle> },
+}
+
+impl ArrivalSpec {
+    /// Validates the spec for a run of `n` requests.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        match self {
+            ArrivalSpec::Fixed { .. } => Ok(()),
+            ArrivalSpec::Poisson { mean_gap, .. } => {
+                if *mean_gap == 0 {
+                    Err("poisson arrival process needs mean_gap >= 1".into())
+                } else {
+                    Ok(())
+                }
+            }
+            ArrivalSpec::Bursty {
+                burst, burst_gap, ..
+            } => {
+                if *burst == 0 {
+                    Err("bursty arrival process needs burst >= 1".into())
+                } else if *burst_gap == 0 {
+                    Err("bursty arrival process needs burst_gap >= 1".into())
+                } else {
+                    Ok(())
+                }
+            }
+            ArrivalSpec::Trace { cycles } => {
+                if cycles.len() < n {
+                    Err(format!(
+                        "arrival trace covers {} requests, run needs {n}",
+                        cycles.len()
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// The arrival cycle of each of `n` requests, sorted nondecreasing.
+    ///
+    /// Panics on an invalid spec; call [`ArrivalSpec::validate`] first
+    /// when the spec came from user input.
+    pub fn arrivals(&self, n: usize) -> Vec<Cycle> {
+        self.validate(n).expect("invalid arrival spec");
+        match self {
+            ArrivalSpec::Fixed { period, start } => {
+                (0..n as u64).map(|i| start + i * period).collect()
+            }
+            ArrivalSpec::Poisson { mean_gap, seed } => {
+                let mut state = *seed;
+                let mut now = 0;
+                (0..n)
+                    .map(|_| {
+                        now += exp_gap(&mut state, *mean_gap);
+                        now
+                    })
+                    .collect()
+            }
+            ArrivalSpec::Bursty {
+                burst,
+                gap_in_burst,
+                burst_gap,
+                seed,
+            } => {
+                let mut state = *seed;
+                let mut burst_start = 0;
+                let mut out = Vec::with_capacity(n);
+                while out.len() < n {
+                    for i in 0..*burst {
+                        if out.len() == n {
+                            break;
+                        }
+                        out.push(burst_start + i as u64 * gap_in_burst);
+                    }
+                    burst_start += exp_gap(&mut state, *burst_gap).max(1);
+                }
+                out
+            }
+            ArrivalSpec::Trace { cycles } => {
+                let mut out = cycles[..n].to_vec();
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+
+    /// Compact label for tables and JSONL (e.g. `poisson(g500,s7)`).
+    pub fn label(&self) -> String {
+        match self {
+            ArrivalSpec::Fixed { period, start } => format!("fixed(p{period},s{start})"),
+            ArrivalSpec::Poisson { mean_gap, seed } => format!("poisson(g{mean_gap},s{seed})"),
+            ArrivalSpec::Bursty {
+                burst,
+                gap_in_burst,
+                burst_gap,
+                seed,
+            } => format!("bursty(b{burst},i{gap_in_burst},g{burst_gap},s{seed})"),
+            ArrivalSpec::Trace { cycles } => format!("trace[{}]", cycles.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_an_arithmetic_schedule() {
+        let a = ArrivalSpec::Fixed {
+            period: 100,
+            start: 7,
+        };
+        assert_eq!(a.arrivals(4), vec![7, 107, 207, 307]);
+    }
+
+    #[test]
+    fn poisson_is_seeded_and_sorted() {
+        let a = ArrivalSpec::Poisson {
+            mean_gap: 500,
+            seed: 42,
+        };
+        let x = a.arrivals(16);
+        let y = a.arrivals(16);
+        assert_eq!(x, y, "same seed must replay the same schedule");
+        assert!(x.windows(2).all(|w| w[0] <= w[1]), "must be sorted");
+        let b = ArrivalSpec::Poisson {
+            mean_gap: 500,
+            seed: 43,
+        };
+        assert_ne!(x, b.arrivals(16), "different seed, different schedule");
+        // Mean gap is in the right ballpark (law of large numbers at
+        // n = 512 with generous tolerance).
+        let n = 512;
+        let last = *a.arrivals(n).last().unwrap() as f64;
+        let mean = last / n as f64;
+        assert!((200.0..1000.0).contains(&mean), "mean gap {mean} off");
+    }
+
+    #[test]
+    fn bursty_emits_bursts() {
+        let a = ArrivalSpec::Bursty {
+            burst: 3,
+            gap_in_burst: 10,
+            burst_gap: 10_000,
+            seed: 1,
+        };
+        let x = a.arrivals(6);
+        assert_eq!(x.len(), 6);
+        // First burst is exactly 0, 10, 20.
+        assert_eq!(&x[..3], &[0, 10, 20]);
+        // Second burst starts strictly later and keeps the in-burst gap.
+        assert!(x[3] > 20);
+        assert_eq!(x[4] - x[3], 10);
+        assert!(x.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn trace_replay_sorts_and_validates() {
+        let a = ArrivalSpec::Trace {
+            cycles: vec![300, 100, 100],
+        };
+        assert_eq!(a.arrivals(3), vec![100, 100, 300]);
+        assert!(a.validate(4).is_err(), "short trace must be rejected");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = ArrivalSpec::Bursty {
+            burst: 4,
+            gap_in_burst: 5,
+            burst_gap: 2_000,
+            seed: 9,
+        };
+        let s = serde_json::to_string(&a).unwrap();
+        let b: ArrivalSpec = serde_json::from_str(&s).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.arrivals(8), b.arrivals(8));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            ArrivalSpec::Fixed {
+                period: 9,
+                start: 0
+            }
+            .label(),
+            "fixed(p9,s0)"
+        );
+        assert_eq!(
+            ArrivalSpec::Poisson {
+                mean_gap: 500,
+                seed: 7
+            }
+            .label(),
+            "poisson(g500,s7)"
+        );
+    }
+}

@@ -19,7 +19,10 @@
 //!   [`Program`](llamcat_sim::prog::Program);
 //! * [`mix`] — multi-tenant serving mixes: N co-scheduled requests
 //!   (mixed prefill/decode, staggered arrivals) composed into one
-//!   request-tagged program via core partitioning or interleaving;
+//!   request-tagged program via core partitioning or interleaving,
+//!   plus the open-system serve-set composer;
+//! * [`arrivals`] — deterministic seeded arrival processes (fixed /
+//!   Poisson / bursty / trace replay) for open-system serving;
 //! * [`format`](mod@format) — JSON and compact binary trace persistence.
 //!
 //! ## Example
@@ -35,6 +38,7 @@
 //! assert!(meta.total_load_bytes >= op.k_bytes() * op.group_size as u64);
 //! ```
 
+pub mod arrivals;
 pub mod format;
 pub mod mapper;
 pub mod mapping;
@@ -45,10 +49,13 @@ pub mod workloads;
 
 /// Convenient re-exports.
 pub mod prelude {
+    pub use crate::arrivals::ArrivalSpec;
     pub use crate::format::TraceFile;
     pub use crate::mapper::{best_mapping, enumerate, Candidate, MapperConstraints};
     pub use crate::mapping::{logit_mapping, Dim, Layout, Level, Loop, LoopKind, Mapping, TbOrder};
-    pub use crate::mix::{MixAssignment, MixMeta, MixedRequest, WorkloadMix, REQUEST_VA_STRIDE};
+    pub use crate::mix::{
+        generate_serve_set, MixAssignment, MixMeta, MixedRequest, WorkloadMix, REQUEST_VA_STRIDE,
+    };
     pub use crate::tracegen::{
         generate, generate_default, generate_with, TraceGenConfig, TraceMeta,
     };

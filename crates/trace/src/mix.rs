@@ -25,6 +25,15 @@
 //! Tenants live in disjoint address spaces: request `r`'s trace is
 //! offset by `r * REQUEST_VA_STRIDE`, so no KV-cache line is ever
 //! (falsely) shared across requests.
+//!
+//! A [`WorkloadMix`] is the *closed-system* composition: the request
+//! set and every arrival cycle are baked into the [`Program`] before
+//! the run starts. Open-system serving — requests drawn from a seeded
+//! [`ArrivalSpec`](crate::arrivals::ArrivalSpec) and injected mid-run
+//! by a serving scheduler — instead composes its per-request traces
+//! with [`generate_serve_set`], which leaves the program arrival-free
+//! and home cores *relative* so the simulator's request injector can
+//! place each admitted request at admission time.
 
 use std::sync::Arc;
 
@@ -273,6 +282,82 @@ impl WorkloadMix {
     }
 }
 
+/// Composes `requests` into one *open-system* serve set: every
+/// request's trace is generated on the relative core range
+/// `0..cores_per_request`, relocated into its own address space and
+/// request-tagged — but the program carries **no arrivals** and the
+/// home cores stay relative. The simulator's request injector decides
+/// *when* each request's blocks become schedulable and *which*
+/// absolute cores they land on (FCFS and concurrency caps keep the
+/// relative range at core 0; continuous batching offsets it to the
+/// admitting slot's core group).
+///
+/// Deterministic: same inputs, same program. Blocks are request-major,
+/// so a request's blocks are contiguous in `TbId` order.
+pub fn generate_serve_set(
+    requests: &[Arc<dyn Workload>],
+    cores_per_request: usize,
+    layout: Layout,
+    l_tile: usize,
+    cfg: &TraceGenConfig,
+) -> Result<(Program, MixMeta), String> {
+    if requests.is_empty() {
+        return Err("serve set has no requests".into());
+    }
+    if cores_per_request == 0 {
+        return Err("serve set needs at least one core per request".into());
+    }
+    let mut blocks = Vec::new();
+    let mut assignment = Vec::new();
+    let mut tags = Vec::new();
+    let mut metas = Vec::with_capacity(requests.len());
+    for (r, req) in requests.iter().enumerate() {
+        req.validate()
+            .map_err(|e| format!("serve request {r} ({}): {e}", req.label()))?;
+        let shape = req.shape();
+        if l_tile == 0 || !shape.seq_len.is_multiple_of(l_tile) {
+            return Err(format!(
+                "serve request {r}: l_tile {l_tile} must divide seq_len {}",
+                shape.seq_len
+            ));
+        }
+        let sub_cfg = TraceGenConfig {
+            num_cores: cores_per_request,
+            ..*cfg
+        };
+        let mapping = req.mapping(layout, l_tile, cores_per_request);
+        mapping
+            .validate(&shape)
+            .map_err(|e| format!("serve request {r}: {e}"))?;
+        let (mut program, meta) = req.generate(&mapping, &sub_cfg);
+        if program.blocks.is_empty() {
+            return Err(format!("serve request {r}: trace has no thread blocks"));
+        }
+        let offset = r as Addr * REQUEST_VA_STRIDE;
+        for block in &mut program.blocks {
+            relocate(block, offset);
+        }
+        for (block, core) in program.blocks.into_iter().zip(program.assignment) {
+            debug_assert!(core < cores_per_request);
+            blocks.push(block);
+            assignment.push(core);
+            tags.push(r as u32);
+        }
+        metas.push(meta);
+    }
+    let meta = MixMeta {
+        num_blocks: blocks.len(),
+        total_load_bytes: metas.iter().map(|m| m.total_load_bytes).sum(),
+        total_store_bytes: metas.iter().map(|m| m.total_store_bytes).sum(),
+        max_block_instrs: metas.iter().map(|m| m.max_block_instrs).max().unwrap_or(0),
+        per_request: metas,
+    };
+    Ok((
+        Program::with_requests(blocks, assignment, tags, Vec::new()),
+        meta,
+    ))
+}
+
 /// Shifts a block's memory accesses into a tenant's address space.
 fn relocate(block: &mut ThreadBlock, offset: Addr) {
     for instr in &mut block.instrs {
@@ -443,6 +528,43 @@ mod tests {
         );
         let bad_tile = WorkloadMix::solo(decode(128));
         assert!(bad_tile.generate(Layout::PairStream, 48, &cfg()).is_err());
+    }
+
+    #[test]
+    fn serve_set_is_relative_arrival_free_and_request_major() {
+        let (p, meta) = generate_serve_set(
+            &[decode(128), prefill(128)],
+            4,
+            Layout::PairStream,
+            32,
+            &cfg(),
+        )
+        .unwrap();
+        assert_eq!(p.num_requests(), 2);
+        assert!(p.arrivals.is_empty(), "serve programs carry no arrivals");
+        assert_eq!(meta.per_request.len(), 2);
+        assert_eq!(meta.num_blocks, p.num_blocks());
+        // Home cores are relative to the request's slot.
+        assert!(p.assignment.iter().all(|&c| c < 4));
+        // Request-major: tags are nondecreasing.
+        let tags: Vec<u32> = (0..p.num_blocks()).map(|tb| p.request_of(tb)).collect();
+        assert!(tags.windows(2).all(|w| w[0] <= w[1]));
+        // Disjoint tenant address spaces, as for closed mixes.
+        for tb in 0..p.num_blocks() {
+            for i in &p.blocks[tb].instrs {
+                if let Instr::Load { addr, .. } | Instr::Store { addr, .. } = i {
+                    assert_eq!((addr / REQUEST_VA_STRIDE) as u32, p.request_of(tb));
+                }
+            }
+        }
+        assert!(
+            generate_serve_set(&[], 4, Layout::PairStream, 32, &cfg()).is_err(),
+            "empty serve set must be rejected"
+        );
+        assert!(
+            generate_serve_set(&[decode(128)], 0, Layout::PairStream, 32, &cfg()).is_err(),
+            "zero-core slots must be rejected"
+        );
     }
 
     #[test]
