@@ -40,7 +40,7 @@
 use std::io::{self, Write};
 
 use llamcat::experiment::{Experiment, RunReport};
-use llamcat::spec::{MixSpec, PolicySpec, ServeSpec};
+use llamcat::spec::{KvSpec, MixSpec, PolicySpec, ServeSpec};
 use llamcat_sim::config::SystemConfig;
 use llamcat_sim::system::StepMode;
 use llamcat_trace::mapping::Layout;
@@ -75,6 +75,13 @@ pub struct Campaign {
     pub serves: Vec<ServeSpec>,
     /// L2 capacities in MB (`SystemConfig` override axis).
     pub l2_mb: Vec<u64>,
+    /// KV-tier configurations, crossed with every scenario as the
+    /// innermost scenario axis (just outside the policy). Empty (the
+    /// serde default, so older campaign files keep parsing) runs
+    /// without a KV tier — all KV lines DRAM-resident, the pre-tier
+    /// behavior.
+    #[serde(default)]
+    pub kvs: Vec<KvSpec>,
     /// Policies, with their configurations embedded.
     pub policies: Vec<PolicySpec>,
     /// Optional baseline: when set, every record carries its speedup
@@ -112,6 +119,10 @@ pub struct CampaignCell {
     /// The open-system serve scenario this cell runs, if any.
     #[serde(default)]
     pub serve: Option<ServeSpec>,
+    /// The tiered-KV configuration attached to this cell's machine, if
+    /// any (`None` = DRAM-resident KV).
+    #[serde(default)]
+    pub kv: Option<KvSpec>,
 }
 
 impl CampaignCell {
@@ -134,6 +145,9 @@ impl CampaignCell {
             .l2_mb(self.l2_mb)
             .layout(campaign.layout)
             .step_mode(campaign.step_mode);
+        if let Some(kv) = self.kv {
+            e = e.kv(kv);
+        }
         e.l_tile = campaign.l_tile;
         e.max_cycles = campaign.max_cycles;
         e
@@ -177,6 +191,13 @@ pub struct FairnessRecord {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CellRecord {
     pub cell: CampaignCell,
+    /// Content address of this record's configuration: a stable hash
+    /// over the serialized `(cell, step_mode)` pair (see
+    /// [`cell_spec_hash`]). Lets archived JSONL streams be joined and
+    /// deduplicated across campaigns without comparing nested specs.
+    /// Serde default `0` keeps pre-hash archives parsing.
+    #[serde(default)]
+    pub spec_hash: u64,
     /// Step mode the cell ran under (serde default `Cycle`, so JSONL
     /// archived before this field existed still parses).
     #[serde(default)]
@@ -213,6 +234,7 @@ impl Campaign {
             mixes: Vec::new(),
             serves: Vec::new(),
             l2_mb: vec![16],
+            kvs: Vec::new(),
             policies: Vec::new(),
             baseline: None,
             layout: Layout::default(),
@@ -265,6 +287,18 @@ impl Campaign {
     /// Replaces the L2-capacity axis (default: just 16 MB).
     pub fn l2_sizes_mb(mut self, sizes: impl IntoIterator<Item = u64>) -> Self {
         self.l2_mb = sizes.into_iter().collect();
+        self
+    }
+
+    /// Adds a tiered-KV configuration to the KV axis (crossed with
+    /// every scenario; an empty axis runs without a KV tier).
+    pub fn kv(mut self, kv: KvSpec) -> Self {
+        self.kvs.push(kv);
+        self
+    }
+
+    pub fn kvs(mut self, ks: impl IntoIterator<Item = KvSpec>) -> Self {
+        self.kvs.extend(ks);
         self
     }
 
@@ -329,7 +363,7 @@ impl Campaign {
     /// substitutes each swept policy).
     fn all_scenarios(&self) -> Vec<CampaignCell> {
         let placeholder = PolicySpec::unoptimized();
-        let mut out: Vec<CampaignCell> = self
+        let mut base: Vec<CampaignCell> = self
             .scenarios()
             .into_iter()
             .map(|(workload, seq_len, l2_mb)| CampaignCell {
@@ -339,11 +373,12 @@ impl Campaign {
                 policy: placeholder.clone(),
                 mix: None,
                 serve: None,
+                kv: None,
             })
             .collect();
         for m in &self.mixes {
             for &mb in &self.l2_mb {
-                out.push(CampaignCell {
+                base.push(CampaignCell {
                     workload: m.requests.first().map(|r| r.workload).unwrap_or(
                         // Degenerate (empty) mixes are rejected by
                         // `validate`; keep enumeration total anyway.
@@ -354,18 +389,35 @@ impl Campaign {
                     policy: placeholder.clone(),
                     mix: Some(m.clone()),
                     serve: None,
+                    kv: None,
                 });
             }
         }
         for s in &self.serves {
             for &mb in &self.l2_mb {
-                out.push(CampaignCell {
+                base.push(CampaignCell {
                     workload: s.workload,
                     seq_len: s.seq_len,
                     l2_mb: mb,
                     policy: placeholder.clone(),
                     mix: None,
                     serve: Some(s.clone()),
+                    kv: None,
+                });
+            }
+        }
+        // Cross the KV axis innermost: every scenario repeats once per
+        // KV configuration, in `kvs` order. An empty axis is the single
+        // no-tier option, leaving pre-KV campaigns byte-identical.
+        if self.kvs.is_empty() {
+            return base;
+        }
+        let mut out = Vec::with_capacity(base.len() * self.kvs.len());
+        for cell in base {
+            for &kv in &self.kvs {
+                out.push(CampaignCell {
+                    kv: Some(kv),
+                    ..cell.clone()
                 });
             }
         }
@@ -378,14 +430,20 @@ impl Campaign {
     pub fn scenario_labels(&self) -> Vec<String> {
         let multi_w = self.workloads.len() > 1;
         let multi_l2 = self.l2_mb.len() > 1;
+        let multi_kv = self.kvs.len() > 1;
         self.all_scenarios()
             .iter()
             .map(|cell| {
+                let kv_suffix = match (&cell.kv, multi_kv) {
+                    (Some(kv), true) => format!(" {}", kv.label()),
+                    _ => String::new(),
+                };
                 if let Some(s) = &cell.serve {
                     let mut label = s.label();
                     if multi_l2 {
                         label.push_str(&format!(" {}MB", cell.l2_mb));
                     }
+                    label.push_str(&kv_suffix);
                     return label;
                 }
                 if let Some(m) = &cell.mix {
@@ -393,6 +451,7 @@ impl Campaign {
                     if multi_l2 {
                         label.push_str(&format!(" {}MB", cell.l2_mb));
                     }
+                    label.push_str(&kv_suffix);
                     return label;
                 }
                 let mut parts = Vec::new();
@@ -406,6 +465,11 @@ impl Campaign {
                 });
                 if multi_l2 {
                     parts.push(format!("{}MB", cell.l2_mb));
+                }
+                if let Some(kv) = &cell.kv {
+                    if multi_kv {
+                        parts.push(kv.label());
+                    }
                 }
                 parts.join(" ")
             })
@@ -464,6 +528,9 @@ impl Campaign {
                     ));
                 }
             }
+        }
+        for (i, kv) in self.kvs.iter().enumerate() {
+            kv.validate().map_err(|e| format!("kv config {i}: {e}"))?;
         }
         let num_cores = SystemConfig::table5().num_cores;
         for (i, s) in self.serves.iter().enumerate() {
@@ -524,6 +591,9 @@ impl Campaign {
                             policy: cell.policy.clone(),
                             mix: None,
                             serve: None,
+                            // Fairness compares against a solo run on
+                            // the *same* machine, KV tier included.
+                            kv: cell.kv,
                         };
                         solo_refs
                             .iter()
@@ -587,8 +657,10 @@ impl Campaign {
                 }
                 None => (None, None),
             };
+            let spec_hash = cell_spec_hash(&cell);
             records.push(CellRecord {
                 cell,
+                spec_hash,
                 step_mode: self.step_mode,
                 report,
                 speedup,
@@ -601,6 +673,32 @@ impl Campaign {
             records,
         })
     }
+}
+
+/// Content address of one campaign cell: an FNV-1a hash over the
+/// cell's canonical JSON serialization. Two records with equal hashes
+/// describe the same simulation configuration (same workload/scenario,
+/// machine, KV tier and policy), regardless of which campaign produced
+/// them — so archived JSONL streams can be joined, deduplicated or
+/// diffed by this one `u64` instead of comparing nested specs.
+///
+/// The step mode is deliberately *not* part of the address: Skip and
+/// Cycle runs of a cell produce byte-identical statistics (the
+/// substrate's core guarantee), so they are the same content. The
+/// record's own `step_mode` field says which mode actually ran.
+///
+/// Stability: serde field order is declaration order and the specs are
+/// plain data, so the serialization — and thus the hash — is stable
+/// for a given schema. Schema evolution (new defaulted fields) changes
+/// hashes, which is the correct behavior for a content address.
+pub fn cell_spec_hash(cell: &CampaignCell) -> u64 {
+    let json = serde_json::to_string(cell).expect("cell serializes");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    for b in json.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3); // FNV-1a prime
+    }
+    h
 }
 
 /// Assembles a mix cell's fairness record from its report and the solo
@@ -1032,6 +1130,86 @@ mod tests {
             line.contains("\"step_mode\":\"Skip\""),
             "JSONL must be self-describing: {line}"
         );
+    }
+
+    #[test]
+    fn kv_axis_crosses_every_scenario_outside_the_policy() {
+        let c = tiny()
+            .l2_sizes_mb([16, 32])
+            .kv(KvSpec::lru(8))
+            .kv(KvSpec::prefix_pin(8));
+        let cells = c.cells();
+        // 1 workload × 1 seq × 2 l2 × 2 kv × 2 policies.
+        assert_eq!(cells.len(), 8);
+        // Policy is innermost, kv next.
+        assert_eq!(cells[0].kv, Some(KvSpec::lru(8)));
+        assert_eq!(cells[1].kv, Some(KvSpec::lru(8)));
+        assert_eq!(cells[2].kv, Some(KvSpec::prefix_pin(8)));
+        assert_eq!(cells[0].l2_mb, cells[2].l2_mb);
+        assert_eq!(cells[4].l2_mb, 32);
+        let labels = c.scenario_labels();
+        assert_eq!(labels.len(), 4);
+        assert!(labels[0].contains("kv:lru@8"), "label: {}", labels[0]);
+        assert!(labels[1].contains("kv:pin@8"), "label: {}", labels[1]);
+
+        // Bad KV configs are rejected before any simulation starts.
+        let mut bad = KvSpec::lru(4);
+        bad.slow.block_bytes = 0;
+        assert!(tiny().kv(bad).validate().is_err());
+    }
+
+    #[test]
+    fn kv_cells_attach_the_tier_and_report_counters() {
+        let report = Campaign::new("kv")
+            .workload(Model::Llama3_70b.spec())
+            .seq_lens([128])
+            .policy(PolicySpec::dynmg_bma())
+            .kv(KvSpec::lru(16))
+            .run()
+            .unwrap();
+        assert_eq!(report.records.len(), 1);
+        let rec = &report.records[0];
+        let kv = rec.report.kv.as_ref().expect("kv cells report tier stats");
+        assert!(kv.lookups > 0 && kv.promotions > 0);
+        let req = &rec.report.requests[0];
+        assert_eq!(
+            req.kv_lookups, kv.lookups,
+            "a solo request owns every tier lookup"
+        );
+        // The JSONL line is self-describing: tier spec and counters.
+        let line = report.jsonl();
+        assert!(
+            line.contains("\"kv\":{\"warm_capacity_blocks\":16"),
+            "{line}"
+        );
+        assert!(line.contains("\"promotions\""), "{line}");
+    }
+
+    #[test]
+    fn records_are_content_addressed_by_spec_hash() {
+        let r1 = tiny().run().unwrap();
+        let r2 = tiny().step_mode(StepMode::Skip).run().unwrap();
+        // Nonzero, distinct across cells, stable across runs.
+        assert!(r1.records.iter().all(|r| r.spec_hash != 0));
+        assert_ne!(r1.records[0].spec_hash, r1.records[1].spec_hash);
+        assert_eq!(
+            r1.records[0].spec_hash,
+            tiny().run().unwrap().records[0].spec_hash
+        );
+        // Skip and Cycle runs of a cell are the same content (byte-
+        // identical stats), so they share one address.
+        assert_eq!(r1.records[0].spec_hash, r2.records[0].spec_hash);
+        // And it matches the public function on the archived cell.
+        assert_eq!(r1.records[0].spec_hash, cell_spec_hash(&r1.records[0].cell));
+
+        // Pre-hash JSONL archives (no spec_hash field) still parse:
+        // drop the field from the serialized line and reparse.
+        let line = r1.jsonl().lines().next().unwrap().to_string();
+        let needle = format!("\"spec_hash\":{},", r1.records[0].spec_hash);
+        assert!(line.contains(&needle), "{line}");
+        let stripped = line.replacen(&needle, "", 1);
+        let back: CellRecord = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.spec_hash, 0, "missing hash defaults to 0");
     }
 
     #[test]

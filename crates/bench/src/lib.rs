@@ -30,7 +30,9 @@ use std::time::Instant;
 use llamcat::experiment::{geomean, Experiment, Model, Policy, RunReport};
 use llamcat::spec::PolicySpec;
 
-pub use campaign::{run_experiments, Campaign, CampaignCell, CampaignReport, CellRecord};
+pub use campaign::{
+    cell_spec_hash, run_experiments, Campaign, CampaignCell, CampaignReport, CellRecord,
+};
 
 /// Sequence-length scale factor from `LLAMCAT_SCALE`.
 pub fn scale_divisor() -> usize {
@@ -71,6 +73,7 @@ impl Cell {
             policy: self.policy.into(),
             mix: None,
             serve: None,
+            kv: None,
         }
     }
 }

@@ -87,6 +87,7 @@ mod tests {
             pool,
             mshr: snap,
             served,
+            kv_busy: &[],
             cycle: 0,
         }
     }

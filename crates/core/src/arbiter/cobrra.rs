@@ -129,6 +129,7 @@ mod tests {
             pool: &pool,
             mshr: &snap,
             served: &[0],
+            kv_busy: &[],
             cycle: 0,
         };
         assert_eq!(a.select(&ctx), Some(0));

@@ -7,17 +7,21 @@
 //!   buffer, the MSHR snapshot and the `sent_reqs` FIFO.
 //! * [`cobrra::CobrraArbiter`] — the COBRRA baseline (adaptive
 //!   request-response arbitration, bypass disabled).
+//! * [`prefix_aware::PrefixAwareArbiter`] — policy **PFA**: deprioritize
+//!   tenants whose KV blocks are mid-promotion from the slow tier.
 
 pub mod balanced;
 pub mod cobrra;
 pub mod hit_buffer;
 pub mod mshr_aware;
+pub mod prefix_aware;
 pub mod sent_reqs;
 
 pub use balanced::BalancedArbiter;
 pub use cobrra::CobrraArbiter;
 pub use hit_buffer::HitBuffer;
 pub use mshr_aware::{MshrAwareArbiter, MshrAwareConfig, TieBreak};
+pub use prefix_aware::PrefixAwareArbiter;
 pub use sent_reqs::SentReqs;
 
 use llamcat_sim::arb::{ArbiterCtx, FifoArbiter, PortPreference, RequestArbiter};
@@ -34,6 +38,7 @@ pub enum ArbiterKind {
     Balanced(BalancedArbiter),
     MshrAware(MshrAwareArbiter),
     Cobrra(CobrraArbiter),
+    PrefixAware(PrefixAwareArbiter),
 }
 
 macro_rules! each_arbiter {
@@ -43,6 +48,7 @@ macro_rules! each_arbiter {
             ArbiterKind::Balanced($inner) => $body,
             ArbiterKind::MshrAware($inner) => $body,
             ArbiterKind::Cobrra($inner) => $body,
+            ArbiterKind::PrefixAware($inner) => $body,
         }
     };
 }

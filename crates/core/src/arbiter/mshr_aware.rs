@@ -230,6 +230,7 @@ mod tests {
             pool,
             mshr: snap,
             served,
+            kv_busy: &[],
             cycle: 0,
         }
     }

@@ -25,7 +25,7 @@ use std::sync::Arc;
 use llamcat_sim::config::SystemConfig;
 use llamcat_sim::prog::Program;
 use llamcat_sim::serve::RequestInjector;
-use llamcat_sim::stats::SimStats;
+use llamcat_sim::stats::{KvTierStats, SimStats};
 use llamcat_sim::system::{RunOutcome, StepMode, System};
 use llamcat_trace::mix::{generate_serve_set, WorkloadMix};
 use llamcat_trace::tracegen::TraceGenConfig;
@@ -33,7 +33,7 @@ use llamcat_trace::workload::LogitOp;
 use llamcat_trace::workloads::{LogitWorkload, Workload, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
-use crate::spec::{ArbSpec, MixSpec, PolicySpec, ServeSpec, ThrottleSpec};
+use crate::spec::{ArbSpec, KvSpec, MixSpec, PolicySpec, ServeSpec, ThrottleSpec};
 
 pub use llamcat_trace::mapping::Layout;
 
@@ -239,6 +239,9 @@ pub enum ExperimentError {
     /// (zero requests, invalid arrival schedule, more continuous-batching
     /// slots than cores, …).
     InvalidServe(String),
+    /// A tiered KV store failed validation (zero warm capacity,
+    /// zero-byte blocks, a dead slow-tier link, …).
+    InvalidKv(String),
     /// An explicit cycle budget of zero can never complete.
     ZeroCycleBudget,
     /// A speedup ratio against a zero-cycle run is undefined.
@@ -255,6 +258,7 @@ impl std::fmt::Display for ExperimentError {
             }
             ExperimentError::InvalidMix(msg) => write!(f, "invalid mix: {msg}"),
             ExperimentError::InvalidServe(msg) => write!(f, "invalid serve scenario: {msg}"),
+            ExperimentError::InvalidKv(msg) => write!(f, "invalid kv tier: {msg}"),
             ExperimentError::ZeroCycleBudget => write!(f, "explicit cycle budget is zero"),
             ExperimentError::ZeroCycleSpeedup { detail } => {
                 write!(f, "speedup undefined: {detail}")
@@ -279,6 +283,10 @@ pub struct Experiment {
     /// mid-run by a [`RequestInjector`] under the scenario's arrival
     /// schedule and serving policy instead of being scheduled up front.
     pub serve: Option<ServeSpec>,
+    /// Tiered KV store; when set, KV-tensor DRAM reads gate on the warm
+    /// tier (see [`llamcat_sim::kv`]) and the report carries per-request
+    /// KV hit/promotion/eviction counters.
+    pub kv: Option<KvSpec>,
     pub policy: PolicySpec,
     pub config: SystemConfig,
     pub tracegen: TraceGenConfig,
@@ -310,6 +318,7 @@ impl Experiment {
             workload,
             mix: None,
             serve: None,
+            kv: None,
             policy: PolicySpec::unoptimized(),
             tracegen: TraceGenConfig {
                 num_cores: config.num_cores,
@@ -363,6 +372,12 @@ impl Experiment {
 
     pub fn policy(mut self, policy: impl Into<PolicySpec>) -> Self {
         self.policy = policy.into();
+        self
+    }
+
+    /// Attaches a tiered KV store below the LLC.
+    pub fn kv(mut self, kv: KvSpec) -> Self {
+        self.kv = Some(kv);
         self
     }
 
@@ -519,6 +534,9 @@ impl Experiment {
     /// monomorphizes — the `Box<dyn ...>` construction path survives
     /// only for callers wiring policies outside the registry.
     pub fn try_run(&self) -> Result<RunReport, ExperimentError> {
+        if let Some(kv) = &self.kv {
+            kv.validate().map_err(ExperimentError::InvalidKv)?;
+        }
         let (program, budget, injector) = self.checked_program()?;
         let arb = self.policy.arb.clone();
         let mut system = System::new(
@@ -529,6 +547,9 @@ impl Experiment {
         );
         if let Some(injector) = injector {
             system.attach_injector(injector);
+        }
+        if let Some(kv) = &self.kv {
+            system.attach_kv(kv.to_config());
         }
         let (stats, outcome) = system.run_with_mode(budget, self.step_mode);
         Ok(RunReport::from_stats(self, stats, outcome))
@@ -588,6 +609,21 @@ pub struct RequestReport {
     pub mshr_merges: u64,
     /// LLC pipeline stall cycles charged to the request.
     pub llc_stall_cycles: u64,
+    /// KV-tier lookups attributed to the request (0 without a tier).
+    #[serde(default)]
+    pub kv_lookups: u64,
+    /// Warm-tier hits.
+    #[serde(default)]
+    pub kv_hits: u64,
+    /// Cold misses that started a promotion from the slow tier.
+    #[serde(default)]
+    pub kv_misses: u64,
+    /// Reads merged into an already-in-flight promotion.
+    #[serde(default)]
+    pub kv_merges: u64,
+    /// Warm blocks of this request evicted under capacity pressure.
+    #[serde(default)]
+    pub kv_evictions: u64,
 }
 
 impl RequestReport {
@@ -597,6 +633,14 @@ impl RequestReport {
             return 0.0;
         }
         self.llc_hits as f64 / self.llc_lookups as f64
+    }
+
+    /// The request's own warm-tier KV hit rate (0 without a tier).
+    pub fn kv_hit_rate(&self) -> f64 {
+        if self.kv_lookups == 0 {
+            return 0.0;
+        }
+        self.kv_hits as f64 / self.kv_lookups as f64
     }
 }
 
@@ -627,6 +671,9 @@ pub struct RunReport {
     /// carry exactly one entry.
     #[serde(default)]
     pub requests: Vec<RequestReport>,
+    /// KV-tier totals (`None` when no tier was attached).
+    #[serde(default)]
+    pub kv: Option<KvTierStats>,
     /// Full component statistics for deep dives.
     #[serde(skip)]
     pub stats: Option<SimStats>,
@@ -661,6 +708,11 @@ impl RunReport {
                 llc_misses: r.llc.misses,
                 mshr_merges: r.llc.mshr_merges,
                 llc_stall_cycles: r.llc.stall_cycles,
+                kv_lookups: r.kv.lookups,
+                kv_hits: r.kv.hits,
+                kv_misses: r.kv.misses,
+                kv_merges: r.kv.merges,
+                kv_evictions: r.kv.evictions,
             })
             .collect();
         let (workload_label, seq_len) = if let Some(spec) = &exp.serve {
@@ -696,6 +748,7 @@ impl RunReport {
             tb_migrations: stats.tb_migrations,
             row_hit_rate: stats.row_hit_rate(),
             requests,
+            kv: stats.kv.clone(),
             stats: Some(stats),
         }
     }
@@ -999,6 +1052,43 @@ mod tests {
             e.try_run().unwrap_err(),
             ExperimentError::InvalidServe(_)
         ));
+    }
+
+    #[test]
+    fn kv_tier_attaches_reports_counters_and_matches_modes() {
+        let base = Experiment::new(Model::Llama3_70b, 128)
+            .policy(Policy::dynmg_bma())
+            .kv(KvSpec::lru(16));
+        let cycle = base.clone().step_mode(StepMode::Cycle).run();
+        let skip = base.step_mode(StepMode::Skip).run();
+        assert!(cycle.completed);
+        let kv = cycle.kv.as_ref().expect("tier totals present");
+        assert!(kv.lookups > 0, "KV tensors reached the tier");
+        assert!(kv.promotions > 0, "a 16-block warm tier must promote");
+        assert_eq!(kv.lookups, kv.hits + kv.misses + kv.merges);
+        // Per-request counters surface in the report and partition the
+        // totals (solo run: request 0 owns everything).
+        let r = &cycle.requests[0];
+        assert_eq!(r.kv_lookups, kv.lookups);
+        assert_eq!(r.kv_hits, kv.hits);
+        assert!(r.kv_hit_rate() > 0.0);
+        cycle.stats.as_ref().unwrap().check_consistency().unwrap();
+        // Skip mode is byte-identical with the tier attached.
+        assert_eq!(cycle.cycles, skip.cycles);
+        assert_eq!(cycle.kv, skip.kv);
+        assert_eq!(cycle.requests, skip.requests);
+        // The tier slows the run relative to an all-warm machine.
+        let no_tier = Experiment::new(Model::Llama3_70b, 128)
+            .policy(Policy::dynmg_bma())
+            .run();
+        assert!(cycle.cycles > no_tier.cycles, "promotions cost cycles");
+
+        // Degenerate tiers are rejected gracefully.
+        let err = Experiment::new(Model::Llama3_70b, 128)
+            .kv(KvSpec::lru(0))
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, ExperimentError::InvalidKv(_)));
     }
 
     #[test]

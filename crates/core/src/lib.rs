@@ -53,14 +53,14 @@ pub mod throttle;
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::arbiter::{
-        BalancedArbiter, CobrraArbiter, HitBuffer, MshrAwareArbiter, MshrAwareConfig, SentReqs,
-        TieBreak,
+        BalancedArbiter, CobrraArbiter, HitBuffer, MshrAwareArbiter, MshrAwareConfig,
+        PrefixAwareArbiter, SentReqs, TieBreak,
     };
     pub use crate::area::{arbiter_area, hit_buffer_area, AreaConstants, AreaReport};
     pub use crate::experiment::{
         geomean, ArbPolicy, Experiment, ExperimentError, Layout, Model, Policy, RunReport,
         ThrottlePolicy,
     };
-    pub use crate::spec::{ArbSpec, PolicySpec, ThrottleSpec};
+    pub use crate::spec::{ArbSpec, KvSpec, PolicySpec, ThrottleSpec};
     pub use crate::throttle::{Contention, DynMg, DynMgConfig, Dyncta, DynctaConfig, Lcs};
 }

@@ -26,6 +26,7 @@
 //! [`PolicySpec::dynmg_with`] instead.
 
 use llamcat_sim::arb::{FifoArbiter, NoThrottle, RequestArbiter, ThrottleController};
+use llamcat_sim::kv::{KvEviction, KvTierConfig};
 use llamcat_sim::serve::ServePolicy;
 use llamcat_sim::types::Cycle;
 pub use llamcat_trace::arrivals::ArrivalSpec;
@@ -33,7 +34,9 @@ use llamcat_trace::mix::{MixAssignment, WorkloadMix};
 use llamcat_trace::workloads::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
-use crate::arbiter::{ArbiterKind, BalancedArbiter, CobrraArbiter, MshrAwareArbiter};
+use crate::arbiter::{
+    ArbiterKind, BalancedArbiter, CobrraArbiter, MshrAwareArbiter, PrefixAwareArbiter,
+};
 use crate::throttle::{DynMg, DynMgConfig, Dyncta, DynctaConfig, Lcs, ThrottleKind};
 
 /// Request-arbitration policy with its configuration embedded.
@@ -49,6 +52,9 @@ pub enum ArbSpec {
     BalancedMshrAware,
     /// COBRRA baseline.
     Cobrra,
+    /// Prefix-cache-aware ("PFA"): deprioritize tenants whose KV blocks
+    /// are mid-promotion from the slow tier (no-op without a [`KvSpec`]).
+    PrefixAware,
 }
 
 impl ArbSpec {
@@ -60,6 +66,7 @@ impl ArbSpec {
             ArbSpec::MshrAware => "MA",
             ArbSpec::BalancedMshrAware => "BMA",
             ArbSpec::Cobrra => "cobrra",
+            ArbSpec::PrefixAware => "PFA",
         }
     }
 
@@ -72,6 +79,7 @@ impl ArbSpec {
             ArbSpec::MshrAware => Box::new(MshrAwareArbiter::ma()),
             ArbSpec::BalancedMshrAware => Box::new(MshrAwareArbiter::bma()),
             ArbSpec::Cobrra => Box::new(CobrraArbiter::new()),
+            ArbSpec::PrefixAware => Box::new(PrefixAwareArbiter),
         }
     }
 
@@ -85,6 +93,7 @@ impl ArbSpec {
             ArbSpec::MshrAware => ArbiterKind::MshrAware(MshrAwareArbiter::ma()),
             ArbSpec::BalancedMshrAware => ArbiterKind::MshrAware(MshrAwareArbiter::bma()),
             ArbSpec::Cobrra => ArbiterKind::Cobrra(CobrraArbiter::new()),
+            ArbSpec::PrefixAware => ArbiterKind::PrefixAware(PrefixAwareArbiter),
         }
     }
 
@@ -96,6 +105,7 @@ impl ArbSpec {
             "MA" => ArbSpec::MshrAware,
             "BMA" => ArbSpec::BalancedMshrAware,
             "cobrra" => ArbSpec::Cobrra,
+            "PFA" => ArbSpec::PrefixAware,
             _ => return None,
         })
     }
@@ -302,6 +312,95 @@ impl PolicySpec {
     /// monomorphized `System<ArbiterKind, ThrottleKind>` hot path.
     pub fn build_kinds(&self) -> (ArbiterKind, ThrottleKind) {
         (self.arb.build_kind(), self.throttle.build_kind())
+    }
+}
+
+/// Slow-tier (second tier) parameters of a [`KvSpec`]; the default is
+/// the CXL-class tier of [`KvTierConfig::cxl`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KvSlowTierSpec {
+    /// KV block size in bytes (promotion granularity).
+    pub block_bytes: u64,
+    /// Slow-tier access latency in core cycles.
+    pub latency: Cycle,
+    /// Slow-tier link bandwidth in bytes per core cycle.
+    pub bytes_per_cycle: u64,
+    /// Bound on concurrent in-flight promotions.
+    pub max_inflight: usize,
+}
+
+impl Default for KvSlowTierSpec {
+    fn default() -> Self {
+        let cxl = KvTierConfig::cxl(1, KvEviction::Lru);
+        KvSlowTierSpec {
+            block_bytes: cxl.block_bytes,
+            latency: cxl.slow_latency,
+            bytes_per_cycle: cxl.slow_bytes_per_cycle,
+            max_inflight: cxl.max_inflight,
+        }
+    }
+}
+
+/// A tiered KV store as data: the serde counterpart of
+/// [`KvTierConfig`], usable as a fourth policy axis (beside
+/// arbitration x throttling x serving) of an experiment or campaign.
+/// Eviction and the slow tier default to LRU over a CXL-class second
+/// tier, so a hand-written doc only needs
+/// `{"warm_capacity_blocks": 256}`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KvSpec {
+    /// Warm-tier capacity in KV blocks.
+    pub warm_capacity_blocks: usize,
+    /// Eviction policy ([`KvEviction::Lru`] is the serde default).
+    #[serde(default)]
+    pub eviction: KvEviction,
+    /// Second-tier latency/bandwidth model (CXL-class serde default).
+    #[serde(default)]
+    pub slow: KvSlowTierSpec,
+}
+
+impl KvSpec {
+    /// A CXL-class tier with LRU eviction.
+    pub fn lru(warm_capacity_blocks: usize) -> Self {
+        KvSpec {
+            warm_capacity_blocks,
+            eviction: KvEviction::Lru,
+            slow: KvSlowTierSpec::default(),
+        }
+    }
+
+    /// A CXL-class tier that pins shared-prefix blocks.
+    pub fn prefix_pin(warm_capacity_blocks: usize) -> Self {
+        KvSpec {
+            eviction: KvEviction::PrefixPin,
+            ..KvSpec::lru(warm_capacity_blocks)
+        }
+    }
+
+    /// The simulator-side configuration.
+    pub fn to_config(&self) -> KvTierConfig {
+        KvTierConfig {
+            warm_capacity_blocks: self.warm_capacity_blocks,
+            block_bytes: self.slow.block_bytes,
+            slow_latency: self.slow.latency,
+            slow_bytes_per_cycle: self.slow.bytes_per_cycle,
+            max_inflight: self.slow.max_inflight,
+            eviction: self.eviction,
+        }
+    }
+
+    /// Rejects degenerate tiers (zero capacity, zero-byte blocks, …).
+    pub fn validate(&self) -> Result<(), String> {
+        self.to_config().validate()
+    }
+
+    /// Stable label, e.g. `kv:pin@256`.
+    pub fn label(&self) -> String {
+        let ev = match self.eviction {
+            KvEviction::Lru => "lru",
+            KvEviction::PrefixPin => "pin",
+        };
+        format!("kv:{ev}@{}", self.warm_capacity_blocks)
     }
 }
 
@@ -651,6 +750,48 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(PolicySpec::dynmg_with(cfg).label(), "dynmg");
+    }
+
+    #[test]
+    fn prefix_aware_resolves_compositionally_without_touching_registry() {
+        assert_eq!(ArbSpec::from_name("PFA"), Some(ArbSpec::PrefixAware));
+        assert_eq!(ArbSpec::PrefixAware.label(), "PFA");
+        let spec = PolicySpec::from_name("dynmg+PFA").unwrap();
+        assert_eq!(spec.arb, ArbSpec::PrefixAware);
+        assert_eq!(spec.label(), "dynmg+PFA");
+        assert_eq!(
+            PolicySpec::from_name("PFA"),
+            Some(PolicySpec::new(ArbSpec::PrefixAware, ThrottleSpec::None))
+        );
+        // The canonical registry is unchanged: golden tables built from
+        // explicit name lists stay pinned.
+        assert!(!PolicySpec::registry_names().contains(&"PFA"));
+        assert_eq!(ArbSpec::PrefixAware.build_kind().name(), "PFA");
+    }
+
+    #[test]
+    fn kv_spec_round_trips_and_defaults_the_slow_tier() {
+        let spec = KvSpec::prefix_pin(256);
+        assert_eq!(spec.label(), "kv:pin@256");
+        spec.validate().expect("valid kv spec");
+        assert_eq!(
+            spec.to_config(),
+            KvTierConfig::cxl(256, KvEviction::PrefixPin)
+        );
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: KvSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+
+        // A minimal hand-written doc gets the CXL-class defaults.
+        let minimal: KvSpec = serde_json::from_str(r#"{"warm_capacity_blocks": 64}"#).unwrap();
+        assert_eq!(minimal, KvSpec::lru(64));
+        assert_eq!(minimal.label(), "kv:lru@64");
+
+        // Degenerate tiers are rejected.
+        assert!(KvSpec::lru(0).validate().is_err(), "zero capacity");
+        let mut bad = KvSpec::lru(64);
+        bad.slow.block_bytes = 0;
+        assert!(bad.validate().is_err(), "zero-byte blocks");
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub struct ArbiterCtx<'a> {
     /// Requests served per core by this slice since operator start
     /// (the `cnt` registers of Fig 4).
     pub served: &'a [u64],
+    /// Per serving request: whether its KV is mid-promotion in the
+    /// tiered KV store (see [`crate::kv`]). Empty when no tier is
+    /// attached — index with [`ArbiterCtx::kv_busy_of`], which treats
+    /// out-of-range as not busy.
+    pub kv_busy: &'a [bool],
     /// Current core cycle.
     pub cycle: Cycle,
 }
@@ -55,6 +60,16 @@ impl<'a> ArbiterCtx<'a> {
     #[inline]
     pub fn iter(&self) -> impl Iterator<Item = &'a MemReq> + '_ {
         self.queue.iter().map(|&h| self.pool.get(h))
+    }
+
+    /// Whether the request at FIFO position `i` belongs to a tenant
+    /// whose KV is mid-promotion (always false without a KV tier).
+    #[inline]
+    pub fn kv_busy_of(&self, i: usize) -> bool {
+        self.kv_busy
+            .get(self.req(i).request as usize)
+            .copied()
+            .unwrap_or(false)
     }
 }
 
@@ -346,6 +361,7 @@ mod tests {
             pool: &pool,
             mshr: &snap,
             served: &[0, 0],
+            kv_busy: &[],
             cycle: 0,
         };
         assert_eq!(a.select(&ctx), Some(0));
@@ -354,6 +370,7 @@ mod tests {
             pool: &pool,
             mshr: &snap,
             served: &[0, 0],
+            kv_busy: &[],
             cycle: 0,
         };
         assert_eq!(a.select(&ctx), None);

@@ -19,7 +19,11 @@
 //! * **Open-system serving** ([`serve`]) — a request injector that
 //!   admits work mid-run under a pluggable serving policy (FCFS,
 //!   max-concurrency, continuous batching), with a never-late wake
-//!   bound so fast-forwarding stays exact.
+//!   bound so fast-forwarding stays exact;
+//! * A **tiered KV store** ([`kv`]) — a capacity-modeled warm KV tier
+//!   below the LLC backed by a CXL/NVMe-like slow tier, gating KV
+//!   traffic at the DRAM dispatch boundary with LRU or prefix-pinning
+//!   eviction.
 //!
 //! The simulator is deterministic: identical configuration and program
 //! yield identical cycle counts and statistics.
@@ -58,6 +62,7 @@ pub mod config;
 pub mod core_model;
 pub mod dram;
 pub mod hash;
+pub mod kv;
 pub mod l1;
 pub mod llc;
 pub mod mshr;
@@ -80,6 +85,7 @@ pub mod prelude {
         CacheGeometry, CoreConfig, DramConfig, DramTiming, L1Config, L2Config, NocConfig,
         ReqRespPolicy, SystemConfig,
     };
+    pub use crate::kv::{KvEviction, KvTier, KvTierConfig, SHARED_KV_BASE};
     pub use crate::mshr::{MshrSnapshot, SnapshotEntry};
     pub use crate::pool::{ReqHandle, ReqPool};
     pub use crate::prog::{Instr, Program, TbId, ThreadBlock};

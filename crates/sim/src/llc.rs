@@ -90,8 +90,10 @@ pub struct LlcSlice<A: RequestArbiter = Box<dyn RequestArbiter>> {
     tag_pipe: VecDeque<PipeEntry>,
     mshr_pipe: VecDeque<PipeEntry>,
     pending_fills: VecDeque<PendingFill>,
-    /// Reads to dispatch to DRAM (drained by the system).
-    pub dram_reads: VecDeque<Addr>,
+    /// Reads to dispatch to DRAM as `(line, serving request)` (drained
+    /// by the system; the request tag lets the KV tier attribute and
+    /// gate KV traffic at the dispatch boundary).
+    pub dram_reads: VecDeque<(Addr, u32)>,
     /// Dirty victims to write back to DRAM (drained by the system).
     pub dram_writes: VecDeque<Addr>,
     /// Responses on their way to cores (drained by the system into the NoC).
@@ -112,6 +114,10 @@ pub struct LlcSlice<A: RequestArbiter = Box<dyn RequestArbiter>> {
     /// demand; solo traces only ever touch index 0). Every increment
     /// mirrors an untagged `stats` increment at the same pipeline point.
     pub request_stats: Vec<RequestLlcStats>,
+    /// Per-request "KV mid-promotion" view, republished by the system
+    /// from the KV tier whenever it changes (empty without a tier).
+    /// Read-only input to KV-aware arbiters via [`ArbiterCtx`].
+    pub kv_busy: Vec<bool>,
 }
 
 impl<A: RequestArbiter> LlcSlice<A> {
@@ -148,6 +154,7 @@ impl<A: RequestArbiter> LlcSlice<A> {
             data_port_free_at: 0,
             stats: SliceStats::default(),
             request_stats: Vec::new(),
+            kv_busy: Vec::new(),
         }
     }
 
@@ -340,7 +347,7 @@ impl<A: RequestArbiter> LlcSlice<A> {
                 r.mshr_allocs += 1;
                 r.misses += 1;
                 r.lookups += 1;
-                self.dram_reads.push_back(req.line_addr);
+                self.dram_reads.push_back((req.line_addr, req.request));
             }
             MshrOutcome::FullEntries => {
                 self.stall = StallKind::EntryFull;
@@ -486,6 +493,7 @@ impl<A: RequestArbiter> LlcSlice<A> {
             pool,
             mshr: &self.snapshot,
             served: &self.served,
+            kv_busy: &self.kv_busy,
             cycle: now,
         };
         let Some(idx) = self.arbiter.select(&ctx) else {
@@ -720,7 +728,7 @@ mod tests {
         let r = read(&mut pool, 7, 2, 3);
         s.deliver(r);
         let now = run(&mut s, &mut pool, 0, 20);
-        let line = s.dram_reads.pop_front().unwrap();
+        let (line, _) = s.dram_reads.pop_front().unwrap();
         s.deliver_fill(line);
         let now = run(&mut s, &mut pool, now, 5);
         // Direct forward (4') produced a response for core 2.
@@ -748,7 +756,7 @@ mod tests {
         assert_eq!(s.stats.mshr_allocs, 1);
         assert_eq!(s.stats.mshr_merges, 2);
         assert_eq!(s.dram_reads.len(), 1, "one fetch serves three requesters");
-        let line = s.dram_reads.pop_front().unwrap();
+        let (line, _) = s.dram_reads.pop_front().unwrap();
         s.deliver_fill(line);
         run(&mut s, &mut pool, 40, 5);
         assert_eq!(s.outbound.len(), 3, "every requester gets data");
@@ -769,7 +777,7 @@ mod tests {
         assert!(s.stats.stall_entry_full > 0);
         assert_eq!(s.mshr_occupancy(), cfg.mshr_entries);
         // A fill releases the stall.
-        let line = s.dram_reads.pop_front().unwrap();
+        let (line, _) = s.dram_reads.pop_front().unwrap();
         s.deliver_fill(line);
         run(&mut s, &mut pool, 200, 20);
         assert_eq!(
@@ -807,7 +815,7 @@ mod tests {
         s.deliver(w);
         run(&mut s, &mut pool, 0, 20);
         assert_eq!(s.stats.misses, 1, "write-allocate fetches the line");
-        let line = s.dram_reads.pop_front().unwrap();
+        let (line, _) = s.dram_reads.pop_front().unwrap();
         s.deliver_fill(line);
         run(&mut s, &mut pool, 20, 10);
         assert!(s.outbound.is_empty(), "writes are posted: no response");
@@ -823,7 +831,7 @@ mod tests {
         let h = read(&mut pool, 1, 0, 4);
         s.deliver(h);
         run(&mut s, &mut pool, 0, 20);
-        let line = s.dram_reads.pop_front().unwrap();
+        let (line, _) = s.dram_reads.pop_front().unwrap();
         s.deliver_fill(line);
         let now = run(&mut s, &mut pool, 20, 10);
         s.outbound.clear();

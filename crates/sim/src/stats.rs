@@ -134,6 +134,59 @@ impl RequestLlcStats {
     }
 }
 
+/// Aggregate counters for the tiered KV store (see [`crate::kv`]).
+///
+/// `hits + misses + merges == lookups` — every KV-classified DRAM read
+/// is exactly one of warm-hit, promotion-starting miss, or a merge into
+/// an in-flight promotion ([`SimStats::check_consistency`] pins this).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvTierStats {
+    /// KV-classified DRAM reads that consulted the warm tier.
+    pub lookups: u64,
+    /// Lookups whose KV block was already warm.
+    pub hits: u64,
+    /// Lookups that started a promotion from the slow tier.
+    pub misses: u64,
+    /// Lookups merged into an already in-flight promotion.
+    pub merges: u64,
+    /// Promotions whose transfer completed (≤ `misses`; a run cut off
+    /// by the cycle budget can leave transfers in flight).
+    pub promotions: u64,
+    /// Warm blocks evicted to make room for a completed promotion.
+    pub evictions: u64,
+}
+
+/// KV-tier counters attributed to one serving request (tenant).
+///
+/// Mirrors [`KvTierStats`] increment-for-increment (evictions are
+/// charged to the request whose promotion forced them), so per-request
+/// counters always sum to the tier totals — and byte-identically across
+/// step modes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestKvStats {
+    /// KV-classified DRAM reads of this tenant.
+    pub lookups: u64,
+    /// Warm-tier hits.
+    pub hits: u64,
+    /// Promotions this tenant started.
+    pub misses: u64,
+    /// Reads merged into an in-flight promotion.
+    pub merges: u64,
+    /// Evictions forced by this tenant's completed promotions.
+    pub evictions: u64,
+}
+
+impl RequestKvStats {
+    /// Accumulates another tenant-attributed counter set.
+    pub fn merge(&mut self, other: &RequestKvStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.merges += other.merges;
+        self.evictions += other.evictions;
+    }
+}
+
 /// Per-request (tenant) breakdown of a run: completion progress plus
 /// the LLC interference profile of the request's traffic.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -160,6 +213,10 @@ pub struct RequestStats {
     pub first_retire: Option<Cycle>,
     /// LLC counters attributed to this request, summed over slices.
     pub llc: RequestLlcStats,
+    /// KV-tier counters attributed to this request (all zero when no
+    /// tier is attached; defaulted so pre-tier archives deserialize).
+    #[serde(default)]
+    pub kv: RequestKvStats,
 }
 
 impl RequestStats {
@@ -223,6 +280,9 @@ pub struct SimStats {
     /// empty until [`crate::system::System::collect_stats`] fills it.
     #[serde(default)]
     pub requests: Vec<RequestStats>,
+    /// Tiered KV store totals (`None` when no tier was attached).
+    #[serde(default)]
+    pub kv: Option<KvTierStats>,
 }
 
 impl SimStats {
@@ -236,6 +296,7 @@ impl SimStats {
             progress: vec![0; num_cores],
             tb_migrations: 0,
             requests: Vec::new(),
+            kv: None,
         }
     }
 
@@ -401,6 +462,69 @@ impl SimStats {
                     return Err(format!("request {r}: completed with blocks outstanding"));
                 }
             }
+        }
+        if let Some(kv) = &self.kv {
+            if kv.hits + kv.misses + kv.merges != kv.lookups {
+                return Err(format!(
+                    "kv: hits {} + misses {} + merges {} != lookups {}",
+                    kv.hits, kv.misses, kv.merges, kv.lookups
+                ));
+            }
+            if kv.promotions > kv.misses {
+                return Err(format!(
+                    "kv: {} promotions completed but only {} started",
+                    kv.promotions, kv.misses
+                ));
+            }
+            if !self.requests.is_empty() {
+                // KV attribution must partition the tier totals, exactly
+                // like the LLC counters above.
+                let sums: [(&str, u64, u64); 5] = [
+                    (
+                        "lookups",
+                        self.requests.iter().map(|r| r.kv.lookups).sum(),
+                        kv.lookups,
+                    ),
+                    (
+                        "hits",
+                        self.requests.iter().map(|r| r.kv.hits).sum(),
+                        kv.hits,
+                    ),
+                    (
+                        "misses",
+                        self.requests.iter().map(|r| r.kv.misses).sum(),
+                        kv.misses,
+                    ),
+                    (
+                        "merges",
+                        self.requests.iter().map(|r| r.kv.merges).sum(),
+                        kv.merges,
+                    ),
+                    (
+                        "evictions",
+                        self.requests.iter().map(|r| r.kv.evictions).sum(),
+                        kv.evictions,
+                    ),
+                ];
+                for (what, tagged, total) in sums {
+                    if tagged != total {
+                        return Err(format!(
+                            "per-request kv {what} sum {tagged} != tier total {total}"
+                        ));
+                    }
+                }
+                for (r, req) in self.requests.iter().enumerate() {
+                    if req.kv.hits + req.kv.misses + req.kv.merges != req.kv.lookups {
+                        return Err(format!("request {r}: kv hits + misses + merges != lookups"));
+                    }
+                }
+            }
+        } else if self
+            .requests
+            .iter()
+            .any(|r| r.kv != RequestKvStats::default())
+        {
+            return Err("per-request kv counters without a kv tier".into());
         }
         Ok(())
     }

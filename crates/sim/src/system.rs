@@ -20,6 +20,7 @@ use crate::arb::{RequestArbiter, ThrottleController, ThrottleInputs};
 use crate::config::SystemConfig;
 use crate::core_model::VectorCore;
 use crate::dram::{DramSystem, MappingScheme};
+use crate::kv::{KvClass, KvTier, KvTierConfig};
 use crate::llc::LlcSlice;
 use crate::noc::Noc;
 use crate::pool::ReqPool;
@@ -114,6 +115,9 @@ where
     /// (Skip mode only; both zero in Cycle mode).
     ticks_executed: u64,
     cycles_skipped: u64,
+    /// Tiered KV store gating the slice→DRAM read path (None = no
+    /// tier, the pre-PR-7 memory hierarchy).
+    kv: Option<KvTier>,
     /// Open-system request injector (None for closed/pre-tagged runs).
     injector: Option<RequestInjector>,
     /// The injector's never-late wake bound: the next cycle at which an
@@ -206,6 +210,7 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
             tb_retired: false,
             ticks_executed: 0,
             cycles_skipped: 0,
+            kv: None,
             injector: None,
             inject_wake: Cycle::MAX,
             req_admitted: req_arrivals.clone(),
@@ -263,6 +268,108 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
         // queue re-arms at the completion that frees the capacity.
         self.inject_wake = inj.next_wake(now + 1).unwrap_or(Cycle::MAX);
         admitted
+    }
+
+    /// Attaches a tiered KV store (see [`crate::kv`]): from now on a
+    /// DRAM read for a KV line only dispatches once its KV block is
+    /// warm; cold blocks are promoted from the slow tier first. Must be
+    /// called before the first tick.
+    pub fn attach_kv(&mut self, cfg: KvTierConfig) {
+        assert_eq!(self.cycle, 0, "attach the KV tier before running");
+        let mut tier = KvTier::new(cfg);
+        tier.reserve_requests(self.req_blocks_total.len().max(1));
+        self.kv = Some(tier);
+    }
+
+    /// Republishes the tier's per-request busy view to every slice when
+    /// it changed (arbiters read it through [`crate::arb::ArbiterCtx`]).
+    /// Must run before a slice ticks so the same-cycle arbitration sees
+    /// the same view in both step modes.
+    fn sync_kv_busy(&mut self) {
+        let Some(kv) = &mut self.kv else { return };
+        if !kv.busy_dirty {
+            return;
+        }
+        kv.busy_dirty = false;
+        for s in &mut self.slices {
+            kv.publish_busy(&mut s.kv_busy);
+        }
+    }
+
+    /// Drains slice `s`'s pending DRAM reads through the KV tier (when
+    /// attached): non-KV lines and warm KV lines dispatch to DRAM under
+    /// channel backpressure; cold KV lines start (or merge into) a
+    /// promotion and wait inside the tier. Returns whether any read
+    /// reached the DRAM queues.
+    fn dispatch_dram_reads(&mut self, s: SliceId, now: Cycle) -> bool {
+        let mut touched = false;
+        while let Some(&(line, req)) = self.slices[s].dram_reads.front() {
+            let class = match &self.kv {
+                None => KvClass::Bypass,
+                Some(kv) => kv.classify(line),
+            };
+            match class {
+                KvClass::Bypass | KvClass::Warm => {
+                    if !self.dram.enqueue_read(line, s) {
+                        break; // channel backpressure: retry next cycle
+                    }
+                    self.slices[s].dram_reads.pop_front();
+                    touched = true;
+                    if class == KvClass::Warm {
+                        // Count the hit (and freshen LRU) only once the
+                        // read actually dispatched.
+                        self.kv
+                            .as_mut()
+                            .expect("warm needs a tier")
+                            .note_hit(line, req);
+                    }
+                }
+                KvClass::Inflight => {
+                    self.slices[s].dram_reads.pop_front();
+                    self.kv
+                        .as_mut()
+                        .expect("inflight needs a tier")
+                        .merge_wait(line, req, s);
+                }
+                KvClass::Cold => {
+                    let kv = self.kv.as_mut().expect("cold needs a tier");
+                    if !kv.can_start() {
+                        break; // transfer queue full: retry next cycle
+                    }
+                    self.slices[s].dram_reads.pop_front();
+                    kv.start_promotion(line, req, s, now);
+                }
+            }
+        }
+        touched
+    }
+
+    /// KV-tier phase, between the slice and DRAM phases in both step
+    /// modes: completes due promotions and releases their waiting reads
+    /// into the DRAM queues (FIFO, under channel backpressure). Returns
+    /// whether any read reached DRAM.
+    fn kv_phase(&mut self, now: Cycle) -> bool {
+        let Some(kv) = &mut self.kv else {
+            return false;
+        };
+        kv.advance(now);
+        let mut touched = false;
+        while let Some((line, slice)) = kv.ready_front() {
+            if !self.dram.enqueue_read(line, slice) {
+                break;
+            }
+            kv.pop_ready();
+            touched = true;
+        }
+        touched
+    }
+
+    /// The KV tier's wake bound (`Cycle::MAX` when absent or idle).
+    fn kv_wake_of(&self, now: Cycle) -> Cycle {
+        self.kv
+            .as_ref()
+            .and_then(|kv| kv.next_event(now))
+            .map_or(Cycle::MAX, |at| at.max(now))
     }
 
     /// Slice that owns `line_addr` (slices interleave on low line bits,
@@ -442,11 +549,15 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
         let mut wake_slice = vec![self.cycle; num_slices];
         let mut wake_dram = self.cycle;
         let mut wake_throttle = self.cycle;
+        let mut wake_kv = if self.kv.is_some() { self.cycle } else { NEVER };
         let mut synced_core = vec![self.cycle; num_cores];
         let mut synced_slice = vec![self.cycle; num_slices];
 
         let outcome = loop {
-            let mut now = wake_dram.min(wake_throttle).min(self.inject_wake);
+            let mut now = wake_dram
+                .min(wake_throttle)
+                .min(self.inject_wake)
+                .min(wake_kv);
             for &w in &wake_core {
                 now = now.min(w);
             }
@@ -510,19 +621,15 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
                 while let Some(h) = self.noc.pop_due_req(s, now) {
                     self.slices[s].deliver(h);
                 }
+                // Same-cycle ordering as the per-cycle path: an earlier
+                // slice's KV transfer start is visible here.
+                self.sync_kv_busy();
                 self.slices[s].tick(now, &mut self.pool);
                 while let Some(o) = self.slices[s].outbound.pop_front() {
                     let at = self.noc.send_resp(s, o.resp, o.at.max(now));
                     wake_core[o.resp.core] = wake_core[o.resp.core].min(at.max(now + 1));
                 }
-                while let Some(&line) = self.slices[s].dram_reads.front() {
-                    if self.dram.enqueue_read(line, s) {
-                        self.slices[s].dram_reads.pop_front();
-                        dram_touched = true;
-                    } else {
-                        break;
-                    }
-                }
+                dram_touched |= self.dispatch_dram_reads(s, now);
                 while let Some(&line) = self.slices[s].dram_writes.front() {
                     if self.dram.enqueue_write(line) {
                         self.slices[s].dram_writes.pop_front();
@@ -535,6 +642,18 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
                 wake_slice[s] =
                     Self::slice_wake_of(&self.slices[s], &self.noc, &self.pool, s, now + 1);
             }
+
+            // Phase 2½: KV tier — complete due promotions and release
+            // waiting reads into DRAM, exactly as the per-cycle path
+            // does between the slice and DRAM phases. Transfers started
+            // during phase 2 re-arm the wake bound.
+            if self.kv.is_some() {
+                if self.kv_wake_of(now) <= now {
+                    dram_touched |= self.kv_phase(now);
+                }
+                wake_kv = self.kv_wake_of(now + 1);
+            }
+
             if dram_touched {
                 // Fresh requests can pull the next DRAM command earlier
                 // — possibly into this very cycle's crossing window.
@@ -673,19 +792,17 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
 
         // 2. Slices.
         for s in 0..self.slices.len() {
+            // A transfer start/merge in an earlier slice's dispatch
+            // must be visible to this slice's arbitration.
+            self.sync_kv_busy();
             self.slices[s].tick(now, &mut self.pool);
             // Outbound responses into the NoC.
             while let Some(o) = self.slices[s].outbound.pop_front() {
                 self.noc.send_resp(s, o.resp, o.at.max(now));
             }
-            // DRAM dispatch with channel backpressure.
-            while let Some(&line) = self.slices[s].dram_reads.front() {
-                if self.dram.enqueue_read(line, s) {
-                    self.slices[s].dram_reads.pop_front();
-                } else {
-                    break;
-                }
-            }
+            // DRAM dispatch with channel backpressure, gated by the KV
+            // tier when one is attached.
+            self.dispatch_dram_reads(s, now);
             while let Some(&line) = self.slices[s].dram_writes.front() {
                 if self.dram.enqueue_write(line) {
                     self.slices[s].dram_writes.pop_front();
@@ -694,6 +811,9 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
                 }
             }
         }
+
+        // 2½. KV tier: complete due promotions, release waiting reads.
+        self.kv_phase(now);
 
         // 3. DRAM clock domain.
         self.core_time_ps += self.core_period_ps;
@@ -787,6 +907,7 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
             && self.cores.iter().all(|c| c.is_idle())
             && self.noc.is_idle()
             && self.slices.iter().all(|s| s.is_idle())
+            && self.kv.as_ref().is_none_or(|k| k.is_idle())
             && self.dram.is_idle()
     }
 
@@ -831,11 +952,20 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
                 first_retire: (self.req_first_retire[r] != Cycle::MAX)
                     .then_some(self.req_first_retire[r]),
                 llc: crate::stats::RequestLlcStats::default(),
+                kv: crate::stats::RequestKvStats::default(),
             })
             .collect();
         for s in &self.slices {
             for (r, rs) in s.request_stats.iter().enumerate() {
                 st.requests[r].llc.merge(rs);
+            }
+        }
+        if let Some(kv) = &self.kv {
+            st.kv = Some(kv.total.clone());
+            for (r, ks) in kv.req_stats.iter().enumerate() {
+                if r < st.requests.len() {
+                    st.requests[r].kv.merge(ks);
+                }
             }
         }
         st

@@ -24,7 +24,11 @@
 //!
 //! Tenants live in disjoint address spaces: request `r`'s trace is
 //! offset by `r * REQUEST_VA_STRIDE`, so no KV-cache line is ever
-//! (falsely) shared across requests.
+//! (falsely) shared across requests. The one deliberate exception is
+//! the shared-prefix KV window (see
+//! [`SharedPrefixWorkload`](crate::workloads::SharedPrefixWorkload)):
+//! addresses at/above `SHARED_KV_BASE` are left unrelocated, so every
+//! tenant reading a common system prompt hits the *same* lines.
 //!
 //! A [`WorkloadMix`] is the *closed-system* composition: the request
 //! set and every arrival cycle are baked into the [`Program`] before
@@ -359,10 +363,18 @@ pub fn generate_serve_set(
 }
 
 /// Shifts a block's memory accesses into a tenant's address space.
+/// Shared-prefix KV lines (at/above
+/// [`SHARED_KV_BASE`](llamcat_sim::kv::SHARED_KV_BASE)) are left in
+/// place: one copy across all tenants is the whole point of a shared
+/// system prompt.
 fn relocate(block: &mut ThreadBlock, offset: Addr) {
+    use llamcat_sim::kv::SHARED_KV_BASE;
     for instr in &mut block.instrs {
         match instr {
             Instr::Load { addr, .. } | Instr::Store { addr, .. } => {
+                if *addr >= SHARED_KV_BASE {
+                    continue;
+                }
                 debug_assert!(
                     *addr < REQUEST_VA_STRIDE,
                     "solo trace address {addr:#x} exceeds the tenant VA stride"
@@ -564,6 +576,49 @@ mod tests {
         assert!(
             generate_serve_set(&[decode(128)], 0, Layout::PairStream, 32, &cfg()).is_err(),
             "zero-core slots must be rejected"
+        );
+    }
+
+    #[test]
+    fn shared_prefix_lines_survive_relocation_across_tenants() {
+        use crate::workloads::SharedPrefixWorkload;
+        use llamcat_sim::kv::SHARED_KV_BASE;
+        let shared = || -> Arc<dyn Workload> {
+            Arc::new(SharedPrefixWorkload::new(
+                LogitOp {
+                    heads: 2,
+                    group_size: 4,
+                    seq_len: 128,
+                    head_dim: 128,
+                },
+                64,
+            ))
+        };
+        let mix = WorkloadMix::new(MixAssignment::Partitioned)
+            .request(shared(), 0)
+            .request(shared(), 0);
+        let (p, _) = mix.generate(Layout::PairStream, 32, &cfg()).unwrap();
+        let mut shared_lines: Vec<HashSet<u64>> = vec![HashSet::new(), HashSet::new()];
+        for tb in 0..p.num_blocks() {
+            let r = p.request_of(tb) as usize;
+            for i in &p.blocks[tb].instrs {
+                if let Instr::Load { addr, .. } | Instr::Store { addr, .. } = i {
+                    if *addr >= SHARED_KV_BASE {
+                        shared_lines[r].insert(addr / 64);
+                    } else {
+                        assert_eq!(
+                            (addr / REQUEST_VA_STRIDE) as usize,
+                            r,
+                            "private address outside the tenant's VA window"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(!shared_lines[0].is_empty(), "the prefix reached the trace");
+        assert_eq!(
+            shared_lines[0], shared_lines[1],
+            "both tenants read the same shared-prefix lines"
         );
     }
 

@@ -19,6 +19,11 @@
 //! * [`PrefillLogitWorkload`] — a chunked-prefill variant: several query
 //!   tokens score against the K cache per pass, raising arithmetic
 //!   intensity and widening each block's store footprint.
+//! * [`SharedPrefixWorkload`] — decode Logit over a context whose first
+//!   `prefix_len` tokens live in the *shared* KV window (a common system
+//!   prompt reused across tenants; see `llamcat_sim::kv`).
+//! * [`GqaDecodeWorkload`] — one fused GQA decode step (Logit +
+//!   attention-output), streaming K and V back to back.
 //! * [`WorkloadSpec`] — the serde-round-trippable description of a
 //!   workload *family* (everything but the sequence length), so campaign
 //!   definitions can cross workloads × sequence lengths as data.
@@ -29,6 +34,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use llamcat_sim::kv::SHARED_KV_BASE;
 use llamcat_sim::prog::{Instr, Program, ThreadBlock};
 use llamcat_sim::types::Addr;
 use serde::{Deserialize, Serialize};
@@ -362,6 +368,219 @@ impl Workload for PrefillLogitWorkload {
     }
 }
 
+/// Decode Logit over a context whose first `prefix_len` tokens are a
+/// *shared* prefix (a common system prompt): their K rows live in the
+/// shared KV window at [`SHARED_KV_BASE`], which the multi-tenant
+/// composers deliberately do **not** relocate per tenant — every
+/// request with the same shape reads the *same* shared lines, the
+/// cross-request reuse a tiered KV store's prefix cache exploits. The
+/// per-request remainder of the context streams from the ordinary
+/// (relocated) K window.
+///
+/// Two corners make it a complete KV-pressure family: `prefix_len = 0`
+/// with a long `seq_len` is the pure per-request long-context shape
+/// that forces warm-tier eviction, and a large `prefix_len` against a
+/// small warm tier is the shape where prefix-pinning eviction and
+/// prefix-aware arbitration separate from plain LRU/FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedPrefixWorkload {
+    pub op: LogitOp,
+    /// Tokens of shared prefix (clamped to the sequence length).
+    pub prefix_len: usize,
+}
+
+impl SharedPrefixWorkload {
+    pub fn new(op: LogitOp, prefix_len: usize) -> Self {
+        SharedPrefixWorkload { op, prefix_len }
+    }
+
+    /// The shared-prefix token count actually used (`prefix_len` clamped
+    /// to the sequence length, so one family serves every `seq_len`).
+    pub fn effective_prefix(&self) -> usize {
+        self.prefix_len.min(self.op.seq_len)
+    }
+
+    /// Address of element `d` of shared-prefix row `K[h][l]`
+    /// (row-major `[h][l][d]` in the shared window; `l` is the absolute
+    /// token index, `l < effective_prefix()`).
+    pub fn shared_k_addr(&self, h: usize, l: usize, d: usize) -> Addr {
+        debug_assert!(h < self.op.heads && l < self.effective_prefix() && d < self.op.head_dim);
+        SHARED_KV_BASE
+            + (((h * self.effective_prefix() + l) * self.op.head_dim + d) as u64) * ELEM_BYTES
+    }
+}
+
+impl Workload for SharedPrefixWorkload {
+    fn label(&self) -> String {
+        format!(
+            "sharedpfx h{} g{} d{} p{}",
+            self.op.heads, self.op.group_size, self.op.head_dim, self.prefix_len
+        )
+    }
+
+    fn shape(&self) -> LogitOp {
+        self.op
+    }
+
+    fn build_block(
+        &self,
+        cfg: &TraceGenConfig,
+        h: usize,
+        g: usize,
+        lt: usize,
+        l_tile: usize,
+    ) -> ThreadBlock {
+        let op = &self.op;
+        let vlen = cfg.vector_len_bytes;
+        let row_bytes = op.k_row_bytes();
+        let prefix = self.effective_prefix();
+        let l0 = lt * l_tile;
+        let mut instrs = Vec::with_capacity(l_tile * 2 + l_tile / 2 + 8);
+
+        // Load the Q row for (h, g).
+        push_vector_accesses(&mut instrs, op.q_addr(h, g, 0), row_bytes, vlen, false);
+
+        // Stream the K rows of the tile: shared-window rows for the
+        // prefix, per-request rows for the rest.
+        let mut pending_compute = 0u32;
+        for li in 0..l_tile {
+            let l = l0 + li;
+            let k0 = if l < prefix {
+                self.shared_k_addr(h, l, 0)
+            } else {
+                op.k_addr(h, l, 0)
+            };
+            push_vector_accesses(&mut instrs, k0, row_bytes, vlen, false);
+            pending_compute += cfg.compute_cycles_per_row;
+            if (li + 1) % cfg.compute_flush_rows == 0 && pending_compute > 0 {
+                instrs.push(Instr::Compute {
+                    cycles: pending_compute,
+                });
+                pending_compute = 0;
+            }
+        }
+        if pending_compute > 0 {
+            instrs.push(Instr::Compute {
+                cycles: pending_compute,
+            });
+        }
+
+        // Reduction barrier, then store the tile's scores (per-request).
+        instrs.push(Instr::Barrier);
+        push_vector_accesses(
+            &mut instrs,
+            op.score_addr(h, g, l0),
+            l_tile as u64 * ELEM_BYTES,
+            vlen,
+            true,
+        );
+        ThreadBlock { instrs }
+    }
+}
+
+/// One fused GQA decode step: Logit and attention-output in a single
+/// pass (`out[d] = Σ_l softmax-weight(q·k[l]) · v[l][d]`,
+/// FlashDecoding-style) — the scenario `examples/gqa_decode.rs` sweeps,
+/// promoted to a first-class workload. Each block loads its pair's Q
+/// row, streams the K **and** V rows of its L tile back to back
+/// (double the KV traffic of Logit alone — both tensor windows gate on
+/// a tiered KV store), and stores only the tile's partial output row;
+/// scores never touch memory.
+///
+/// The fused block carries ~2x the instructions of a Logit block
+/// (~141 at the minimum legal `l_tile` of 32), overrunning the nominal
+/// 128-deep instruction window. That is a modeling approximation, not
+/// an error: a window issues instructions sequentially, so depth bounds
+/// in-flight instructions, never block length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GqaDecodeWorkload {
+    pub op: LogitOp,
+}
+
+impl GqaDecodeWorkload {
+    pub fn new(op: LogitOp) -> Self {
+        GqaDecodeWorkload { op }
+    }
+
+    /// Address of element `d` of `V[h][l]` (same layout as
+    /// [`AttnOutputWorkload::v_addr`], so a fused step touches the same
+    /// V lines the split operators would).
+    pub fn v_addr(&self, h: usize, l: usize, d: usize) -> Addr {
+        debug_assert!(h < self.op.heads && l < self.op.seq_len && d < self.op.head_dim);
+        V_BASE + (((h * self.op.seq_len + l) * self.op.head_dim + d) as u64) * ELEM_BYTES
+    }
+
+    /// Address of the partial output row of block (h, g, l-tile).
+    pub fn partial_out_addr(&self, h: usize, g: usize, lt: usize, n_ltiles: usize) -> Addr {
+        OUT_BASE + (((h * self.op.group_size + g) * n_ltiles + lt) as u64) * self.op.k_row_bytes()
+    }
+}
+
+impl Workload for GqaDecodeWorkload {
+    fn label(&self) -> String {
+        format!(
+            "gqa-decode h{} g{} d{}",
+            self.op.heads, self.op.group_size, self.op.head_dim
+        )
+    }
+
+    fn shape(&self) -> LogitOp {
+        self.op
+    }
+
+    fn build_block(
+        &self,
+        cfg: &TraceGenConfig,
+        h: usize,
+        g: usize,
+        lt: usize,
+        l_tile: usize,
+    ) -> ThreadBlock {
+        let op = &self.op;
+        let vlen = cfg.vector_len_bytes;
+        let row_bytes = op.k_row_bytes();
+        let n_ltiles = op.seq_len / l_tile;
+        let l0 = lt * l_tile;
+        let mut instrs = Vec::with_capacity(l_tile * 4 + l_tile / 2 + 8);
+
+        // Load the Q row for (h, g).
+        push_vector_accesses(&mut instrs, op.q_addr(h, g, 0), row_bytes, vlen, false);
+
+        // Stream K and V rows of the tile back to back: score the row,
+        // then immediately fold it into the output accumulator.
+        let mut pending_compute = 0u32;
+        for li in 0..l_tile {
+            let l = l0 + li;
+            push_vector_accesses(&mut instrs, op.k_addr(h, l, 0), row_bytes, vlen, false);
+            push_vector_accesses(&mut instrs, self.v_addr(h, l, 0), row_bytes, vlen, false);
+            pending_compute += 2 * cfg.compute_cycles_per_row;
+            if (li + 1) % cfg.compute_flush_rows == 0 && pending_compute > 0 {
+                instrs.push(Instr::Compute {
+                    cycles: pending_compute,
+                });
+                pending_compute = 0;
+            }
+        }
+        if pending_compute > 0 {
+            instrs.push(Instr::Compute {
+                cycles: pending_compute,
+            });
+        }
+
+        // Rescale/reduce, then store the tile's partial output row;
+        // scores stay in registers.
+        instrs.push(Instr::Barrier);
+        push_vector_accesses(
+            &mut instrs,
+            self.partial_out_addr(h, g, lt, n_ltiles),
+            row_bytes,
+            vlen,
+            true,
+        );
+        ThreadBlock { instrs }
+    }
+}
+
 /// Serde-round-trippable description of a workload family: every
 /// parameter except the sequence length, which campaign grids cross
 /// separately. [`WorkloadSpec::instantiate`] turns (spec, seq_len) into
@@ -386,6 +605,22 @@ pub enum WorkloadSpec {
         group_size: usize,
         head_dim: usize,
         query_tokens: usize,
+    },
+    /// Decode Logit over a shared system-prompt prefix
+    /// (`prefix_len` tokens in the shared KV window, clamped to the
+    /// sequence length).
+    SharedPrefix {
+        heads: usize,
+        group_size: usize,
+        head_dim: usize,
+        prefix_len: usize,
+    },
+    /// Fused GQA decode step (Logit + attention-output, K and V both
+    /// streamed).
+    GqaDecode {
+        heads: usize,
+        group_size: usize,
+        head_dim: usize,
     },
 }
 
@@ -425,6 +660,17 @@ impl WorkloadSpec {
                 group_size,
                 head_dim,
                 ..
+            }
+            | WorkloadSpec::SharedPrefix {
+                heads,
+                group_size,
+                head_dim,
+                ..
+            }
+            | WorkloadSpec::GqaDecode {
+                heads,
+                group_size,
+                head_dim,
             } => (heads, group_size, head_dim),
         };
         LogitOp {
@@ -444,6 +690,10 @@ impl WorkloadSpec {
             WorkloadSpec::PrefillLogit { query_tokens, .. } => {
                 Arc::new(PrefillLogitWorkload::new(op, query_tokens))
             }
+            WorkloadSpec::SharedPrefix { prefix_len, .. } => {
+                Arc::new(SharedPrefixWorkload::new(op, prefix_len))
+            }
+            WorkloadSpec::GqaDecode { .. } => Arc::new(GqaDecodeWorkload::new(op)),
         }
     }
 
@@ -497,6 +747,25 @@ mod tests {
             }
             .label(),
             "prefill h8 g8 d128 q4"
+        );
+        assert_eq!(
+            WorkloadSpec::SharedPrefix {
+                heads: 8,
+                group_size: 8,
+                head_dim: 128,
+                prefix_len: 256
+            }
+            .label(),
+            "sharedpfx h8 g8 d128 p256"
+        );
+        assert_eq!(
+            WorkloadSpec::GqaDecode {
+                heads: 8,
+                group_size: 8,
+                head_dim: 128
+            }
+            .label(),
+            "gqa-decode h8 g8 d128"
         );
     }
 
@@ -606,6 +875,167 @@ mod tests {
     }
 
     #[test]
+    fn shared_prefix_splits_k_between_windows() {
+        let op = small_op();
+        let prefix = 64; // half the 128-token context
+        let w = SharedPrefixWorkload::new(op, prefix);
+        let cfg = TraceGenConfig::default();
+        let mapping = w.mapping(Layout::PairStream, 32, cfg.num_cores);
+        let (p, meta) = w.generate(&mapping, &cfg);
+        let (mut shared_bytes, mut private_bytes) = (0u64, 0u64);
+        for b in &p.blocks {
+            for i in &b.instrs {
+                match i {
+                    Instr::Load { addr, bytes } if *addr >= SHARED_KV_BASE => {
+                        shared_bytes += *bytes as u64;
+                    }
+                    Instr::Load { addr, bytes } => {
+                        assert!(
+                            (crate::workload::Q_BASE..SCORE_BASE).contains(addr),
+                            "non-prefix load at {addr:#x} outside Q/K regions"
+                        );
+                        private_bytes += *bytes as u64;
+                    }
+                    Instr::Store { addr, .. } => {
+                        assert!(*addr < SHARED_KV_BASE, "stores never hit the shared window");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Half the K stream comes from the shared window, and K is
+        // streamed once per query head under PairStream.
+        assert_eq!(shared_bytes, op.k_bytes() / 2 * op.group_size as u64);
+        assert_eq!(
+            shared_bytes + private_bytes,
+            meta.total_load_bytes,
+            "every load is classified"
+        );
+        // Same traffic volume as plain decode Logit: only placement moved.
+        let logit = LogitWorkload::new(op);
+        let (_, logit_meta) = logit.generate(&mapping, &cfg);
+        assert_eq!(meta.total_load_bytes, logit_meta.total_load_bytes);
+        assert_eq!(meta.total_store_bytes, logit_meta.total_store_bytes);
+    }
+
+    #[test]
+    fn shared_prefix_addresses_are_tenant_invariant_and_clamped() {
+        let op = small_op();
+        let w = SharedPrefixWorkload::new(op, 64);
+        // Shared rows are pure functions of (shape, prefix): two
+        // instantiations agree, which is what makes them shareable.
+        assert_eq!(w.shared_k_addr(1, 63, 0), {
+            SharedPrefixWorkload::new(op, 64).shared_k_addr(1, 63, 0)
+        });
+        assert!(w.shared_k_addr(0, 0, 0) >= SHARED_KV_BASE);
+        // prefix_len clamps to seq_len: the whole context is shared.
+        let all = SharedPrefixWorkload::new(op, 10_000);
+        assert_eq!(all.effective_prefix(), op.seq_len);
+        let cfg = TraceGenConfig::default();
+        let mapping = all.mapping(Layout::PairStream, 32, cfg.num_cores);
+        let (p, _) = all.generate(&mapping, &cfg);
+        for b in &p.blocks {
+            for i in &b.instrs {
+                if let Instr::Load { addr, .. } = i {
+                    let in_q = *addr < K_BASE;
+                    assert!(
+                        in_q || *addr >= SHARED_KV_BASE,
+                        "fully-shared context: every K load at {addr:#x} is shared"
+                    );
+                }
+            }
+        }
+        // prefix_len = 0 degrades to plain decode Logit placement.
+        let none = SharedPrefixWorkload::new(op, 0);
+        let (p, _) = none.generate(&mapping, &cfg);
+        for b in &p.blocks {
+            for i in &b.instrs {
+                if let Instr::Load { addr, .. } = i {
+                    assert!(*addr < SCORE_BASE, "no shared traffic at p0");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gqa_decode_streams_k_and_v_stores_only_output() {
+        let op = small_op();
+        let w = GqaDecodeWorkload::new(op);
+        let cfg = TraceGenConfig::default();
+        let mapping = w.mapping(Layout::PairStream, 32, cfg.num_cores);
+        let (p, meta) = w.generate(&mapping, &cfg);
+        // Fused step: K and V each streamed once per query head, plus Q
+        // once per block.
+        let q_traffic = meta.num_blocks as u64 * op.k_row_bytes();
+        assert_eq!(
+            meta.total_load_bytes,
+            2 * op.k_bytes() * op.group_size as u64 + q_traffic
+        );
+        // Scores never touch memory: one partial out row per block.
+        assert_eq!(
+            meta.total_store_bytes,
+            meta.num_blocks as u64 * op.k_row_bytes()
+        );
+        for b in &p.blocks {
+            for i in &b.instrs {
+                match i {
+                    Instr::Load { addr, .. } => assert!(
+                        *addr < SCORE_BASE || (V_BASE..OUT_BASE).contains(addr),
+                        "load at {addr:#x} outside Q/K/V"
+                    ),
+                    Instr::Store { addr, .. } => {
+                        assert!(*addr >= OUT_BASE, "store at {addr:#x} below OUT_BASE")
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Fused blocks overrun the nominal window by a bounded margin
+        // (see the workload doc); pin the margin so it cannot creep.
+        assert!(
+            meta.max_block_instrs <= 160,
+            "gqa-decode blocks must stay near the 128-deep window, got {}",
+            meta.max_block_instrs
+        );
+    }
+
+    #[test]
+    fn kv_tier_classifies_every_kv_tensor_window() {
+        use llamcat_sim::kv::is_kv_addr;
+        let op = small_op();
+        // The KV tier's address classifier and the trace tensor map are
+        // two views of one contract: K and V windows (and the shared
+        // prefix) gate on the tier; Q, scores and outputs bypass it.
+        assert!(is_kv_addr(op.k_addr(0, 0, 0)));
+        assert!(is_kv_addr(op.k_addr(
+            op.heads - 1,
+            op.seq_len - 1,
+            op.head_dim - 1
+        )));
+        assert!(!is_kv_addr(op.q_addr(0, 0, 0)));
+        assert!(!is_kv_addr(op.score_addr(0, 0, 0)));
+        let attn = AttnOutputWorkload::new(op);
+        assert!(is_kv_addr(attn.v_addr(0, 0, 0)));
+        assert!(is_kv_addr(attn.v_addr(
+            op.heads - 1,
+            op.seq_len - 1,
+            op.head_dim - 1
+        )));
+        assert!(!is_kv_addr(attn.partial_out_addr(0, 0, 0, 4)));
+        let spfx = SharedPrefixWorkload::new(op, 64);
+        assert!(is_kv_addr(spfx.shared_k_addr(0, 0, 0)));
+        let gqa = GqaDecodeWorkload::new(op);
+        assert!(is_kv_addr(gqa.v_addr(0, 0, 0)));
+        assert!(!is_kv_addr(gqa.partial_out_addr(0, 0, 0, 4)));
+        // Tenant relocation preserves the classification (the in-slot
+        // window test is stride-periodic).
+        use crate::mix::REQUEST_VA_STRIDE;
+        assert!(is_kv_addr(op.k_addr(0, 0, 0) + 3 * REQUEST_VA_STRIDE));
+        assert!(!is_kv_addr(op.q_addr(0, 0, 0) + 3 * REQUEST_VA_STRIDE));
+        assert!(!is_kv_addr(op.score_addr(0, 0, 0) + 3 * REQUEST_VA_STRIDE));
+    }
+
+    #[test]
     fn spec_round_trips_through_json() {
         let specs = [
             WorkloadSpec::llama3_70b(),
@@ -620,6 +1050,17 @@ mod tests {
                 group_size: 8,
                 head_dim: 128,
                 query_tokens: 8,
+            },
+            WorkloadSpec::SharedPrefix {
+                heads: 8,
+                group_size: 8,
+                head_dim: 128,
+                prefix_len: 256,
+            },
+            WorkloadSpec::GqaDecode {
+                heads: 8,
+                group_size: 8,
+                head_dim: 128,
             },
         ];
         for spec in specs {
@@ -636,6 +1077,8 @@ mod tests {
             Arc::new(LogitWorkload::new(op)),
             Arc::new(AttnOutputWorkload::new(op)),
             Arc::new(PrefillLogitWorkload::new(op, 2)),
+            Arc::new(SharedPrefixWorkload::new(op, 32)),
+            Arc::new(GqaDecodeWorkload::new(op)),
         ];
         let cfg = TraceGenConfig::default();
         for w in &workloads {

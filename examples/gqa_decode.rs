@@ -2,14 +2,19 @@
 //! grows — the situation the paper's introduction motivates (long-context
 //! decoding is KV-cache-bandwidth bound).
 //!
-//! Sweeps sequence length for both model shapes and prints speedups of
-//! the throttling+arbitration ladder over the unoptimized machine.
+//! Runs the fused [`GqaDecodeWorkload`] (K and V streamed in one pass,
+//! FlashDecoding-style — scores never touch memory), sweeping sequence
+//! length for both model shapes and printing speedups of the
+//! throttling+arbitration ladder over the unoptimized machine.
 //!
 //! ```text
 //! cargo run --release --example gqa_decode [max_seq_k]
 //! ```
 
+use std::sync::Arc;
+
 use llamcat::experiment::{geomean, Experiment, Model, Policy};
+use llamcat_trace::workloads::GqaDecodeWorkload;
 
 fn main() {
     let max_k: usize = std::env::args()
@@ -34,15 +39,16 @@ fn main() {
             print!("{:>9}", format!("{}K", s / 1024));
         }
         println!("{:>10}", "geomean");
+        let decode = |s: usize| Arc::new(GqaDecodeWorkload::new(model.op(s)));
         let base: Vec<_> = seqs
             .iter()
-            .map(|&s| Experiment::new(model, s).run())
+            .map(|&s| Experiment::with_workload(decode(s)).run())
             .collect();
         for p in policies {
             let mut speedups = Vec::new();
             print!("{:<14}", p.label());
             for (i, &s) in seqs.iter().enumerate() {
-                let r = Experiment::new(model, s).policy(p).run();
+                let r = Experiment::with_workload(decode(s)).policy(p).run();
                 let sp = r.speedup_over(&base[i]);
                 speedups.push(sp);
                 print!("{sp:>8.3}x");
