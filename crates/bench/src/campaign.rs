@@ -36,10 +36,20 @@
 //!   losslessly, including every embedded policy configuration, so a
 //!   sweep definition can live in a file, a commit message or a wire
 //!   protocol.
+//! * **Resumable** — [`Campaign::run_resumable`] content-addresses every
+//!   cell with [`cell_spec_hash`], skips cells already present in a
+//!   JSONL archive, appends the rest crash-safely, and merges into the
+//!   deterministic cell order; `--shard i/n` splits ride on the same
+//!   archive with byte-identical merged output.
+//! * **Warm-up-and-fork** — with [`Campaign::fork_scenarios`], cells
+//!   sharing a scenario build their system once and fork per policy
+//!   cell, byte-identical to the straight-line path.
 
+use std::collections::HashMap;
 use std::io::{self, Write};
+use std::path::Path;
 
-use llamcat::experiment::{Experiment, RunReport};
+use llamcat::experiment::{Experiment, RunReport, ScenarioSnapshot};
 use llamcat::spec::{KvSpec, MixSpec, PolicySpec, ServeSpec};
 use llamcat_sim::config::SystemConfig;
 use llamcat_sim::system::StepMode;
@@ -99,6 +109,16 @@ pub struct Campaign {
     /// cycle-accurate reference.
     #[serde(default)]
     pub step_mode: StepMode,
+    /// Warm-up-and-fork fast path: cells sharing a scenario (everything
+    /// but the policy) build their system — trace generation, program
+    /// mapping, preallocation, injector and KV tier — once, snapshot it
+    /// pre-tick, and fork one copy per policy cell. Byte-identical to
+    /// the straight-line path (`crates/bench/tests/campaign.rs` pins
+    /// this over the golden policy matrix in both step modes). Off by
+    /// default (also the serde default, so archived campaign files keep
+    /// parsing).
+    #[serde(default)]
+    pub fork_scenarios: bool,
 }
 
 /// One point of the grid, fully self-describing (what to run).
@@ -192,10 +212,11 @@ pub struct FairnessRecord {
 pub struct CellRecord {
     pub cell: CampaignCell,
     /// Content address of this record's configuration: a stable hash
-    /// over the serialized `(cell, step_mode)` pair (see
-    /// [`cell_spec_hash`]). Lets archived JSONL streams be joined and
-    /// deduplicated across campaigns without comparing nested specs.
-    /// Serde default `0` keeps pre-hash archives parsing.
+    /// over the serialized `(machine, cell)` spec (see
+    /// [`cell_spec_hash`]). Lets archived JSONL streams be joined,
+    /// deduplicated and resumed across campaigns without comparing
+    /// nested specs. Serde default `0` keeps pre-hash archives parsing
+    /// and never matches a computed address.
     #[serde(default)]
     pub spec_hash: u64,
     /// Step mode the cell ran under (serde default `Cycle`, so JSONL
@@ -220,6 +241,13 @@ pub struct CellRecord {
 pub struct CampaignReport {
     pub campaign: Campaign,
     pub records: Vec<CellRecord>,
+    /// Diagnostics collected during the run — dropped fairness
+    /// entries, skipped archive lines, pending shards. Library code
+    /// never prints; callers decide what (if anything) to surface.
+    /// Not part of the JSONL stream; serde default keeps archived
+    /// reports parsing.
+    #[serde(default)]
+    pub warnings: Vec<String>,
 }
 
 impl Campaign {
@@ -241,6 +269,7 @@ impl Campaign {
             l_tile: 32,
             max_cycles: None,
             step_mode: StepMode::default(),
+            fork_scenarios: false,
         }
     }
 
@@ -340,6 +369,25 @@ impl Campaign {
     pub fn step_mode(mut self, mode: StepMode) -> Self {
         self.step_mode = mode;
         self
+    }
+
+    /// Opts into the warm-up-and-fork fast path (see the
+    /// [`Campaign::fork_scenarios`] field).
+    pub fn fork_scenarios(mut self, on: bool) -> Self {
+        self.fork_scenarios = on;
+        self
+    }
+
+    /// The machine half of the `(machine, cell)` spec that
+    /// [`cell_spec_hash`] content-addresses: the campaign-level knobs
+    /// that change what a cell simulates but live outside
+    /// [`CampaignCell`].
+    pub fn machine_spec(&self) -> MachineSpec {
+        MachineSpec {
+            layout: self.layout,
+            l_tile: self.l_tile,
+            max_cycles: self.max_cycles,
+        }
     }
 
     /// The solo scenario axes (everything but the policy), in
@@ -556,30 +604,212 @@ impl Campaign {
     pub fn run(&self) -> Result<CampaignReport, String> {
         self.validate()?;
         let cells = self.cells();
-        let scenarios = self.all_scenarios();
+        let todo: Vec<usize> = (0..cells.len()).collect();
+        let (records, warnings) = self.execute_cells(&cells, &todo, &HashMap::new())?;
+        Ok(CampaignReport {
+            campaign: self.clone(),
+            records,
+            warnings,
+        })
+    }
 
-        // The baseline rides along as extra cells unless it is already
-        // one of the swept policies.
+    /// [`Campaign::run`] with a JSONL archive: cells whose
+    /// [`cell_spec_hash`] already appears in `archive` are skipped and
+    /// their archived records reused; the rest run and are appended to
+    /// the archive (whole lines, flushed as written, so a killed run
+    /// loses at most the line being written). Records merge back in
+    /// [`Campaign::cells`] order, so a resumed campaign's JSONL is
+    /// byte-identical to an uninterrupted run's.
+    pub fn run_resumable(&self, archive: impl AsRef<Path>) -> Result<CampaignReport, String> {
+        self.run_resumable_shard(archive, 0, 1)
+    }
+
+    /// [`Campaign::run_resumable`] over the `shard`-th of `shards`
+    /// index-interleaved slices of the grid: this invocation runs only
+    /// cells with `index % shards == shard` (that are not already
+    /// archived). Shards may run sequentially against one archive or
+    /// independently against per-shard archives (concatenate them
+    /// before the final merge run); either way, once every shard has
+    /// run, the merged report is byte-identical to an unsharded run.
+    /// Cells still pending in other shards are reported in
+    /// [`CampaignReport::warnings`] and omitted from the records.
+    pub fn run_resumable_shard(
+        &self,
+        archive: impl AsRef<Path>,
+        shard: usize,
+        shards: usize,
+    ) -> Result<CampaignReport, String> {
+        if shards == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if shard >= shards {
+            return Err(format!(
+                "shard index {shard} out of range for {shards} shard(s)"
+            ));
+        }
+        self.validate()?;
+        let path = archive.as_ref();
+        let machine = self.machine_spec();
+        let cells = self.cells();
+        let hashes: Vec<u64> = cells.iter().map(|c| cell_spec_hash(&machine, c)).collect();
+
+        // Load the archive. Tolerate damage instead of failing the run:
+        // a truncated final line is exactly what a killed run leaves
+        // behind, and pre-schema records (spec_hash 0) can never be
+        // trusted to describe this machine.
+        let mut warnings = Vec::new();
+        let mut cached: HashMap<u64, CellRecord> = HashMap::new();
+        let mut torn_tail = false;
+        if path.exists() {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("read archive {}: {e}", path.display()))?;
+            // A kill mid-write leaves a final line without a newline;
+            // appending must not concatenate onto it.
+            torn_tail = !text.is_empty() && !text.ends_with('\n');
+            for (n, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<CellRecord>(line) {
+                    Ok(rec) if rec.spec_hash != 0 => {
+                        cached.insert(rec.spec_hash, rec);
+                    }
+                    Ok(_) => warnings.push(format!(
+                        "archive line {}: pre-schema record without a spec_hash ignored",
+                        n + 1
+                    )),
+                    Err(e) => warnings.push(format!(
+                        "archive line {}: unparsable (truncated write?), re-running: {e}",
+                        n + 1
+                    )),
+                }
+            }
+        }
+
+        // Cycles of archived cells feed baseline speedups of cells that
+        // still have to run, so the baseline is not re-simulated just
+        // because its grid cell is already archived.
+        let known_cycles: HashMap<usize, u64> = (0..cells.len())
+            .filter_map(|i| cached.get(&hashes[i]).map(|r| (i, r.report.cycles)))
+            .collect();
+        let todo: Vec<usize> = (0..cells.len())
+            .filter(|&i| i % shards == shard && !cached.contains_key(&hashes[i]))
+            .collect();
+        if path.exists() {
+            warnings.push(format!(
+                "resume: {} of {} cell(s) already archived, running {}",
+                known_cycles.len(),
+                cells.len(),
+                todo.len()
+            ));
+        }
+
+        let (new_records, mut exec_warnings) = self.execute_cells(&cells, &todo, &known_cycles)?;
+        warnings.append(&mut exec_warnings);
+
+        // Crash-safe append: whole lines, flushed one at a time, so a
+        // kill mid-campaign preserves every completed cell.
+        if !new_records.is_empty() {
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("open archive {}: {e}", path.display()))?;
+            if torn_tail {
+                f.write_all(b"\n")
+                    .map_err(|e| format!("append to archive {}: {e}", path.display()))?;
+            }
+            for rec in &new_records {
+                let line = serde_json::to_string(rec).expect("record serializes");
+                f.write_all(line.as_bytes())
+                    .and_then(|()| f.write_all(b"\n"))
+                    .and_then(|()| f.flush())
+                    .map_err(|e| format!("append to archive {}: {e}", path.display()))?;
+            }
+        }
+
+        // Merge archived + fresh records into deterministic cell order.
+        let mut by_hash = cached;
+        for rec in new_records {
+            by_hash.insert(rec.spec_hash, rec);
+        }
+        let mut records = Vec::with_capacity(cells.len());
+        let mut missing = 0usize;
+        for h in &hashes {
+            match by_hash.get(h) {
+                Some(rec) => records.push(rec.clone()),
+                None => missing += 1,
+            }
+        }
+        if missing > 0 {
+            warnings.push(format!(
+                "{missing} cell(s) not yet archived (pending in other shards)"
+            ));
+        }
+        Ok(CampaignReport {
+            campaign: self.clone(),
+            records,
+            warnings,
+        })
+    }
+
+    /// Executes the cells at indices `todo` (into `cells`, which must
+    /// be the full [`Campaign::cells`] enumeration) and returns their
+    /// records in `todo` order plus any diagnostics.
+    ///
+    /// Support runs ride along in one batch behind the todo cells:
+    /// a baseline run for every scenario whose baseline report is
+    /// neither in the batch nor in `known_cycles` (cell index →
+    /// archived cycles), then the deduplicated solo fairness
+    /// references of every mix cell.
+    fn execute_cells(
+        &self,
+        cells: &[CampaignCell],
+        todo: &[usize],
+        known_cycles: &HashMap<usize, u64>,
+    ) -> Result<(Vec<CellRecord>, Vec<String>), String> {
+        let machine = self.machine_spec();
+        let n_pol = self.policies.len();
+        // The baseline reuses its own policy column when it is one of
+        // the swept policies.
         let baseline_in_grid = self
             .baseline
             .as_ref()
             .and_then(|b| self.policies.iter().position(|p| p == b));
-        let mut all = cells.clone();
-        if let (Some(b), None) = (&self.baseline, baseline_in_grid) {
-            for scenario in &scenarios {
-                let mut cell = scenario.clone();
-                cell.policy = b.clone();
-                all.push(cell);
+
+        let mut batch: Vec<CampaignCell> = todo.iter().map(|&i| cells[i].clone()).collect();
+        let batch_pos: HashMap<usize, usize> =
+            todo.iter().enumerate().map(|(pos, &i)| (i, pos)).collect();
+
+        // Baseline runs for scenarios that need one.
+        let mut baseline_extra: HashMap<usize, usize> = HashMap::new(); // scenario → batch idx
+        if self.baseline.is_some() {
+            for &i in todo {
+                let s = i / n_pol;
+                if let Some(p) = baseline_in_grid {
+                    let b_i = s * n_pol + p;
+                    if batch_pos.contains_key(&b_i) || known_cycles.contains_key(&b_i) {
+                        continue;
+                    }
+                }
+                baseline_extra.entry(s).or_insert_with(|| {
+                    let mut cell = cells[s * n_pol].clone();
+                    cell.policy = self.baseline.clone().expect("baseline checked above");
+                    batch.push(cell);
+                    batch.len() - 1
+                });
             }
         }
-        let n_baseline_extra = all.len() - cells.len();
 
         // Fairness references: each mix cell compares every request
         // against a solo run of that request under the same policy and
-        // machine. References are deduplicated across mixes and cells.
-        let mut solo_refs: Vec<CampaignCell> = Vec::new();
-        let mut fairness_refs: Vec<Option<Vec<usize>>> = Vec::with_capacity(cells.len());
-        for cell in &cells {
+        // machine. References are deduplicated across mixes and cells
+        // by their serialized spec (hash-map lookup — the linear scan
+        // this replaced was quadratic in the number of references).
+        let mut solo_index: HashMap<String, usize> = HashMap::new(); // solo JSON → batch idx
+        let mut fairness_refs: Vec<Option<Vec<usize>>> = Vec::with_capacity(todo.len());
+        for &i in todo {
+            let cell = &cells[i];
             fairness_refs.push(cell.mix.as_ref().map(|m| {
                 m.requests
                     .iter()
@@ -595,45 +825,46 @@ impl Campaign {
                             // the *same* machine, KV tier included.
                             kv: cell.kv,
                         };
-                        solo_refs
-                            .iter()
-                            .position(|c| *c == solo)
-                            .unwrap_or_else(|| {
-                                solo_refs.push(solo);
-                                solo_refs.len() - 1
-                            })
+                        let key = serde_json::to_string(&solo).expect("cell serializes");
+                        *solo_index.entry(key).or_insert_with(|| {
+                            batch.push(solo);
+                            batch.len() - 1
+                        })
                     })
                     .collect()
             }));
         }
-        all.extend(solo_refs.iter().cloned());
 
-        let experiments: Vec<Experiment> = all.iter().map(|c| c.experiment(self)).collect();
-        let mut reports = run_experiments(&experiments)?;
+        let reports = if self.fork_scenarios {
+            run_cells_forked(self, &batch)?
+        } else {
+            let experiments: Vec<Experiment> = batch.iter().map(|c| c.experiment(self)).collect();
+            run_experiments(&experiments)?
+        };
 
-        let n_pol = self.policies.len();
-        let baseline_cycles: Option<Vec<u64>> = self.baseline.as_ref().map(|_| {
-            match baseline_in_grid {
-                // Baseline is policy column `p`: scenario s's baseline
-                // report sits at s * n_pol + p.
-                Some(p) => (0..scenarios.len())
-                    .map(|s| reports[s * n_pol + p].cycles)
-                    .collect(),
-                // Extra cells appended after the grid, one per scenario.
-                None => reports[cells.len()..cells.len() + n_baseline_extra]
-                    .iter()
-                    .map(|r| r.cycles)
-                    .collect(),
-            }
-        });
-        let solo_reports = reports.split_off(cells.len() + n_baseline_extra);
-        reports.truncate(cells.len());
-
-        let mut records = Vec::with_capacity(cells.len());
-        for (i, (cell, report)) in cells.into_iter().zip(reports).enumerate() {
-            let speedup = match &baseline_cycles {
-                Some(base) => {
-                    let b = base[i / n_pol];
+        // Speedups and fairness first (borrowing the whole batch of
+        // reports — the references point behind the todo prefix), then
+        // move each todo report into its record.
+        let mut warnings = Vec::new();
+        let mut speedups: Vec<Option<f64>> = Vec::with_capacity(todo.len());
+        let mut fairness_out: Vec<(Option<FairnessRecord>, Option<String>)> =
+            Vec::with_capacity(todo.len());
+        for (pos, &i) in todo.iter().enumerate() {
+            let report = &reports[pos];
+            let speedup = match &self.baseline {
+                Some(_) => {
+                    let s = i / n_pol;
+                    let b = match baseline_in_grid {
+                        Some(p) => {
+                            let b_i = s * n_pol + p;
+                            batch_pos
+                                .get(&b_i)
+                                .map(|&bp| reports[bp].cycles)
+                                .or_else(|| known_cycles.get(&b_i).copied())
+                                .unwrap_or_else(|| reports[baseline_extra[&s]].cycles)
+                        }
+                        None => reports[baseline_extra[&s]].cycles,
+                    };
                     if b == 0 || report.cycles == 0 {
                         return Err(format!(
                             "degenerate zero-cycle run in cell {} ({})",
@@ -644,20 +875,31 @@ impl Campaign {
                 }
                 None => None,
             };
-            let (fairness, fairness_drop_reason) = match fairness_refs[i].as_ref() {
+            speedups.push(speedup);
+            fairness_out.push(match fairness_refs[pos].as_ref() {
                 Some(refs) => {
-                    let (f, reason) = fairness_of(&report, refs, &solo_reports);
+                    let (f, reason) = fairness_of(report, refs, &reports);
                     if let Some(r) = &reason {
-                        eprintln!(
+                        warnings.push(format!(
                             "campaign `{}`: fairness entries dropped in cell {i} ({}): {r}",
                             self.name, report.policy_label
-                        );
+                        ));
                     }
                     (f, reason)
                 }
                 None => (None, None),
-            };
-            let spec_hash = cell_spec_hash(&cell);
+            });
+        }
+
+        let mut records = Vec::with_capacity(todo.len());
+        for (((&i, report), speedup), (fairness, fairness_drop_reason)) in todo
+            .iter()
+            .zip(reports) // moves the batch; the support tail is dropped
+            .zip(speedups)
+            .zip(fairness_out)
+        {
+            let cell = cells[i].clone();
+            let spec_hash = cell_spec_hash(&machine, &cell);
             records.push(CellRecord {
                 cell,
                 spec_hash,
@@ -668,19 +910,39 @@ impl Campaign {
                 fairness_drop_reason,
             });
         }
-        Ok(CampaignReport {
-            campaign: self.clone(),
-            records,
-        })
+        Ok((records, warnings))
     }
 }
 
+/// The campaign-level machine configuration that joins the cell in its
+/// content address: every knob outside [`CampaignCell`] that changes
+/// what the cell simulates. The base machine dimensions (Table 5) are
+/// compile-time constants, so the varying knobs are the dataflow
+/// layout, the L-dimension tile and the cycle budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    pub layout: Layout,
+    pub l_tile: usize,
+    pub max_cycles: Option<u64>,
+}
+
 /// Content address of one campaign cell: an FNV-1a hash over the
-/// cell's canonical JSON serialization. Two records with equal hashes
-/// describe the same simulation configuration (same workload/scenario,
-/// machine, KV tier and policy), regardless of which campaign produced
-/// them — so archived JSONL streams can be joined, deduplicated or
-/// diffed by this one `u64` instead of comparing nested specs.
+/// canonical JSON of the `(machine, cell)` spec — the campaign-level
+/// [`MachineSpec`] the cell runs under, then the [`CampaignCell`]
+/// itself. Two records with equal hashes describe the same simulation
+/// configuration (same workload/scenario, machine, KV tier and
+/// policy), regardless of which campaign produced them — so archived
+/// JSONL streams can be joined, deduplicated or resumed
+/// ([`Campaign::run_resumable`]) by this one `u64` instead of
+/// comparing nested specs.
+///
+/// Hash schema v2. v1 hashed the cell alone, so two campaigns
+/// differing only in campaign-level machine configuration (`l_tile`,
+/// `layout`, `max_cycles`) gave their cells identical addresses — a
+/// resume could silently reuse a record simulated on a different
+/// machine. Folding the machine spec in gives every address a new v2
+/// value, which is also the correct migration: v1 archives simply
+/// never match and their cells re-run.
 ///
 /// The step mode is deliberately *not* part of the address: Skip and
 /// Cycle runs of a cell produce byte-identical statistics (the
@@ -691,18 +953,76 @@ impl Campaign {
 /// plain data, so the serialization — and thus the hash — is stable
 /// for a given schema. Schema evolution (new defaulted fields) changes
 /// hashes, which is the correct behavior for a content address.
-pub fn cell_spec_hash(cell: &CampaignCell) -> u64 {
-    let json = serde_json::to_string(cell).expect("cell serializes");
+pub fn cell_spec_hash(machine: &MachineSpec, cell: &CampaignCell) -> u64 {
+    let machine_json = serde_json::to_string(machine).expect("machine spec serializes");
+    let cell_json = serde_json::to_string(cell).expect("cell serializes");
     let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
-    for b in json.bytes() {
+                                            // 0xff never occurs in UTF-8, so it separates the two halves of
+                                            // the spec unambiguously.
+    for b in machine_json
+        .bytes()
+        .chain(std::iter::once(0xff))
+        .chain(cell_json.bytes())
+    {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x100_0000_01b3); // FNV-1a prime
     }
     h
 }
 
+/// Runs a batch of campaign cells through the warm-up-and-fork fast
+/// path: cells sharing a scenario (everything but the policy) build
+/// their system once — trace generation, program mapping and component
+/// preallocation are the dominant setup cost — freeze it pre-tick with
+/// [`Experiment::snapshot_scenario`], and fork one copy per policy
+/// cell. Byte-identical to [`run_experiments`] over the same cells
+/// (pinned in `crates/bench/tests/campaign.rs`): policies influence
+/// behaviour from cycle 0, so the shared prefix is exactly the
+/// policy-independent construction work, and [`Experiment::run_forked`]
+/// swaps in freshly-reset policies before any tick.
+fn run_cells_forked(campaign: &Campaign, batch: &[CampaignCell]) -> Result<Vec<RunReport>, String> {
+    // Group by policy-free scenario key, first-seen order.
+    let mut groups: HashMap<String, usize> = HashMap::new();
+    let mut scenario_of: Vec<usize> = Vec::with_capacity(batch.len());
+    let mut reps: Vec<&CampaignCell> = Vec::new();
+    for cell in batch {
+        let mut key_cell = cell.clone();
+        key_cell.policy = PolicySpec::unoptimized();
+        let key = serde_json::to_string(&key_cell).expect("cell serializes");
+        let g = *groups.entry(key).or_insert_with(|| {
+            reps.push(cell);
+            reps.len() - 1
+        });
+        scenario_of.push(g);
+    }
+    // One policy-neutral warm-up per scenario, in parallel.
+    let snaps: Vec<Result<ScenarioSnapshot, String>> = reps
+        .par_iter()
+        .map(|cell| {
+            cell.experiment(campaign)
+                .snapshot_scenario()
+                .map_err(|e| e.to_string())
+        })
+        .collect();
+    let snaps = snaps.into_iter().collect::<Result<Vec<_>, _>>()?;
+    // Fork every cell off its scenario's snapshot, in parallel.
+    let indices: Vec<usize> = (0..batch.len()).collect();
+    let results: Vec<Result<RunReport, String>> = indices
+        .par_iter()
+        .map(|&i| {
+            batch[i]
+                .experiment(campaign)
+                .run_forked(&snaps[scenario_of[i]])
+                .map_err(|e| e.to_string())
+        })
+        .collect();
+    results.into_iter().collect()
+}
+
 /// Assembles a mix cell's fairness record from its report and the solo
-/// reference reports. A request whose slowdown would be meaningless —
+/// reference reports (`refs` holds indices into `all_reports`, the
+/// cell batch the references ran in). A request whose slowdown would
+/// be meaningless —
 /// either side failed to complete, or completed in zero cycles — is
 /// dropped *individually*, with the reasons joined into the second
 /// return value. The record is `None` only when every entry dropped:
@@ -712,7 +1032,7 @@ pub fn cell_spec_hash(cell: &CampaignCell) -> u64 {
 fn fairness_of(
     report: &RunReport,
     refs: &[usize],
-    solo_reports: &[RunReport],
+    all_reports: &[RunReport],
 ) -> (Option<FairnessRecord>, Option<String>) {
     let mut per_request = Vec::with_capacity(refs.len());
     let mut dropped: Vec<String> = Vec::new();
@@ -724,7 +1044,7 @@ fn fairness_of(
         // The solo reference time is the request's own completion in
         // its solo run (request 0 there), not the run's drain time —
         // so a single-request partitioned mix pins speedup exactly 1.
-        let Some(solo_req) = solo_reports.get(solo_idx).and_then(|s| s.requests.first()) else {
+        let Some(solo_req) = all_reports.get(solo_idx).and_then(|s| s.requests.first()) else {
             dropped.push(format!("request {r}: missing solo reference run"));
             continue;
         };
@@ -1199,8 +1519,12 @@ mod tests {
         // Skip and Cycle runs of a cell are the same content (byte-
         // identical stats), so they share one address.
         assert_eq!(r1.records[0].spec_hash, r2.records[0].spec_hash);
-        // And it matches the public function on the archived cell.
-        assert_eq!(r1.records[0].spec_hash, cell_spec_hash(&r1.records[0].cell));
+        // And it matches the public function on the archived cell plus
+        // the campaign's machine spec.
+        assert_eq!(
+            r1.records[0].spec_hash,
+            cell_spec_hash(&r1.campaign.machine_spec(), &r1.records[0].cell)
+        );
 
         // Pre-hash JSONL archives (no spec_hash field) still parse:
         // drop the field from the serialized line and reparse.
@@ -1210,6 +1534,27 @@ mod tests {
         let stripped = line.replacen(&needle, "", 1);
         let back: CellRecord = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back.spec_hash, 0, "missing hash defaults to 0");
+    }
+
+    /// The regression the hash-schema bump fixes: campaign-level
+    /// machine knobs (`l_tile`, `layout`, `max_cycles`) must change
+    /// every cell's address. v1 hashed the cell alone, so two
+    /// campaigns differing only in `l_tile` content-addressed their
+    /// cells identically and a resume could reuse records simulated on
+    /// a different machine.
+    #[test]
+    fn machine_config_is_part_of_the_spec_hash() {
+        let a = tiny();
+        let mut b = tiny();
+        b.l_tile = 64;
+        let mut c = tiny();
+        c.max_cycles = Some(123_456);
+        let cell = &a.cells()[0];
+        assert_eq!(b.cells()[0], *cell, "cells alone do not differ");
+        let h = |camp: &Campaign| cell_spec_hash(&camp.machine_spec(), cell);
+        assert_ne!(h(&a), h(&b), "l_tile must change the address");
+        assert_ne!(h(&a), h(&c), "max_cycles must change the address");
+        assert_ne!(h(&b), h(&c));
     }
 
     #[test]
@@ -1229,5 +1574,193 @@ mod tests {
             .unwrap();
         assert_eq!(c.policies[0], PolicySpec::dynmg_bma());
         assert!(Campaign::new("n").policy_named("bogus").is_err());
+    }
+
+    /// The warm-up-and-fork fast path must be invisible in the output:
+    /// same campaign, same bytes — solo cells, mix cells, fairness
+    /// references and baseline speedups included, in both step modes.
+    #[test]
+    fn forked_run_is_byte_identical_to_straight_line() {
+        for mode in [StepMode::Cycle, StepMode::Skip] {
+            let straight = tiny().mix(tiny_mix()).step_mode(mode).run().unwrap();
+            let forked = tiny()
+                .mix(tiny_mix())
+                .step_mode(mode)
+                .fork_scenarios(true)
+                .run()
+                .unwrap();
+            assert_eq!(
+                straight.jsonl(),
+                forked.jsonl(),
+                "fork fast path changed the stream ({mode:?})"
+            );
+        }
+    }
+
+    /// Solo fairness references are deduplicated across mixes and
+    /// cells by a hash-map index. Shared references must collapse to
+    /// one run each (identical solo_cycles wherever they are used) and
+    /// the stream must stay deterministic across repeated runs.
+    #[test]
+    fn solo_reference_dedup_is_deterministic_across_a_mix_grid() {
+        use llamcat_trace::workloads::WorkloadSpec;
+        // Mix 2 repeats the 70b@128 request twice, and shares it with
+        // mix 1 — three uses of one solo reference per policy.
+        let grid = || {
+            tiny().mix(tiny_mix()).mix(
+                MixSpec::partitioned()
+                    .request(WorkloadSpec::llama3_70b(), 128, 0)
+                    .request(WorkloadSpec::llama3_70b(), 128, 0),
+            )
+        };
+        let a = grid().run().unwrap();
+        let b = grid().run().unwrap();
+        assert_eq!(a.jsonl(), b.jsonl(), "mix grid must be deterministic");
+        // Cells: solo ×2 policies, mix1 ×2, mix2 ×2. Per policy
+        // column, the 70b@128 reference is request 0 of mix1 and both
+        // requests of mix2.
+        assert_eq!(a.records.len(), 6);
+        for p in 0..2 {
+            let f1 = a.records[2 + p].fairness.as_ref().expect("mix1 fairness");
+            let f2 = a.records[4 + p].fairness.as_ref().expect("mix2 fairness");
+            let solo = f1.per_request[0].solo_cycles;
+            assert!(solo > 0);
+            assert_eq!(f2.per_request[0].solo_cycles, solo);
+            assert_eq!(f2.per_request[1].solo_cycles, solo);
+        }
+    }
+
+    fn tmp_archive(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("llamcat-campaign-tests");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    /// Kill-and-resume: a run that died halfway (archive holds half
+    /// the stream plus a torn final line) resumes into a merged JSONL
+    /// byte-identical to an uninterrupted run.
+    #[test]
+    fn resume_after_partial_archive_merges_byte_identically() {
+        let campaign = tiny().mix(tiny_mix()); // 4 cells
+        let clean = campaign.run().unwrap();
+        let lines: Vec<String> = clean.jsonl().lines().map(String::from).collect();
+        let path = tmp_archive("partial");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, format!("{}\n{}\n{{\"cell\":", lines[0], lines[1])).unwrap();
+
+        let resumed = campaign.run_resumable(&path).unwrap();
+        assert_eq!(
+            resumed.jsonl(),
+            clean.jsonl(),
+            "merge must be byte-identical to a clean run"
+        );
+        assert!(
+            resumed.warnings.iter().any(|w| w.contains("truncated")),
+            "torn line must be surfaced: {:?}",
+            resumed.warnings
+        );
+
+        // The archive now holds every cell: a second resume simulates
+        // nothing and still reproduces the stream.
+        let again = campaign.run_resumable(&path).unwrap();
+        assert_eq!(again.jsonl(), clean.jsonl());
+        assert!(
+            again
+                .warnings
+                .iter()
+                .any(|w| w.contains("4 of 4") && w.contains("running 0")),
+            "{:?}",
+            again.warnings
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Archived cells are *reused*, not re-simulated: tamper with an
+    /// archived record's cycles and the merged report carries the
+    /// tampered value through, proving the cell was skipped.
+    #[test]
+    fn resume_skips_archived_cells_without_rerunning() {
+        let campaign = tiny(); // 2 cells
+        let clean = campaign.run().unwrap();
+        let mut rec = clean.records[1].clone();
+        rec.report.cycles = 123_456_789; // spec_hash still describes the spec
+        let path = tmp_archive("skip");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, format!("{}\n", serde_json::to_string(&rec).unwrap())).unwrap();
+
+        let resumed = campaign.run_resumable(&path).unwrap();
+        assert_eq!(
+            resumed.records[1].report.cycles, 123_456_789,
+            "archived cell must not re-run"
+        );
+        // The cell missing from the archive ran fresh and matches the
+        // clean run exactly.
+        assert_eq!(
+            serde_json::to_string(&resumed.records[0]).unwrap(),
+            serde_json::to_string(&clean.records[0]).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Pre-schema records (serde-default `spec_hash: 0`) are never
+    /// trusted on resume: the cell re-runs instead of reusing a record
+    /// whose machine is unknown.
+    #[test]
+    fn zero_spec_hash_never_matches_on_resume() {
+        let campaign = tiny();
+        let clean = campaign.run().unwrap();
+        let mut rec = clean.records[0].clone();
+        rec.spec_hash = 0;
+        rec.report.cycles = 1; // would poison the merge if trusted
+        let path = tmp_archive("zero-hash");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, format!("{}\n", serde_json::to_string(&rec).unwrap())).unwrap();
+
+        let resumed = campaign.run_resumable(&path).unwrap();
+        assert_eq!(
+            resumed.jsonl(),
+            clean.jsonl(),
+            "pre-schema record must be ignored and its cell re-run"
+        );
+        assert!(
+            resumed.warnings.iter().any(|w| w.contains("pre-schema")),
+            "{:?}",
+            resumed.warnings
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// An `i/n` shard split over one shared archive: after every shard
+    /// has run, the merged stream is byte-identical to an unsharded
+    /// run — baseline speedups included, even when a cell's baseline
+    /// ran in a different shard (its cycles come from the archive).
+    #[test]
+    fn sharded_runs_merge_byte_identically() {
+        let campaign = tiny().mix(tiny_mix()); // 4 cells
+        let clean = campaign.run().unwrap();
+        let path = tmp_archive("shards");
+        let _ = std::fs::remove_file(&path);
+
+        let first = campaign.run_resumable_shard(&path, 0, 2).unwrap();
+        assert_eq!(first.records.len(), 2, "half the grid is pending");
+        assert!(
+            first
+                .warnings
+                .iter()
+                .any(|w| w.contains("pending in other shards")),
+            "{:?}",
+            first.warnings
+        );
+        let second = campaign.run_resumable_shard(&path, 1, 2).unwrap();
+        assert_eq!(
+            second.jsonl(),
+            clean.jsonl(),
+            "shard merge must equal the unsharded run"
+        );
+
+        // Degenerate shard arguments are rejected.
+        assert!(campaign.run_resumable_shard(&path, 2, 2).is_err());
+        assert!(campaign.run_resumable_shard(&path, 0, 0).is_err());
+        std::fs::remove_file(&path).ok();
     }
 }

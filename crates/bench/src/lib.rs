@@ -32,6 +32,7 @@ use llamcat::spec::PolicySpec;
 
 pub use campaign::{
     cell_spec_hash, run_experiments, Campaign, CampaignCell, CampaignReport, CellRecord,
+    MachineSpec,
 };
 
 /// Sequence-length scale factor from `LLAMCAT_SCALE`.

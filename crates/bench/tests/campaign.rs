@@ -176,6 +176,43 @@ fn mix_campaign_jsonl_is_self_describing() {
     assert_eq!(again, jsonl);
 }
 
+/// Acceptance gate for the warm-up-and-fork fast path: across the
+/// 20-cell golden policy matrix (5 arbiters × 4 throttles on one
+/// scenario), a fork-from-snapshot campaign run streams byte-identical
+/// JSONL to the straight-line run — in both step modes. The fork path
+/// builds the scenario (trace generation, program mapping,
+/// preallocation) once and forks 20 pre-tick snapshots instead of
+/// constructing 20 systems.
+#[test]
+fn forked_golden_matrix_is_byte_identical_in_both_modes() {
+    let matrix = |mode: StepMode, fork: bool| {
+        let mut c = Campaign::new("golden-matrix-fork")
+            .workload(WorkloadSpec::llama3_70b())
+            .seq_lens([128])
+            .baseline(PolicySpec::unoptimized())
+            .step_mode(mode)
+            .fork_scenarios(fork);
+        for arb in ["fifo", "B", "MA", "BMA", "cobrra"] {
+            for thr in ["none", "dyncta", "lcs", "dynmg"] {
+                c = c
+                    .policy_named(&format!("{thr}+{arb}"))
+                    .expect("matrix name");
+            }
+        }
+        c
+    };
+    for mode in [StepMode::Cycle, StepMode::Skip] {
+        let straight = matrix(mode, false).run().expect("straight-line run");
+        let forked = matrix(mode, true).run().expect("forked run");
+        assert_eq!(straight.records.len(), 20);
+        assert_eq!(
+            straight.jsonl(),
+            forked.jsonl(),
+            "fork fast path diverged from the straight-line run ({mode:?})"
+        );
+    }
+}
+
 #[test]
 fn geomeans_summarize_policy_columns() {
     let report = acceptance_campaign().run().unwrap();

@@ -20,6 +20,7 @@
 use llamcat_sim::arb::{ArbiterCtx, PortPreference, RequestArbiter};
 
 /// Adaptive request-response arbitration with hysteresis.
+#[derive(Clone)]
 pub struct CobrraArbiter {
     /// Fraction of response-queue capacity that triggers drain mode.
     high_frac: f64,

@@ -33,6 +33,7 @@ use llamcat_sim::types::Cycle;
 /// no virtual calls (the variant check is a predictable branch — every
 /// slice holds the same variant for a whole run). `Box<dyn
 /// RequestArbiter>` remains available for policies outside this set.
+#[derive(Clone)]
 pub enum ArbiterKind {
     Fifo(FifoArbiter),
     Balanced(BalancedArbiter),

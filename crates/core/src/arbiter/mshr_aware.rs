@@ -54,6 +54,7 @@ impl Default for MshrAwareConfig {
 }
 
 /// The MA / BMA arbiter.
+#[derive(Clone)]
 pub struct MshrAwareArbiter {
     cfg: MshrAwareConfig,
     tie: TieBreak,

@@ -26,14 +26,16 @@ use llamcat_sim::config::SystemConfig;
 use llamcat_sim::prog::Program;
 use llamcat_sim::serve::RequestInjector;
 use llamcat_sim::stats::{KvTierStats, SimStats};
-use llamcat_sim::system::{RunOutcome, StepMode, System};
+use llamcat_sim::system::{RunOutcome, StepMode, System, SystemState};
 use llamcat_trace::mix::{generate_serve_set, WorkloadMix};
 use llamcat_trace::tracegen::TraceGenConfig;
 use llamcat_trace::workload::LogitOp;
 use llamcat_trace::workloads::{LogitWorkload, Workload, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
+use crate::arbiter::ArbiterKind;
 use crate::spec::{ArbSpec, KvSpec, MixSpec, PolicySpec, ServeSpec, ThrottleSpec};
+use crate::throttle::ThrottleKind;
 
 pub use llamcat_trace::mapping::Layout;
 
@@ -555,6 +557,60 @@ impl Experiment {
         Ok(RunReport::from_stats(self, stats, outcome))
     }
 
+    /// Builds this experiment's scenario — trace generation, program
+    /// mapping, flat-program build, component preallocation, injector
+    /// and KV tier — once, and freezes it pre-tick as a policy-neutral
+    /// base snapshot. [`Experiment::run_forked`] then stamps any policy
+    /// onto an independent fork.
+    ///
+    /// The experiment's own `policy` is ignored: everything captured is
+    /// policy independent. Policies influence behaviour from the very
+    /// first cycle (the throttle's sweep runs at cycle 0), so the
+    /// snapshot is taken before any tick — the amortized work is the
+    /// expensive scenario build, not simulated cycles.
+    pub fn snapshot_scenario(&self) -> Result<ScenarioSnapshot, ExperimentError> {
+        if let Some(kv) = &self.kv {
+            kv.validate().map_err(ExperimentError::InvalidKv)?;
+        }
+        let (program, budget, injector) = self.checked_program()?;
+        let mut system = System::new(
+            self.config,
+            program,
+            &|_slice| ArbSpec::Fifo.build_kind(),
+            ThrottleSpec::None.build_kind(),
+        );
+        if let Some(injector) = injector {
+            system.attach_injector(injector);
+        }
+        if let Some(kv) = &self.kv {
+            system.attach_kv(kv.to_config());
+        }
+        Ok(ScenarioSnapshot {
+            state: SystemState::from(system),
+            budget,
+        })
+    }
+
+    /// Runs this experiment on a fork of `base` instead of building the
+    /// scenario from scratch: the fork swaps in this experiment's
+    /// policies (fresh, reset exactly as construction would) and runs
+    /// under the snapshot's cycle budget.
+    ///
+    /// `base` must have been produced by [`Experiment::snapshot_scenario`]
+    /// on an experiment identical up to `policy` and `step_mode`; the
+    /// result is then byte-identical to [`Experiment::try_run`]
+    /// (`crates/bench` pins this across the golden campaign matrix).
+    pub fn run_forked(&self, base: &ScenarioSnapshot) -> Result<RunReport, ExperimentError> {
+        let mut system = base.state.fork();
+        let arb = self.policy.arb.clone();
+        system.replace_policies(
+            &move |_slice| arb.build_kind(),
+            self.policy.throttle.build_kind(),
+        );
+        let (stats, outcome) = system.run_with_mode(base.budget, self.step_mode);
+        Ok(RunReport::from_stats(self, stats, outcome))
+    }
+
     /// Runs the experiment to completion.
     ///
     /// Panics on degenerate inputs (invalid shape, zero-byte trace,
@@ -565,6 +621,26 @@ impl Experiment {
             Ok(report) => report,
             Err(e) => panic!("experiment failed: {e}"),
         }
+    }
+}
+
+/// A policy-neutral, pre-tick base system for one scenario — the
+/// workload/mix/serve/KV/machine combination, everything except the
+/// policy pair — produced by [`Experiment::snapshot_scenario`] and
+/// forked (any number of times) by [`Experiment::run_forked`].
+///
+/// This is the campaign warm-up-and-fork fast path: grid cells sharing
+/// a scenario pay trace generation and system construction once instead
+/// of once per policy.
+pub struct ScenarioSnapshot {
+    state: SystemState<ArbiterKind, ThrottleKind>,
+    budget: u64,
+}
+
+impl ScenarioSnapshot {
+    /// The cycle budget derived for (or configured on) the scenario.
+    pub fn budget(&self) -> u64 {
+        self.budget
     }
 }
 

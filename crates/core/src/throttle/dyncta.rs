@@ -49,6 +49,7 @@ impl Default for DynctaConfig {
 }
 
 /// Per-core dynamic CTA throttling.
+#[derive(Clone)]
 pub struct Dyncta {
     cfg: DynctaConfig,
     next_sample: u64,

@@ -117,6 +117,7 @@ impl DynMgConfig {
 }
 
 /// The two-level dynamic multi-gear throttle controller.
+#[derive(Clone)]
 pub struct DynMg {
     cfg: DynMgConfig,
     gear: usize,

@@ -23,6 +23,7 @@ enum Phase {
 }
 
 /// Lazy per-core block-count selection.
+#[derive(Clone)]
 pub struct Lcs {
     phase: Vec<Phase>,
     seen_tbs: Vec<u64>,

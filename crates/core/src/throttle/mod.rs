@@ -21,6 +21,7 @@ use llamcat_sim::types::Cycle;
 /// Closed-world enum over every throttle controller this crate knows
 /// (the monomorphization counterpart of
 /// [`crate::arbiter::ArbiterKind`]).
+#[derive(Clone)]
 pub enum ThrottleKind {
     None(NoThrottle),
     Dyncta(Dyncta),

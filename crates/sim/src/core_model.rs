@@ -59,6 +59,7 @@ enum IssueResult {
 }
 
 /// One simulated vector core.
+#[derive(Clone)]
 pub struct VectorCore {
     id: CoreId,
     cfg: CoreConfig,

@@ -47,6 +47,7 @@ enum Mode {
 }
 
 /// One DRAM channel with its banks, queues and timing state.
+#[derive(Clone)]
 pub struct Channel {
     cfg: DramConfig,
     now: DramCycle,

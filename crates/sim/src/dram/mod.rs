@@ -22,6 +22,7 @@ use crate::types::{Addr, SliceId};
 ///
 /// The caller (the `System`) is responsible for clock-domain crossing:
 /// it calls [`DramSystem::tick`] once per DRAM clock period.
+#[derive(Clone)]
 pub struct DramSystem {
     channels: Vec<Channel>,
     mapping: AddressMapping,

@@ -170,7 +170,7 @@ struct Waiter {
 }
 
 /// One in-flight promotion.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Promotion {
     done_at: Cycle,
     /// Request whose read started the transfer (evictions it later
@@ -181,6 +181,7 @@ struct Promotion {
 
 /// The tiered KV store. Owned by [`crate::system::System`]; intercepts
 /// the slice→DRAM read path.
+#[derive(Clone)]
 pub struct KvTier {
     cfg: KvTierConfig,
     /// Monotonic touch sequence backing the LRU order.

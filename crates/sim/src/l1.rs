@@ -54,6 +54,7 @@ pub enum L1Class {
 /// table performs zero heap allocations after construction —
 /// [`L1Cache::fill`] returns the waiters as a borrowed slice instead of
 /// the per-miss `Vec` the seed allocated.
+#[derive(Clone)]
 pub struct L1Cache {
     cfg: L1Config,
     storage: SetAssocCache,

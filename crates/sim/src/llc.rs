@@ -71,6 +71,7 @@ enum StallKind {
 }
 
 /// One slice of the shared L2.
+#[derive(Clone)]
 pub struct LlcSlice<A: RequestArbiter = Box<dyn RequestArbiter>> {
     id: SliceId,
     cfg: L2Config,
@@ -195,6 +196,17 @@ impl<A: RequestArbiter> LlcSlice<A> {
 
     /// Resets progress counters and arbiter history at operator start.
     pub fn start_operator(&mut self) {
+        self.served.iter_mut().for_each(|c| *c = 0);
+        self.arbiter.reset();
+    }
+
+    /// Swaps in a fresh arbiter, resetting it exactly as slice
+    /// construction plus [`LlcSlice::start_operator`] would. Used by
+    /// the snapshot layer to fork one pre-tick base system per policy
+    /// cell: the forked slice is byte-identical to one built with this
+    /// arbiter from scratch.
+    pub fn replace_arbiter(&mut self, arbiter: A) {
+        self.arbiter = arbiter;
         self.served.iter_mut().for_each(|c| *c = 0);
         self.arbiter.reset();
     }

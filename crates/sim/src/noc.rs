@@ -75,6 +75,7 @@ impl<P: Copy> Lane<P> {
 }
 
 /// Delay pipe carrying requests to slices and responses to cores.
+#[derive(Clone)]
 pub struct Noc {
     to_slice: Vec<Lane<ReqHandle>>,
     to_core: Vec<Lane<MemResp>>,

@@ -24,6 +24,7 @@ use crate::prog::{Program, TbId};
 use crate::types::{CoreId, Cycle, WindowId};
 
 /// Per-core, per-window queues of pending thread blocks.
+#[derive(Clone)]
 pub struct TbScheduler {
     /// `queues[core][window]` — contiguous chunk of the core's stream.
     queues: Vec<Vec<VecDeque<TbId>>>,

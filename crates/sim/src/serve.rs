@@ -81,6 +81,7 @@ type InjectPlan = Vec<(TbId, CoreId, WindowId)>;
 /// home cores relative to `0..cores_per_request()` (see
 /// `llamcat_trace::mix::generate_serve_set`). Attach to a system with
 /// `System::attach_injector` before running.
+#[derive(Clone)]
 pub struct RequestInjector {
     policy: ServePolicy,
     /// Arrival cycle per request (the open-system schedule).

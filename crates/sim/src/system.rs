@@ -77,6 +77,10 @@ pub enum StepMode {
 /// monomorphize the whole tick loop (enum dispatch, zero virtual calls
 /// on the hot path); the defaults keep the seed's open-world
 /// `Box<dyn ...>` API working unchanged for tests and external users.
+///
+/// `Clone` is a deep copy of the whole machine — see
+/// [`System::snapshot`] for the supported checkpoint/fork workflow.
+#[derive(Clone)]
 pub struct System<A = Box<dyn RequestArbiter>, T = Box<dyn ThrottleController>>
 where
     A: RequestArbiter,
@@ -143,6 +147,85 @@ where
     tbs_done_scratch: Vec<u64>,
     active_tbs_scratch: Vec<usize>,
     fill_scratch: Vec<crate::dram::ReadReturn>,
+}
+
+/// An owned, self-contained copy of a [`System`] frozen mid-run.
+///
+/// Captures every component — cores, scheduler, L1 miss tables, NoC
+/// lanes, LLC slices with their MSHR files and arbiter state, DRAM
+/// timing registers, the KV tier, the request injector, the throttle
+/// controller, and the request arena — so that a forked system resumed
+/// with [`System::run_with_mode`] is byte-identical to the straight-line
+/// run, in both [`StepMode`]s (`tests/snapshot_equiv.rs` pins this).
+///
+/// Obtain one with [`System::snapshot`]; rewind a live system with
+/// [`System::restore`]; spawn independent continuations with
+/// [`SystemState::fork`].
+#[derive(Clone)]
+pub struct SystemState<A = Box<dyn RequestArbiter>, T = Box<dyn ThrottleController>>
+where
+    A: RequestArbiter,
+    T: ThrottleController,
+{
+    state: Box<System<A, T>>,
+}
+
+impl<A, T> SystemState<A, T>
+where
+    A: RequestArbiter + Clone,
+    T: ThrottleController + Clone,
+{
+    /// The cycle at which this snapshot was taken.
+    pub fn cycle(&self) -> Cycle {
+        self.state.cycle
+    }
+
+    /// Builds an independent system resuming from this snapshot. The
+    /// snapshot stays valid; call repeatedly to fan out one
+    /// continuation per experiment arm.
+    pub fn fork(&self) -> System<A, T> {
+        (*self.state).clone()
+    }
+
+    /// Consumes the snapshot into a system without the defensive copy
+    /// (for the last — or only — fork).
+    pub fn into_system(self) -> System<A, T> {
+        *self.state
+    }
+}
+
+impl<A, T> From<System<A, T>> for SystemState<A, T>
+where
+    A: RequestArbiter,
+    T: ThrottleController,
+{
+    /// Freezes a system by moving it into a snapshot (no copy; use
+    /// [`System::snapshot`] to keep the live system).
+    fn from(system: System<A, T>) -> Self {
+        SystemState {
+            state: Box::new(system),
+        }
+    }
+}
+
+impl<A, T> System<A, T>
+where
+    A: RequestArbiter + Clone,
+    T: ThrottleController + Clone,
+{
+    /// Freezes the complete machine state at the current cycle.
+    pub fn snapshot(&self) -> SystemState<A, T> {
+        SystemState {
+            state: Box::new(self.clone()),
+        }
+    }
+
+    /// Rewinds this system to a previously taken snapshot. After the
+    /// call the system is byte-identical to the machine the snapshot
+    /// was taken from, and resuming it replays the exact same future.
+    pub fn restore(&mut self, snap: &SystemState<A, T>) {
+        *self = (*snap.state).clone();
+    }
 }
 
 impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
@@ -227,6 +310,36 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
             active_tbs_scratch: vec![0; n],
             fill_scratch: Vec::with_capacity(64),
         }
+    }
+
+    /// Replaces the per-slice arbiters and the throttle controller with
+    /// fresh instances, on a system that has not ticked yet.
+    ///
+    /// This is the policy half of the campaign warm-up-and-fork fast
+    /// path: scenario construction (trace generation, program mapping,
+    /// [`FlatProgram`] build, component preallocation) is policy
+    /// independent, so cells sharing a scenario fork one pre-tick base
+    /// snapshot and swap in their own policies. Each slice's arbiter is
+    /// reset exactly as construction would reset it, so the forked
+    /// system is byte-identical to one built fresh with these policies
+    /// (`crates/bench` pins this across the golden matrix).
+    ///
+    /// Policies affect behaviour from cycle 0 (the throttle's phase-5
+    /// sweep runs on the very first tick), which is why the swap is
+    /// only allowed before any tick — there is no policy-neutral
+    /// *simulated* prefix to share.
+    pub fn replace_policies(&mut self, make_arbiter: &dyn Fn(SliceId) -> A, mut throttle: T) {
+        assert_eq!(
+            self.cycle, 0,
+            "replace_policies requires an unticked system (policies diverge from cycle 0)"
+        );
+        for (i, s) in self.slices.iter_mut().enumerate() {
+            s.replace_arbiter(make_arbiter(i));
+        }
+        throttle.reset(self.cfg.num_cores);
+        self.throttle = throttle;
+        self.throttle_wake = 0;
+        self.tb_retired = false;
     }
 
     /// Switches the run to **open-system serving**: withholds every
