@@ -25,7 +25,7 @@ use std::sync::Arc;
 use llamcat_sim::config::SystemConfig;
 use llamcat_sim::prog::Program;
 use llamcat_sim::serve::RequestInjector;
-use llamcat_sim::stats::{KvTierStats, SimStats};
+use llamcat_sim::stats::{KvTierStats, SimStats, SloOutcome};
 use llamcat_sim::system::{RunOutcome, StepMode, System, SystemState};
 use llamcat_trace::mix::{generate_serve_set, WorkloadMix};
 use llamcat_trace::tracegen::TraceGenConfig;
@@ -442,7 +442,7 @@ impl Experiment {
             Some(cycles) => cycles,
             None => last_arrival + meta.total_load_bytes / 4 + 20_000_000,
         };
-        let injector = RequestInjector::new(
+        let mut injector = RequestInjector::new(
             &program,
             arrivals,
             spec.scheduler.to_sim(),
@@ -450,6 +450,11 @@ impl Experiment {
             self.config.core.num_inst_windows,
         )
         .map_err(ExperimentError::InvalidServe)?;
+        if !spec.classes.is_empty() {
+            injector = injector
+                .with_classes(spec.padded_classes())
+                .map_err(ExperimentError::InvalidServe)?;
+        }
         Ok((program, budget, injector))
     }
 
@@ -676,6 +681,22 @@ pub struct RequestReport {
     /// runs; `None` when never admitted).
     #[serde(default)]
     pub queue_delay: Option<u64>,
+    /// Cycle at which the admission policy terminally rejected or
+    /// deadline-dropped the request (`None` everywhere else; a rejected
+    /// request never admits and never completes).
+    #[serde(default)]
+    pub rejected: Option<u64>,
+    /// Times the request was preempted (its unissued blocks withdrawn
+    /// back to the admission queue by a higher-class arrival).
+    #[serde(default)]
+    pub preemptions: u32,
+    /// Serving priority class (0 = best-effort).
+    #[serde(default)]
+    pub class: u8,
+    /// Verdict against the scenario's SLO (`None` when no SLO was
+    /// configured).
+    #[serde(default)]
+    pub slo: Option<SloOutcome>,
     pub blocks_total: u64,
     pub blocks_completed: u64,
     /// LLC lookups attributed to the request.
@@ -720,6 +741,32 @@ impl RequestReport {
     }
 }
 
+/// Run-level SLO attainment: how much of the offered load turned into
+/// *useful* (deadline-meeting) completions. The serving literature's
+/// goodput metric, in simulator units.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// The TTFT deadline the verdicts were judged against (cycles).
+    pub ttft_deadline: u64,
+    /// The mean-TBT deadline, when one was configured.
+    #[serde(default)]
+    pub tbt_deadline: Option<u64>,
+    /// Requests that completed within every deadline.
+    pub met: usize,
+    /// Admitted (or still queued) requests that blew a deadline or
+    /// never finished in budget.
+    pub missed: usize,
+    /// Requests terminally rejected or deadline-dropped by the
+    /// admission policy.
+    pub rejected: usize,
+    /// `met / num_requests` — the SLO attainment fraction.
+    pub attainment: f64,
+    /// SLO-met completions per million cycles — goodput. Comparable
+    /// across policies at a fixed arrival schedule: admission control
+    /// trades raw throughput for goodput under overload.
+    pub goodput_per_mcycle: f64,
+}
+
 /// Results of one experiment, with the metrics the paper plots.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -747,6 +794,10 @@ pub struct RunReport {
     /// carry exactly one entry.
     #[serde(default)]
     pub requests: Vec<RequestReport>,
+    /// SLO attainment and goodput (`None` unless the serve scenario
+    /// configured an [`crate::spec::SloSpec`]).
+    #[serde(default)]
+    pub slo: Option<SloReport>,
     /// KV-tier totals (`None` when no tier was attached).
     #[serde(default)]
     pub kv: Option<KvTierStats>,
@@ -763,7 +814,8 @@ impl RunReport {
                 None => exp.workload.label(),
             }
         };
-        let requests = stats
+        let slo_spec = exp.serve.as_ref().and_then(|s| s.slo);
+        let requests: Vec<RequestReport> = stats
             .requests
             .iter()
             .enumerate()
@@ -777,6 +829,10 @@ impl RunReport {
                 ttft: r.ttft(),
                 mean_tbt: r.mean_tbt(),
                 queue_delay: r.queue_delay(),
+                rejected: r.rejected,
+                preemptions: r.preemptions,
+                class: r.class,
+                slo: slo_spec.map(|s| r.slo_outcome(s.ttft_deadline, s.tbt_deadline)),
                 blocks_total: r.blocks_total,
                 blocks_completed: r.blocks_completed,
                 llc_lookups: r.llc.lookups,
@@ -791,6 +847,28 @@ impl RunReport {
                 kv_evictions: r.kv.evictions,
             })
             .collect();
+        let slo = slo_spec.map(|s| {
+            let count = |o: SloOutcome| requests.iter().filter(|r| r.slo == Some(o)).count();
+            let (met, missed, rejected) = (
+                count(SloOutcome::Met),
+                count(SloOutcome::Missed),
+                count(SloOutcome::Rejected),
+            );
+            let total = requests.len().max(1);
+            SloReport {
+                ttft_deadline: s.ttft_deadline,
+                tbt_deadline: s.tbt_deadline,
+                met,
+                missed,
+                rejected,
+                attainment: met as f64 / total as f64,
+                goodput_per_mcycle: if stats.cycles == 0 {
+                    0.0
+                } else {
+                    met as f64 * 1e6 / stats.cycles as f64
+                },
+            }
+        });
         let (workload_label, seq_len) = if let Some(spec) = &exp.serve {
             (spec.label(), spec.seq_len)
         } else {
@@ -824,6 +902,7 @@ impl RunReport {
             tb_migrations: stats.tb_migrations,
             row_hit_rate: stats.row_hit_rate(),
             requests,
+            slo,
             kv: stats.kv.clone(),
             stats: Some(stats),
         }

@@ -414,6 +414,10 @@ pub struct RequestSpec {
     /// Cycle at which the request arrives (0 = present from the start).
     #[serde(default)]
     pub arrival: Cycle,
+    /// Serving priority class (higher = more urgent; 0 = best-effort,
+    /// the serde default).
+    #[serde(default)]
+    pub class: u8,
 }
 
 impl RequestSpec {
@@ -423,12 +427,19 @@ impl RequestSpec {
             workload,
             seq_len,
             arrival: 0,
+            class: 0,
         }
     }
 
     /// Staggers the request's arrival.
     pub fn arriving_at(mut self, cycle: Cycle) -> Self {
         self.arrival = cycle;
+        self
+    }
+
+    /// Assigns a priority class.
+    pub fn with_class(mut self, class: u8) -> Self {
+        self.class = class;
         self
     }
 }
@@ -462,12 +473,13 @@ impl MixSpec {
         }
     }
 
-    /// Adds a request to the mix.
+    /// Adds a best-effort (class 0) request to the mix.
     pub fn request(mut self, workload: WorkloadSpec, seq_len: usize, arrival: Cycle) -> Self {
         self.requests.push(RequestSpec {
             workload,
             seq_len,
             arrival,
+            class: 0,
         });
         self
     }
@@ -493,7 +505,7 @@ impl MixSpec {
     pub fn instantiate(&self) -> WorkloadMix {
         let mut mix = WorkloadMix::new(self.assignment);
         for r in &self.requests {
-            mix = mix.request(r.workload.instantiate(r.seq_len), r.arrival);
+            mix = mix.classed_request(r.workload.instantiate(r.seq_len), r.arrival, r.class);
         }
         mix
     }
@@ -518,6 +530,19 @@ pub enum ServePolicySpec {
     /// completion immediately hands the freed group to the next queued
     /// request.
     ContinuousBatching { slots: usize },
+    /// Continuous batching with overload admission control: an arrival
+    /// that finds `depth` requests already waiting is terminally
+    /// rejected (reported, not silently stalled).
+    RejectAboveQueue { slots: usize, depth: usize },
+    /// Continuous batching that sheds queued requests whose waiting age
+    /// has already blown the TTFT deadline — they could no longer meet
+    /// the SLO, so serving them only hurts goodput.
+    DeadlineDrop { slots: usize, ttft_deadline: Cycle },
+    /// Class-priority continuous batching: a higher-class arrival
+    /// preempts the lowest-class running request by withdrawing its
+    /// *unissued* blocks back to the admission queue (no mid-block
+    /// rollback; the victim re-admits later and resumes its remainder).
+    PriorityPreempt { slots: usize },
 }
 
 impl ServePolicySpec {
@@ -534,6 +559,79 @@ impl ServePolicySpec {
             ServePolicySpec::ContinuousBatching { slots } => {
                 ServePolicy::ContinuousBatching { slots }
             }
+            ServePolicySpec::RejectAboveQueue { slots, depth } => {
+                ServePolicy::RejectAboveQueue { slots, depth }
+            }
+            ServePolicySpec::DeadlineDrop {
+                slots,
+                ttft_deadline,
+            } => ServePolicy::DeadlineDrop {
+                slots,
+                ttft_deadline,
+            },
+            ServePolicySpec::PriorityPreempt { slots } => ServePolicy::PriorityPreempt { slots },
+        }
+    }
+
+    /// The slot count of a slot-partitioned (continuous-batching
+    /// family) policy, `None` for whole-machine admission.
+    fn slots(&self) -> Option<usize> {
+        match *self {
+            ServePolicySpec::Fcfs | ServePolicySpec::MaxConcurrency { .. } => None,
+            ServePolicySpec::ContinuousBatching { slots }
+            | ServePolicySpec::RejectAboveQueue { slots, .. }
+            | ServePolicySpec::DeadlineDrop { slots, .. }
+            | ServePolicySpec::PriorityPreempt { slots } => Some(slots),
+        }
+    }
+}
+
+/// A serving-level objective: deadlines a request must meet to count
+/// toward *goodput* (SLO-met completions per Mcycle) rather than raw
+/// throughput. Deadlines are in core cycles; convert from wall time
+/// with the config's frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// TTFT deadline: arrival to first retired block, inclusive
+    /// (matches `RequestStats::ttft`), queueing delay included.
+    pub ttft_deadline: Cycle,
+    /// Optional mean time-between-tokens deadline (cycles per block
+    /// after the first); `None` judges TTFT only.
+    #[serde(default)]
+    pub tbt_deadline: Option<Cycle>,
+}
+
+impl SloSpec {
+    /// A TTFT-only SLO.
+    pub fn ttft(ttft_deadline: Cycle) -> Self {
+        SloSpec {
+            ttft_deadline,
+            tbt_deadline: None,
+        }
+    }
+
+    /// Adds a mean-TBT deadline.
+    pub fn tbt(mut self, tbt_deadline: Cycle) -> Self {
+        self.tbt_deadline = Some(tbt_deadline);
+        self
+    }
+
+    /// Rejects degenerate deadlines (0 cycles can never be met).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ttft_deadline == 0 {
+            return Err("slo: ttft_deadline must be >= 1".into());
+        }
+        if self.tbt_deadline == Some(0) {
+            return Err("slo: tbt_deadline must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// Stable name (labels, JSONL), e.g. `t50000` or `t50000b2000`.
+    pub fn label(&self) -> String {
+        match self.tbt_deadline {
+            Some(b) => format!("t{}b{b}", self.ttft_deadline),
+            None => format!("t{}", self.ttft_deadline),
         }
     }
 }
@@ -553,6 +651,16 @@ pub struct ServeSpec {
     /// default).
     #[serde(default)]
     pub scheduler: ServePolicySpec,
+    /// Serving objective: when set, per-request SLO outcomes and
+    /// goodput are reported beside the raw latency percentiles.
+    #[serde(default)]
+    pub slo: Option<SloSpec>,
+    /// Per-request priority classes (higher = more urgent), indexed by
+    /// request id; shorter-than-`num_requests` vectors pad with class
+    /// 0. Only [`ServePolicySpec::PriorityPreempt`] acts on classes,
+    /// but they are reported under every policy.
+    #[serde(default)]
+    pub classes: Vec<u8>,
 }
 
 impl ServeSpec {
@@ -570,6 +678,8 @@ impl ServeSpec {
             num_requests,
             arrivals,
             scheduler: ServePolicySpec::Fcfs,
+            slo: None,
+            classes: Vec::new(),
         }
     }
 
@@ -579,14 +689,33 @@ impl ServeSpec {
         self
     }
 
+    /// Sets the serving objective.
+    pub fn slo(mut self, slo: SloSpec) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Sets per-request priority classes (see [`ServeSpec::classes`]).
+    pub fn classes(mut self, classes: Vec<u8>) -> Self {
+        self.classes = classes;
+        self
+    }
+
+    /// The per-request class vector padded to `num_requests` (class 0
+    /// for requests beyond the configured prefix).
+    pub fn padded_classes(&self) -> Vec<u8> {
+        let mut c = self.classes.clone();
+        c.resize(self.num_requests, 0);
+        c
+    }
+
     /// Relative home-core range each request's trace is generated on,
     /// for a machine of `num_cores` cores: the full machine for
-    /// FCFS/max-concurrency, one slot's group for continuous batching.
+    /// FCFS/max-concurrency, one slot's group for the
+    /// continuous-batching family.
     pub fn cores_per_request(&self, num_cores: usize) -> usize {
-        match self.scheduler {
-            ServePolicySpec::ContinuousBatching { slots } if slots > 0 => {
-                (num_cores / slots).max(1)
-            }
+        match self.scheduler.slots() {
+            Some(slots) if slots > 0 => (num_cores / slots).max(1),
             _ => num_cores,
         }
     }
@@ -604,16 +733,32 @@ impl ServeSpec {
             .validate()
             .map_err(|e| format!("serve scenario: {e}"))?;
         self.arrivals.validate(self.num_requests)?;
+        if let Some(slo) = &self.slo {
+            slo.validate().map_err(|e| format!("serve scenario: {e}"))?;
+        }
+        if self.classes.len() > self.num_requests {
+            return Err(format!(
+                "serve scenario: {} classes for {} requests",
+                self.classes.len(),
+                self.num_requests
+            ));
+        }
+        if let ServePolicySpec::DeadlineDrop {
+            ttft_deadline: 0, ..
+        } = self.scheduler
+        {
+            return Err("serve scenario: deadline-drop needs ttft_deadline >= 1".into());
+        }
         match self.scheduler {
             ServePolicySpec::MaxConcurrency { max: 0 } => {
                 Err("serve scenario: max-concurrency needs max >= 1".into())
             }
-            ServePolicySpec::ContinuousBatching { slots } if slots == 0 || slots > num_cores => {
-                Err(format!(
-                    "serve scenario: continuous batching needs 1 <= slots <= num_cores ({num_cores}), got {slots}"
-                ))
-            }
-            _ => Ok(()),
+            _ => match self.scheduler.slots() {
+                Some(slots) if slots == 0 || slots > num_cores => Err(format!(
+                    "serve scenario: continuous-batching policies need 1 <= slots <= num_cores ({num_cores}), got {slots}"
+                )),
+                _ => Ok(()),
+            },
         }
     }
 
@@ -623,15 +768,32 @@ impl ServeSpec {
     }
 
     /// Stable label, e.g.
-    /// `serve:cb4[llama3 70b/L128 x8 @ poisson(g500,s7)]`.
+    /// `serve:cb4[llama3 70b/L128 x8 @ poisson(g500,s7)]`; SLO and
+    /// priority classes append as ` slo:t50000` / ` cls:2` segments,
+    /// and a surplus arrival trace surfaces its full length (see
+    /// `ArrivalSpec::label_for`).
     pub fn label(&self) -> String {
+        let mut extras = String::new();
+        if let Some(slo) = &self.slo {
+            extras.push_str(&format!(" slo:{}", slo.label()));
+        }
+        if self.classes.iter().any(|&c| c != 0) {
+            let distinct = {
+                let mut c = self.padded_classes();
+                c.sort_unstable();
+                c.dedup();
+                c.len()
+            };
+            extras.push_str(&format!(" cls:{distinct}"));
+        }
         format!(
-            "serve:{}[{}/L{} x{} @ {}]",
+            "serve:{}[{}/L{} x{} @ {}{}]",
             self.scheduler.label(),
             self.workload.instantiate(self.seq_len).label(),
             self.seq_len,
             self.num_requests,
-            self.arrivals.label()
+            self.arrivals.label_for(self.num_requests),
+            extras
         )
     }
 }

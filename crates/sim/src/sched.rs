@@ -264,6 +264,36 @@ impl TbScheduler {
         self.remaining += 1;
     }
 
+    /// Withdraws every queued block matching `belongs` — the
+    /// preemption path: a serving scheduler pulls a victim request's
+    /// *unissued* blocks back out of the queues (blocks already handed
+    /// to cores are untouched; there is no mid-block rollback). Returns
+    /// the withdrawn blocks in deterministic queue-scan order and
+    /// restores the remaining / steal-candidate counters, so a later
+    /// [`TbScheduler::inject`] of the same blocks behaves exactly like
+    /// a first admission. Withdrawal only *removes* schedulable work,
+    /// so existing never-late wake bounds stay never-late.
+    pub fn withdraw(&mut self, belongs: impl Fn(TbId) -> bool) -> Vec<TbId> {
+        let mut removed = Vec::new();
+        for windows in &mut self.queues {
+            for q in windows.iter_mut() {
+                let before = q.len();
+                q.retain(|&tb| {
+                    let take = belongs(tb);
+                    if take {
+                        removed.push(tb);
+                    }
+                    !take
+                });
+                if before >= 2 && q.len() < 2 {
+                    self.steal_candidates -= 1;
+                }
+            }
+        }
+        self.remaining -= removed.len();
+        removed
+    }
+
     /// Blocks not yet handed out.
     pub fn remaining(&self) -> usize {
         self.remaining
@@ -376,6 +406,35 @@ mod tests {
         assert_eq!(s.migrations(), 1);
         assert_eq!(s.next_for(1, 0, 5), Some(3));
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn withdraw_removes_matching_blocks_and_fixes_counters() {
+        let p = program(6, 2);
+        let mut s = TbScheduler::new(&p, 2, 1);
+        s.withhold_all();
+        // Core 0 holds blocks 0, 2, 4; core 1 holds 1, 3.
+        for &(tb, core) in &[(0, 0), (2, 0), (4, 0), (1, 1), (3, 1)] {
+            s.inject(tb, core, 0);
+        }
+        assert_eq!(s.remaining(), 5);
+        // Withdraw the "request" owning blocks 2 and 4 (core 0's tail).
+        let removed = s.withdraw(|tb| tb == 2 || tb == 4);
+        assert_eq!(removed, vec![2, 4]);
+        assert_eq!(s.remaining(), 3);
+        // Core 0's queue dropped to 1 block: no longer a steal
+        // candidate, so idle core 1 cannot steal block 0.
+        assert_eq!(s.next_for(1, 0, 0), Some(1));
+        assert_eq!(s.next_for(1, 0, 0), Some(3));
+        assert_eq!(s.next_for(1, 0, 0), None, "last home block stays put");
+        // Re-injecting the withdrawn blocks behaves like an admission.
+        s.inject(2, 1, 0);
+        s.inject(4, 1, 0);
+        assert_eq!(s.next_for(1, 0, 0), Some(2));
+        assert_eq!(s.next_for(1, 0, 0), Some(4));
+        assert_eq!(s.next_for(0, 0, 0), Some(0));
+        assert!(s.is_empty());
+        assert!(s.withdraw(|_| true).is_empty(), "nothing left to remove");
     }
 
     #[test]

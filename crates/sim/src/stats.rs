@@ -211,6 +211,22 @@ pub struct RequestStats {
     /// until then.
     #[serde(default)]
     pub first_retire: Option<Cycle>,
+    /// Cycle at which the serving scheduler terminally rejected or
+    /// deadline-dropped the request (see
+    /// [`crate::serve::ServePolicy::RejectAboveQueue`] and
+    /// [`crate::serve::ServePolicy::DeadlineDrop`]). A rejected request
+    /// never admits and never completes. `None` everywhere else.
+    #[serde(default)]
+    pub rejected: Option<Cycle>,
+    /// Times the request was preempted — its unissued blocks withdrawn
+    /// back to the admission queue by a higher-class arrival (see
+    /// [`crate::serve::ServePolicy::PriorityPreempt`]).
+    #[serde(default)]
+    pub preemptions: u32,
+    /// Serving priority class (higher = more urgent; 0 for closed runs
+    /// and classless serve sets).
+    #[serde(default)]
+    pub class: u8,
     /// LLC counters attributed to this request, summed over slices.
     pub llc: RequestLlcStats,
     /// KV-tier counters attributed to this request (all zero when no
@@ -258,6 +274,42 @@ impl RequestStats {
     pub fn queue_delay(&self) -> Option<Cycle> {
         self.admitted.map(|a| a - self.arrival)
     }
+
+    /// Classifies the request against an SLO: `Rejected` if the
+    /// admission policy terminally rejected or deadline-dropped it,
+    /// `Met` if it completed with TTFT within `ttft_deadline` cycles
+    /// and (when a TBT deadline is given and the request has ≥ 2
+    /// blocks) mean TBT within `tbt_deadline`, `Missed` otherwise —
+    /// including requests still queued or in flight when the cycle
+    /// budget ran out. Only `Met` requests count toward goodput.
+    pub fn slo_outcome(&self, ttft_deadline: Cycle, tbt_deadline: Option<Cycle>) -> SloOutcome {
+        if self.rejected.is_some() {
+            return SloOutcome::Rejected;
+        }
+        let ttft_ok = self.completed && self.ttft().is_some_and(|t| t <= ttft_deadline);
+        let tbt_ok = match (tbt_deadline, self.mean_tbt()) {
+            (Some(d), Some(tbt)) => tbt <= d as f64,
+            // No deadline, or a 0/1-block request with no TBT to judge.
+            _ => true,
+        };
+        if ttft_ok && tbt_ok {
+            SloOutcome::Met
+        } else {
+            SloOutcome::Missed
+        }
+    }
+}
+
+/// Per-request verdict against a serving SLO (see
+/// [`RequestStats::slo_outcome`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SloOutcome {
+    /// Completed within every configured deadline; counts toward goodput.
+    Met,
+    /// Admitted (or still queued) but failed a deadline or never finished.
+    Missed,
+    /// Terminally rejected or deadline-dropped by the admission policy.
+    Rejected,
 }
 
 /// Aggregated statistics for a full simulation run.
@@ -461,6 +513,11 @@ impl SimStats {
                 if req.completed && req.blocks_completed != req.blocks_total {
                     return Err(format!("request {r}: completed with blocks outstanding"));
                 }
+                if req.rejected.is_some() && (req.completed || req.admitted.is_some()) {
+                    return Err(format!(
+                        "request {r}: terminally rejected yet admitted/completed"
+                    ));
+                }
             }
         }
         if let Some(kv) = &self.kv {
@@ -623,6 +680,58 @@ mod tests {
         // Closed runs: admission is arrival, queue delay 0.
         r.admitted = Some(r.arrival);
         assert_eq!(r.queue_delay(), Some(0));
+    }
+
+    #[test]
+    fn slo_outcome_classification() {
+        let mut r = RequestStats {
+            arrival: 100,
+            blocks_total: 5,
+            ..Default::default()
+        };
+        // Still queued / in flight when the budget ran out.
+        assert_eq!(r.slo_outcome(1_000, None), SloOutcome::Missed);
+        r.admitted = Some(100);
+        r.first_retire = Some(199);
+        r.completed = true;
+        r.blocks_completed = 5;
+        r.completion_cycle = 599;
+        // TTFT 100, mean TBT 100.
+        assert_eq!(r.slo_outcome(100, None), SloOutcome::Met);
+        assert_eq!(r.slo_outcome(99, None), SloOutcome::Missed);
+        assert_eq!(r.slo_outcome(100, Some(100)), SloOutcome::Met);
+        assert_eq!(r.slo_outcome(100, Some(99)), SloOutcome::Missed);
+        // Rejection dominates everything else.
+        let dropped = RequestStats {
+            arrival: 100,
+            blocks_total: 5,
+            rejected: Some(150),
+            ..Default::default()
+        };
+        assert_eq!(dropped.slo_outcome(1_000, None), SloOutcome::Rejected);
+        // A single-block request has no TBT to judge.
+        let single = RequestStats {
+            blocks_total: 1,
+            blocks_completed: 1,
+            completed: true,
+            first_retire: Some(9),
+            completion_cycle: 9,
+            ..Default::default()
+        };
+        assert_eq!(single.slo_outcome(10, Some(1)), SloOutcome::Met);
+    }
+
+    #[test]
+    fn consistency_rejects_rejected_yet_admitted() {
+        let mut s = stats_with(10);
+        s.requests = vec![RequestStats {
+            blocks_total: 1,
+            rejected: Some(5),
+            ..Default::default()
+        }];
+        s.check_consistency().unwrap();
+        s.requests[0].admitted = Some(5);
+        assert!(s.check_consistency().is_err());
     }
 
     #[test]

@@ -141,6 +141,15 @@ where
     /// Cycle of each request's first block retirement (`Cycle::MAX`
     /// until one retires) — the TTFT numerator.
     req_first_retire: Vec<Cycle>,
+    /// Terminal rejection/drop cycle per request (`Cycle::MAX` = never
+    /// rejected). Stamped by the injector's admission sweep under
+    /// [`crate::serve::ServePolicy::RejectAboveQueue`] and
+    /// [`crate::serve::ServePolicy::DeadlineDrop`].
+    req_rejected: Vec<Cycle>,
+    /// Times each request was preempted (its unissued blocks withdrawn
+    /// back to the admission queue) under
+    /// [`crate::serve::ServePolicy::PriorityPreempt`].
+    req_preemptions: Vec<u32>,
     progress_scratch: Vec<u64>,
     c_mem_scratch: Vec<u64>,
     c_idle_scratch: Vec<u64>,
@@ -298,6 +307,8 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
             inject_wake: Cycle::MAX,
             req_admitted: req_arrivals.clone(),
             req_first_retire: vec![Cycle::MAX; n_req],
+            req_rejected: vec![Cycle::MAX; n_req],
+            req_preemptions: vec![0; n_req],
             req_blocks_total,
             req_blocks_done: vec![0; n_req],
             req_arrivals,
@@ -376,7 +387,12 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
             self.inject_wake = Cycle::MAX;
             return false;
         };
-        let admitted = inj.run_admissions(now, &mut self.sched, &mut self.req_admitted);
+        let mut ledger = crate::serve::AdmissionLedger {
+            admitted: &mut self.req_admitted,
+            rejected: &mut self.req_rejected,
+            preemptions: &mut self.req_preemptions,
+        };
+        let admitted = inj.run_admissions(now, &mut self.sched, &mut ledger);
         // Next arrival-driven admission opportunity; a capacity-blocked
         // queue re-arms at the completion that frees the capacity.
         self.inject_wake = inj.next_wake(now + 1).unwrap_or(Cycle::MAX);
@@ -1054,6 +1070,7 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
             }
         }
         st.tb_migrations = self.sched.migrations();
+        let classes = self.injector.as_ref().map(|i| i.classes());
         st.requests = (0..self.req_blocks_total.len())
             .map(|r| crate::stats::RequestStats {
                 blocks_total: self.req_blocks_total[r],
@@ -1064,6 +1081,9 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
                 admitted: (self.req_admitted[r] != Cycle::MAX).then_some(self.req_admitted[r]),
                 first_retire: (self.req_first_retire[r] != Cycle::MAX)
                     .then_some(self.req_first_retire[r]),
+                rejected: (self.req_rejected[r] != Cycle::MAX).then_some(self.req_rejected[r]),
+                preemptions: self.req_preemptions[r],
+                class: classes.map_or(0, |c| c[r]),
                 llc: crate::stats::RequestLlcStats::default(),
                 kv: crate::stats::RequestKvStats::default(),
             })

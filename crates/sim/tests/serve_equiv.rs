@@ -22,12 +22,13 @@
 use proptest::prelude::*;
 
 use llamcat::experiment::Experiment;
-use llamcat::spec::{ArrivalSpec, PolicySpec, ServePolicySpec, ServeSpec};
+use llamcat::spec::{ArrivalSpec, PolicySpec, ServePolicySpec, ServeSpec, SloSpec};
 use llamcat_sim::arb::{FifoArbiter, NoThrottle};
 use llamcat_sim::config::SystemConfig;
 use llamcat_sim::prog::{Instr, Program, ThreadBlock};
 use llamcat_sim::serve::{RequestInjector, ServePolicy};
 use llamcat_sim::stats::SimStats;
+use llamcat_sim::stats::SloOutcome;
 use llamcat_sim::system::{RunOutcome, StepMode, System};
 use llamcat_trace::workloads::WorkloadSpec;
 
@@ -58,8 +59,14 @@ fn policy_matrix() -> Vec<PolicySpec> {
 }
 
 /// Runs one serve cell in both modes and asserts full observational
-/// equivalence: outcome, per-request latency reports, `SimStats`.
-fn assert_serve_mode_equivalent(spec: &ServeSpec, policy: PolicySpec, budget: Option<u64>) {
+/// equivalence: outcome, per-request latency reports (admission,
+/// rejection, preemption, SLO verdicts), `SimStats`. Returns the
+/// Cycle-mode report for further scenario-specific assertions.
+fn assert_serve_mode_equivalent(
+    spec: &ServeSpec,
+    policy: PolicySpec,
+    budget: Option<u64>,
+) -> llamcat::experiment::RunReport {
     let label = format!("{} / {}", spec.label(), policy.label());
     let run = |mode| {
         let mut e = Experiment::from_serve_spec(spec)
@@ -89,7 +96,28 @@ fn assert_serve_mode_equivalent(spec: &ServeSpec, policy: PolicySpec, budget: Op
         .check_consistency()
         .unwrap_or_else(|e| panic!("{label}: {e}"));
     if budget.is_none() {
+        let sheds = matches!(
+            spec.scheduler,
+            ServePolicySpec::RejectAboveQueue { .. } | ServePolicySpec::DeadlineDrop { .. }
+        );
         for r in &cycle.requests {
+            if let Some(rejected) = r.rejected {
+                // Terminal rejection: allowed only under a shedding
+                // policy, and exclusive with admission/completion.
+                assert!(
+                    sheds,
+                    "{label}: request {} rejected under {:?}",
+                    r.request, spec.scheduler
+                );
+                assert!(
+                    !r.completed,
+                    "{label}: request {} rejected yet completed",
+                    r.request
+                );
+                assert_eq!(r.admitted, None);
+                assert!(rejected >= r.arrival);
+                continue;
+            }
             assert!(r.completed, "{label}: request {} incomplete", r.request);
             let admitted = r
                 .admitted
@@ -98,6 +126,7 @@ fn assert_serve_mode_equivalent(spec: &ServeSpec, policy: PolicySpec, budget: Op
             assert!(r.ttft.expect("ttft") >= 1);
         }
     }
+    cycle
 }
 
 /// The canonical serve scenario across the whole 20-cell policy matrix
@@ -149,6 +178,145 @@ fn serve_shapes_are_mode_equivalent() {
             for policy in [PolicySpec::unoptimized(), PolicySpec::dynmg_bma()] {
                 assert_serve_mode_equivalent(&spec, policy, None);
             }
+        }
+    }
+}
+
+/// The overlapping-burst storm: wide in-burst spacing with a tiny
+/// inter-burst gap — exactly the shape that made the pre-fix Bursty
+/// generator emit a non-monotonic schedule. Four requests land at
+/// roughly [0, 6000, 12000, ~12001]: the machine is saturated when the
+/// second burst slams in.
+fn burst_storm() -> ArrivalSpec {
+    ArrivalSpec::Bursty {
+        burst: 3,
+        gap_in_burst: 6_000,
+        burst_gap: 2,
+        seed: 13,
+    }
+}
+
+/// The three overload policies under the burst storm, across the full
+/// 20-cell cache-policy matrix: Skip ≡ Cycle byte-equality including
+/// rejected/preempted counters and SLO verdicts, plus policy-shape
+/// sanity (rejections only under shedding policies, preemptions only
+/// under priority).
+#[test]
+fn overload_policies_under_burst_storm_across_policy_matrix() {
+    let reject = ServeSpec::new(WorkloadSpec::llama3_70b(), 128, 4, burst_storm())
+        .scheduler(ServePolicySpec::RejectAboveQueue { slots: 2, depth: 1 })
+        .slo(SloSpec::ttft(9_000));
+    let drop = ServeSpec::new(WorkloadSpec::llama3_70b(), 128, 4, burst_storm())
+        .scheduler(ServePolicySpec::DeadlineDrop {
+            slots: 2,
+            ttft_deadline: 9_000,
+        })
+        .slo(SloSpec::ttft(9_000));
+    let prio = ServeSpec::new(WorkloadSpec::llama3_70b(), 128, 4, burst_storm())
+        .scheduler(ServePolicySpec::PriorityPreempt { slots: 2 })
+        .classes(vec![0, 1, 0, 1])
+        .slo(SloSpec::ttft(9_000));
+    for policy in policy_matrix() {
+        // Slots 2, depth 1: the second burst's arrivals find both slots
+        // busy and one request already waiting — terminal rejections,
+        // under every cache policy.
+        let r = assert_serve_mode_equivalent(&reject, policy.clone(), None);
+        assert!(
+            r.requests.iter().any(|q| q.rejected.is_some()),
+            "burst storm must overflow the depth-1 queue ({})",
+            policy.label()
+        );
+        // TTFT deadline 9000 « the ~30k-cycle service time: queued
+        // burst victims expire before a slot frees up.
+        let d = assert_serve_mode_equivalent(&drop, policy.clone(), None);
+        assert!(
+            d.requests.iter().any(|q| q.rejected.is_some()),
+            "burst storm must shed deadline-expired waiters ({})",
+            policy.label()
+        );
+        // Priority: class-1 arrivals preempt the running class-0
+        // requests' unissued blocks; every request still completes.
+        let p = assert_serve_mode_equivalent(&prio, policy.clone(), None);
+        assert!(
+            p.requests.iter().all(|q| q.completed),
+            "preemption must never lose a request ({})",
+            policy.label()
+        );
+        assert!(
+            p.requests.iter().all(|q| q.rejected.is_none()),
+            "priority-preempt never rejects ({})",
+            policy.label()
+        );
+    }
+}
+
+/// GOLDEN_SLO: one pinned row of the SLO-aware overload table — the
+/// burst storm under reject-above-queue admission with a TTFT-deadline
+/// SLO. Any change to these numbers is a semantic change to rejection
+/// accounting, SLO classification or goodput and must be deliberate.
+///
+/// Per-request (arrival, admitted, rejected) cycles.
+type SloRequestRow = (u64, Option<u64>, Option<u64>);
+
+/// (policy, cycles, met, missed, rejected,
+///  [(arrival, admitted, rejected)] per request).
+const GOLDEN_SLO: (&str, u64, usize, usize, usize, [SloRequestRow; 4]) = (
+    "dynmg+BMA",
+    51_601,
+    2,
+    1,
+    1,
+    [
+        (0, Some(0), None),
+        (6_000, Some(6_000), None),
+        // Queued through the whole first wave; admitted at the first
+        // completion, far past the 9000-cycle TTFT deadline (Missed).
+        (12_000, Some(26_476), None),
+        // Arrives to a full depth-1 queue: terminally rejected on the
+        // spot (Rejected).
+        (12_003, None, Some(12_003)),
+    ],
+);
+
+#[test]
+fn golden_slo_row_is_pinned() {
+    let spec = ServeSpec::new(WorkloadSpec::llama3_70b(), 128, 4, burst_storm())
+        .scheduler(ServePolicySpec::RejectAboveQueue { slots: 2, depth: 1 })
+        .slo(SloSpec::ttft(9_000));
+    let report = Experiment::from_serve_spec(&spec)
+        .unwrap()
+        .policy(PolicySpec::from_name(GOLDEN_SLO.0).unwrap())
+        .run();
+    let slo = report.slo.as_ref().expect("slo configured");
+    let observed: Vec<(u64, Option<u64>, Option<u64>)> = report
+        .requests
+        .iter()
+        .map(|r| (r.arrival, r.admitted, r.rejected))
+        .collect();
+    assert_eq!(
+        (
+            report.cycles,
+            slo.met,
+            slo.missed,
+            slo.rejected,
+            observed.as_slice()
+        ),
+        (
+            GOLDEN_SLO.1,
+            GOLDEN_SLO.2,
+            GOLDEN_SLO.3,
+            GOLDEN_SLO.4,
+            GOLDEN_SLO.5.as_slice()
+        ),
+        "GOLDEN_SLO drifted — cycles {} slo {slo:?} requests {observed:?}",
+        report.cycles,
+    );
+    // Every request got a verdict; rejected requests classified as such.
+    for r in &report.requests {
+        match r.slo {
+            Some(SloOutcome::Rejected) => assert!(r.rejected.is_some()),
+            Some(_) => assert!(r.rejected.is_none()),
+            None => panic!("request {} missing SLO verdict", r.request),
         }
     }
 }

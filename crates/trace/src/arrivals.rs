@@ -147,13 +147,22 @@ impl ArrivalSpec {
                         }
                         out.push(burst_start + i as u64 * gap_in_burst);
                     }
-                    burst_start += exp_gap(&mut state, *burst_gap).max(1);
+                    // Advance past the burst's *span*, not just its start:
+                    // an exponential draw smaller than (burst-1)*gap_in_burst
+                    // would start the next burst inside the current one and
+                    // break the nondecreasing-schedule contract.
+                    let span = (*burst as u64 - 1) * gap_in_burst;
+                    burst_start += span + exp_gap(&mut state, *burst_gap).max(1);
                 }
                 out
             }
             ArrivalSpec::Trace { cycles } => {
-                let mut out = cycles[..n].to_vec();
+                // Sort first, then keep the earliest n: a surplus trace
+                // replays its n earliest arrivals, not an arbitrary
+                // prefix of the unsorted file.
+                let mut out = cycles.clone();
                 out.sort_unstable();
+                out.truncate(n);
                 out
             }
         }
@@ -173,11 +182,25 @@ impl ArrivalSpec {
             ArrivalSpec::Trace { cycles } => format!("trace[{}]", cycles.len()),
         }
     }
+
+    /// Label for a run of `n` requests. Identical to [`ArrivalSpec::label`]
+    /// except that a surplus replay trace surfaces how much of it the run
+    /// actually uses: `trace[3 of 5]` means the 3 earliest of 5 recorded
+    /// arrivals replay.
+    pub fn label_for(&self, n: usize) -> String {
+        match self {
+            ArrivalSpec::Trace { cycles } if cycles.len() > n => {
+                format!("trace[{n} of {}]", cycles.len())
+            }
+            _ => self.label(),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn fixed_is_an_arithmetic_schedule() {
@@ -236,6 +259,84 @@ mod tests {
         };
         assert_eq!(a.arrivals(3), vec![100, 100, 300]);
         assert!(a.validate(4).is_err(), "short trace must be rejected");
+    }
+
+    #[test]
+    fn surplus_trace_replays_the_earliest_arrivals() {
+        // Pre-fix, the first n *unsorted* entries were taken, so this
+        // replayed [900, 100] -> [100, 900] instead of the two earliest
+        // recorded arrivals.
+        let a = ArrivalSpec::Trace {
+            cycles: vec![900, 100, 50, 700],
+        };
+        assert_eq!(a.arrivals(2), vec![50, 100]);
+        assert_eq!(a.label(), "trace[4]");
+        assert_eq!(a.label_for(2), "trace[2 of 4]", "surplus is surfaced");
+        assert_eq!(a.label_for(4), "trace[4]", "exact cover keeps the label");
+    }
+
+    #[test]
+    fn overlapping_bursts_stay_sorted() {
+        // Regression pin for the arrival-order bug: an inter-burst gap
+        // drawn smaller than the burst's span ((burst-1) * gap_in_burst)
+        // used to start the next burst *inside* the current one. With
+        // burst_gap = 1 every exponential draw is tiny, so the pre-fix
+        // schedule was e.g. [0, 1000, 2000, 1, 1001, 2001, ...] —
+        // non-monotonic, breaking the (arrival, id) FCFS contract.
+        let a = ArrivalSpec::Bursty {
+            burst: 3,
+            gap_in_burst: 1_000,
+            burst_gap: 1,
+            seed: 7,
+        };
+        let x = a.arrivals(12);
+        assert!(
+            x.windows(2).all(|w| w[0] <= w[1]),
+            "bursty schedule must be nondecreasing, got {x:?}"
+        );
+        // The burst structure survives the fix: in-burst gaps are exact.
+        assert_eq!(&x[..3], &[0, 1_000, 2_000]);
+        assert!(x[3] > x[2], "next burst starts after the previous ends");
+        assert_eq!(x[4] - x[3], 1_000);
+    }
+
+    // Every arrival-process variant yields a nondecreasing schedule
+    // (the documented contract request ids lean on as the FCFS
+    // tiebreak). Fails on the pre-fix Bursty generator whenever the
+    // inter-burst draw lands inside the previous burst's span.
+    proptest! {
+        #[test]
+        fn all_variants_are_nondecreasing(
+            kind in 0usize..4,
+            period in 0u64..5_000,
+            start in 0u64..10_000,
+            mean in 1u64..5_000,
+            burst in 1usize..6,
+            gap_in_burst in 0u64..3_000,
+            burst_gap in 1u64..100,
+            seed in 0u64..1_000,
+            n in 1usize..33,
+            raw in proptest::collection::vec(0u64..1_000_000, 33..64),
+        ) {
+            let spec = match kind {
+                0 => ArrivalSpec::Fixed { period, start },
+                1 => ArrivalSpec::Poisson { mean_gap: mean, seed },
+                2 => ArrivalSpec::Bursty { burst, gap_in_burst, burst_gap, seed },
+                _ => ArrivalSpec::Trace { cycles: raw },
+            };
+            spec.validate(n).expect("generated specs are valid");
+            let x = spec.arrivals(n);
+            prop_assert_eq!(x.len(), n);
+            prop_assert!(
+                x.windows(2).all(|w| w[0] <= w[1]),
+                "{} produced a decreasing schedule: {:?}",
+                spec.label(),
+                x
+            );
+            // Replays are deterministic: the schedule is a pure function
+            // of the spec.
+            prop_assert_eq!(x, spec.arrivals(n));
+        }
     }
 
     #[test]

@@ -85,6 +85,10 @@ pub struct MixedRequest {
     /// Cycle at which the request arrives; its thread blocks are not
     /// schedulable before this.
     pub arrival: Cycle,
+    /// Serving priority class (higher = more urgent; 0 = best-effort).
+    /// Trace generation ignores it — only class-aware admission
+    /// policies (`PriorityPreempt`) act on it.
+    pub class: u8,
 }
 
 /// Per-request and aggregate metadata of a generated mix trace.
@@ -120,10 +124,29 @@ impl WorkloadMix {
         WorkloadMix::new(MixAssignment::Partitioned).request(workload, 0)
     }
 
-    /// Adds a request arriving at `arrival`.
-    pub fn request(mut self, workload: Arc<dyn Workload>, arrival: Cycle) -> Self {
-        self.requests.push(MixedRequest { workload, arrival });
+    /// Adds a best-effort (class 0) request arriving at `arrival`.
+    pub fn request(self, workload: Arc<dyn Workload>, arrival: Cycle) -> Self {
+        self.classed_request(workload, arrival, 0)
+    }
+
+    /// Adds a request arriving at `arrival` with a priority class.
+    pub fn classed_request(
+        mut self,
+        workload: Arc<dyn Workload>,
+        arrival: Cycle,
+        class: u8,
+    ) -> Self {
+        self.requests.push(MixedRequest {
+            workload,
+            arrival,
+            class,
+        });
         self
+    }
+
+    /// The per-request class vector, in request order.
+    pub fn classes(&self) -> Vec<u8> {
+        self.requests.iter().map(|r| r.class).collect()
     }
 
     /// Stable label: the requests' labels and sequence lengths joined,
@@ -136,6 +159,9 @@ impl WorkloadMix {
                 let mut s = format!("{}/L{}", r.workload.label(), r.workload.shape().seq_len);
                 if r.arrival > 0 {
                     s.push_str(&format!("@{}", r.arrival));
+                }
+                if r.class > 0 {
+                    s.push_str(&format!("#c{}", r.class));
                 }
                 s
             })
