@@ -253,6 +253,7 @@ fn main() {
 
     if let Ok(path) = std::env::var("LLAMCAT_FIG_KV_JSON") {
         let mut json = String::from("{\n  \"schema\": \"llamcat-fig-kv/1\",\n");
+        json.push_str(&llamcat_bench::bench_meta_json_fields());
         json.push_str(&format!(
             "  \"seq_len\": {seq_len},\n  \"tenants\": {TENANTS},\n"
         ));

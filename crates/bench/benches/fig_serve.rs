@@ -34,7 +34,7 @@ use std::time::Instant;
 
 use llamcat::experiment::{Experiment, Model, Policy, RunReport};
 use llamcat::spec::{ArrivalSpec, PolicySpec, ServePolicySpec, ServeSpec, SloSpec};
-use llamcat_bench::{run_experiments, scale_divisor, scale_label};
+use llamcat_bench::{goodput_knee, run_experiments, scale_divisor, scale_label, GoodputKnee};
 use llamcat_sim::system::StepMode;
 
 /// One serving cell of the sweep: a serving policy × a cache policy.
@@ -255,7 +255,7 @@ fn main() {
     let reports = run_experiments(&experiments).expect("fig_serve sweep");
 
     let mut json_points: Vec<String> = Vec::new();
-    let mut knees: Vec<(String, Option<u64>, &'static str, Option<u64>)> = Vec::new();
+    let mut knees: Vec<(String, Option<u64>, &'static str, GoodputKnee)> = Vec::new();
     for (c, cell) in cell_defs.iter().enumerate() {
         println!("\n### {} ({})", cell.name, cell.policy.label());
         println!(
@@ -334,18 +334,28 @@ fn main() {
         }
         // The goodput knee: the first rate where SLO attainment under
         // the TTFT deadline drops below 90% — the overload onset the
-        // admission policies are supposed to move.
-        let goodput_knee = points
-            .iter()
-            .find(|p| p.attainment < 0.9)
-            .map(|p| p.mean_gap);
-        match goodput_knee {
-            Some(gap) => println!(
+        // admission policies are supposed to move. Same status
+        // treatment as the latency knee: a sweep whose lightest point
+        // is already below threshold has no knee in range (reporting
+        // the sweep edge once made every cell claim the identical
+        // "knee" regardless of policy).
+        let attainment_curve: Vec<(u64, f64)> =
+            points.iter().map(|p| (p.mean_gap, p.attainment)).collect();
+        let goodput = goodput_knee(&attainment_curve, 0.9);
+        match goodput {
+            GoodputKnee::Found { mean_gap: gap } => println!(
                 "    goodput knee: SLO attainment drops below 90% at mean gap {gap} \
                  ({:.2} requests/Mcyc)",
                 1e6 / gap as f64
             ),
-            None => println!("    goodput knee: attainment >= 90% across the sweep"),
+            GoodputKnee::SaturatedAtLightest => println!(
+                "    goodput knee: WARNING — attainment {:.3} < 0.9 already at the \
+                 lightest rate; the knee lies below this sweep's rate range",
+                points[0].attainment
+            ),
+            GoodputKnee::NotReached => {
+                println!("    goodput knee: attainment >= 90% across the sweep")
+            }
         }
         for pt in &points {
             json_points.push(format!(
@@ -354,7 +364,8 @@ fn main() {
                  \"mean_queue_delay\": {:.1}, \"completed\": {}, \"rejected\": {}, \
                  \"preemptions\": {}, \"slo_met\": {}, \"attainment\": {:.4}, \
                  \"goodput_per_mcyc\": {:.4}, \"cycles\": {}, \"knee_gap\": {}, \
-                 \"knee_status\": \"{knee_status}\", \"goodput_knee_gap\": {}}}",
+                 \"knee_status\": \"{knee_status}\", \"goodput_knee_gap\": {}, \
+                 \"goodput_knee_status\": \"{}\"}}",
                 cell.name,
                 cell.policy.label(),
                 pt.mean_gap,
@@ -370,10 +381,11 @@ fn main() {
                 pt.goodput_per_mcycle,
                 pt.cycles,
                 knee.map_or("null".into(), |g| g.to_string()),
-                goodput_knee.map_or("null".into(), |g| g.to_string()),
+                goodput.gap().map_or("null".into(), |g| g.to_string()),
+                goodput.status_label(),
             ));
         }
-        knees.push((cell.name.to_string(), knee, knee_status, goodput_knee));
+        knees.push((cell.name.to_string(), knee, knee_status, goodput));
     }
 
     // Deterministic JSONL artifact (byte-identical across runs).
@@ -412,7 +424,8 @@ fn main() {
     }
 
     if let Ok(path) = std::env::var("LLAMCAT_FIG_SERVE_JSON") {
-        let mut json = String::from("{\n  \"schema\": \"llamcat-fig-serve/2\",\n");
+        let mut json = String::from("{\n  \"schema\": \"llamcat-fig-serve/3\",\n");
+        json.push_str(&llamcat_bench::bench_meta_json_fields());
         json.push_str(&format!(
             "  \"seq_len\": {seq_len},\n  \"num_requests\": {n_req},\n  \
              \"arrivals\": \"{}\",\n  \"solo_service_cycles\": {svc},\n  \
@@ -430,12 +443,13 @@ fn main() {
             ));
         }
         json.push_str("  ],\n  \"knees\": [\n");
-        for (i, (name, knee, status, goodput_knee)) in knees.iter().enumerate() {
+        for (i, (name, knee, status, goodput)) in knees.iter().enumerate() {
             json.push_str(&format!(
                 "    {{\"cell\": \"{name}\", \"knee_gap\": {}, \"knee_status\": \"{status}\", \
-                 \"goodput_knee_gap\": {}}}{}\n",
+                 \"goodput_knee_gap\": {}, \"goodput_knee_status\": \"{}\"}}{}\n",
                 knee.map_or("null".into(), |g| g.to_string()),
-                goodput_knee.map_or("null".into(), |g| g.to_string()),
+                goodput.gap().map_or("null".into(), |g| g.to_string()),
+                goodput.status_label(),
                 if i + 1 == knees.len() { "" } else { "," }
             ));
         }

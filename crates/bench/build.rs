@@ -1,0 +1,12 @@
+fn main() {
+    // Cargo only exposes the build profile to build scripts (`PROFILE`
+    // is "release" or "debug" — custom profiles report the one they
+    // inherit from). Bake it into the binary so every machine-readable
+    // bench artifact can record what it was compiled under; the
+    // `LLAMCAT_BENCH_PROFILE` runtime override covers custom profile
+    // names the baked-in family can't distinguish.
+    println!(
+        "cargo:rustc-env=LLAMCAT_BUILD_PROFILE={}",
+        std::env::var("PROFILE").unwrap_or_else(|_| "unknown".into())
+    );
+}

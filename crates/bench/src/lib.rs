@@ -35,6 +35,98 @@ pub use campaign::{
     MachineSpec,
 };
 
+/// The build profile this bench binary was compiled under, for
+/// embedding in machine-readable artifacts. Baked in at compile time
+/// from Cargo's `PROFILE` (see `build.rs`); the `LLAMCAT_BENCH_PROFILE`
+/// env var overrides it at runtime for custom profile names (Cargo only
+/// reports the inherited family, so a `release-bench` build would
+/// otherwise self-describe as plain `release`).
+pub fn bench_profile() -> String {
+    std::env::var("LLAMCAT_BENCH_PROFILE")
+        .unwrap_or_else(|_| env!("LLAMCAT_BUILD_PROFILE").to_string())
+}
+
+/// One-line host context for bench artifacts: the logical CPU count —
+/// the host property that most affects wall-clock numbers here, since
+/// the campaign executor fans out one rayon chunk per core.
+pub fn host_note() -> String {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    format!("nproc={cpus}")
+}
+
+/// The metadata fields every `*_JSON` bench artifact embeds, as a
+/// ready-to-splice JSON fragment (two `"key": "value",` lines at
+/// 2-space indent). Numbers are only comparable like-for-like: same
+/// profile, same host note — archived artifacts carry both so a future
+/// PR never diffs a release run against a debug one or a wider box.
+pub fn bench_meta_json_fields() -> String {
+    format!(
+        "  \"profile\": \"{}\",\n  \"host\": \"{}\",\n",
+        bench_profile(),
+        host_note()
+    )
+}
+
+/// Verdict of scanning a load sweep for the goodput knee — the first
+/// rate where SLO attainment drops below threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoodputKnee {
+    /// Attainment held at light load and fell below the threshold at
+    /// this mean inter-arrival gap.
+    Found { mean_gap: u64 },
+    /// Attainment is below the threshold already at the lightest swept
+    /// rate: the knee lies below the sweep's rate range, or the
+    /// scenario's attainment ceiling sits under the threshold at every
+    /// rate (small request counts quantize attainment in 1/n steps).
+    /// Reporting the lightest gap as "the knee" here would be
+    /// meaningless — every cell of a sweep degenerates to the same
+    /// number regardless of policy.
+    SaturatedAtLightest,
+    /// Attainment never dropped below the threshold across the sweep.
+    NotReached,
+}
+
+impl GoodputKnee {
+    /// The knee gap, when one was genuinely located.
+    pub fn gap(&self) -> Option<u64> {
+        match self {
+            GoodputKnee::Found { mean_gap } => Some(*mean_gap),
+            _ => None,
+        }
+    }
+
+    /// Stable label for machine-readable artifacts (same vocabulary as
+    /// the latency knee's `knee_status`).
+    pub fn status_label(&self) -> &'static str {
+        match self {
+            GoodputKnee::Found { .. } => "found",
+            GoodputKnee::SaturatedAtLightest => "saturated_at_lightest",
+            GoodputKnee::NotReached => "not_reached",
+        }
+    }
+}
+
+/// Locates the goodput knee on `(mean_gap, attainment)` sweep points
+/// ordered lightest load first (descending mean gap). A knee is only
+/// "found" if the lightest point itself meets the threshold — a scan
+/// that fires on the very first point is reporting the sweep's edge,
+/// not a knee (the failure mode that once made every `pr9_slo` cell
+/// claim the identical goodput knee).
+pub fn goodput_knee(points: &[(u64, f64)], threshold: f64) -> GoodputKnee {
+    let Some(&(_, lightest)) = points.first() else {
+        return GoodputKnee::NotReached;
+    };
+    if lightest < threshold {
+        return GoodputKnee::SaturatedAtLightest;
+    }
+    match points.iter().find(|&&(_, a)| a < threshold) {
+        Some(&(gap, _)) => GoodputKnee::Found { mean_gap: gap },
+        None => GoodputKnee::NotReached,
+    }
+}
+
 /// Sequence-length scale factor from `LLAMCAT_SCALE`.
 pub fn scale_divisor() -> usize {
     match std::env::var("LLAMCAT_SCALE").as_deref() {
@@ -177,6 +269,66 @@ mod tests {
             assert_eq!(scale_divisor(), 2);
             assert_eq!(scale_label(), "half");
         }
+    }
+
+    #[test]
+    fn goodput_knee_on_synthetic_attainment_curves() {
+        // Healthy curve: full attainment at light load, collapsing as
+        // rate climbs — the knee is the first sub-threshold point.
+        let healthy = [
+            (500_000, 1.0),
+            (250_000, 1.0),
+            (125_000, 0.95),
+            (62_500, 0.85),
+            (31_250, 0.5),
+        ];
+        assert_eq!(
+            goodput_knee(&healthy, 0.9),
+            GoodputKnee::Found { mean_gap: 62_500 }
+        );
+
+        // Never drops: no knee inside the swept range.
+        let flat = [(500_000, 1.0), (250_000, 0.95), (125_000, 0.92)];
+        assert_eq!(goodput_knee(&flat, 0.9), GoodputKnee::NotReached);
+
+        // Already below threshold at the lightest rate (e.g. an n=8
+        // scenario whose ceiling is 7/8 = 0.875 under a tight
+        // deadline): the old first-below scan reported the lightest
+        // gap as "the knee" for every cell; it must classify as
+        // saturated instead.
+        let ceiling = [(500_000, 0.875), (250_000, 0.875), (125_000, 0.75)];
+        assert_eq!(
+            goodput_knee(&ceiling, 0.9),
+            GoodputKnee::SaturatedAtLightest
+        );
+
+        // Exactly at threshold counts as meeting it (strict `<`).
+        let edge = [(500_000, 0.9), (250_000, 0.899)];
+        assert_eq!(
+            goodput_knee(&edge, 0.9),
+            GoodputKnee::Found { mean_gap: 250_000 }
+        );
+
+        assert_eq!(goodput_knee(&[], 0.9), GoodputKnee::NotReached);
+        assert_eq!(GoodputKnee::Found { mean_gap: 7 }.gap(), Some(7));
+        assert_eq!(GoodputKnee::SaturatedAtLightest.gap(), None);
+        assert_eq!(
+            GoodputKnee::SaturatedAtLightest.status_label(),
+            "saturated_at_lightest"
+        );
+    }
+
+    #[test]
+    fn bench_meta_fields_are_well_formed() {
+        // Baked-in profile is whatever this test binary was built
+        // under; the fragment is two complete `"key": "value",` lines
+        // ready to splice under a JSON object's opening brace.
+        let fragment = bench_meta_json_fields();
+        assert!(fragment.contains("\"profile\": \""));
+        assert!(fragment.contains("\"host\": \"nproc="));
+        assert_eq!(fragment.matches('\n').count(), 2);
+        assert!(fragment.ends_with(",\n"));
+        assert!(!bench_profile().is_empty());
     }
 
     #[test]

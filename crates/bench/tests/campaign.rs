@@ -224,3 +224,113 @@ fn geomeans_summarize_policy_columns() {
     assert_eq!(rows[2].0, "dynmg+BMA");
     assert_eq!(rows[2].1.len(), 4, "one speedup per scenario");
 }
+
+/// The batched lockstep executor (`batch_cells`) streams byte-identical
+/// JSONL to the straight-line run on the 20-cell golden matrix — in
+/// both step modes. Same contract as the fork fast path, one level up:
+/// one scenario build, twenty lanes advanced in lockstep.
+#[test]
+fn batched_golden_matrix_is_byte_identical_in_both_modes() {
+    let matrix = |mode: StepMode, batched: bool| {
+        let mut c = Campaign::new("golden-matrix-batch")
+            .workload(WorkloadSpec::llama3_70b())
+            .seq_lens([128])
+            .baseline(PolicySpec::unoptimized())
+            .step_mode(mode)
+            .batch_cells(batched);
+        for arb in ["fifo", "B", "MA", "BMA", "cobrra"] {
+            for thr in ["none", "dyncta", "lcs", "dynmg"] {
+                c = c
+                    .policy_named(&format!("{thr}+{arb}"))
+                    .expect("matrix name");
+            }
+        }
+        c
+    };
+    for mode in [StepMode::Cycle, StepMode::Skip] {
+        let straight = matrix(mode, false).run().expect("straight-line run");
+        let batched = matrix(mode, true).run().expect("batched run");
+        assert_eq!(straight.records.len(), 20);
+        assert_eq!(
+            straight.jsonl(),
+            batched.jsonl(),
+            "batched lockstep path diverged from the straight-line run ({mode:?})"
+        );
+    }
+}
+
+/// All three executors — plain, forked, batched — emit records in the
+/// same deterministic cell order, and resuming from an archive whose
+/// cached cells interleave with fresh ones (`todo` = every other cell)
+/// merges back to that exact order, on every execution path.
+#[test]
+fn execution_paths_agree_on_record_order_with_interleaved_archive() {
+    let matrix = |fork: bool, batched: bool| {
+        let mut c = Campaign::new("order-pin")
+            .workload(WorkloadSpec::llama3_70b())
+            .seq_lens([128])
+            .baseline(PolicySpec::unoptimized())
+            .fork_scenarios(fork)
+            .batch_cells(batched);
+        for arb in ["fifo", "B", "MA", "BMA", "cobrra"] {
+            for thr in ["none", "dyncta", "lcs", "dynmg"] {
+                c = c
+                    .policy_named(&format!("{thr}+{arb}"))
+                    .expect("matrix name");
+            }
+        }
+        c
+    };
+
+    let plain = matrix(false, false).run().expect("plain run");
+    let forked = matrix(true, false).run().expect("forked run");
+    let batched = matrix(false, true).run().expect("batched run");
+    let golden = plain.jsonl();
+    assert_eq!(golden, forked.jsonl(), "forked path reordered records");
+    assert_eq!(golden, batched.jsonl(), "batched path reordered records");
+    let labels: Vec<&str> = plain
+        .records
+        .iter()
+        .map(|r| r.report.policy_label.as_str())
+        .collect();
+    assert_eq!(labels.len(), 20);
+    assert_eq!(labels[0], "unoptimized"); // none+fifo leads the grid
+
+    // Seed an archive with every other record (cached and fresh cells
+    // interleave through the whole grid), then resume on each path:
+    // the merged stream must be byte-identical to the uninterrupted
+    // run — cached cells slot back into position, fresh cells run
+    // through the path under test.
+    let dir = std::env::temp_dir().join(format!("llamcat-order-pin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for (name, fork, batched) in [
+        ("plain", false, false),
+        ("forked", true, false),
+        ("batched", false, true),
+    ] {
+        let archive = dir.join(format!("{name}.jsonl"));
+        let mut seed = String::new();
+        for rec in plain.records.iter().step_by(2) {
+            seed.push_str(&serde_json::to_string(rec).expect("record serializes"));
+            seed.push('\n');
+        }
+        std::fs::write(&archive, seed).expect("seed archive");
+        let resumed = matrix(fork, batched)
+            .run_resumable(&archive)
+            .expect("resumed run");
+        assert_eq!(
+            golden,
+            resumed.jsonl(),
+            "{name} path: interleaved resume diverged from the uninterrupted run"
+        );
+        assert!(
+            resumed
+                .warnings
+                .iter()
+                .any(|w| w.contains("10 of 20 cell(s) already archived")),
+            "{name} path: resume must actually have interleaved cached cells: {:?}",
+            resumed.warnings
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

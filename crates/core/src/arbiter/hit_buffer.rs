@@ -5,23 +5,40 @@
 //! *speculates*: an address that hit recently (or was just filled) is
 //! likely to hit again. Mispredictions are harmless — the real lookup
 //! still decides — they only cost arbitration quality.
+//!
+//! `contains` runs once per queued candidate per arbitration pass, which
+//! made the naive 48-entry linear scan one of the hottest leaves of the
+//! whole simulator. The FIFO is therefore shadowed by an occurrence-count
+//! index (non-adjacent duplicates are legal, so a plain set is not
+//! enough), keeping lookups O(1) while the observable FIFO semantics —
+//! insertion order, eviction order, adjacent-duplicate coalescing — stay
+//! exactly as before.
 
 use std::collections::VecDeque;
 
+use llamcat_sim::hash::AddrHashMap;
 use llamcat_sim::types::Addr;
 
 /// Bounded FIFO of line addresses used for cache-hit speculation.
 #[derive(Debug, Clone)]
 pub struct HitBuffer {
     entries: VecDeque<Addr>,
+    /// Occurrences of each address currently in `entries` (duplicates
+    /// arise when an address re-recorded after intervening traffic is
+    /// still resident). Pre-reserved to `capacity`: no steady-state
+    /// allocation (`tests/alloc_regression.rs` gates the hot path).
+    index: AddrHashMap<Addr, u32>,
     capacity: usize,
 }
 
 impl HitBuffer {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
+        let mut index = AddrHashMap::default();
+        index.reserve(capacity);
         HitBuffer {
             entries: VecDeque::with_capacity(capacity),
+            index,
             capacity,
         }
     }
@@ -34,14 +51,21 @@ impl HitBuffer {
             return;
         }
         if self.entries.len() == self.capacity {
-            self.entries.pop_front();
+            let old = self.entries.pop_front().expect("capacity > 0");
+            match self.index.get_mut(&old) {
+                Some(n) if *n > 1 => *n -= 1,
+                _ => {
+                    self.index.remove(&old);
+                }
+            }
         }
         self.entries.push_back(line_addr);
+        *self.index.entry(line_addr).or_insert(0) += 1;
     }
 
     /// Speculative lookup.
     pub fn contains(&self, line_addr: Addr) -> bool {
-        self.entries.contains(&line_addr)
+        self.index.contains_key(&line_addr)
     }
 
     pub fn len(&self) -> usize {
@@ -58,6 +82,7 @@ impl HitBuffer {
 
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.index.clear();
     }
 }
 
@@ -103,5 +128,23 @@ mod tests {
         h.clear();
         assert!(h.is_empty());
         assert!(!h.contains(1));
+    }
+
+    #[test]
+    fn non_adjacent_duplicate_survives_single_eviction() {
+        // [7, 8, 7] at capacity 3: evicting the front 7 must not make
+        // the resident back 7 invisible to `contains`.
+        let mut h = HitBuffer::new(3);
+        h.record(7);
+        h.record(8);
+        h.record(7);
+        assert_eq!(h.len(), 3);
+        h.record(9); // evicts the front 7
+        assert!(h.contains(7), "second occurrence still resident");
+        assert!(h.contains(8));
+        assert!(h.contains(9));
+        h.record(10); // evicts 8
+        h.record(11); // evicts the second 7
+        assert!(!h.contains(7), "both occurrences gone");
     }
 }

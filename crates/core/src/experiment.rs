@@ -22,6 +22,7 @@
 
 use std::sync::Arc;
 
+use llamcat_sim::batch::SystemBatch;
 use llamcat_sim::config::SystemConfig;
 use llamcat_sim::prog::Program;
 use llamcat_sim::serve::RequestInjector;
@@ -614,6 +615,52 @@ impl Experiment {
         );
         let (stats, outcome) = system.run_with_mode(base.budget, self.step_mode);
         Ok(RunReport::from_stats(self, stats, outcome))
+    }
+
+    /// Runs a whole policy grid over one scenario as a lockstep batch:
+    /// every cell is forked off `base` exactly as
+    /// [`Experiment::run_forked`] would fork it, then all cells advance
+    /// together through [`SystemBatch`] so the scenario's `Arc`-shared
+    /// immutable state (decoded trace, flat program, arrival schedule,
+    /// inject plans) is streamed through the cache once per lockstep
+    /// window instead of once per cell.
+    ///
+    /// Reports come back in `cells` order and are byte-identical to
+    /// each cell's own [`Experiment::run_forked`] (and therefore
+    /// [`Experiment::try_run`]) result — `crates/sim/tests/batch_equiv.rs`
+    /// pins this across the golden policy matrix in both step modes.
+    /// Cells may mix step modes; each runs under the snapshot's budget.
+    ///
+    /// Like [`Experiment::run_forked`], every cell must be identical to
+    /// the snapshot's experiment up to `policy` and `step_mode`.
+    pub fn run_forked_batch(cells: &[Experiment], base: &ScenarioSnapshot) -> Vec<RunReport> {
+        Self::run_forked_batch_with_stride(cells, base, llamcat_sim::batch::DEFAULT_STRIDE)
+    }
+
+    /// [`Experiment::run_forked_batch`] with an explicit lockstep
+    /// window (see [`llamcat_sim::batch::DEFAULT_STRIDE`] for the
+    /// trade-off).
+    pub fn run_forked_batch_with_stride(
+        cells: &[Experiment],
+        base: &ScenarioSnapshot,
+        stride: u64,
+    ) -> Vec<RunReport> {
+        let mut batch = SystemBatch::with_stride(stride);
+        for cell in cells {
+            let mut system = base.state.fork();
+            let arb = cell.policy.arb.clone();
+            system.replace_policies(
+                &move |_slice| arb.build_kind(),
+                cell.policy.throttle.build_kind(),
+            );
+            batch.push(system, base.budget, cell.step_mode);
+        }
+        batch
+            .run()
+            .into_iter()
+            .zip(cells)
+            .map(|((stats, outcome), cell)| RunReport::from_stats(cell, stats, outcome))
+            .collect()
     }
 
     /// Runs the experiment to completion.

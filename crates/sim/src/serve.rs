@@ -63,6 +63,7 @@
 //! order — there is no tie to break at run time.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::prog::{Program, RequestId, TbId};
 use crate::sched::TbScheduler;
@@ -156,12 +157,16 @@ type InjectPlan = Vec<(TbId, CoreId, WindowId)>;
 #[derive(Clone)]
 pub struct RequestInjector {
     policy: ServePolicy,
-    /// Arrival cycle per request (the open-system schedule).
-    arrivals: Vec<Cycle>,
+    /// Arrival cycle per request (the open-system schedule). Immutable
+    /// after construction and `Arc`-shared, so forking a system for a
+    /// policy grid clones a refcount, not the schedule.
+    arrivals: Arc<Vec<Cycle>>,
     /// Requests not yet admitted, sorted by `(arrival, request id)`.
     queue: VecDeque<RequestId>,
-    /// Injection plan per request, in `TbId` order.
-    plan: Vec<InjectPlan>,
+    /// Injection plan per request, in `TbId` order. Immutable after
+    /// construction and `Arc`-shared like `arrivals` (withdrawn
+    /// remainders after a preemption live in `pending`, per fork).
+    plan: Arc<Vec<InjectPlan>>,
     /// Width of the relative home-core range each request was traced on.
     cores_per_request: usize,
     /// Requests admitted but not yet completed.
@@ -173,12 +178,18 @@ pub struct RequestInjector {
     /// into.
     slot_of: Vec<usize>,
     /// Priority class per request (higher preempts lower); all zero
-    /// unless [`RequestInjector::with_classes`] set them.
-    classes: Vec<u8>,
+    /// unless [`RequestInjector::with_classes`] set them. Immutable
+    /// after construction and `Arc`-shared like `arrivals`.
+    classes: Arc<Vec<u8>>,
     /// Per request: the blocks still to inject at (re-)admission.
     /// `None` means the full plan (the common, never-preempted case);
     /// `Some` holds the withdrawn remainder after a preemption.
     pending: Vec<Option<InjectPlan>>,
+    /// Thread blocks belonging to terminally rejected/dropped requests
+    /// — blocks that will never be injected, and therefore never
+    /// retire. Feeds [`crate::system::System::is_done`]'s O(1) counter
+    /// guard.
+    blocks_shed: u64,
 }
 
 impl RequestInjector {
@@ -263,15 +274,16 @@ impl RequestInjector {
         let slot_count = policy.slot_count();
         Ok(RequestInjector {
             policy,
-            arrivals,
+            arrivals: Arc::new(arrivals),
             queue: order.into(),
-            plan,
+            plan: Arc::new(plan),
             cores_per_request,
             in_flight: 0,
             slots: vec![None; slot_count],
             slot_of: vec![0; n],
-            classes: vec![0; n],
+            classes: Arc::new(vec![0; n]),
             pending: vec![None; n],
+            blocks_shed: 0,
         })
     }
 
@@ -286,7 +298,7 @@ impl RequestInjector {
                 self.plan.len()
             ));
         }
-        self.classes = classes;
+        self.classes = Arc::new(classes);
         Ok(self)
     }
 
@@ -308,6 +320,13 @@ impl RequestInjector {
     /// completed — in-flight work lives in the scheduler and cores).
     pub fn drained(&self) -> bool {
         self.queue.is_empty()
+    }
+
+    /// Thread blocks belonging to terminally rejected/dropped requests
+    /// (never injected, never retiring). See
+    /// [`crate::system::System::is_done`].
+    pub fn blocks_shed(&self) -> u64 {
+        self.blocks_shed
     }
 
     /// Whether the policy could admit one more request right now.
@@ -431,6 +450,7 @@ impl RequestInjector {
                     }
                     self.queue.remove(i);
                     ledger.rejected[r as usize] = now;
+                    self.blocks_shed += self.plan[r as usize].len() as u64;
                 }
             }
             ServePolicy::DeadlineDrop { ttft_deadline, .. } => {
@@ -448,6 +468,7 @@ impl RequestInjector {
                     if now >= arrival + ttft_deadline {
                         self.queue.remove(i);
                         ledger.rejected[r as usize] = now;
+                        self.blocks_shed += self.plan[r as usize].len() as u64;
                     } else {
                         i += 1;
                     }

@@ -14,6 +14,8 @@
 //!    new requests into the interconnect;
 //! 5. run the throttle controller and apply its `max_tb` decisions.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::arb::{RequestArbiter, ThrottleController, ThrottleInputs};
@@ -87,9 +89,16 @@ where
     T: ThrottleController,
 {
     cfg: SystemConfig,
-    program: Program,
+    /// The scenario's instruction streams and mapping. Shared: cloning
+    /// (and therefore [`System::snapshot`] / [`SystemState::fork`])
+    /// bumps a refcount instead of copying — every fork of one scenario
+    /// reads the same decoded trace, which is what lets
+    /// [`crate::batch::SystemBatch`] run a policy grid over one shared
+    /// trace instead of N private copies.
+    program: Arc<Program>,
     /// Dense issue-path view of `program` (see [`FlatProgram`]).
-    flat: FlatProgram,
+    /// Shared across forks like `program`.
+    flat: Arc<FlatProgram>,
     cores: Vec<VectorCore>,
     slices: Vec<LlcSlice<A>>,
     noc: Noc,
@@ -150,6 +159,13 @@ where
     /// back to the admission queue) under
     /// [`crate::serve::ServePolicy::PriorityPreempt`].
     req_preemptions: Vec<u32>,
+    /// Thread blocks in the program, total and retired so far. Together
+    /// with the injector's shed count these give [`System::is_done`] an
+    /// O(1) reject path: the machine cannot have drained while a block
+    /// that will ever retire has not yet retired, so the full
+    /// every-component idle sweep only runs once the counters balance.
+    blocks_total: u64,
+    blocks_retired: u64,
     progress_scratch: Vec<u64>,
     c_mem_scratch: Vec<u64>,
     c_idle_scratch: Vec<u64>,
@@ -280,12 +296,13 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
         for s in &mut slices {
             s.reserve_ingress(in_flight_bound);
         }
-        let flat = FlatProgram::new(&program);
+        let flat = Arc::new(FlatProgram::new(&program));
+        let blocks_total: u64 = req_blocks_total.iter().sum();
         System {
             core_period_ps: cfg.core_period_ps(),
             dram_period_ps: cfg.dram.timing.tck_ps,
             cfg,
-            program,
+            program: Arc::new(program),
             flat,
             cores,
             slices,
@@ -309,6 +326,8 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
             req_first_retire: vec![Cycle::MAX; n_req],
             req_rejected: vec![Cycle::MAX; n_req],
             req_preemptions: vec![0; n_req],
+            blocks_total,
+            blocks_retired: 0,
             req_blocks_total,
             req_blocks_done: vec![0; n_req],
             req_arrivals,
@@ -523,24 +542,36 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
     /// `max_cycles`, and both report [`RunOutcome::CycleLimit`] at the
     /// same cycle count.
     pub fn run_with_mode(&mut self, max_cycles: Cycle, mode: StepMode) -> (SimStats, RunOutcome) {
+        let outcome = self.advance_with_mode(max_cycles, mode);
+        (self.collect_stats(), outcome)
+    }
+
+    /// Advances the machine to completion or `max_cycles` **without**
+    /// assembling statistics.
+    ///
+    /// This is [`System::run_with_mode`] minus the final
+    /// [`System::collect_stats`] — the machine is left in exactly the
+    /// state the full run would leave it in, so a later `collect_stats`
+    /// (or further `advance_with_mode` calls with a larger budget)
+    /// observes byte-identical results. [`crate::batch::SystemBatch`]
+    /// drives its lockstep chunks through this entry point so stats
+    /// assembly is paid once per cell, not once per chunk.
+    pub fn advance_with_mode(&mut self, max_cycles: Cycle, mode: StepMode) -> RunOutcome {
         if mode == StepMode::Skip {
-            return self.run_skip(max_cycles);
+            return self.skip_to(max_cycles);
         }
-        let mut outcome = None;
         while self.cycle < max_cycles {
             self.tick();
             self.ticks_executed += 1;
             if self.is_done() {
-                outcome = Some(RunOutcome::Completed);
-                break;
+                return RunOutcome::Completed;
             }
         }
-        let outcome = outcome.unwrap_or_else(|| self.cycle_limit_outcome());
-        (self.collect_stats(), outcome)
+        self.cycle_limit_outcome()
     }
 
     /// The budget-exhausted outcome, carrying per-request completion.
-    fn cycle_limit_outcome(&self) -> RunOutcome {
+    pub(crate) fn cycle_limit_outcome(&self) -> RunOutcome {
         RunOutcome::CycleLimit {
             requests_completed: self.req_completed.iter().filter(|&&c| c).count(),
             requests_total: self.req_completed.len(),
@@ -554,6 +585,7 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
     fn note_retirements(&mut self, core: usize, now: Cycle) {
         while let Some(tb) = self.cores[core].retired.pop() {
             self.tb_retired = true;
+            self.blocks_retired += 1;
             let r = self.program.request_of(tb) as usize;
             self.req_blocks_done[r] += 1;
             if self.req_first_retire[r] == Cycle::MAX {
@@ -668,7 +700,7 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
     /// what makes the fast path fast on event-dense workloads: a NoC
     /// arrival at one slice no longer costs 16 core ticks, 7 idle slice
     /// ticks, a throttle sweep and 4 DRAM channel scans.
-    fn run_skip(&mut self, max_cycles: Cycle) -> (SimStats, RunOutcome) {
+    fn skip_to(&mut self, max_cycles: Cycle) -> RunOutcome {
         const NEVER: Cycle = Cycle::MAX;
         let num_cores = self.cores.len();
         let num_slices = self.slices.len();
@@ -895,7 +927,7 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
         // Keep the clock-domain invariant for anyone stepping the
         // system further after a fast-forwarded run.
         self.core_time_ps = self.cycle.saturating_mul(self.core_period_ps);
-        (self.collect_stats(), outcome)
+        outcome
     }
 
     /// Single-cycle step (public for fine-grained tests).
@@ -1030,7 +1062,21 @@ impl<A: RequestArbiter, T: ThrottleController> System<A, T> {
     /// True when every component has drained — including the request
     /// injector: an open-system run is not done while requests are
     /// still waiting for admission, however idle the machine is.
+    ///
+    /// The counter guard is an O(1) reject path for the per-cycle
+    /// caller: the machine cannot have drained while a block that will
+    /// ever retire has not retired. Rejected/dropped requests
+    /// ([`crate::serve::ServePolicy::RejectAboveQueue`] /
+    /// [`crate::serve::ServePolicy::DeadlineDrop`]) never inject their
+    /// blocks, so the injector's shed count makes up the difference.
+    /// The guard is necessary, not sufficient — retired blocks can
+    /// leave write-backs in flight — so the full idle sweep still
+    /// decides.
     pub fn is_done(&self) -> bool {
+        let shed = self.injector.as_ref().map_or(0, |i| i.blocks_shed());
+        if self.blocks_retired + shed < self.blocks_total {
+            return false;
+        }
         self.injector.as_ref().is_none_or(|i| i.drained())
             && self.sched.is_empty()
             && self.cores.iter().all(|c| c.is_idle())

@@ -1,0 +1,442 @@
+//! Differential suite for batched multi-cell execution.
+//!
+//! The contract ([`llamcat_sim::batch::SystemBatch`],
+//! `Experiment::run_forked_batch`): every cell of a lockstep batch —
+//! whatever the batch size, lockstep stride, step-mode mix, or the
+//! point at which other cells retire or exhaust their budgets — is
+//! **byte-identical** to its own straight-line per-cell run: same
+//! serialized `RunReport`/`SimStats` (per-request admission, TTFT,
+//! rejection and KV counters included), same `RunOutcome`. Covered:
+//! the 20-cell golden policy matrix, serving mixes, open-system serve
+//! cells (overload shedding included — the cells whose blocks never
+//! retire), KV-tier cells, budget edges around the exact completion
+//! cycle, and a proptest over random programs × batch sizes × strides
+//! × per-lane step modes.
+//!
+//! This suite is what lets `Campaign::batch_cells` share one scenario
+//! across a policy grid without weakening the repo's standing
+//! Skip ≡ Cycle and fork ≡ straight-line guarantees.
+
+use proptest::prelude::*;
+
+use llamcat::experiment::{Experiment, Model, Policy, RunReport};
+use llamcat::spec::{ArrivalSpec, KvSpec, MixSpec, PolicySpec, ServePolicySpec, ServeSpec};
+use llamcat_sim::arb::{FifoArbiter, NoThrottle};
+use llamcat_sim::batch::{SystemBatch, DEFAULT_STRIDE};
+use llamcat_sim::config::SystemConfig;
+use llamcat_sim::kv::{KvEviction, KvTierConfig};
+use llamcat_sim::prog::{Instr, Program, ThreadBlock};
+use llamcat_sim::serve::{RequestInjector, ServePolicy};
+use llamcat_sim::system::{RunOutcome, StepMode, System};
+use llamcat_trace::workloads::WorkloadSpec;
+
+const BUDGET: u64 = 50_000_000;
+
+fn report_json(report: &RunReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+/// The 5 × 4 policy matrix, compositional registry names.
+fn policy_matrix() -> Vec<PolicySpec> {
+    let mut out = Vec::with_capacity(20);
+    for arb in ["fifo", "B", "MA", "BMA", "cobrra"] {
+        for thr in ["none", "dyncta", "lcs", "dynmg"] {
+            out.push(PolicySpec::from_name(&format!("{thr}+{arb}")).expect("matrix name"));
+        }
+    }
+    out
+}
+
+/// Asserts that batching `cells` (all sharing one scenario) reproduces
+/// each cell's straight-line `try_run` byte-for-byte, at the default
+/// stride and at a deliberately tiny stride that forces many lockstep
+/// windows (pausing and resuming every cell mid-flight over and over).
+fn assert_batch_matches_per_cell(cells: &[Experiment], label: &str) {
+    let straight: Vec<String> = cells
+        .iter()
+        .map(|c| report_json(&c.try_run().expect("cell runs")))
+        .collect();
+    let snap = cells[0].snapshot_scenario().expect("scenario builds");
+    for stride in [DEFAULT_STRIDE, 997] {
+        let batched = Experiment::run_forked_batch_with_stride(cells, &snap, stride);
+        assert_eq!(batched.len(), cells.len());
+        for (i, report) in batched.iter().enumerate() {
+            assert_eq!(
+                report_json(report),
+                straight[i],
+                "{label}: cell {i} diverged from its straight-line run (stride {stride})"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The golden 20-cell policy matrix, closed solo trace, both modes.
+// ---------------------------------------------------------------------
+
+fn matrix_cells(mode: StepMode) -> Vec<Experiment> {
+    policy_matrix()
+        .into_iter()
+        .map(|p| {
+            Experiment::new(Model::Llama3_70b, 128)
+                .policy(p)
+                .step_mode(mode)
+        })
+        .collect()
+}
+
+#[test]
+fn golden_matrix_batched_matches_per_cell_cycle_mode() {
+    assert_batch_matches_per_cell(&matrix_cells(StepMode::Cycle), "matrix/cycle");
+}
+
+#[test]
+fn golden_matrix_batched_matches_per_cell_skip_mode() {
+    assert_batch_matches_per_cell(&matrix_cells(StepMode::Skip), "matrix/skip");
+}
+
+/// Lanes of one batch may mix step modes — each must still match its
+/// own straight-line run in its own mode.
+#[test]
+fn mixed_step_modes_in_one_batch() {
+    let cells: Vec<Experiment> = policy_matrix()
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mode = if i % 2 == 0 {
+                StepMode::Cycle
+            } else {
+                StepMode::Skip
+            };
+            Experiment::new(Model::Llama3_70b, 128)
+                .policy(p)
+                .step_mode(mode)
+        })
+        .collect();
+    assert_batch_matches_per_cell(&cells, "matrix/mixed-modes");
+}
+
+// ---------------------------------------------------------------------
+// Mix, serve (incl. overload shedding) and KV-tier scenarios.
+// ---------------------------------------------------------------------
+
+#[test]
+fn mix_cells_batched_match_per_cell() {
+    let mix = MixSpec::interleaved()
+        .request(WorkloadSpec::llama3_70b(), 128, 0)
+        .request(
+            WorkloadSpec::PrefillLogit {
+                heads: 8,
+                group_size: 8,
+                head_dim: 128,
+                query_tokens: 4,
+            },
+            128,
+            0,
+        );
+    for mode in [StepMode::Cycle, StepMode::Skip] {
+        let cells: Vec<Experiment> = ["none+fifo", "dynmg+BMA", "lcs+MA", "dyncta+B"]
+            .iter()
+            .map(|n| {
+                Experiment::from_mix_spec(&mix)
+                    .expect("valid mix")
+                    .policy(PolicySpec::from_name(n).expect("policy"))
+                    .step_mode(mode)
+            })
+            .collect();
+        assert_batch_matches_per_cell(&cells, &format!("mix/{mode:?}"));
+    }
+}
+
+#[test]
+fn serve_cells_batched_match_per_cell() {
+    let spec = ServeSpec::new(
+        WorkloadSpec::llama3_70b(),
+        128,
+        3,
+        ArrivalSpec::Poisson {
+            mean_gap: 4_000,
+            seed: 11,
+        },
+    )
+    .scheduler(ServePolicySpec::ContinuousBatching { slots: 2 });
+    for mode in [StepMode::Cycle, StepMode::Skip] {
+        let cells: Vec<Experiment> = ["none+fifo", "dynmg+BMA", "lcs+MA", "dyncta+B"]
+            .iter()
+            .map(|n| {
+                Experiment::from_serve_spec(&spec)
+                    .expect("valid serve")
+                    .policy(PolicySpec::from_name(n).expect("policy"))
+                    .step_mode(mode)
+            })
+            .collect();
+        assert_batch_matches_per_cell(&cells, &format!("serve/{mode:?}"));
+    }
+}
+
+/// The overlapping-burst storm from `serve_equiv.rs`: the machine is
+/// saturated when the second burst slams in, so admission-control
+/// schedulers actually shed requests.
+fn burst_storm() -> ArrivalSpec {
+    ArrivalSpec::Bursty {
+        burst: 3,
+        gap_in_burst: 6_000,
+        burst_gap: 2,
+        seed: 13,
+    }
+}
+
+/// Overload shedding in a batch: rejected/dropped requests' blocks
+/// never retire, so this pins the batched completion accounting (the
+/// shed-block counter behind the `is_done` fast path) along with the
+/// per-request rejection ledger.
+#[test]
+fn overload_serve_cells_batched_match_per_cell() {
+    for scheduler in [
+        ServePolicySpec::RejectAboveQueue { slots: 2, depth: 1 },
+        ServePolicySpec::DeadlineDrop {
+            slots: 2,
+            ttft_deadline: 9_000,
+        },
+    ] {
+        let spec =
+            ServeSpec::new(WorkloadSpec::llama3_70b(), 128, 4, burst_storm()).scheduler(scheduler);
+        for mode in [StepMode::Cycle, StepMode::Skip] {
+            let cells: Vec<Experiment> = ["none+fifo", "dynmg+BMA"]
+                .iter()
+                .map(|n| {
+                    Experiment::from_serve_spec(&spec)
+                        .expect("valid serve")
+                        .policy(PolicySpec::from_name(n).expect("policy"))
+                        .step_mode(mode)
+                })
+                .collect();
+            let probe = cells[0].try_run().expect("cell runs");
+            assert!(
+                probe.requests.iter().any(|r| r.rejected.is_some()),
+                "scenario must actually shed requests"
+            );
+            assert_batch_matches_per_cell(&cells, &format!("overload/{mode:?}"));
+        }
+    }
+}
+
+#[test]
+fn kv_tier_cells_batched_match_per_cell() {
+    let mut mix = MixSpec::interleaved();
+    for _ in 0..3 {
+        mix = mix.request(
+            WorkloadSpec::SharedPrefix {
+                heads: 8,
+                group_size: 8,
+                head_dim: 128,
+                prefix_len: 64,
+            },
+            128,
+            0,
+        );
+    }
+    for mode in [StepMode::Cycle, StepMode::Skip] {
+        let cells: Vec<Experiment> = ["none+fifo", "dynmg+BMA", "none+PFA"]
+            .iter()
+            .map(|n| {
+                Experiment::with_mix(mix.clone().instantiate())
+                    .kv(KvSpec::prefix_pin(16))
+                    .policy(PolicySpec::from_name(n).expect("policy"))
+                    .step_mode(mode)
+            })
+            .collect();
+        assert_batch_matches_per_cell(&cells, &format!("kv/{mode:?}"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Budget edges: lanes pause, retire and drop out at exact boundaries.
+// ---------------------------------------------------------------------
+
+/// The paper's stateful policy pair (BMA + DynMg) on a real trace.
+fn rich_system() -> System<llamcat::arbiter::ArbiterKind, llamcat::throttle::ThrottleKind> {
+    let e = Experiment::new(Model::Llama3_70b, 128).policy(Policy::dynmg_bma());
+    let program = e.build_program();
+    let arb = e.policy.arb.clone();
+    System::new(
+        e.config,
+        program,
+        &move |_| arb.build_kind(),
+        e.policy.throttle.build_kind(),
+    )
+}
+
+/// One batch whose lanes all share a scenario but carry budgets
+/// straddling the exact completion cycle: early lanes retire on their
+/// budgets mid-batch, the generous lanes complete, and nobody's exit
+/// perturbs anyone else. Each lane is byte-identical to a per-lane
+/// straight-line run with the same budget.
+#[test]
+fn budget_edges_batched_match_straight_line() {
+    for mode in [StepMode::Cycle, StepMode::Skip] {
+        let mut reference = rich_system();
+        let (stats_ref, out_ref) = reference.run_with_mode(BUDGET, mode);
+        assert_eq!(out_ref, RunOutcome::Completed);
+        let full = stats_ref.cycles;
+
+        let budgets = [
+            1,
+            2,
+            97,
+            1_000,
+            full / 2,
+            full - 1,
+            full,
+            full + 1,
+            full + 10_000,
+        ];
+        let base = rich_system();
+        for stride in [DEFAULT_STRIDE, 131] {
+            let mut batch = SystemBatch::with_stride(stride);
+            for &b in &budgets {
+                batch.push(base.clone(), b, mode);
+            }
+            let results = batch.run();
+            for (&b, (stats, outcome)) in budgets.iter().zip(&results) {
+                let mut straight = rich_system();
+                let (stats_s, out_s) = straight.run_with_mode(b, mode);
+                assert_eq!(
+                    outcome, &out_s,
+                    "budget {b} ({mode:?}, stride {stride}): outcome diverged"
+                );
+                assert_eq!(
+                    serde_json::to_string(stats).unwrap(),
+                    serde_json::to_string(&stats_s).unwrap(),
+                    "budget {b} ({mode:?}, stride {stride}): SimStats diverged"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Proptest: random open programs × batch sizes × strides × mode mixes.
+// ---------------------------------------------------------------------
+
+fn small_cfg(cores: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::table5();
+    cfg.num_cores = cores;
+    cfg
+}
+
+fn tight_kv() -> KvTierConfig {
+    KvTierConfig {
+        warm_capacity_blocks: 4,
+        block_bytes: 256,
+        slow_latency: 400,
+        slow_bytes_per_cycle: 16,
+        max_inflight: 2,
+        eviction: KvEviction::Lru,
+    }
+}
+
+/// Request-tagged blocks mixing plain and KV-window loads inside each
+/// request's VA slot (so the slow tier engages with promotions in
+/// flight), with a caller-chosen block count per request.
+fn open_kv_program(blocks_per_request: &[usize]) -> Program {
+    let mut blocks = Vec::new();
+    let mut tags = Vec::new();
+    for (r, &nblocks) in blocks_per_request.iter().enumerate() {
+        let slot = (r as u64) << 40;
+        for b in 0..nblocks {
+            blocks.push(ThreadBlock {
+                instrs: vec![
+                    Instr::Load {
+                        addr: slot + (b as u64) * 256,
+                        bytes: 128,
+                    },
+                    Instr::Load {
+                        addr: slot + (1 << 32) + (b as u64) * 256,
+                        bytes: 128,
+                    },
+                    Instr::Barrier,
+                ],
+            });
+            tags.push(r as u32);
+        }
+    }
+    let assignment = vec![0; blocks.len()];
+    Program::with_requests(blocks, assignment, tags, Vec::new())
+}
+
+fn open_kv_system(p: &Program, arrivals: Vec<u64>) -> System<FifoArbiter, NoThrottle> {
+    let cfg = small_cfg(2);
+    let injector = RequestInjector::new(
+        p,
+        arrivals,
+        ServePolicy::ContinuousBatching { slots: 2 },
+        2,
+        cfg.core.num_inst_windows,
+    )
+    .expect("valid injector");
+    let mut sys = System::new(cfg, p.clone(), &|_| FifoArbiter, NoThrottle);
+    sys.attach_injector(injector);
+    sys.attach_kv(tight_kv());
+    sys
+}
+
+// Random open-system KV programs, random per-lane budget cut points
+// (so lanes retire at arbitrary mid-flight cycles while the rest carry
+// on), random per-lane step modes, random lockstep stride: every lane
+// of the batch is byte-identical to its own straight-line run.
+proptest! {
+    #[test]
+    fn random_batches_match_straight_line(
+        shape in proptest::collection::vec(1usize..4, 2..5),
+        gaps in proptest::collection::vec(0u64..2_000, 4),
+        cuts in proptest::collection::vec((0u64..110, any::<bool>()), 1..6),
+        stride in 17u64..8_192,
+    ) {
+        let p = open_kv_program(&shape);
+        let arrivals: Vec<u64> = gaps
+            .iter()
+            .take(shape.len())
+            .scan(0u64, |acc, g| {
+                *acc += g;
+                Some(*acc)
+            })
+            .collect();
+
+        let mut reference = open_kv_system(&p, arrivals.clone());
+        let (stats_ref, out_ref) = reference.run_with_mode(BUDGET, StepMode::Cycle);
+        prop_assert_eq!(out_ref, RunOutcome::Completed);
+        let full = stats_ref.cycles;
+
+        // Lanes: budget at cut% of the full run (past-the-end budgets
+        // complete; tiny ones retire almost immediately), mode per lane.
+        let lanes: Vec<(u64, StepMode)> = cuts
+            .iter()
+            .map(|&(frac, skip)| {
+                let budget = (full * frac / 100).max(1);
+                let mode = if skip { StepMode::Skip } else { StepMode::Cycle };
+                (budget, mode)
+            })
+            .collect();
+        let base = open_kv_system(&p, arrivals.clone());
+        let mut batch = SystemBatch::with_stride(stride);
+        for &(budget, mode) in &lanes {
+            batch.push(base.clone(), budget, mode);
+        }
+        let results = batch.run();
+        prop_assert_eq!(results.len(), lanes.len());
+        for (&(budget, mode), (stats, outcome)) in lanes.iter().zip(&results) {
+            let mut straight = open_kv_system(&p, arrivals.clone());
+            let (stats_s, out_s) = straight.run_with_mode(budget, mode);
+            prop_assert_eq!(outcome, &out_s);
+            prop_assert_eq!(
+                serde_json::to_string(stats).unwrap(),
+                serde_json::to_string(&stats_s).unwrap(),
+                "budget {} mode {:?} stride {} diverged",
+                budget,
+                mode,
+                stride
+            );
+        }
+    }
+}
